@@ -1,0 +1,171 @@
+"""Ablation — hybrid costing vs the pure approaches (§5, Fig. 8).
+
+On the same evaluation workload this bench compares:
+
+* sub-op costing (minutes of training),
+* logical-op costing (hours of training),
+* the per-operator hybrid of §5 (joins on sub-op formulas, aggregations
+  on the logical-op NN),
+
+reporting estimation RMSE% and the remote training time each approach
+consumed — the trade-off table of Fig. 8 in numbers.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_series
+from repro.core import (
+    CostingApproach,
+    LogicalOpModel,
+    OperatorKind,
+    SubOpTrainer,
+)
+from repro.core.costing import TrainingQuery, derive_operator_stats
+from repro.core.estimator import (
+    HybridEstimator,
+    LogicalOpEstimator,
+    SubOpEstimator,
+    normalize_join_stats,
+)
+from repro.core.operators import AggregateOperatorStats, JoinOperatorStats
+from repro.core.rules import JoinAlgorithmSelector, hive_join_algorithms
+from repro.core.training import TrainingSet
+from repro.ml.metrics import rmse_percent
+from repro.workloads import AggregationWorkload, JoinWorkload
+
+EVAL_COUNTS = (100_000, 1_000_000, 4_000_000, 8_000_000)
+
+
+def _train_logical(kind, queries, hive, iterations=12_000, topology=(14, 6)):
+    model = LogicalOpModel(
+        kind,
+        search_topology=False,
+        default_topology=topology,
+        nn_iterations=iterations,
+        seed=0,
+    )
+    training_set = TrainingSet(model.dimension_names)
+    for query in queries:
+        training_set.add(query.features, hive.execute(query.plan).elapsed_seconds)
+    model.train(training_set)
+    return model, training_set.total_training_seconds
+
+
+@pytest.fixture(scope="module")
+def experiment(corpus, catalog, hive, cluster_info, results_dir):
+    subop_result = SubOpTrainer().train(hive, cluster_info)
+    sub_op = SubOpEstimator(
+        subops=subop_result.model_set,
+        cluster=cluster_info,
+        join_selector=JoinAlgorithmSelector(hive_join_algorithms()),
+    )
+    join_model, join_seconds = _train_logical(
+        OperatorKind.JOIN,
+        JoinWorkload(corpus, max_queries=2_000).training_queries(catalog),
+        hive,
+    )
+    agg_model, agg_seconds = _train_logical(
+        OperatorKind.AGGREGATE,
+        AggregationWorkload(corpus, max_queries=2_000).training_queries(catalog),
+        hive,
+        topology=(8, 4),
+    )
+    logical = LogicalOpEstimator(
+        {OperatorKind.JOIN: join_model, OperatorKind.AGGREGATE: agg_model}
+    )
+    hybrid = HybridEstimator(sub_op=sub_op, logical_op=logical)
+    hybrid.route(OperatorKind.JOIN, CostingApproach.SUB_OP)
+    hybrid.route(OperatorKind.AGGREGATE, CostingApproach.LOGICAL_OP)
+
+    # Evaluation workload: a mix of joins and aggregations.
+    eval_queries = (
+        JoinWorkload(
+            corpus, row_counts=EVAL_COUNTS, row_sizes=(100, 500), max_queries=20
+        ).training_queries(catalog)
+        + AggregationWorkload(
+            corpus, shrink_factors=(5, 50), num_aggregates=(2,), max_queries=20
+        ).training_queries(catalog)
+    )
+    cases = []
+    for query in eval_queries:
+        stats = derive_operator_stats(query.plan, catalog)
+        actual = hive.execute(query.plan).elapsed_seconds
+        cases.append((stats, actual))
+
+    def evaluate(estimator):
+        estimates, actuals = [], []
+        for stats, actual in cases:
+            if isinstance(stats, JoinOperatorStats):
+                seconds = estimator.estimate_join(
+                    normalize_join_stats(stats)
+                ).seconds
+            else:
+                assert isinstance(stats, AggregateOperatorStats)
+                seconds = estimator.estimate_aggregate(stats).seconds
+            estimates.append(seconds)
+            actuals.append(actual)
+        return rmse_percent(np.asarray(actuals), np.asarray(estimates))
+
+    errors = {
+        "sub_op": evaluate(sub_op),
+        "logical_op": evaluate(logical),
+        "hybrid": evaluate(hybrid),
+    }
+    training_seconds = {
+        "sub_op": subop_result.remote_training_seconds,
+        "logical_op": join_seconds + agg_seconds,
+    }
+    write_series(
+        results_dir / "ablation_hybrid_tradeoff.txt",
+        "Ablation: costing approach vs remote training minutes and "
+        "evaluation RMSE% (the Fig. 8 trade-off, quantified)",
+        ("approach", "training_minutes", "rmse_percent"),
+        [
+            ("sub_op", training_seconds["sub_op"] / 60.0, errors["sub_op"]),
+            (
+                "logical_op",
+                training_seconds["logical_op"] / 60.0,
+                errors["logical_op"],
+            ),
+            (
+                "hybrid(join=sub_op, agg=logical)",
+                (training_seconds["sub_op"] + training_seconds["logical_op"])
+                / 60.0,
+                errors["hybrid"],
+            ),
+        ],
+    )
+    return {
+        "errors": errors,
+        "training_seconds": training_seconds,
+        "hybrid": hybrid,
+    }
+
+
+def test_hybrid_tradeoff_table(experiment, results_dir):
+    assert (results_dir / "ablation_hybrid_tradeoff.txt").exists()
+
+
+def test_subop_training_is_much_cheaper(experiment):
+    seconds = experiment["training_seconds"]
+    assert seconds["logical_op"] > 5 * seconds["sub_op"]
+
+
+def test_hybrid_matches_best_per_operator(experiment):
+    """The hybrid inherits each operator's better estimator, so it is
+    never meaningfully worse than both pure approaches."""
+    errors = experiment["errors"]
+    assert errors["hybrid"] <= max(errors["sub_op"], errors["logical_op"]) * 1.05
+
+
+def test_benchmark_hybrid_estimate(experiment, benchmark):
+    hybrid = experiment["hybrid"]
+    stats = AggregateOperatorStats(
+        num_input_rows=1_000_000,
+        input_row_size=100,
+        num_output_rows=10_000,
+        output_row_size=12,
+    )
+    estimate = benchmark(hybrid.estimate_aggregate, stats)
+    assert estimate.seconds >= 0

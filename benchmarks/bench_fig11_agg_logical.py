@@ -1,0 +1,152 @@
+"""Fig. 11 — logical-operator costing for the aggregation operator.
+
+(a) cumulative remote training time of the ≈3,700-query workload;
+(b) NN convergence: RMSE% flattens well before 20,000 iterations;
+(c) NN predicted-vs-actual on the held-out 30% — near-identity line
+    (paper: ``y = 0.9587x + 0.2445``, R² = 0.98573);
+(d) linear-regression baseline — reasonable for aggregation but below
+    the NN (paper: ``y = 0.9149x + 0.5307``, R² = 0.93038).
+
+Series are written by the experiment fixture into
+``benchmarks/results/fig11*.txt``.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_series
+from repro.core import LogicalOpModel, OperatorKind
+from repro.core.training import TrainingSet
+from repro.ml.crossval import train_test_split
+from repro.ml.linear import LinearRegression
+from repro.ml.metrics import fit_line, rmse
+from repro.workloads import AggregationWorkload
+
+NUM_QUERIES = 3_700
+NN_ITERATIONS = 20_000
+
+
+@pytest.fixture(scope="module")
+def experiment(corpus, catalog, hive, results_dir):
+    """Execute the training workload, fit NN and LR, write all series."""
+    workload = AggregationWorkload(corpus, max_queries=NUM_QUERIES)
+    model = LogicalOpModel(
+        OperatorKind.AGGREGATE,
+        search_topology=False,
+        default_topology=(8, 4),
+        nn_iterations=NN_ITERATIONS,
+        seed=0,
+    )
+    training_set = TrainingSet(model.dimension_names)
+    for query in workload.training_queries(catalog):
+        result = hive.execute(query.plan)
+        training_set.add(query.features, result.elapsed_seconds)
+
+    x = training_set.feature_matrix()
+    y = training_set.cost_vector()
+    x_train, y_train, x_test, y_test = train_test_split(
+        x, y, test_fraction=0.3, seed=0
+    )
+
+    # Train the NN on the 70% split (the paper's protocol).
+    split_set = TrainingSet(model.dimension_names)
+    for features, cost in zip(x_train, y_train):
+        split_set.add(tuple(features), float(cost))
+    report = model.train(split_set, record_every=500)
+
+    # Linear-regression baseline on the raw training dimensions.
+    lr = LinearRegression().fit(x_train, y_train)
+
+    nn_predicted = np.asarray([model.estimate(row).seconds for row in x_test])
+    lr_predicted = lr.predict(x_test)
+    nn_line = fit_line(y_test, nn_predicted)
+    lr_line = fit_line(y_test, lr_predicted)
+
+    # ---- write the four panels ----------------------------------------
+    queries, cumulative = training_set.training_cost_curve()
+    stride = max(1, len(queries) // 50)
+    write_series(
+        results_dir / "fig11a_agg_training_cost.txt",
+        "Fig 11(a): aggregation logical-op remote training cost "
+        f"(total {cumulative[-1] / 3600:.1f} simulated hours; paper: 4.3 h)",
+        ("num_queries", "cumulative_minutes"),
+        [
+            (int(q), float(c) / 60.0)
+            for q, c in zip(queries[::stride], cumulative[::stride])
+        ],
+    )
+    history = report.history
+    write_series(
+        results_dir / "fig11b_agg_nn_convergence.txt",
+        "Fig 11(b): aggregation NN convergence (RMSE% vs iteration)",
+        ("iteration", "rmse_percent"),
+        list(zip(history.iterations, history.rmse_percent)),
+    )
+    write_series(
+        results_dir / "fig11c_agg_nn_accuracy.txt",
+        f"Fig 11(c): aggregation NN predicted-vs-actual — {nn_line} "
+        "(paper: y = 0.9587x + 0.2445, R² = 0.98573)",
+        ("actual_seconds", "predicted_seconds"),
+        list(zip(y_test.tolist(), nn_predicted.tolist())),
+    )
+    write_series(
+        results_dir / "fig11d_agg_lr_accuracy.txt",
+        f"Fig 11(d): aggregation LR predicted-vs-actual — {lr_line} "
+        "(paper: y = 0.9149x + 0.5307, R² = 0.93038)",
+        ("actual_seconds", "predicted_seconds"),
+        list(zip(y_test.tolist(), lr_predicted.tolist())),
+    )
+
+    return {
+        "training_set": training_set,
+        "model": model,
+        "report": report,
+        "x_test": x_test,
+        "y_test": y_test,
+        "nn_predicted": nn_predicted,
+        "lr_predicted": lr_predicted,
+        "nn_line": nn_line,
+        "lr_line": lr_line,
+    }
+
+
+def test_fig11a_training_cost(experiment):
+    training_set = experiment["training_set"]
+    _, cumulative = training_set.training_cost_curve()
+    assert len(training_set) == NUM_QUERIES
+    # Hours of remote time, monotone accumulation.
+    assert cumulative[-1] > 3600
+    assert np.all(np.diff(cumulative) >= 0)
+
+
+def test_fig11b_nn_convergence(experiment):
+    history = experiment["report"].history
+    errors = dict(zip(history.iterations, history.rmse_percent))
+    # Converged: far below the early error, steady by the half-way mark
+    # (the paper's 7-9k iteration flattening).
+    assert errors[NN_ITERATIONS] < 0.5 * errors[500]
+    assert errors[NN_ITERATIONS] <= errors[NN_ITERATIONS // 2] * 1.25
+    assert errors[NN_ITERATIONS] < 30.0
+
+
+def test_fig11c_nn_accuracy(experiment):
+    line = experiment["nn_line"]
+    assert 0.85 <= line.slope <= 1.1
+    assert line.r2 > 0.93
+
+
+def test_fig11d_linear_regression_accuracy(experiment):
+    # The paper's shape: LR is reasonable for aggregation, but the NN
+    # is more accurate.
+    assert experiment["lr_line"].r2 > 0.85
+    y_test = experiment["y_test"]
+    assert rmse(y_test, experiment["nn_predicted"]) < rmse(
+        y_test, experiment["lr_predicted"]
+    )
+
+
+def test_benchmark_agg_estimation(experiment, benchmark):
+    """Query-time latency of one logical-op cost estimation."""
+    model, x_test = experiment["model"], experiment["x_test"]
+    estimate = benchmark(model.estimate, x_test[0])
+    assert estimate.seconds >= 0

@@ -1,0 +1,202 @@
+"""Fig. 14 — out-of-range prediction for the merge-join workload.
+
+Both costing approaches train on tables of up to 8 × 10⁶ records, then
+estimate 45 join queries whose inputs have 20 × 10⁶ records (record
+sizes stay within the trained range).  The paper's shape:
+
+* **sub-op** extrapolates easily and stays near the optimal zone;
+* the raw **NN** cannot extrapolate — its estimates collapse below the
+  actuals;
+* **NN + online remedy** (α = 0.5) recovers much of the gap;
+* **NN + offline tuning** (70% of the new queries logged and folded
+  back in) approaches the optimal zone on the remaining 30%.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_series
+from repro.core import LogicalOpModel, OperatorKind, SubOpTrainer
+from repro.core.costing import derive_join_stats
+from repro.core.estimator import SubOpEstimator, normalize_join_stats
+from repro.core.rules import CostedJoinAlgorithm, EQUI_JOIN_ONLY, JoinAlgorithmSelector
+from repro.core.formulas import ShuffleJoinFormula
+from repro.core.training import TrainingSet
+from repro.core.tuning import OfflineTuner
+from repro.engines import HiveEngine
+from repro.ml.metrics import rmse_percent
+from repro.workloads import JoinWorkload, OutOfRangeWorkload
+
+TRAIN_COUNTS = tuple(
+    c
+    for c in (
+        10_000, 20_000, 40_000, 60_000, 80_000,
+        100_000, 200_000, 400_000, 600_000, 800_000,
+        1_000_000, 2_000_000, 4_000_000, 6_000_000, 8_000_000,
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def experiment(corpus, catalog, cluster_info, results_dir):
+    # The paper studies the *merge join algorithm* for this experiment:
+    # the engine is pinned to the shuffle/merge join (a Hive join hint),
+    # so the cost surface has one algorithm regime to extrapolate.
+    hive = HiveEngine(seed=2020)
+    for spec in corpus:
+        hive.load_table(spec)
+    hive.forced_join_algorithm = "shuffle_join"
+
+    # ---- train the logical-op join model on the <= 8M-row grid --------
+    workload = JoinWorkload(corpus, row_counts=TRAIN_COUNTS, max_queries=2_500)
+    model = LogicalOpModel(
+        OperatorKind.JOIN,
+        search_topology=False,
+        default_topology=(14, 6),
+        nn_iterations=15_000,
+        seed=0,
+        tuner=OfflineTuner(tuning_iterations=8_000, seed=0),
+    )
+    training_set = TrainingSet(model.dimension_names)
+    for query in workload.training_queries(catalog):
+        training_set.add(query.features, hive.execute(query.plan).elapsed_seconds)
+    model.train(training_set)
+
+    # ---- train the sub-op models (also on <= 8M-record inputs) --------
+    subop_result = SubOpTrainer().train(hive, cluster_info)
+    subop = SubOpEstimator(
+        subops=subop_result.model_set,
+        cluster=cluster_info,
+        join_selector=JoinAlgorithmSelector(
+            (CostedJoinAlgorithm(ShuffleJoinFormula(), (EQUI_JOIN_ONLY,)),)
+        ),
+    )
+
+    # ---- the 45 out-of-range queries at 20M records -------------------
+    oor = OutOfRangeWorkload(corpus)
+    queries = oor.training_queries(catalog)
+    actuals = np.asarray(
+        [hive.execute(q.plan).elapsed_seconds for q in queries]
+    )
+
+    subop_estimates = []
+    for query in queries:
+        stats = normalize_join_stats(derive_join_stats(query.plan, catalog))
+        subop_estimates.append(subop.estimate_join(stats).seconds)
+    subop_estimates = np.asarray(subop_estimates)
+
+    nn_estimates = np.asarray(
+        [model.estimate_nn_only(q.features) for q in queries]
+    )
+    remedy_estimates = np.asarray(
+        [
+            model.remedy.estimate(
+                nn_estimate=float(nn),
+                training_set=model.training_set,
+                metadata=model.metadata,
+                features=q.features,
+                pivots=[
+                    i
+                    for i, meta in enumerate(model.metadata)
+                    if meta.is_way_off(q.features[i], beta=model.beta)
+                ],
+                alpha=0.5,  # the paper fixes alpha = 0.5 for this figure
+            ).combined
+            for q, nn in zip(queries, nn_estimates)
+        ]
+    )
+
+    # ---- offline tuning: log 70%, tune, re-estimate the other 30% -----
+    split = int(round(0.7 * len(queries)))
+    for query, actual in zip(queries[:split], actuals[:split]):
+        estimate = model.estimate(query.features)
+        model.record_actual(estimate, float(actual))
+    model.run_offline_tuning()
+    tuned_estimates = np.asarray(
+        [model.estimate(q.features).seconds for q in queries[split:]]
+    )
+
+    data = {
+        "queries": queries,
+        "actuals": actuals,
+        "subop": subop_estimates,
+        "nn": nn_estimates,
+        "remedy": remedy_estimates,
+        "tuned": tuned_estimates,
+        "split": split,
+        "model": model,
+    }
+    _write_fig14(data, results_dir)
+    return data
+
+
+def _write_fig14(data, results_dir):
+    actuals = data["actuals"]
+    split = data["split"]
+    rows = []
+    for i in range(len(actuals)):
+        rows.append(
+            (
+                float(actuals[i]),
+                float(data["subop"][i]),
+                float(data["nn"][i]),
+                float(data["remedy"][i]),
+                float(data["tuned"][i - split]) if i >= split else float("nan"),
+            )
+        )
+    errors = {
+        "subop": rmse_percent(actuals, data["subop"]),
+        "nn": rmse_percent(actuals, data["nn"]),
+        "remedy": rmse_percent(actuals, data["remedy"]),
+        "tuned": rmse_percent(actuals[split:], data["tuned"]),
+    }
+    write_series(
+        results_dir / "fig14_out_of_range.txt",
+        "Fig 14: out-of-range prediction (45 queries at 20M records) — "
+        + ", ".join(f"{k} RMSE%={v:.1f}" for k, v in errors.items()),
+        ("actual", "subop_est", "nn_est", "nn_remedy_est", "nn_tuned_est"),
+        rows,
+    )
+
+
+def test_fig14_series_written(experiment, results_dir):
+    assert (results_dir / "fig14_out_of_range.txt").exists()
+
+
+def test_fig14_nn_cannot_extrapolate(experiment):
+    """The NN collapses below the actuals out of range."""
+    actuals, nn = experiment["actuals"], experiment["nn"]
+    assert float(np.median(nn / actuals)) < 0.75
+    assert rmse_percent(actuals, nn) > rmse_percent(actuals, experiment["subop"])
+
+
+def test_fig14_subop_extrapolates_well(experiment):
+    actuals, subop = experiment["actuals"], experiment["subop"]
+    assert rmse_percent(actuals, subop) < 30.0
+
+
+def test_fig14_remedy_recovers(experiment):
+    actuals = experiment["actuals"]
+    nn_error = rmse_percent(actuals, experiment["nn"])
+    remedy_error = rmse_percent(actuals, experiment["remedy"])
+    assert remedy_error < nn_error
+
+
+def test_fig14_offline_tuning_approaches_optimal(experiment):
+    actuals = experiment["actuals"]
+    split = experiment["split"]
+    tuned_error = rmse_percent(actuals[split:], experiment["tuned"])
+    remedy_error_on_holdout = rmse_percent(
+        actuals[split:], experiment["remedy"][split:]
+    )
+    assert tuned_error < remedy_error_on_holdout
+    assert tuned_error < 35.0
+
+
+def test_benchmark_remedy_estimation(experiment, benchmark):
+    """Query-time latency of the full remedy path (pivot detection,
+    neighbor extraction, on-the-fly regression, combination)."""
+    model = experiment["model"]
+    query = experiment["queries"][0]
+    estimate = benchmark(model.estimate, query.features)
+    assert estimate.seconds >= 0

@@ -1,0 +1,83 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Every benchmark regenerates one table or figure of the paper's §7 and
+writes its series to ``benchmarks/results/<experiment>.txt`` so the rows
+can be compared against the published plots.  ``pytest-benchmark`` times
+the query-time estimation kernels; the experiment logic itself runs in
+session fixtures.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+import pytest
+
+from repro.core import ClusterInfo, CostEstimationModule, RemoteSystemProfile
+from repro.data import Catalog, build_paper_corpus
+from repro.engines import HiveEngine
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The full 120-table Fig. 10 corpus."""
+    return build_paper_corpus()
+
+
+@pytest.fixture(scope="session")
+def catalog(corpus):
+    cat = Catalog()
+    for spec in corpus:
+        cat.register(spec)
+    return cat
+
+
+@pytest.fixture(scope="session")
+def hive(corpus):
+    """The evaluated remote system: a noisy simulated Hive cluster."""
+    engine = HiveEngine(seed=2020)
+    for spec in corpus:
+        engine.load_table(spec)
+    return engine
+
+
+@pytest.fixture(scope="session")
+def cluster_info():
+    return ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+
+
+@pytest.fixture(scope="session")
+def module(hive, cluster_info):
+    module = CostEstimationModule()
+    module.register_system(
+        hive, RemoteSystemProfile(name="hive", cluster=cluster_info)
+    )
+    return module
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_series(
+    path: pathlib.Path,
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence],
+) -> None:
+    """Write one regenerated table/figure series as aligned text."""
+    lines = [f"# {title}", "\t".join(str(h) for h in header)]
+    for row in rows:
+        lines.append(
+            "\t".join(
+                f"{v:.6g}" if isinstance(v, float) else str(v) for v in row
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")

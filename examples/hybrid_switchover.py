@@ -1,0 +1,108 @@
+"""Hybrid costing and the §5 switch-over scenario ("system C").
+
+A newly registered system may have limited openbox knowledge and no
+spare capacity for the multi-day logical-op training.  §5's answer: use
+an *approximate* sub-op costing immediately, train the logical-op models
+in the background, and switch the costing profile once they are ready.
+
+This example quantifies that trade-off on a simulated Hive system:
+
+* phase 1 — sub-op costing trained in (simulated) minutes, used at once;
+* phase 2 — the join logical-op model finishes its long training and the
+  profile switches; accuracy on the evaluation workload is compared.
+
+Run with::
+
+    python examples/hybrid_switchover.py
+"""
+
+import numpy as np
+
+from repro import (
+    Catalog,
+    ClusterInfo,
+    CostEstimationModule,
+    CostingApproach,
+    HiveEngine,
+    LogicalOpModel,
+    OperatorKind,
+    RemoteSystemProfile,
+    build_paper_corpus,
+)
+from repro.ml.metrics import rmse_percent
+from repro.workloads import JoinWorkload
+
+
+def evaluate(module, catalog, engine, queries):
+    actuals, estimates = [], []
+    for query in queries:
+        estimate = module.estimate_plan("hive", query.plan, catalog)
+        actuals.append(engine.execute(query.plan).elapsed_seconds)
+        estimates.append(estimate.seconds)
+    return rmse_percent(np.asarray(actuals), np.asarray(estimates))
+
+
+def main() -> None:
+    counts = (10_000, 100_000, 1_000_000, 4_000_000, 8_000_000)
+    corpus = build_paper_corpus(row_counts=counts, row_sizes=(100, 250, 1000))
+    engine = HiveEngine(seed=5)
+    catalog = Catalog()
+    for spec in corpus:
+        engine.load_table(spec)
+        catalog.register(spec)
+
+    profile = RemoteSystemProfile(
+        name="hive",
+        cluster=ClusterInfo(
+            num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+        ),
+    )
+    module = CostEstimationModule()
+    module.register_system(engine, profile)
+
+    evaluation = JoinWorkload(
+        corpus, row_sizes=(100, 1000), max_queries=40
+    ).training_queries(catalog)
+
+    # -- Phase 1: fast sub-op costing, available immediately -------------
+    subop = module.train_sub_op("hive")
+    error_subop = evaluate(module, catalog, engine, evaluation)
+    print(
+        f"phase 1 (sub-op):      trained in {subop.remote_training_seconds / 60:6.1f} "
+        f"simulated minutes -> eval RMSE% {error_subop:6.1f}"
+    )
+
+    # -- Phase 2: the long logical-op training completes ------------------
+    training = JoinWorkload(corpus, max_queries=1200)
+    report = module.train_logical_op(
+        "hive",
+        OperatorKind.JOIN,
+        training.training_queries(catalog),
+        model=LogicalOpModel(
+            OperatorKind.JOIN,
+            search_topology=False,
+            nn_iterations=12_000,
+            seed=0,
+        ),
+    )
+    print(
+        f"phase 2 (logical-op):  trained in {report.remote_training_seconds / 3600:6.1f} "
+        f"simulated hours   ({report.num_queries} remote queries)"
+    )
+
+    # Switch the costing profile over (§5: a CP update takes effect at once).
+    profile.approach = CostingApproach.LOGICAL_OP
+    module._systems["hive"].estimator = None
+    error_logical = evaluate(module, catalog, engine, evaluation)
+    print(f"                        -> eval RMSE% {error_logical:6.1f}")
+
+    ratio = report.remote_training_seconds / subop.remote_training_seconds
+    print(
+        f"\nthe logical-op training consumed {ratio:.0f}x more remote time; "
+        "the hybrid profile let the system cost queries during that whole "
+        "window using the sub-op models."
+    )
+
+
+if __name__ == "__main__":
+    main()

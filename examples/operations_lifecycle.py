@@ -1,0 +1,133 @@
+"""Operating the costing module over time: persist, reload, detect drift.
+
+The paper treats training as a one-time registration step under a
+*supervised ecosystem* (§2): models hold for a fixed cluster
+configuration, and configuration changes require re-learning.  This
+example walks the operational lifecycle a deployment needs around that:
+
+1. train sub-op costing for a Hive system and **persist** the costing
+   profile (CP) to JSON;
+2. restart (reload the CP from disk) and keep estimating — bit-identical
+   estimates, zero retraining;
+3. the remote cluster then *changes* (slower scheduling after a
+   reconfiguration); the **drift monitor** watching the estimate/actual
+   feedback flags it;
+4. re-train against the changed system, reset the monitor, and verify
+   estimates track again.
+
+Run with::
+
+    python examples/operations_lifecycle.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    Catalog,
+    ClusterInfo,
+    CostEstimationModule,
+    HiveEngine,
+    RemoteSystemProfile,
+    build_paper_corpus,
+    parse_select,
+)
+from repro.core import load_profile, save_profile
+from repro.engines.execution import EngineTuning
+
+
+def load_corpus(engine, catalog, corpus):
+    for spec in corpus:
+        engine.load_table(spec)
+        if not catalog.has_table(spec.name):
+            catalog.register(spec)
+
+
+def feedback_round(module, engine, catalog, plans, rounds=8):
+    """Estimate + execute + record actuals; returns the drift report."""
+    for _ in range(rounds):
+        for plan in plans:
+            estimate = module.estimate_plan("hive", plan, catalog)
+            actual = engine.execute(plan).elapsed_seconds
+            module.record_actual("hive", estimate, actual)
+    return module.drift_report("hive")
+
+
+def main() -> None:
+    corpus = build_paper_corpus(
+        row_counts=(100_000, 1_000_000, 4_000_000), row_sizes=(100, 1000)
+    )
+    catalog = Catalog()
+    info = ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+
+    # -- 1. Train once, persist the CP -----------------------------------
+    hive = HiveEngine(seed=4)
+    load_corpus(hive, catalog, corpus)
+    module = CostEstimationModule()
+    profile = RemoteSystemProfile(name="hive", cluster=info)
+    module.register_system(hive, profile)
+    module.train_sub_op("hive")
+
+    cp_path = Path(tempfile.mkdtemp()) / "hive_profile.json"
+    save_profile(profile, cp_path)
+    print(f"trained and persisted CP -> {cp_path} ({cp_path.stat().st_size} bytes)")
+
+    # -- 2. "Restart": a fresh module loads the CP from disk -------------
+    module = CostEstimationModule()
+    module.register_system(hive, load_profile(cp_path))
+    plan = parse_select(
+        "SELECT r.a1 FROM t4000000_100 r JOIN t1000000_100 s ON r.a1 = s.a1"
+    )
+    estimate = module.estimate_plan("hive", plan, catalog)
+    actual = hive.execute(plan).elapsed_seconds
+    print(
+        f"after reload: estimate {estimate.seconds:.1f}s vs actual "
+        f"{actual:.1f}s — no retraining needed"
+    )
+
+    # -- 3. Healthy feedback, then the cluster changes --------------------
+    plans = [
+        parse_select(
+            f"SELECT r.a1 FROM t4000000_{size} r JOIN t{rows}_{size} s "
+            "ON r.a1 = s.a1"
+        )
+        for size in (100, 1000)
+        for rows in (100_000, 1_000_000)
+    ]
+    report = feedback_round(module, hive, catalog, plans)
+    print(f"healthy phase: drift={report.drifted} (stat {report.statistic:.1f})")
+
+    degraded = HiveEngine(
+        seed=5,
+        tuning=EngineTuning(
+            job_startup=4.0, wave_startup=0.8, overlap_factor=0.93,
+            noise_sigma=0.04,
+        ),
+    )
+    load_corpus(degraded, catalog, corpus)
+    report = feedback_round(module, degraded, catalog, plans, rounds=15)
+    print(
+        f"after cluster change: drift={report.drifted} "
+        f"direction={report.direction} (stat {report.statistic:.1f})"
+    )
+
+    # -- 4. Re-learn against the changed system, reset the monitor -------
+    module = CostEstimationModule()
+    module.register_system(
+        degraded, RemoteSystemProfile(name="hive", cluster=info)
+    )
+    module.train_sub_op("hive")
+    module.reset_drift("hive")
+    report = feedback_round(module, degraded, catalog, plans)
+    estimate = module.estimate_plan("hive", plan, catalog)
+    actual = degraded.execute(plan).elapsed_seconds
+    print(
+        f"after retraining: estimate {estimate.seconds:.1f}s vs actual "
+        f"{actual:.1f}s, drift={report.drifted}"
+    )
+
+
+if __name__ == "__main__":
+    main()

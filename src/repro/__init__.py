@@ -1,0 +1,102 @@
+"""repro — reproduction of *Cost Estimation Across Heterogeneous SQL-Based
+Big Data Infrastructures in Teradata IntelliSphere* (EDBT 2020).
+
+The package rebuilds the paper's cost-estimation module plus every
+substrate it depends on:
+
+* :mod:`repro.cluster` — simulated shared-nothing cluster hardware;
+* :mod:`repro.data` — synthetic tables, statistics, catalogs (Fig. 10);
+* :mod:`repro.sql` — SQL AST, logical plans, parser, cardinalities;
+* :mod:`repro.engines` — Hive / Spark / RDBMS remote-system simulators;
+* :mod:`repro.ml` — from-scratch regression and neural networks;
+* :mod:`repro.core` — **the paper's contribution**: logical-op, sub-op,
+  and hybrid costing with online remedy and offline tuning;
+* :mod:`repro.master` — QueryGrid, Teradata cost model, placement
+  optimizer, and the :class:`~repro.master.federation.IntelliSphere`
+  facade;
+* :mod:`repro.workloads` — the §7 training/evaluation workloads.
+
+Quickstart::
+
+    from repro import IntelliSphere, HiveEngine, RemoteSystemProfile, ClusterInfo
+
+    sphere = IntelliSphere()
+    hive = HiveEngine()
+    profile = RemoteSystemProfile(
+        name="hive",
+        cluster=ClusterInfo(num_data_nodes=3, cores_per_node=2,
+                            dfs_block_size=128 * 1024 * 1024),
+    )
+    sphere.add_remote_system(hive, profile)
+    # ... add tables, train costing, then sphere.explain("SELECT ...")
+"""
+
+from repro.cluster import Cluster, ClusterConfig, paper_cluster
+from repro.core import (
+    AggregateOperatorStats,
+    ClusterInfo,
+    CostEstimationModule,
+    CostingApproach,
+    CostingProfile,
+    JoinOperatorStats,
+    LogicalOpModel,
+    OperatorKind,
+    RemoteSystemProfile,
+    ScanOperatorStats,
+    SubOpTrainer,
+    TrainingQuery,
+)
+from repro.data import Catalog, TableSpec, build_paper_corpus
+from repro.engines import (
+    HiveEngine,
+    ImpalaEngine,
+    PrestoEngine,
+    RdbmsEngine,
+    RemoteSystem,
+    SparkEngine,
+)
+from repro.master import IntelliSphere, PlacementOptimizer, QueryGrid
+from repro.sql import parse_select, scan
+from repro.workloads import (
+    AggregationWorkload,
+    JoinWorkload,
+    OutOfRangeWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "paper_cluster",
+    "AggregateOperatorStats",
+    "ClusterInfo",
+    "CostEstimationModule",
+    "CostingApproach",
+    "CostingProfile",
+    "JoinOperatorStats",
+    "LogicalOpModel",
+    "OperatorKind",
+    "RemoteSystemProfile",
+    "ScanOperatorStats",
+    "SubOpTrainer",
+    "TrainingQuery",
+    "Catalog",
+    "TableSpec",
+    "build_paper_corpus",
+    "HiveEngine",
+    "ImpalaEngine",
+    "PrestoEngine",
+    "RdbmsEngine",
+    "RemoteSystem",
+    "SparkEngine",
+    "IntelliSphere",
+    "PlacementOptimizer",
+    "QueryGrid",
+    "parse_select",
+    "scan",
+    "AggregationWorkload",
+    "JoinWorkload",
+    "OutOfRangeWorkload",
+    "__version__",
+]

@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+A small operational surface over the library::
+
+    python -m repro corpus                 # describe the Fig. 10 corpus
+    python -m repro demo                   # train + estimate-vs-actual demo
+    python -m repro explain "SELECT ..."   # cost-based placement of a query
+    python -m repro run "SELECT ..."       # place and simulate-execute it
+    python -m repro experiments            # list the paper's benchmarks
+
+``explain``/``run``/``demo`` operate on a self-contained sandbox
+federation: a simulated Hive system holding a configurable slice of the
+synthetic corpus, with sub-op costing trained at startup (seconds of
+wall-clock).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import ClusterInfo, RemoteSystemProfile
+from repro.data import build_paper_corpus
+from repro.data.generator import PAPER_ROW_COUNTS, PAPER_ROW_SIZES
+from repro.engines import HiveEngine, SparkEngine
+from repro.exceptions import ReproError
+from repro.master.federation import IntelliSphere
+
+#: Default sandbox slice: small through large tables at two row sizes.
+SANDBOX_COUNTS = (10_000, 100_000, 1_000_000, 8_000_000, 20_000_000)
+SANDBOX_SIZES = (100, 1000)
+
+
+def build_sandbox(with_spark: bool = False, seed: int = 0) -> IntelliSphere:
+    """A ready-to-query federation over simulated remote systems."""
+    sphere = IntelliSphere(seed=seed)
+    info = ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+    sphere.add_remote_system(
+        HiveEngine(seed=seed), RemoteSystemProfile(name="hive", cluster=info)
+    )
+    if with_spark:
+        profile = RemoteSystemProfile(name="spark", cluster=info)
+        profile.costing.join_family = "spark"
+        sphere.add_remote_system(SparkEngine(seed=seed + 1), profile)
+    for spec in build_paper_corpus(
+        row_counts=SANDBOX_COUNTS, row_sizes=SANDBOX_SIZES
+    ):
+        sphere.add_table(spec)
+    for name in sphere.remote_system_names:
+        if name == "hive":
+            sphere.costing.train_sub_op(name)
+    return sphere
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_corpus(args: argparse.Namespace) -> int:
+    corpus = build_paper_corpus()
+    print(
+        f"Fig. 10 corpus: {len(corpus)} tables "
+        f"({corpus.total_bytes / 1e9:.0f} GB logical)"
+    )
+    print(f"row counts ({len(PAPER_ROW_COUNTS)}): {list(PAPER_ROW_COUNTS)}")
+    print(f"record sizes ({len(PAPER_ROW_SIZES)}): {list(PAPER_ROW_SIZES)}")
+    print("schema: (a1, a2, a5, a10, a20, a50, a100, z, dummy); "
+          "column a_i repeats each value i times")
+    print("naming: t{num_rows}_{row_size}, e.g. t1000000_250")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    sphere = build_sandbox(seed=args.seed)
+    hive = sphere.costing.system("hive")
+    queries = (
+        "SELECT r.a1 FROM t8000000_100 r JOIN t100000_100 s ON r.a1 = s.a1",
+        "SELECT SUM(a1) FROM t1000000_100 GROUP BY a20",
+        "SELECT r.a1 FROM t20000000_100 r JOIN t8000000_100 s ON r.a1 = s.a1",
+    )
+    print(f"{'estimate':>10} {'actual':>10}  query")
+    for sql in queries:
+        from repro.sql.parser import parse_select
+
+        plan = parse_select(sql)
+        estimate = sphere.costing.estimate_plan("hive", plan, sphere.catalog)
+        actual = hive.execute(plan)
+        print(
+            f"{estimate.seconds:9.1f}s {actual.elapsed_seconds:9.1f}s  {sql}"
+        )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    sphere = build_sandbox(with_spark=args.spark, seed=args.seed)
+    placement = sphere.explain(args.query)
+    print(placement.describe())
+    print("alternatives:")
+    for option in placement.alternatives:
+        print(f"  {option.location:10s} {option.seconds:10.2f}s")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    sphere = build_sandbox(with_spark=args.spark, seed=args.seed)
+    result = sphere.run(args.query)
+    for step in result.steps:
+        print(
+            f"  {step.description:55s} @ {step.system:9s} "
+            f"est {step.estimated_seconds:8.2f}s  obs {step.observed_seconds:8.2f}s"
+        )
+    print(
+        f"total: estimated {result.estimated_seconds:.2f}s, "
+        f"observed {result.observed_seconds:.2f}s"
+    )
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    rows = (
+        ("bench_fig07_readdfs.py", "Fig. 7: ReadDFS sub-op model"),
+        ("bench_fig09_hybrid_scenario.py", "Fig. 9: hybrid architecture scenario"),
+        ("bench_fig11_agg_logical.py", "Fig. 11: aggregation logical-op"),
+        ("bench_fig12_join_logical.py", "Fig. 12: join logical-op"),
+        ("bench_fig13_subop.py", "Fig. 13: sub-op models + merge join"),
+        ("bench_fig14_out_of_range.py", "Fig. 14: out-of-range prediction"),
+        ("bench_table1_alpha.py", "Table 1: alpha auto-adjustment"),
+        ("bench_ablation_rules.py", "Ablation: applicability rules"),
+        ("bench_ablation_remedy_params.py", "Ablation: remedy beta/k sensitivity"),
+        ("bench_ablation_hybrid.py", "Ablation: hybrid trade-off"),
+        ("bench_ablation_optimizer.py", "Ablation: plan quality"),
+    )
+    print("paper experiments (run with: pytest benchmarks/<module>):")
+    for module, title in rows:
+        print(f"  {module:32s} {title}")
+    print("series are written to benchmarks/results/")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "IntelliSphere remote-system cost estimation (EDBT 2020 "
+            "reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("corpus", help="describe the synthetic corpus").set_defaults(
+        func=cmd_corpus
+    )
+
+    demo = sub.add_parser("demo", help="train costing and compare with actuals")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=cmd_demo)
+
+    for name, func, help_text in (
+        ("explain", cmd_explain, "show the cost-based placement of a query"),
+        ("run", cmd_run, "place and simulate-execute a query"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("query", help="SQL SELECT over the sandbox corpus")
+        cmd.add_argument("--spark", action="store_true", help="add a Spark system")
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.set_defaults(func=func)
+
+    sub.add_parser(
+        "experiments", help="list the paper-reproduction benchmarks"
+    ).set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

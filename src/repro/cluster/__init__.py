@@ -1,0 +1,31 @@
+"""Simulated shared-nothing cluster substrate.
+
+This package models the *hardware* side of a remote system: nodes with CPU,
+memory and disk profiles (:mod:`repro.cluster.node`), the cluster as a whole
+(:mod:`repro.cluster.cluster`), an HDFS-like distributed file system with
+block placement and replication (:mod:`repro.cluster.dfs`), and a network
+fabric for shuffle/broadcast traffic (:mod:`repro.cluster.network`).
+
+The paper evaluated on a 4-node Hive VM cluster (1 master + 3 data nodes,
+445 GB HDFS, 8 GB RAM and 2 cores per node).  :func:`paper_cluster` builds
+that exact configuration.
+"""
+
+from repro.cluster.node import CpuProfile, DiskProfile, MemoryProfile, NodeSpec
+from repro.cluster.cluster import Cluster, ClusterConfig, paper_cluster
+from repro.cluster.dfs import BlockPlacement, DfsFile, DistributedFileSystem
+from repro.cluster.network import NetworkFabric
+
+__all__ = [
+    "CpuProfile",
+    "DiskProfile",
+    "MemoryProfile",
+    "NodeSpec",
+    "Cluster",
+    "ClusterConfig",
+    "paper_cluster",
+    "BlockPlacement",
+    "DfsFile",
+    "DistributedFileSystem",
+    "NetworkFabric",
+]

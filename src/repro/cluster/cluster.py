@@ -1,0 +1,177 @@
+"""Cluster-level configuration and derived scheduling quantities.
+
+A :class:`Cluster` groups a set of :class:`~repro.cluster.node.NodeSpec`
+objects and exposes the aggregate quantities the engine simulators need:
+total task parallelism, per-task memory budget, and the number of *task
+waves* a job of N tasks requires (the ``NumTaskWaves`` term of the paper's
+Fig. 6 cost formula).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+from repro.cluster.node import CpuProfile, DiskProfile, GIB, MemoryProfile, NodeSpec
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Declarative description of a homogeneous cluster.
+
+    Attributes:
+        name: Cluster identifier used in remote-system profiles.
+        num_data_nodes: Worker nodes that store DFS blocks and run tasks.
+        node_cpu: CPU profile shared by all data nodes.
+        node_disk: Disk profile shared by all data nodes.
+        node_memory: Memory profile shared by all data nodes.
+        has_master: Whether a dedicated master/coordinator node exists.
+        dfs_block_size: DFS block size in bytes (Hadoop default 128 MiB).
+        dfs_replication: DFS replication factor (Hadoop default 3).
+    """
+
+    name: str = "cluster"
+    num_data_nodes: int = 3
+    node_cpu: CpuProfile = field(default_factory=CpuProfile)
+    node_disk: DiskProfile = field(default_factory=DiskProfile)
+    node_memory: MemoryProfile = field(default_factory=MemoryProfile)
+    has_master: bool = True
+    dfs_block_size: int = 128 * 1024 * 1024
+    dfs_replication: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_data_nodes < 1:
+            raise ConfigurationError(
+                f"num_data_nodes must be >= 1, got {self.num_data_nodes}"
+            )
+        if self.dfs_block_size <= 0:
+            raise ConfigurationError("dfs_block_size must be positive")
+        if self.dfs_replication < 1:
+            raise ConfigurationError("dfs_replication must be >= 1")
+        if self.dfs_replication > self.num_data_nodes:
+            raise ConfigurationError(
+                "dfs_replication cannot exceed the number of data nodes "
+                f"({self.dfs_replication} > {self.num_data_nodes})"
+            )
+
+
+class Cluster:
+    """A set of nodes plus the derived scheduling arithmetic.
+
+    The engine simulators treat the cluster as a pool of task slots: one
+    slot per data-node core.  Jobs larger than the pool run in cascaded
+    *waves* (paper §4, Fig. 6).
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self._nodes: List[NodeSpec] = []
+        if config.has_master:
+            self._nodes.append(
+                NodeSpec(
+                    name=f"{config.name}-master",
+                    cpu=config.node_cpu,
+                    disk=config.node_disk,
+                    memory=config.node_memory,
+                    is_master=True,
+                )
+            )
+        for i in range(config.num_data_nodes):
+            self._nodes.append(
+                NodeSpec(
+                    name=f"{config.name}-data-{i + 1}",
+                    cpu=config.node_cpu,
+                    disk=config.node_disk,
+                    memory=config.node_memory,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Node access
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Sequence[NodeSpec]:
+        """All nodes, master first when present."""
+        return tuple(self._nodes)
+
+    @property
+    def data_nodes(self) -> Sequence[NodeSpec]:
+        """Worker nodes eligible to store DFS blocks and run tasks."""
+        return tuple(n for n in self._nodes if not n.is_master)
+
+    def __iter__(self) -> Iterator[NodeSpec]:
+        return iter(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Derived scheduling quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_task_slots(self) -> int:
+        """Total concurrent task slots = data-node count x cores per node."""
+        return self.config.num_data_nodes * self.config.node_cpu.cores
+
+    @property
+    def per_task_memory(self) -> int:
+        """Memory budget of a single task's operator workspace, bytes."""
+        return self.config.node_memory.per_task
+
+    @property
+    def dfs_capacity(self) -> int:
+        """Raw DFS capacity: the sum of data-node disk capacities."""
+        return self.config.num_data_nodes * self.config.node_disk.capacity
+
+    def num_task_waves(self, num_tasks: int) -> int:
+        """Number of cascaded task waves for a job of ``num_tasks`` tasks.
+
+        This is the ``NumTaskWaves`` factor of the paper's Fig. 6 formula:
+        total tasks divided by the total parallelism, rounded up.  A job
+        with zero tasks takes zero waves.
+        """
+        if num_tasks < 0:
+            raise ConfigurationError(f"num_tasks must be >= 0, got {num_tasks}")
+        if num_tasks == 0:
+            return 0
+        return math.ceil(num_tasks / self.total_task_slots)
+
+    def num_tasks_for_bytes(self, total_bytes: int) -> int:
+        """Number of map tasks to scan ``total_bytes`` of DFS data.
+
+        One task per DFS block, as in Hadoop's default input-split policy.
+        Always at least one task for a non-empty input.
+        """
+        if total_bytes < 0:
+            raise ConfigurationError("total_bytes must be >= 0")
+        if total_bytes == 0:
+            return 0
+        return max(1, math.ceil(total_bytes / self.config.dfs_block_size))
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(name={self.config.name!r}, "
+            f"data_nodes={self.config.num_data_nodes}, "
+            f"slots={self.total_task_slots})"
+        )
+
+
+def paper_cluster(name: str = "hive-vm") -> Cluster:
+    """Build the 4-node cluster of the paper's evaluation (§7).
+
+    One master plus three data nodes; each node has 8 GB of memory and two
+    Intel Xeon E5-2683 cores at 2.0 GHz; total HDFS size 445 GB (i.e. about
+    148 GB usable per data node).
+    """
+    per_node_capacity = int(445 * GIB / 3)
+    config = ClusterConfig(
+        name=name,
+        num_data_nodes=3,
+        node_cpu=CpuProfile(cores=2, clock_ghz=2.0),
+        node_disk=DiskProfile(capacity=per_node_capacity),
+        node_memory=MemoryProfile(total=8 * GIB),
+        has_master=True,
+    )
+    return Cluster(config)

@@ -1,0 +1,80 @@
+"""Network fabric model for intra-cluster data movement.
+
+Shuffle and broadcast are the two collective patterns the engines need.
+Both are expressed as elapsed seconds for moving a payload, derived from
+per-link bandwidth and a fixed per-transfer latency.  The sub-operator
+*kernels* (:mod:`repro.engines.subops`) convert these into per-record
+costs; this module holds only the raw fabric parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+MIB = 1024**2
+
+
+@dataclass(frozen=True)
+class NetworkFabric:
+    """Point-to-point network characteristics between cluster nodes.
+
+    Attributes:
+        bandwidth: Per-link bandwidth in bytes/second (default 1 GbE).
+        latency: Per-transfer setup latency in seconds.
+        bisection_factor: Fraction of aggregate bandwidth usable during an
+            all-to-all shuffle (contention); 1.0 means full bisection.
+    """
+
+    bandwidth: float = 117 * MIB
+    latency: float = 0.0005
+    bisection_factor: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigurationError("latency must be non-negative")
+        if not 0 < self.bisection_factor <= 1:
+            raise ConfigurationError(
+                f"bisection_factor must be in (0, 1], got {self.bisection_factor}"
+            )
+
+    def transfer_seconds(self, num_bytes: int) -> float:
+        """Elapsed time to move ``num_bytes`` over one link."""
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be >= 0")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency + num_bytes / self.bandwidth
+
+    def shuffle_seconds(self, num_bytes: int, num_nodes: int) -> float:
+        """Elapsed time for an all-to-all shuffle of ``num_bytes`` total.
+
+        Each node sends/receives ``num_bytes / num_nodes`` concurrently,
+        derated by the bisection factor for fabric contention.
+        """
+        if num_nodes < 1:
+            raise ConfigurationError("num_nodes must be >= 1")
+        if num_bytes == 0:
+            return 0.0
+        per_node = num_bytes / num_nodes
+        effective = self.bandwidth * self.bisection_factor
+        return self.latency + per_node / effective
+
+    def broadcast_seconds(self, num_bytes: int, num_nodes: int) -> float:
+        """Elapsed time to broadcast ``num_bytes`` to ``num_nodes`` nodes.
+
+        Modeled as a pipeline (tree) broadcast: the payload crosses the
+        fabric once per receiving node but the transfers overlap, so cost
+        grows with log2-like depth; we use a 1 + log2(n) depth model.
+        """
+        if num_nodes < 1:
+            raise ConfigurationError("num_nodes must be >= 1")
+        if num_bytes == 0:
+            return 0.0
+        import math
+
+        depth = 1.0 + math.log2(max(1, num_nodes))
+        return self.latency * num_nodes + depth * num_bytes / self.bandwidth

@@ -1,0 +1,147 @@
+"""The paper's contribution: remote-system cost estimation for SQL operators.
+
+Three costing approaches (§3-§5):
+
+* **Logical-op** (:mod:`repro.core.logical_op`): blackbox; a neural model
+  per logical operator with online remedy (:mod:`repro.core.remedy`) and
+  offline tuning (:mod:`repro.core.tuning`).
+* **Sub-op** (:mod:`repro.core.subop_model`): openbox; learned primitive
+  sub-operator costs composed through analytic formulas
+  (:mod:`repro.core.formulas`) gated by applicability rules
+  (:mod:`repro.core.rules`).
+* **Hybrid** (:mod:`repro.core.estimator`): per-system / per-operator
+  routing between the two through costing profiles
+  (:mod:`repro.core.profile`).
+
+:class:`~repro.core.costing.CostEstimationModule` is the top-level entry
+point.
+"""
+
+from repro.core.operators import (
+    AGGREGATE_DIMENSIONS,
+    AggregateOperatorStats,
+    JOIN_DIMENSIONS,
+    JoinOperatorStats,
+    OperatorKind,
+    ScanOperatorStats,
+    dimensions_for,
+)
+from repro.core.metadata import DimensionMetadata, PivotReport, find_pivots
+from repro.core.training import TrainingRecord, TrainingSet
+from repro.core.logical_op import CostEstimate, LogicalOpModel, TrainingReport
+from repro.core.remedy import AlphaCalibrator, OnlineRemedy, RemedyEstimate
+from repro.core.tuning import ExecutionLog, LogEntry, OfflineTuner
+from repro.core.subop_model import (
+    ClusterInfo,
+    HashBuildModel,
+    SubOpModel,
+    SubOpModelSet,
+    SubOpSample,
+    SubOpTrainer,
+    SubOpTrainingResult,
+)
+from repro.core.formulas import (
+    AGGREGATE_FORMULAS,
+    BroadcastJoinFormula,
+    HIVE_JOIN_FORMULAS,
+    SPARK_JOIN_FORMULAS,
+    ScanCostFormula,
+    ShuffleJoinFormula,
+)
+from repro.core.rules import (
+    AggregateAlgorithmSelector,
+    ApplicabilityRule,
+    CostedJoinAlgorithm,
+    JoinAlgorithmSelector,
+    RuleContext,
+    SelectionResult,
+    SelectionStrategy,
+    hive_join_algorithms,
+    spark_join_algorithms,
+)
+from repro.core.estimator import (
+    CostingApproach,
+    HybridEstimator,
+    LogicalOpEstimator,
+    OperatorEstimate,
+    SubOpEstimator,
+    normalize_join_stats,
+)
+from repro.core.profile import CostingProfile, RemoteSystemProfile
+from repro.core.costing import (
+    CostEstimationModule,
+    TrainingQuery,
+    derive_join_stats,
+    derive_operator_stats,
+)
+from repro.core.drift import DriftMonitor, DriftReport
+from repro.core.persistence import (
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+
+__all__ = [
+    "AGGREGATE_DIMENSIONS",
+    "AggregateOperatorStats",
+    "JOIN_DIMENSIONS",
+    "JoinOperatorStats",
+    "OperatorKind",
+    "ScanOperatorStats",
+    "dimensions_for",
+    "DimensionMetadata",
+    "PivotReport",
+    "find_pivots",
+    "TrainingRecord",
+    "TrainingSet",
+    "CostEstimate",
+    "LogicalOpModel",
+    "TrainingReport",
+    "AlphaCalibrator",
+    "OnlineRemedy",
+    "RemedyEstimate",
+    "ExecutionLog",
+    "LogEntry",
+    "OfflineTuner",
+    "ClusterInfo",
+    "HashBuildModel",
+    "SubOpModel",
+    "SubOpModelSet",
+    "SubOpSample",
+    "SubOpTrainer",
+    "SubOpTrainingResult",
+    "AGGREGATE_FORMULAS",
+    "BroadcastJoinFormula",
+    "HIVE_JOIN_FORMULAS",
+    "SPARK_JOIN_FORMULAS",
+    "ScanCostFormula",
+    "ShuffleJoinFormula",
+    "AggregateAlgorithmSelector",
+    "ApplicabilityRule",
+    "CostedJoinAlgorithm",
+    "JoinAlgorithmSelector",
+    "RuleContext",
+    "SelectionResult",
+    "SelectionStrategy",
+    "hive_join_algorithms",
+    "spark_join_algorithms",
+    "CostingApproach",
+    "HybridEstimator",
+    "LogicalOpEstimator",
+    "OperatorEstimate",
+    "SubOpEstimator",
+    "normalize_join_stats",
+    "CostingProfile",
+    "RemoteSystemProfile",
+    "CostEstimationModule",
+    "TrainingQuery",
+    "derive_join_stats",
+    "derive_operator_stats",
+    "DriftMonitor",
+    "DriftReport",
+    "load_profile",
+    "profile_from_dict",
+    "profile_to_dict",
+    "save_profile",
+]

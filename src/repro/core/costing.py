@@ -1,0 +1,357 @@
+"""The top-level cost estimation module.
+
+:class:`CostEstimationModule` is the component the paper contributes to
+IntelliSphere: remote systems register with profiles, their costing
+models are trained (sub-op and/or logical-op), and at query time the
+master asks for the elapsed-time estimate of a SQL operator were it to
+execute on a given remote system.
+
+The module also implements the feedback loop of Fig. 3: when the
+optimizer actually places an operator remotely, the observed time is
+recorded, α recalibrates, and the offline tuning phase periodically folds
+the log back into the neural models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.estimator import (
+    CostingApproach,
+    HybridEstimator,
+    OperatorEstimate,
+)
+from repro.core.logical_op import CostEstimate, LogicalOpModel, TrainingReport
+from repro.core.operators import (
+    AggregateOperatorStats,
+    JoinOperatorStats,
+    OperatorKind,
+    ScanOperatorStats,
+)
+from repro.core.drift import DriftMonitor, DriftReport
+from repro.core.profile import RemoteSystemProfile
+from repro.core.subop_model import SubOpTrainer, SubOpTrainingResult
+from repro.core.training import TrainingSet
+from repro.data.catalog import Catalog
+from repro.engines.base import RemoteSystem
+from repro.exceptions import CatalogError, ConfigurationError, PlanningError
+from repro.sql.cardinality import CardinalityEstimator
+from repro.sql.logical import Aggregate, Filter, Join, LogicalPlan, Project, Scan
+
+
+@dataclass(frozen=True)
+class TrainingQuery:
+    """One logical-op training configuration: the query plus its features.
+
+    Attributes:
+        plan: The query to execute on the remote system.
+        features: The configuration's values along the operator's
+            training dimensions.
+    """
+
+    plan: LogicalPlan
+    features: Tuple[float, ...]
+
+
+@dataclass
+class _RegisteredSystem:
+    system: RemoteSystem
+    profile: RemoteSystemProfile
+    estimator: Optional[HybridEstimator] = None
+    drift: Optional[DriftMonitor] = None
+
+
+class CostEstimationModule:
+    """Remote-system cost estimation for SQL operators (the paper's core)."""
+
+    def __init__(self) -> None:
+        self._systems: Dict[str, _RegisteredSystem] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_system(
+        self, system: RemoteSystem, profile: RemoteSystemProfile
+    ) -> None:
+        """Register a remote system with its profile (§2)."""
+        if system.name != profile.name:
+            raise ConfigurationError(
+                f"system name {system.name!r} != profile name {profile.name!r}"
+            )
+        if system.name in self._systems:
+            raise ConfigurationError(f"system already registered: {system.name!r}")
+        self._systems[system.name] = _RegisteredSystem(system=system, profile=profile)
+
+    def system(self, name: str) -> RemoteSystem:
+        return self._entry(name).system
+
+    def profile(self, name: str) -> RemoteSystemProfile:
+        return self._entry(name).profile
+
+    @property
+    def system_names(self) -> Tuple[str, ...]:
+        return tuple(self._systems)
+
+    def _entry(self, name: str) -> _RegisteredSystem:
+        try:
+            return self._systems[name]
+        except KeyError:
+            raise CatalogError(f"remote system not registered: {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_sub_op(
+        self, name: str, trainer: Optional[SubOpTrainer] = None
+    ) -> SubOpTrainingResult:
+        """Run the Fig. 5 measurement protocol for an openbox system."""
+        entry = self._entry(name)
+        if not entry.profile.openbox or entry.profile.cluster is None:
+            raise ConfigurationError(
+                f"system {name!r} is blackbox; sub-op training is not applicable"
+            )
+        trainer = trainer or SubOpTrainer()
+        result = trainer.train(entry.system, entry.profile.cluster)
+        entry.profile.costing.subop_result = result
+        entry.estimator = None  # rebuild with the new CP contents
+        return result
+
+    def train_logical_op(
+        self,
+        name: str,
+        kind: OperatorKind,
+        queries: Iterable[TrainingQuery],
+        model: Optional[LogicalOpModel] = None,
+    ) -> TrainingReport:
+        """Execute a training workload remotely and fit the NN model (§3).
+
+        Every query runs on the remote system; its observed elapsed time
+        labels the corresponding configuration.  This is the expensive
+        phase (hours of remote time in the paper) — the returned report
+        carries the cumulative remote training cost.
+        """
+        entry = self._entry(name)
+        model = model or LogicalOpModel(kind)
+        training_set = TrainingSet(model.dimension_names)
+        for query in queries:
+            result = entry.system.execute(query.plan)
+            training_set.add(query.features, result.elapsed_seconds)
+        report = model.train(training_set)
+        entry.profile.costing.logical_models[kind] = model
+        entry.estimator = None
+        return report
+
+    def attach_logical_model(self, name: str, model: LogicalOpModel) -> None:
+        """Install an externally trained logical-op model into the CP."""
+        entry = self._entry(name)
+        entry.profile.costing.logical_models[model.kind] = model
+        entry.estimator = None
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimator(self, name: str) -> HybridEstimator:
+        """The (lazily assembled) hybrid estimator of a system."""
+        entry = self._entry(name)
+        if entry.estimator is None:
+            entry.estimator = entry.profile.build_estimator()
+        return entry.estimator
+
+    def estimate_plan(
+        self, name: str, plan: LogicalPlan, catalog: Catalog
+    ) -> OperatorEstimate:
+        """Cost the root operator of ``plan`` on the named remote system.
+
+        The operator's input parameters (the Fig. 2 dimensions) are
+        derived by the master's cardinality-estimation module over the
+        federated catalog; the estimate assumes the input data already
+        resides on the remote system (§2's design assumption — transfer
+        costs are handled elsewhere by the optimizer).
+        """
+        stats = derive_operator_stats(plan, catalog)
+        estimator = self.estimator(name)
+        if isinstance(stats, JoinOperatorStats):
+            return estimator.estimate_join(stats)
+        if isinstance(stats, AggregateOperatorStats):
+            return estimator.estimate_aggregate(stats)
+        return estimator.estimate_scan(stats)
+
+    def estimate_full_plan(
+        self, name: str, plan: LogicalPlan, catalog: Catalog
+    ) -> Tuple[float, Tuple[OperatorEstimate, ...]]:
+        """Cost a multi-operator plan executed wholly on one remote system.
+
+        Per-operator costs integrate into bigger plans (§2): each costed
+        node (join, aggregation, scan-with-work) is estimated against its
+        subtree's cardinalities, and the estimates sum — the same
+        composition the master's optimizer applies.
+
+        Returns:
+            ``(total_seconds, per_operator_estimates)`` bottom-up.
+        """
+        estimates = []
+        total = 0.0
+        for node in reversed(plan.walk()):
+            if isinstance(node, Scan) and node.predicate is None and not node.projection:
+                continue  # a bare table access costs nothing by itself
+            estimate = self.estimate_plan(name, node, catalog)
+            estimates.append(estimate)
+            total += estimate.seconds
+        return total, tuple(estimates)
+
+    # ------------------------------------------------------------------
+    # Feedback loop
+    # ------------------------------------------------------------------
+    def record_actual(
+        self, name: str, estimate: OperatorEstimate, actual_seconds: float
+    ) -> None:
+        """Report an actual remote execution back to the feedback loops.
+
+        Every observation feeds the system's drift monitor (§2's
+        supervised-ecosystem assumption needs a watchdog); logical-op
+        estimates additionally enter the execution log and α history.
+        """
+        entry = self._entry(name)
+        if estimate.seconds > 0 and actual_seconds > 0:
+            if entry.drift is None:
+                entry.drift = DriftMonitor()
+            entry.drift.observe(estimate.seconds, actual_seconds)
+        if estimate.approach is not CostingApproach.LOGICAL_OP:
+            return  # sub-op models need no per-query model feedback
+        model = entry.profile.costing.logical_models.get(estimate.operator)
+        if model is None:
+            raise PlanningError(
+                f"no logical model for {estimate.operator.value} on {name!r}"
+            )
+        assert isinstance(estimate.detail, CostEstimate)
+        model.record_actual(estimate.detail, actual_seconds)
+
+    def drift_report(self, name: str) -> DriftReport:
+        """Current drift state of a system (empty monitor if unfed)."""
+        entry = self._entry(name)
+        if entry.drift is None:
+            entry.drift = DriftMonitor()
+        return entry.drift.report()
+
+    def reset_drift(self, name: str) -> None:
+        """Clear a system's drift state (after retraining its models)."""
+        entry = self._entry(name)
+        if entry.drift is not None:
+            entry.drift.reset()
+
+    def recalibrate_alpha(self, name: str, kind: OperatorKind) -> float:
+        model = self._logical_model(name, kind)
+        return model.recalibrate_alpha()
+
+    def run_offline_tuning(self, name: str, kind: OperatorKind) -> int:
+        return self._logical_model(name, kind).run_offline_tuning()
+
+    def _logical_model(self, name: str, kind: OperatorKind) -> LogicalOpModel:
+        entry = self._entry(name)
+        model = entry.profile.costing.logical_models.get(kind)
+        if model is None:
+            raise PlanningError(f"no logical model for {kind.value} on {name!r}")
+        return model
+
+
+# ----------------------------------------------------------------------
+# Operator-descriptor derivation (the cardinality module's output)
+# ----------------------------------------------------------------------
+def derive_operator_stats(plan: LogicalPlan, catalog: Catalog):
+    """Derive the root operator's costing descriptor from a plan.
+
+    Returns a :class:`JoinOperatorStats`, :class:`AggregateOperatorStats`,
+    or :class:`ScanOperatorStats` depending on the root node.
+    """
+    estimator = CardinalityEstimator(catalog)
+    if isinstance(plan, Join):
+        return derive_join_stats(plan, catalog)
+    if isinstance(plan, Aggregate):
+        child = estimator.estimate(plan.input)
+        out = estimator.estimate(plan)
+        return AggregateOperatorStats(
+            num_input_rows=child.num_rows,
+            input_row_size=child.row_size,
+            num_output_rows=out.num_rows,
+            output_row_size=out.row_size,
+        )
+    if isinstance(plan, (Scan, Filter, Project)):
+        out = estimator.estimate(plan)
+        if isinstance(plan, Scan):
+            spec = catalog.table(plan.table)
+            in_rows, in_size = spec.num_rows, spec.byte_row_size
+        else:
+            child = estimator.estimate(plan.children[0])
+            in_rows, in_size = child.num_rows, child.row_size
+        return ScanOperatorStats(
+            num_input_rows=in_rows,
+            input_row_size=in_size,
+            num_output_rows=out.num_rows,
+            output_row_size=out.row_size,
+        )
+    raise PlanningError(f"cannot derive stats for {type(plan).__name__}")
+
+
+def derive_join_stats(plan: Join, catalog: Catalog) -> JoinOperatorStats:
+    """Build the seven-dimension join descriptor of Fig. 2 from a plan."""
+    estimator = CardinalityEstimator(catalog)
+    left = estimator.estimate(plan.left)
+    right = estimator.estimate(plan.right)
+    out = estimator.estimate(plan)
+
+    if plan.projection:
+        proj_left = int(
+            sum(
+                stat.avg_width
+                for name, stat in left.columns.items()
+                if name in plan.projection
+            )
+        )
+        proj_right = int(
+            sum(
+                stat.avg_width
+                for name, stat in right.columns.items()
+                if name in plan.projection and name not in left.columns
+            )
+        )
+        proj_left = max(1, proj_left)
+        proj_right = max(1, proj_right)
+    else:
+        proj_left, proj_right = left.row_size, right.row_size
+
+    left_layout = _scan_layout(plan.left, catalog, plan.condition.left_column)
+    right_layout = _scan_layout(plan.right, catalog, plan.condition.right_column)
+    left_key = left.columns.get(plan.condition.left_column)
+    right_key = right.columns.get(plan.condition.right_column)
+    skewed = bool(
+        (left_key is not None and left_key.skewed)
+        or (right_key is not None and right_key.skewed)
+    )
+
+    return JoinOperatorStats(
+        row_size_r=left.row_size,
+        num_rows_r=left.num_rows,
+        row_size_s=right.row_size,
+        num_rows_s=right.num_rows,
+        projected_size_r=proj_left,
+        projected_size_s=proj_right,
+        num_output_rows=out.num_rows,
+        r_partitioned_on_key=left_layout[0],
+        s_partitioned_on_key=right_layout[0],
+        r_sorted_on_key=left_layout[1],
+        s_sorted_on_key=right_layout[1],
+        skewed=skewed,
+    )
+
+
+def _scan_layout(
+    node: LogicalPlan, catalog: Catalog, join_column: str
+) -> Tuple[bool, bool]:
+    """(partitioned-on-key, sorted-on-key) when the input is a base scan."""
+    if not isinstance(node, Scan):
+        return False, False
+    spec = catalog.table(node.table)
+    partitioned = spec.partitioned_by == join_column
+    sorted_on = partitioned and spec.sorted_by == join_column
+    return partitioned, sorted_on

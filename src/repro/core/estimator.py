@@ -1,0 +1,270 @@
+"""The three costing estimators: logical-op, sub-op, and hybrid (§3-§5).
+
+* :class:`LogicalOpEstimator` — blackbox: routes operator descriptors
+  through the trained :class:`~repro.core.logical_op.LogicalOpModel`s.
+* :class:`SubOpEstimator` — openbox: applies the applicability rules and
+  analytic formulas over the learned sub-op models.
+* :class:`HybridEstimator` — per-operator routing between the two, with
+  the §5 switch-over support (start on approximate sub-op costing, switch
+  to logical-op once its long training completes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.core.formulas import ScanCostFormula
+from repro.core.logical_op import CostEstimate, LogicalOpModel
+from repro.core.operators import (
+    AggregateOperatorStats,
+    JoinOperatorStats,
+    OperatorKind,
+    ScanOperatorStats,
+)
+from repro.core.rules import (
+    AggregateAlgorithmSelector,
+    JoinAlgorithmSelector,
+    RuleContext,
+    SelectionResult,
+)
+from repro.core.subop_model import ClusterInfo, SubOpModelSet
+from repro.exceptions import ConfigurationError, ModelNotTrainedError
+
+
+class CostingApproach(enum.Enum):
+    """Which costing approach produced an estimate."""
+
+    LOGICAL_OP = "logical_op"
+    SUB_OP = "sub_op"
+
+
+@dataclass(frozen=True)
+class OperatorEstimate:
+    """A costed operator, with provenance.
+
+    Attributes:
+        seconds: The estimated elapsed remote execution time.
+        approach: Which costing approach produced it.
+        operator: The operator kind that was costed.
+        detail: The approach-specific evidence — a
+            :class:`~repro.core.logical_op.CostEstimate` for logical-op,
+            a :class:`~repro.core.rules.SelectionResult` for sub-op.
+    """
+
+    seconds: float
+    approach: CostingApproach
+    operator: OperatorKind
+    detail: Union[CostEstimate, SelectionResult]
+
+
+class LogicalOpEstimator:
+    """Blackbox costing through per-operator neural models."""
+
+    def __init__(self, models: Optional[Dict[OperatorKind, LogicalOpModel]] = None):
+        self._models: Dict[OperatorKind, LogicalOpModel] = dict(models or {})
+
+    def add_model(self, model: LogicalOpModel) -> None:
+        self._models[model.kind] = model
+
+    def model(self, kind: OperatorKind) -> LogicalOpModel:
+        try:
+            return self._models[kind]
+        except KeyError:
+            raise ModelNotTrainedError(
+                f"no logical-op model for operator {kind.value}"
+            ) from None
+
+    def has_model(self, kind: OperatorKind) -> bool:
+        return kind in self._models and self._models[kind].is_trained
+
+    def estimate_join(self, stats: JoinOperatorStats) -> OperatorEstimate:
+        estimate = self.model(OperatorKind.JOIN).estimate(stats.features())
+        return OperatorEstimate(
+            seconds=estimate.seconds,
+            approach=CostingApproach.LOGICAL_OP,
+            operator=OperatorKind.JOIN,
+            detail=estimate,
+        )
+
+    def estimate_aggregate(self, stats: AggregateOperatorStats) -> OperatorEstimate:
+        estimate = self.model(OperatorKind.AGGREGATE).estimate(stats.features())
+        return OperatorEstimate(
+            seconds=estimate.seconds,
+            approach=CostingApproach.LOGICAL_OP,
+            operator=OperatorKind.AGGREGATE,
+            detail=estimate,
+        )
+
+    def estimate_scan(self, stats: ScanOperatorStats) -> OperatorEstimate:
+        estimate = self.model(OperatorKind.SCAN).estimate(stats.features())
+        return OperatorEstimate(
+            seconds=estimate.seconds,
+            approach=CostingApproach.LOGICAL_OP,
+            operator=OperatorKind.SCAN,
+            detail=estimate,
+        )
+
+
+class SubOpEstimator:
+    """Openbox costing through rules + analytic formulas over sub-ops."""
+
+    def __init__(
+        self,
+        subops: SubOpModelSet,
+        cluster: ClusterInfo,
+        join_selector: JoinAlgorithmSelector,
+        aggregate_selector: Optional[AggregateAlgorithmSelector] = None,
+        scan_formula: Optional[ScanCostFormula] = None,
+        memory_threshold_bytes: Optional[float] = None,
+    ) -> None:
+        self.subops = subops
+        self.cluster = cluster
+        self.join_selector = join_selector
+        self.aggregate_selector = aggregate_selector or AggregateAlgorithmSelector()
+        self.scan_formula = scan_formula or ScanCostFormula()
+        threshold = (
+            memory_threshold_bytes
+            if memory_threshold_bytes is not None
+            else subops.hash_build.workspace_threshold
+        )
+        self.context = RuleContext(
+            cluster=cluster, memory_threshold_bytes=threshold
+        )
+
+    def estimate_join(self, stats: JoinOperatorStats) -> OperatorEstimate:
+        stats = normalize_join_stats(stats)
+        selection = self.join_selector.select(stats, self.subops, self.context)
+        return OperatorEstimate(
+            seconds=selection.seconds,
+            approach=CostingApproach.SUB_OP,
+            operator=OperatorKind.JOIN,
+            detail=selection,
+        )
+
+    def estimate_aggregate(self, stats: AggregateOperatorStats) -> OperatorEstimate:
+        selection = self.aggregate_selector.select(stats, self.subops, self.context)
+        return OperatorEstimate(
+            seconds=selection.seconds,
+            approach=CostingApproach.SUB_OP,
+            operator=OperatorKind.AGGREGATE,
+            detail=selection,
+        )
+
+    def estimate_scan(self, stats: ScanOperatorStats) -> OperatorEstimate:
+        seconds = self.scan_formula.estimate_seconds(
+            stats, self.subops, self.cluster
+        )
+        selection = SelectionResult(
+            seconds=seconds,
+            predicted_algorithm=self.scan_formula.algorithm,
+            candidates=((self.scan_formula.algorithm, seconds),),
+        )
+        return OperatorEstimate(
+            seconds=seconds,
+            approach=CostingApproach.SUB_OP,
+            operator=OperatorKind.SCAN,
+            detail=selection,
+        )
+
+
+class HybridEstimator:
+    """Per-operator routing between sub-op and logical-op costing (§5).
+
+    Both underlying estimators are optional at construction: a system may
+    begin with only the fast sub-op models and :meth:`switch_to` the
+    logical-op approach once its prolonged training completes (the
+    paper's "system C" scenario), or mix approaches per operator kind.
+    """
+
+    def __init__(
+        self,
+        sub_op: Optional[SubOpEstimator] = None,
+        logical_op: Optional[LogicalOpEstimator] = None,
+        default_approach: CostingApproach = CostingApproach.SUB_OP,
+    ) -> None:
+        if sub_op is None and logical_op is None:
+            raise ConfigurationError(
+                "hybrid estimator needs at least one underlying estimator"
+            )
+        self.sub_op = sub_op
+        self.logical_op = logical_op
+        self._routes: Dict[OperatorKind, CostingApproach] = {}
+        self.default_approach = default_approach
+
+    # ------------------------------------------------------------------
+    # Routing control
+    # ------------------------------------------------------------------
+    def route(self, kind: OperatorKind, approach: CostingApproach) -> None:
+        """Pin one operator kind to an approach (per-operator hybrid, §5)."""
+        self._ensure_available(approach)
+        self._routes[kind] = approach
+
+    def switch_to(self, approach: CostingApproach) -> None:
+        """Switch every operator to ``approach`` (the time-based switchover)."""
+        self._ensure_available(approach)
+        self.default_approach = approach
+        self._routes.clear()
+
+    def approach_for(self, kind: OperatorKind) -> CostingApproach:
+        approach = self._routes.get(kind, self.default_approach)
+        # Fall back when the routed estimator is absent or untrained.
+        if approach is CostingApproach.LOGICAL_OP:
+            if self.logical_op is None or not self.logical_op.has_model(kind):
+                if self.sub_op is not None:
+                    return CostingApproach.SUB_OP
+        elif self.sub_op is None:
+            return CostingApproach.LOGICAL_OP
+        return approach
+
+    def _ensure_available(self, approach: CostingApproach) -> None:
+        if approach is CostingApproach.SUB_OP and self.sub_op is None:
+            raise ConfigurationError("no sub-op estimator configured")
+        if approach is CostingApproach.LOGICAL_OP and self.logical_op is None:
+            raise ConfigurationError("no logical-op estimator configured")
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimate_join(self, stats: JoinOperatorStats) -> OperatorEstimate:
+        if self.approach_for(OperatorKind.JOIN) is CostingApproach.SUB_OP:
+            assert self.sub_op is not None
+            return self.sub_op.estimate_join(stats)
+        assert self.logical_op is not None
+        return self.logical_op.estimate_join(stats)
+
+    def estimate_aggregate(self, stats: AggregateOperatorStats) -> OperatorEstimate:
+        if self.approach_for(OperatorKind.AGGREGATE) is CostingApproach.SUB_OP:
+            assert self.sub_op is not None
+            return self.sub_op.estimate_aggregate(stats)
+        assert self.logical_op is not None
+        return self.logical_op.estimate_aggregate(stats)
+
+    def estimate_scan(self, stats: ScanOperatorStats) -> OperatorEstimate:
+        if self.approach_for(OperatorKind.SCAN) is CostingApproach.SUB_OP:
+            assert self.sub_op is not None
+            return self.sub_op.estimate_scan(stats)
+        assert self.logical_op is not None
+        return self.logical_op.estimate_scan(stats)
+
+
+def normalize_join_stats(stats: JoinOperatorStats) -> JoinOperatorStats:
+    """Ensure R is the bigger relation (the Fig. 6 convention)."""
+    if stats.big_bytes >= stats.small_bytes:
+        return stats
+    return JoinOperatorStats(
+        row_size_r=stats.row_size_s,
+        num_rows_r=stats.num_rows_s,
+        row_size_s=stats.row_size_r,
+        num_rows_s=stats.num_rows_r,
+        projected_size_r=stats.projected_size_s,
+        projected_size_s=stats.projected_size_r,
+        num_output_rows=stats.num_output_rows,
+        is_equi=stats.is_equi,
+        r_partitioned_on_key=stats.s_partitioned_on_key,
+        s_partitioned_on_key=stats.r_partitioned_on_key,
+        r_sorted_on_key=stats.s_sorted_on_key,
+        s_sorted_on_key=stats.r_sorted_on_key,
+        skewed=stats.skewed,
+    )

@@ -1,0 +1,395 @@
+"""Analytic cost formulas composing sub-op models (§4, Fig. 6).
+
+Each physical algorithm a remote system may run is expressed as a formula
+over the learned sub-operator costs, exactly as a technical expert would
+write it into the remote system's costing profile.  The flagship example
+is the Broadcast Join of Fig. 6::
+
+    rD*|S| + b*|S| + NumTaskWaves * ( rL*|S| + hI*|S|
+        + rL*|Block(R)| + hP*|Block(R)| + wD*|TaskOutput| )
+
+Quantities like ``NumTaskWaves`` and ``|Block(R)|`` come from the
+cluster facts in the remote-system profile; cardinalities come from the
+master's cardinality-estimation module.  By convention R is the bigger
+relation and S the smaller one (:meth:`JoinOperatorStats` normalization
+is the estimator's job).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional, Tuple
+
+from repro.core.operators import (
+    AggregateOperatorStats,
+    JoinOperatorStats,
+    ScanOperatorStats,
+)
+from repro.core.subop_model import ClusterInfo, SubOpModelSet
+from repro.engines.subops import SubOp
+
+
+class JoinCostFormula(abc.ABC):
+    """Analytic cost of one physical join algorithm."""
+
+    algorithm: str = "join"
+
+    def __init__(self, algorithm: Optional[str] = None) -> None:
+        if algorithm is not None:
+            self.algorithm = algorithm
+
+    @abc.abstractmethod
+    def estimate_seconds(
+        self,
+        stats: JoinOperatorStats,
+        subops: SubOpModelSet,
+        cluster: ClusterInfo,
+    ) -> float:
+        """Estimated elapsed seconds of this algorithm for ``stats``."""
+
+    def _shape_r(self, stats: JoinOperatorStats, cluster: ClusterInfo):
+        """(tasks, waves, block_rows, task_output) for a pass over R."""
+        tasks = cluster.num_tasks(stats.big_bytes)
+        waves = cluster.waves(tasks)
+        block_rows = cluster.block_rows(stats.num_rows_r, max(1, stats.row_size_r))
+        task_output = math.ceil(stats.num_output_rows / tasks) if tasks else 0
+        return tasks, waves, block_rows, task_output
+
+
+class BroadcastJoinFormula(JoinCostFormula):
+    """The Fig. 6 broadcast (map-side hash) join formula."""
+
+    algorithm = "broadcast_join"
+
+    def estimate_seconds(self, stats, subops, cluster) -> float:
+        tasks, waves, block_rows, task_output = self._shape_r(stats, cluster)
+        workspace = stats.small_bytes
+        out_size = stats.output_row_size
+        seconds = subops.seconds(SubOp.READ_DFS, stats.num_rows_s, stats.row_size_s)
+        seconds += subops.seconds(SubOp.BROADCAST, stats.num_rows_s, stats.row_size_s)
+        per_wave = (
+            subops.seconds(SubOp.READ_LOCAL, stats.num_rows_s, stats.row_size_s)
+            + subops.seconds(
+                SubOp.HASH_BUILD,
+                stats.num_rows_s,
+                stats.row_size_s,
+                workspace_bytes=workspace,
+            )
+            + subops.seconds(SubOp.READ_LOCAL, block_rows, stats.row_size_r)
+            + subops.seconds(SubOp.HASH_PROBE, block_rows, stats.row_size_r)
+            + subops.seconds(SubOp.WRITE_DFS, task_output, out_size)
+        )
+        return seconds + waves * per_wave + subops.job_overhead_seconds
+
+
+class ShuffleJoinFormula(JoinCostFormula):
+    """Reduce-side join: shuffle both sides, sort per reducer, merge.
+
+    This is Hive's common/Shuffle Join and also the structure of Spark's
+    SortMerge Join — the *merge join* family evaluated in Fig. 13(g).
+    """
+
+    algorithm = "shuffle_join"
+
+    def estimate_seconds(self, stats, subops, cluster) -> float:
+        seconds = 0.0
+        for num_rows, row_size in (
+            (stats.num_rows_r, stats.row_size_r),
+            (stats.num_rows_s, stats.row_size_s),
+        ):
+            tasks = cluster.num_tasks(num_rows * row_size)
+            waves = cluster.waves(tasks)
+            block_rows = cluster.block_rows(num_rows, max(1, row_size))
+            seconds += waves * (
+                subops.seconds(SubOp.READ_DFS, block_rows, row_size)
+                + subops.seconds(SubOp.SHUFFLE, block_rows, row_size)
+            )
+        slots = cluster.slots
+        per_reducer_r = math.ceil(stats.num_rows_r / slots)
+        per_reducer_s = math.ceil(stats.num_rows_s / slots)
+        per_reducer_out = math.ceil(stats.num_output_rows / slots)
+        out_size = stats.output_row_size
+        seconds += subops.seconds(SubOp.SORT, per_reducer_r, stats.row_size_r)
+        seconds += subops.seconds(SubOp.SORT, per_reducer_s, stats.row_size_s)
+        seconds += subops.seconds(SubOp.REC_MERGE, per_reducer_out, out_size)
+        seconds += subops.seconds(SubOp.WRITE_DFS, per_reducer_out, out_size)
+        return seconds + subops.job_overhead_seconds
+
+
+class BucketMapJoinFormula(JoinCostFormula):
+    """Aligned-bucket hash join (both sides partitioned on the key)."""
+
+    algorithm = "bucket_map_join"
+
+    def estimate_seconds(self, stats, subops, cluster) -> float:
+        tasks, waves, block_rows, task_output = self._shape_r(stats, cluster)
+        bucket_rows = math.ceil(stats.num_rows_s / max(1, tasks))
+        workspace = bucket_rows * stats.row_size_s
+        out_size = stats.output_row_size
+        per_wave = (
+            subops.seconds(SubOp.READ_DFS, bucket_rows, stats.row_size_s)
+            + subops.seconds(
+                SubOp.HASH_BUILD,
+                bucket_rows,
+                stats.row_size_s,
+                workspace_bytes=workspace,
+            )
+            + subops.seconds(SubOp.READ_DFS, block_rows, stats.row_size_r)
+            + subops.seconds(SubOp.HASH_PROBE, block_rows, stats.row_size_r)
+            + subops.seconds(SubOp.WRITE_DFS, task_output, out_size)
+        )
+        return waves * per_wave + subops.job_overhead_seconds
+
+
+class SortMergeBucketJoinFormula(JoinCostFormula):
+    """Stream-merge of aligned, pre-sorted buckets."""
+
+    algorithm = "sort_merge_bucket_join"
+
+    def estimate_seconds(self, stats, subops, cluster) -> float:
+        tasks, waves, block_rows, task_output = self._shape_r(stats, cluster)
+        bucket_rows = math.ceil(stats.num_rows_s / max(1, tasks))
+        out_size = stats.output_row_size
+        per_wave = (
+            subops.seconds(SubOp.READ_DFS, block_rows, stats.row_size_r)
+            + subops.seconds(SubOp.READ_DFS, bucket_rows, stats.row_size_s)
+            + subops.seconds(SubOp.SCAN, block_rows, stats.row_size_r)
+            + subops.seconds(SubOp.SCAN, bucket_rows, stats.row_size_s)
+            + subops.seconds(SubOp.REC_MERGE, task_output, out_size)
+            + subops.seconds(SubOp.WRITE_DFS, task_output, out_size)
+        )
+        return waves * per_wave + subops.job_overhead_seconds
+
+
+class SkewJoinFormula(JoinCostFormula):
+    """Shuffle join plus a broadcast pass over the skewed key fraction."""
+
+    algorithm = "skew_join"
+
+    #: Fraction of R assumed to carry the skewed keys (matches the
+    #: engine's skew-pass model).
+    skew_fraction = 0.2
+
+    def estimate_seconds(self, stats, subops, cluster) -> float:
+        seconds = ShuffleJoinFormula().estimate_seconds(stats, subops, cluster)
+        skew_rows = math.ceil(stats.num_rows_r * self.skew_fraction)
+        seconds += subops.seconds(SubOp.READ_DFS, skew_rows, stats.row_size_r)
+        seconds += subops.seconds(SubOp.HASH_PROBE, skew_rows, stats.row_size_r)
+        return seconds
+
+
+class ShuffleHashJoinFormula(JoinCostFormula):
+    """Spark: shuffle both sides, hash-build the small partitions."""
+
+    algorithm = "shuffle_hash_join"
+
+    def estimate_seconds(self, stats, subops, cluster) -> float:
+        seconds = 0.0
+        for num_rows, row_size in (
+            (stats.num_rows_r, stats.row_size_r),
+            (stats.num_rows_s, stats.row_size_s),
+        ):
+            tasks = cluster.num_tasks(num_rows * row_size)
+            waves = cluster.waves(tasks)
+            block_rows = cluster.block_rows(num_rows, max(1, row_size))
+            seconds += waves * (
+                subops.seconds(SubOp.READ_DFS, block_rows, row_size)
+                + subops.seconds(SubOp.SHUFFLE, block_rows, row_size)
+            )
+        slots = cluster.slots
+        per_small = math.ceil(stats.num_rows_s / slots)
+        per_big = math.ceil(stats.num_rows_r / slots)
+        per_out = math.ceil(stats.num_output_rows / slots)
+        workspace = per_small * stats.row_size_s
+        out_size = stats.output_row_size
+        seconds += subops.seconds(
+            SubOp.HASH_BUILD, per_small, stats.row_size_s, workspace_bytes=workspace
+        )
+        seconds += subops.seconds(SubOp.HASH_PROBE, per_big, stats.row_size_r)
+        seconds += subops.seconds(SubOp.WRITE_DFS, per_out, out_size)
+        return seconds + subops.job_overhead_seconds
+
+
+class BroadcastNestedLoopJoinFormula(JoinCostFormula):
+    """Spark's non-equi broadcast nested loop."""
+
+    algorithm = "broadcast_nested_loop_join"
+
+    def estimate_seconds(self, stats, subops, cluster) -> float:
+        seconds = subops.seconds(SubOp.READ_DFS, stats.num_rows_s, stats.row_size_s)
+        seconds += subops.seconds(SubOp.BROADCAST, stats.num_rows_s, stats.row_size_s)
+        pairs = stats.num_rows_r * stats.num_rows_s
+        per_slot_pairs = math.ceil(pairs / cluster.slots)
+        seconds += subops.seconds(SubOp.SCAN, per_slot_pairs, stats.row_size_s)
+        seconds += subops.seconds(
+            SubOp.WRITE_DFS,
+            math.ceil(stats.num_output_rows / cluster.slots),
+            stats.output_row_size,
+        )
+        return seconds + subops.job_overhead_seconds
+
+
+class CartesianProductJoinFormula(JoinCostFormula):
+    """Spark's shuffle-based cartesian product."""
+
+    algorithm = "cartesian_product_join"
+
+    def estimate_seconds(self, stats, subops, cluster) -> float:
+        seconds = 0.0
+        for num_rows, row_size in (
+            (stats.num_rows_r, stats.row_size_r),
+            (stats.num_rows_s, stats.row_size_s),
+        ):
+            seconds += subops.seconds(SubOp.READ_DFS, num_rows, row_size)
+            seconds += subops.seconds(SubOp.SHUFFLE, num_rows, row_size)
+        pairs = stats.num_rows_r * stats.num_rows_s
+        per_slot_pairs = math.ceil(pairs / cluster.slots)
+        seconds += subops.seconds(SubOp.SCAN, per_slot_pairs, stats.row_size_s)
+        seconds += subops.seconds(
+            SubOp.WRITE_DFS,
+            math.ceil(stats.num_output_rows / cluster.slots),
+            stats.output_row_size,
+        )
+        return seconds + subops.job_overhead_seconds
+
+
+class AggregateCostFormula(abc.ABC):
+    """Analytic cost of one physical aggregation algorithm."""
+
+    algorithm: str = "aggregate"
+
+    @abc.abstractmethod
+    def estimate_seconds(
+        self,
+        stats: AggregateOperatorStats,
+        subops: SubOpModelSet,
+        cluster: ClusterInfo,
+    ) -> float:
+        """Estimated elapsed seconds for ``stats``."""
+
+
+class HashAggregateFormula(AggregateCostFormula):
+    """Map-side hash partial aggregation, shuffle partials, merge."""
+
+    algorithm = "hash_aggregate"
+
+    def estimate_seconds(self, stats, subops, cluster) -> float:
+        in_bytes = stats.num_input_rows * stats.input_row_size
+        tasks = cluster.num_tasks(in_bytes)
+        waves = cluster.waves(tasks)
+        block_rows = cluster.block_rows(
+            stats.num_input_rows, max(1, stats.input_row_size)
+        )
+        workspace = stats.num_output_rows * stats.output_row_size
+        per_task_partials = min(block_rows, stats.num_output_rows)
+        total_partials = per_task_partials * max(1, tasks)
+        slots = cluster.slots
+
+        seconds = waves * (
+            subops.seconds(SubOp.READ_DFS, block_rows, stats.input_row_size)
+            + subops.seconds(
+                SubOp.HASH_BUILD,
+                block_rows,
+                stats.input_row_size,
+                workspace_bytes=workspace,
+            )
+        )
+        seconds += subops.seconds(SubOp.SHUFFLE, total_partials, stats.output_row_size)
+        seconds += subops.seconds(
+            SubOp.REC_MERGE, math.ceil(total_partials / slots), stats.output_row_size
+        )
+        seconds += subops.seconds(
+            SubOp.WRITE_DFS,
+            math.ceil(stats.num_output_rows / slots),
+            stats.output_row_size,
+        )
+        return seconds + subops.job_overhead_seconds
+
+
+class SortAggregateFormula(AggregateCostFormula):
+    """Shuffle raw rows, sort per reducer, stream-aggregate."""
+
+    algorithm = "sort_aggregate"
+
+    def estimate_seconds(self, stats, subops, cluster) -> float:
+        in_bytes = stats.num_input_rows * stats.input_row_size
+        tasks = cluster.num_tasks(in_bytes)
+        waves = cluster.waves(tasks)
+        block_rows = cluster.block_rows(
+            stats.num_input_rows, max(1, stats.input_row_size)
+        )
+        slots = cluster.slots
+        per_reducer = math.ceil(stats.num_input_rows / slots)
+
+        seconds = waves * (
+            subops.seconds(SubOp.READ_DFS, block_rows, stats.input_row_size)
+            + subops.seconds(SubOp.SHUFFLE, block_rows, stats.input_row_size)
+        )
+        seconds += subops.seconds(SubOp.SORT, per_reducer, stats.input_row_size)
+        seconds += subops.seconds(SubOp.REC_MERGE, per_reducer, stats.output_row_size)
+        seconds += subops.seconds(
+            SubOp.WRITE_DFS,
+            math.ceil(stats.num_output_rows / slots),
+            stats.output_row_size,
+        )
+        return seconds + subops.job_overhead_seconds
+
+
+class ScanCostFormula:
+    """Filter/project row pass (QueryGrid push-down style)."""
+
+    algorithm = "scan"
+
+    def estimate_seconds(
+        self,
+        stats: ScanOperatorStats,
+        subops: SubOpModelSet,
+        cluster: ClusterInfo,
+    ) -> float:
+        in_bytes = stats.num_input_rows * stats.input_row_size
+        tasks = cluster.num_tasks(in_bytes)
+        waves = cluster.waves(tasks)
+        block_rows = cluster.block_rows(
+            stats.num_input_rows, max(1, stats.input_row_size)
+        )
+        task_output = math.ceil(stats.num_output_rows / tasks) if tasks else 0
+        seconds = waves * (
+            subops.seconds(SubOp.READ_DFS, block_rows, stats.input_row_size)
+            + subops.seconds(SubOp.SCAN, block_rows, stats.input_row_size)
+            + subops.seconds(SubOp.WRITE_DFS, task_output, stats.output_row_size)
+        )
+        return seconds + subops.job_overhead_seconds
+
+
+#: The expert-provided Hive join formula set, in planner preference order.
+HIVE_JOIN_FORMULAS: Tuple[JoinCostFormula, ...] = (
+    SortMergeBucketJoinFormula(),
+    BucketMapJoinFormula(),
+    BroadcastJoinFormula(),
+    SkewJoinFormula(),
+    ShuffleJoinFormula(),
+)
+
+#: The expert-provided Spark join formula set, in planner preference order.
+SPARK_JOIN_FORMULAS: Tuple[JoinCostFormula, ...] = (
+    BroadcastJoinFormula(algorithm="broadcast_hash_join"),
+    ShuffleHashJoinFormula(),
+    ShuffleJoinFormula(algorithm="sort_merge_join"),
+    BroadcastNestedLoopJoinFormula(),
+    CartesianProductJoinFormula(),
+)
+
+#: Aggregation formulas shared by Hive and Spark, in preference order.
+AGGREGATE_FORMULAS: Tuple[AggregateCostFormula, ...] = (
+    HashAggregateFormula(),
+    SortAggregateFormula(),
+)
+
+
+#: The expert-provided formula set for pipelined MPP engines (Impala,
+#: Presto): broadcast vs partitioned hash join, in preference order.
+MPP_JOIN_FORMULAS: Tuple[JoinCostFormula, ...] = (
+    BroadcastJoinFormula(algorithm="broadcast_hash_join"),
+    ShuffleHashJoinFormula(algorithm="partitioned_hash_join"),
+)

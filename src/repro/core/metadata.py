@@ -1,0 +1,194 @@
+"""Per-dimension training metadata and the continuity expansion rule.
+
+For every dimension of a training set the system keeps ``[min, max]`` and
+a ``stepSize`` (§3, Fig. 2).  At query time a dimension whose value lies
+outside ``[min, max]`` by more than ``β × stepSize`` is *way off* the
+trained range and becomes a **pivot** for the online remedy.
+
+When the offline tuning phase folds logged executions back in, the
+``[min, max]`` range expands **only if continuity is maintained**: a new
+point further than ``β × stepSize`` beyond the boundary leaves the range
+intact and is instead remembered as an out-of-range training cluster
+(§3's 8,000/10,000-byte example).  Out-of-range clusters still improve
+later remedies; once enough points bridge the gap, the range extends.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class DimensionMetadata:
+    """Range metadata of one training dimension.
+
+    Attributes:
+        name: Dimension name (e.g. ``"row_size_r"``).
+        min_value: Lower bound of the trained contiguous range.
+        max_value: Upper bound of the trained contiguous range.
+        step_size: Typical spacing between adjacent training values.
+        extra_points: Sorted known out-of-range training values that did
+            not merge into the contiguous range.
+    """
+
+    name: str
+    min_value: float
+    max_value: float
+    step_size: float
+    extra_points: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.min_value > self.max_value:
+            raise ConfigurationError(
+                f"{self.name}: min {self.min_value} > max {self.max_value}"
+            )
+        if self.step_size <= 0:
+            raise ConfigurationError(f"{self.name}: step_size must be positive")
+        self.extra_points = sorted(self.extra_points)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, name: str, values: Sequence[float]) -> "DimensionMetadata":
+        """Derive metadata from the distinct values of a training grid.
+
+        ``step_size`` is the median gap between adjacent distinct values
+        (robust to mildly irregular grids); a single-valued dimension gets
+        a step equal to ``max(1, value)`` so β-scaled checks stay sane.
+        """
+        distinct = sorted(set(float(v) for v in values))
+        if not distinct:
+            raise ConfigurationError(f"{name}: no training values")
+        if len(distinct) == 1:
+            step = max(1.0, abs(distinct[0]))
+        else:
+            gaps = sorted(b - a for a, b in zip(distinct[:-1], distinct[1:]))
+            step = gaps[len(gaps) // 2]
+        return cls(
+            name=name,
+            min_value=distinct[0],
+            max_value=distinct[-1],
+            step_size=step,
+        )
+
+    # ------------------------------------------------------------------
+    # Query-time checks (Fig. 3 flowchart, top diamond)
+    # ------------------------------------------------------------------
+    def distance_outside(self, value: float) -> float:
+        """How far ``value`` lies outside [min, max] (0 when inside)."""
+        if value < self.min_value:
+            return self.min_value - value
+        if value > self.max_value:
+            return value - self.max_value
+        return 0.0
+
+    def is_way_off(self, value: float, beta: float = 2.0) -> bool:
+        """True when ``value`` is outside the range by > ``β × stepSize``.
+
+        Known out-of-range clusters count as covered: a value within
+        ``β × stepSize`` of an extra point is not way off.
+        """
+        if beta <= 1:
+            raise ConfigurationError(f"beta must be > 1, got {beta}")
+        if self.distance_outside(value) <= beta * self.step_size:
+            return False
+        return not self._near_extra_point(value, beta * self.step_size)
+
+    def _near_extra_point(self, value: float, tolerance: float) -> bool:
+        if not self.extra_points:
+            return False
+        index = bisect.bisect_left(self.extra_points, value)
+        for neighbor_index in (index - 1, index):
+            if 0 <= neighbor_index < len(self.extra_points):
+                if abs(self.extra_points[neighbor_index] - value) <= tolerance:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Offline-tuning expansion (§3, "Offline Tuning Phase")
+    # ------------------------------------------------------------------
+    def absorb(self, values: Iterable[float], beta: float = 2.0) -> None:
+        """Fold newly logged values into the metadata.
+
+        Values within ``β × stepSize`` of the current boundary extend the
+        contiguous range (continuity maintained).  Farther values are
+        stored as out-of-range points.  After adding points, chains of
+        extra points that now bridge back to the range (every consecutive
+        gap ≤ ``β × stepSize``) are merged into it.
+        """
+        tolerance = beta * self.step_size
+        for value in sorted(float(v) for v in values):
+            if self.distance_outside(value) <= tolerance:
+                self.min_value = min(self.min_value, value)
+                self.max_value = max(self.max_value, value)
+            elif not self._near_extra_point(value, 0.0):
+                bisect.insort(self.extra_points, value)
+        self._merge_contiguous(tolerance)
+
+    def _merge_contiguous(self, tolerance: float) -> None:
+        changed = True
+        while changed:
+            changed = False
+            remaining: List[float] = []
+            for point in self.extra_points:
+                if self.distance_outside(point) <= tolerance:
+                    self.min_value = min(self.min_value, point)
+                    self.max_value = max(self.max_value, point)
+                    changed = True
+                else:
+                    remaining.append(point)
+            self.extra_points = remaining
+
+    def covers(self, value: float) -> bool:
+        """True when ``value`` lies inside the contiguous trained range."""
+        return self.min_value <= value <= self.max_value
+
+    def __repr__(self) -> str:
+        extras = f", extra={len(self.extra_points)}" if self.extra_points else ""
+        return (
+            f"DimensionMetadata({self.name}: [{self.min_value}, "
+            f"{self.max_value}], step={self.step_size}{extras})"
+        )
+
+
+@dataclass(frozen=True)
+class PivotReport:
+    """Outcome of checking a query vector against all dimension metadata.
+
+    Attributes:
+        pivots: Indexes of dimensions whose values are way off the
+            trained range (the *pivot dimensions* of Fig. 4).
+        in_range: Indexes of the remaining dimensions.
+    """
+
+    pivots: Tuple[int, ...]
+    in_range: Tuple[int, ...]
+
+    @property
+    def needs_remedy(self) -> bool:
+        return bool(self.pivots)
+
+
+def find_pivots(
+    metadata: Sequence[DimensionMetadata],
+    features: Sequence[float],
+    beta: float = 2.0,
+) -> PivotReport:
+    """Classify each feature as in-range or a pivot (Fig. 3's top check)."""
+    if len(metadata) != len(features):
+        raise ConfigurationError(
+            f"{len(features)} features but {len(metadata)} dimension metadata"
+        )
+    pivots = []
+    in_range = []
+    for index, (meta, value) in enumerate(zip(metadata, features)):
+        if meta.is_way_off(value, beta=beta):
+            pivots.append(index)
+        else:
+            in_range.append(index)
+    return PivotReport(pivots=tuple(pivots), in_range=tuple(in_range))

@@ -1,0 +1,201 @@
+"""Operator statistics descriptors — the costing-model input vectors.
+
+The paper fixes the training dimensions per logical operator (§3, Fig. 2):
+
+* **Join** (7 dims): row size of R, number of rows of R, row size of S,
+  number of rows of S, projected attribute size from R, projected
+  attribute size from S, and the number of output rows.
+* **Aggregation** (4 dims): number of input rows, input row size, number
+  of output rows, output row size.
+
+These descriptors are produced by the master's cardinality module and
+consumed by every costing approach.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+class OperatorKind(enum.Enum):
+    """Logical operators the costing module models."""
+
+    JOIN = "join"
+    AGGREGATE = "aggregate"
+    SCAN = "scan"
+
+
+#: Dimension names of the join training model, in feature order (Fig. 2).
+JOIN_DIMENSIONS: Tuple[str, ...] = (
+    "row_size_r",
+    "num_rows_r",
+    "row_size_s",
+    "num_rows_s",
+    "projected_size_r",
+    "projected_size_s",
+    "num_output_rows",
+)
+
+#: Dimension names of the aggregation training model, in feature order.
+AGGREGATE_DIMENSIONS: Tuple[str, ...] = (
+    "num_input_rows",
+    "input_row_size",
+    "num_output_rows",
+    "output_row_size",
+)
+
+#: Dimension names of the scan/filter model (row-pass operators).
+SCAN_DIMENSIONS: Tuple[str, ...] = (
+    "num_input_rows",
+    "input_row_size",
+    "num_output_rows",
+    "output_row_size",
+)
+
+
+def dimensions_for(kind: OperatorKind) -> Tuple[str, ...]:
+    """The training dimension names of an operator kind."""
+    table = {
+        OperatorKind.JOIN: JOIN_DIMENSIONS,
+        OperatorKind.AGGREGATE: AGGREGATE_DIMENSIONS,
+        OperatorKind.SCAN: SCAN_DIMENSIONS,
+    }
+    return table[kind]
+
+
+@dataclass(frozen=True)
+class JoinOperatorStats:
+    """The seven-dimensional join descriptor of Fig. 2.
+
+    Conventionally R is the bigger relation and S the smaller (the
+    broadcast candidate); the sub-op costing additionally needs the
+    physical-layout hints used by the applicability rules (§4).
+
+    Attributes:
+        row_size_r: Bytes per row of R.
+        num_rows_r: Cardinality of R.
+        row_size_s: Bytes per row of S.
+        num_rows_s: Cardinality of S.
+        projected_size_r: Sum of projected attribute sizes from R, bytes.
+        projected_size_s: Sum of projected attribute sizes from S, bytes.
+        num_output_rows: Join output cardinality.
+        is_equi: False for cartesian/theta joins.
+        r_partitioned_on_key: R is partitioned on the join key.
+        s_partitioned_on_key: S is partitioned on the join key.
+        r_sorted_on_key: R is additionally sorted on the join key.
+        s_sorted_on_key: S is additionally sorted on the join key.
+        skewed: The join key distribution is heavily skewed.
+    """
+
+    row_size_r: int
+    num_rows_r: int
+    row_size_s: int
+    num_rows_s: int
+    projected_size_r: int
+    projected_size_s: int
+    num_output_rows: int
+    is_equi: bool = True
+    r_partitioned_on_key: bool = False
+    s_partitioned_on_key: bool = False
+    r_sorted_on_key: bool = False
+    s_sorted_on_key: bool = False
+    skewed: bool = False
+
+    def __post_init__(self) -> None:
+        for name in (
+            "row_size_r",
+            "num_rows_r",
+            "row_size_s",
+            "num_rows_s",
+            "projected_size_r",
+            "projected_size_s",
+            "num_output_rows",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    def features(self) -> Tuple[float, ...]:
+        """Feature vector in :data:`JOIN_DIMENSIONS` order."""
+        return (
+            float(self.row_size_r),
+            float(self.num_rows_r),
+            float(self.row_size_s),
+            float(self.num_rows_s),
+            float(self.projected_size_r),
+            float(self.projected_size_s),
+            float(self.num_output_rows),
+        )
+
+    @property
+    def output_row_size(self) -> int:
+        """Bytes per output row (sum of projected sizes from both sides)."""
+        return max(1, self.projected_size_r + self.projected_size_s)
+
+    @property
+    def small_bytes(self) -> int:
+        return self.num_rows_s * self.row_size_s
+
+    @property
+    def big_bytes(self) -> int:
+        return self.num_rows_r * self.row_size_r
+
+
+@dataclass(frozen=True)
+class AggregateOperatorStats:
+    """The four-dimensional aggregation descriptor of §3."""
+
+    num_input_rows: int
+    input_row_size: int
+    num_output_rows: int
+    output_row_size: int
+
+    def __post_init__(self) -> None:
+        for name in (
+            "num_input_rows",
+            "input_row_size",
+            "num_output_rows",
+            "output_row_size",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    def features(self) -> Tuple[float, ...]:
+        """Feature vector in :data:`AGGREGATE_DIMENSIONS` order."""
+        return (
+            float(self.num_input_rows),
+            float(self.input_row_size),
+            float(self.num_output_rows),
+            float(self.output_row_size),
+        )
+
+
+@dataclass(frozen=True)
+class ScanOperatorStats:
+    """Descriptor for scan/filter/project row passes."""
+
+    num_input_rows: int
+    input_row_size: int
+    num_output_rows: int
+    output_row_size: int
+
+    def __post_init__(self) -> None:
+        for name in (
+            "num_input_rows",
+            "input_row_size",
+            "num_output_rows",
+            "output_row_size",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    def features(self) -> Tuple[float, ...]:
+        return (
+            float(self.num_input_rows),
+            float(self.input_row_size),
+            float(self.num_output_rows),
+            float(self.output_row_size),
+        )

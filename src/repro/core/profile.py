@@ -1,0 +1,161 @@
+"""Remote-system registration profiles and costing profiles (§2, §5).
+
+Every remote system registers in the IntelliSphere architecture through a
+:class:`RemoteSystemProfile` describing its setup (cluster configuration)
+and capabilities.  The profile owns a :class:`CostingProfile` (the CP of
+Fig. 9) that stores every artifact the costing module trains for that
+system — sub-op models, cost formulas, applicability rules, logical-op
+neural models and their metadata.  Updating the CP instantaneously
+reflects on remote-table costing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.estimator import (
+    CostingApproach,
+    HybridEstimator,
+    LogicalOpEstimator,
+    SubOpEstimator,
+)
+from repro.core.logical_op import LogicalOpModel
+from repro.core.operators import OperatorKind
+from repro.core.rules import (
+    JoinAlgorithmSelector,
+    SelectionStrategy,
+    hive_join_algorithms,
+    mpp_join_algorithms,
+    spark_join_algorithms,
+)
+from repro.core.subop_model import ClusterInfo, SubOpTrainingResult
+from repro.exceptions import ConfigurationError, ModelNotTrainedError
+
+
+@dataclass
+class CostingProfile:
+    """The CP: every costing artifact trained for one remote system.
+
+    Attributes:
+        subop_result: Sub-op training output (models + samples), if the
+            sub-op approach has been trained.
+        logical_models: Trained logical-op models per operator kind.
+        join_family: Which expert algorithm/rule set applies
+            (``"hive"``, ``"spark"``, ``"impala"``/``"presto"``, or
+            ``None`` for blackbox systems).
+        selection_strategy: Multi-candidate strategy for join costing.
+        operator_routes: Per-operator approach overrides — §5's
+            "different costing models for different operators" extension
+            (e.g. joins on sub-op formulas, aggregations on the NN).
+            Applied whenever the estimator is (re)built from this CP.
+    """
+
+    subop_result: Optional[SubOpTrainingResult] = None
+    logical_models: Dict[OperatorKind, LogicalOpModel] = field(default_factory=dict)
+    join_family: Optional[str] = "hive"
+    selection_strategy: SelectionStrategy = SelectionStrategy.PREFERENCE
+    operator_routes: Dict[OperatorKind, CostingApproach] = field(
+        default_factory=dict
+    )
+
+    @property
+    def has_subop_models(self) -> bool:
+        return self.subop_result is not None
+
+    @property
+    def has_logical_models(self) -> bool:
+        return any(m.is_trained for m in self.logical_models.values())
+
+
+@dataclass
+class RemoteSystemProfile:
+    """Registration profile of one remote system (§2).
+
+    Attributes:
+        name: System name (matches the engine's name).
+        openbox: Whether internals are known well enough for sub-op
+            costing (cluster facts + algorithm families + formulas).
+        cluster: Openbox cluster description (required when openbox).
+        approach: The costing approach this system should use; a system
+            may start on SUB_OP and switch later (§5).
+        costing: The system's costing profile (CP).
+    """
+
+    name: str
+    openbox: bool = True
+    cluster: Optional[ClusterInfo] = None
+    approach: CostingApproach = CostingApproach.SUB_OP
+    costing: CostingProfile = field(default_factory=CostingProfile)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("profile name must be non-empty")
+        if self.openbox and self.cluster is None:
+            raise ConfigurationError(
+                "an openbox profile must describe the cluster configuration"
+            )
+        if not self.openbox and self.approach is CostingApproach.SUB_OP:
+            raise ConfigurationError(
+                "a blackbox system cannot use sub-op costing"
+            )
+
+    # ------------------------------------------------------------------
+    # Estimator assembly
+    # ------------------------------------------------------------------
+    def build_estimator(self) -> HybridEstimator:
+        """Assemble the hybrid estimator from the CP's trained artifacts.
+
+        Raises:
+            ModelNotTrainedError: when nothing has been trained yet.
+        """
+        sub_op = self._build_subop_estimator()
+        logical_op = self._build_logical_estimator()
+        if sub_op is None and logical_op is None:
+            raise ModelNotTrainedError(
+                f"no trained costing models for system {self.name!r}"
+            )
+        default = self.approach
+        if default is CostingApproach.SUB_OP and sub_op is None:
+            default = CostingApproach.LOGICAL_OP
+        if default is CostingApproach.LOGICAL_OP and logical_op is None:
+            default = CostingApproach.SUB_OP
+        hybrid = HybridEstimator(
+            sub_op=sub_op, logical_op=logical_op, default_approach=default
+        )
+        for kind, approach in self.costing.operator_routes.items():
+            hybrid.route(kind, approach)
+        return hybrid
+
+    def _build_subop_estimator(self) -> Optional[SubOpEstimator]:
+        cp = self.costing
+        if cp.subop_result is None or self.cluster is None:
+            return None
+        if cp.join_family == "hive":
+            algorithms = hive_join_algorithms()
+        elif cp.join_family == "spark":
+            algorithms = spark_join_algorithms()
+        elif cp.join_family in ("impala", "presto", "mpp"):
+            algorithms = mpp_join_algorithms()
+        else:
+            raise ConfigurationError(
+                f"unknown join family {cp.join_family!r} for sub-op costing"
+            )
+        selector = JoinAlgorithmSelector(
+            algorithms, strategy=cp.selection_strategy
+        )
+        return SubOpEstimator(
+            subops=cp.subop_result.model_set,
+            cluster=self.cluster,
+            join_selector=selector,
+        )
+
+    def _build_logical_estimator(self) -> Optional[LogicalOpEstimator]:
+        trained = {
+            kind: model
+            for kind, model in self.costing.logical_models.items()
+            if model.is_trained
+        }
+        if not trained:
+            return None
+        return LogicalOpEstimator(trained)

@@ -1,0 +1,540 @@
+"""Sub-operator costing models and their training protocol (§4).
+
+The sub-op approach needs openbox knowledge, recorded in the remote
+system's profile: the cluster configuration (:class:`ClusterInfo`) and
+which physical algorithms exist.  Training then submits the *primitive
+measurement queries* of Fig. 5 — e.g. "read from HDFS and produce no
+output", "read and also shuffle" — and decomposes elapsed times:
+
+* per (record size, count), the parallel work of a primitive query is
+  ``waves × block_rows`` record-applications (observable from the
+  cluster info);
+* the ReadDFS baseline is regressed against that parallel-unit count over
+  several input cardinalities — slope = per-record ReadDFS cost,
+  intercept = the engine's fixed job overhead;
+* every other sub-op's per-record cost is the *difference* from the
+  ReadDFS measurement at the same input, divided by the parallel units
+  (the subtraction protocol in Fig. 5's footnotes);
+* per-record costs are averaged across cardinalities (Figs. 7(a)/13(b):
+  the per-record cost is flat in the record count) and fitted linearly
+  against record size (Figs. 7(b), 13(c-e));
+* HashBuild keeps its (record size, workspace) samples and fits the
+  two-regime model of Fig. 13(f), learning the memory threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engines.base import PrimitiveKind, PrimitiveQuery, RemoteSystem
+from repro.engines.subops import SubOp
+from repro.exceptions import (
+    ConfigurationError,
+    ModelNotTrainedError,
+    TrainingError,
+)
+from repro.ml.linear import LinearRegression
+
+#: Default record sizes for sub-op training (the corpus's six sizes).
+DEFAULT_RECORD_SIZES: Tuple[int, ...] = (40, 70, 100, 250, 500, 1000)
+
+#: Default record counts (Fig. 7(a): 1, 2, 4, 8 million records).
+DEFAULT_RECORD_COUNTS: Tuple[int, ...] = (
+    1_000_000,
+    2_000_000,
+    4_000_000,
+    8_000_000,
+)
+
+#: Which primitive query measures each sub-op, beyond the ReadDFS base.
+_SUBOP_PRIMITIVES: Mapping[SubOp, PrimitiveKind] = {
+    SubOp.WRITE_DFS: PrimitiveKind.READ_WRITE_DFS,
+    SubOp.WRITE_LOCAL: PrimitiveKind.READ_WRITE_LOCAL,
+    SubOp.BROADCAST: PrimitiveKind.READ_BROADCAST,
+    SubOp.SHUFFLE: PrimitiveKind.READ_SHUFFLE,
+    SubOp.SORT: PrimitiveKind.READ_SORT,
+    SubOp.SCAN: PrimitiveKind.READ_SCAN,
+    SubOp.HASH_PROBE: PrimitiveKind.READ_HASH_PROBE,
+    SubOp.REC_MERGE: PrimitiveKind.READ_MERGE,
+}
+
+
+@dataclass(frozen=True)
+class ClusterInfo:
+    """Openbox cluster facts from the remote-system profile (§2).
+
+    Attributes:
+        num_data_nodes: Worker node count.
+        cores_per_node: Task slots per worker.
+        dfs_block_size: DFS block size in bytes.
+        pipelined: Execution model.  False = MapReduce-style scheduling
+            (one task per DFS block, cascaded task waves — Hive).  True =
+            MPP pipelined execution (one long-lived fragment per slot, no
+            waves — Impala, Presto, SparkSQL's whole-stage codegen).
+    """
+
+    num_data_nodes: int
+    cores_per_node: int
+    dfs_block_size: int
+    pipelined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_data_nodes < 1 or self.cores_per_node < 1:
+            raise ConfigurationError("cluster dimensions must be >= 1")
+        if self.dfs_block_size <= 0:
+            raise ConfigurationError("dfs_block_size must be positive")
+
+    @property
+    def slots(self) -> int:
+        return self.num_data_nodes * self.cores_per_node
+
+    def num_tasks(self, total_bytes: int) -> int:
+        if total_bytes <= 0:
+            return 0
+        if self.pipelined:
+            # One fragment per slot scans a slice of the input (fewer
+            # when the input is smaller than one block per slot).
+            blocks = max(1, math.ceil(total_bytes / self.dfs_block_size))
+            return min(self.slots, blocks)
+        return max(1, math.ceil(total_bytes / self.dfs_block_size))
+
+    def waves(self, num_tasks: int) -> int:
+        if num_tasks <= 0:
+            return 0
+        if self.pipelined:
+            return 1
+        return math.ceil(num_tasks / self.slots)
+
+    def block_rows(self, num_records: int, record_size: int) -> int:
+        tasks = self.num_tasks(num_records * record_size)
+        if tasks == 0:
+            return 0
+        return math.ceil(num_records / tasks)
+
+    def parallel_units(self, num_records: int, record_size: int) -> int:
+        """``waves × block_rows`` — the serialized record-applications of
+        one full pass over the input."""
+        tasks = self.num_tasks(num_records * record_size)
+        return self.waves(tasks) * self.block_rows(num_records, record_size)
+
+
+@dataclass(frozen=True)
+class SubOpSample:
+    """One decomposed per-record measurement.
+
+    Attributes:
+        record_size: Input record size, bytes.
+        num_records: Input cardinality.
+        per_record_us: Extracted per-record cost, microseconds.
+        workspace_bytes: Operation workspace (HashBuild regime driver).
+    """
+
+    record_size: int
+    num_records: int
+    per_record_us: float
+    workspace_bytes: int = 0
+
+
+class SubOpModel:
+    """Learned linear model of one sub-op: per-record µs vs record size."""
+
+    def __init__(self, op: SubOp, regression: LinearRegression) -> None:
+        self.op = op
+        self._regression = regression
+
+    def per_record_us(self, record_size: int) -> float:
+        if record_size < 1:
+            raise ConfigurationError("record_size must be >= 1")
+        return max(0.0, float(self._regression.predict([[float(record_size)]])[0]))
+
+    @property
+    def slope(self) -> float:
+        return self._regression.slope
+
+    @property
+    def intercept(self) -> float:
+        return self._regression.intercept
+
+    def __repr__(self) -> str:
+        return (
+            f"SubOpModel({self.op.value}: y = {self.slope:.4f}x + "
+            f"{self.intercept:.4f})"
+        )
+
+
+class HashBuildModel:
+    """Two-regime HashBuild model with a learned memory threshold.
+
+    Each regime is linear in record size; the regime switches when the
+    hash-table workspace exceeds ``workspace_threshold`` bytes
+    (Fig. 13(f)'s vertical dotted line).
+    """
+
+    def __init__(
+        self,
+        in_memory: LinearRegression,
+        spilling: Optional[LinearRegression],
+        workspace_threshold: float,
+    ) -> None:
+        self._in_memory = in_memory
+        self._spilling = spilling
+        self.workspace_threshold = workspace_threshold
+
+    def per_record_us(self, record_size: int, workspace_bytes: int = 0) -> float:
+        if record_size < 1:
+            raise ConfigurationError("record_size must be >= 1")
+        if workspace_bytes > self.workspace_threshold and self._spilling is not None:
+            model = self._spilling
+        else:
+            model = self._in_memory
+        return max(0.0, float(model.predict([[float(record_size)]])[0]))
+
+    def fits(self, workspace_bytes: int) -> bool:
+        """Whether a workspace is predicted to stay in memory."""
+        return workspace_bytes <= self.workspace_threshold
+
+    @property
+    def has_spill_regime(self) -> bool:
+        return self._spilling is not None
+
+    @property
+    def regimes(self) -> Tuple[LinearRegression, Optional[LinearRegression]]:
+        return self._in_memory, self._spilling
+
+
+class SubOpModelSet:
+    """The trained sub-op models of one remote system.
+
+    This object (stored in the costing profile) is everything the
+    analytic cost formulas need: per-record costs per sub-op, the learned
+    hash-build memory threshold, and the engine's fixed job overhead.
+    """
+
+    def __init__(
+        self,
+        models: Mapping[SubOp, SubOpModel],
+        hash_build: HashBuildModel,
+        job_overhead_seconds: float = 0.0,
+    ) -> None:
+        self._models: Dict[SubOp, SubOpModel] = dict(models)
+        self.hash_build = hash_build
+        self.job_overhead_seconds = max(0.0, job_overhead_seconds)
+
+    def model(self, op: SubOp) -> SubOpModel:
+        if op is SubOp.HASH_BUILD:
+            raise ConfigurationError("use SubOpModelSet.hash_build for HASH_BUILD")
+        try:
+            return self._models[op]
+        except KeyError:
+            raise ModelNotTrainedError(f"no trained model for sub-op {op.value}") from None
+
+    def has(self, op: SubOp) -> bool:
+        if op is SubOp.HASH_BUILD:
+            return True
+        return op in self._models
+
+    def seconds(
+        self,
+        op: SubOp,
+        num_records: int,
+        record_size: int,
+        workspace_bytes: int = 0,
+    ) -> float:
+        """Estimated seconds for ``num_records`` applications of ``op``."""
+        if num_records <= 0:
+            return 0.0
+        if op is SubOp.HASH_BUILD:
+            per_record = self.hash_build.per_record_us(record_size, workspace_bytes)
+        else:
+            per_record = self.model(op).per_record_us(record_size)
+        return num_records * per_record * 1e-6
+
+    @property
+    def trained_ops(self) -> Tuple[SubOp, ...]:
+        return tuple(self._models) + (SubOp.HASH_BUILD,)
+
+
+@dataclass
+class SubOpTrainingResult:
+    """Everything a sub-op training run produced.
+
+    Attributes:
+        model_set: The trained models.
+        samples: Decomposed per-record samples per sub-op (the scatter
+            data behind Figs. 7 and 13).
+        num_queries: Primitive queries executed remotely.
+        remote_training_seconds: Total remote time consumed (Fig. 13(a)).
+        training_curve: (query index, cumulative seconds) pairs.
+    """
+
+    model_set: SubOpModelSet
+    samples: Dict[SubOp, List[SubOpSample]]
+    num_queries: int
+    remote_training_seconds: float
+    training_curve: List[Tuple[int, float]] = field(default_factory=list)
+
+
+class SubOpTrainer:
+    """Runs the Fig. 5 measurement protocol against a remote system.
+
+    Args:
+        record_sizes: Record sizes to sweep.
+        record_counts: Cardinalities per size (per-record costs are
+            averaged across them).
+        ops: Sub-ops to train beyond the mandatory ReadDFS base;
+            defaults to every sub-op of Fig. 5.
+    """
+
+    def __init__(
+        self,
+        record_sizes: Sequence[int] = DEFAULT_RECORD_SIZES,
+        record_counts: Sequence[int] = DEFAULT_RECORD_COUNTS,
+        ops: Optional[Sequence[SubOp]] = None,
+    ) -> None:
+        if not record_sizes or not record_counts:
+            raise ConfigurationError("record_sizes and record_counts must be non-empty")
+        if len(record_counts) < 2:
+            raise ConfigurationError(
+                "need >= 2 record counts to separate job overhead from "
+                "per-record cost"
+            )
+        self.record_sizes = tuple(sorted(record_sizes))
+        self.record_counts = tuple(sorted(record_counts))
+        requested = tuple(ops) if ops is not None else tuple(_SUBOP_PRIMITIVES) + (
+            SubOp.HASH_BUILD,
+            SubOp.READ_LOCAL,
+        )
+        self.ops = requested
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(self, system: RemoteSystem, cluster: ClusterInfo) -> SubOpTrainingResult:
+        """Execute the measurement protocol and fit all models."""
+        num_queries = 0
+        total_seconds = 0.0
+        curve: List[Tuple[int, float]] = []
+
+        def run(kind: PrimitiveKind, count: int, size: int) -> float:
+            nonlocal num_queries, total_seconds
+            elapsed = system.execute_primitive(
+                PrimitiveQuery(kind=kind, num_records=count, record_size=size)
+            )
+            num_queries += 1
+            total_seconds += elapsed
+            curve.append((num_queries, total_seconds))
+            return elapsed
+
+        # Base ReadDFS measurements, reused by every subtraction.
+        read_times: Dict[Tuple[int, int], float] = {}
+        for size in self.record_sizes:
+            for count in self.record_counts:
+                read_times[(count, size)] = run(PrimitiveKind.READ_DFS, count, size)
+
+        read_model, overhead = self._fit_read_dfs(read_times, cluster)
+        samples: Dict[SubOp, List[SubOpSample]] = {
+            SubOp.READ_DFS: self._read_samples(read_times, overhead, cluster)
+        }
+        models: Dict[SubOp, SubOpModel] = {SubOp.READ_DFS: read_model}
+
+        write_local_times: Dict[Tuple[int, int], float] = {}
+        for op in self.ops:
+            if op in (SubOp.READ_DFS, SubOp.HASH_BUILD, SubOp.READ_LOCAL):
+                continue
+            kind = _SUBOP_PRIMITIVES[op]
+            op_samples: List[SubOpSample] = []
+            for size in self.record_sizes:
+                for count in self.record_counts:
+                    elapsed = run(kind, count, size)
+                    if op is SubOp.WRITE_LOCAL:
+                        write_local_times[(count, size)] = elapsed
+                    units = cluster.parallel_units(count, size)
+                    delta_us = (elapsed - read_times[(count, size)]) / units * 1e6
+                    op_samples.append(
+                        SubOpSample(
+                            record_size=size,
+                            num_records=count,
+                            per_record_us=max(0.0, delta_us),
+                        )
+                    )
+            samples[op] = op_samples
+            models[op] = SubOpModel(op, self._fit_linear(op_samples))
+
+        if SubOp.READ_LOCAL in self.ops:
+            models[SubOp.READ_LOCAL], samples[SubOp.READ_LOCAL] = (
+                self._train_read_local(run, write_local_times, read_times, cluster)
+            )
+
+        hash_build = None
+        if SubOp.HASH_BUILD in self.ops:
+            hash_build, hash_samples = self._train_hash_build(
+                run, read_times, cluster
+            )
+            samples[SubOp.HASH_BUILD] = hash_samples
+        if hash_build is None:
+            hash_build = HashBuildModel(
+                in_memory=self._constant_regression(0.0),
+                spilling=None,
+                workspace_threshold=float("inf"),
+            )
+
+        model_set = SubOpModelSet(
+            models=models,
+            hash_build=hash_build,
+            job_overhead_seconds=overhead,
+        )
+        return SubOpTrainingResult(
+            model_set=model_set,
+            samples=samples,
+            num_queries=num_queries,
+            remote_training_seconds=total_seconds,
+            training_curve=curve,
+        )
+
+    # ------------------------------------------------------------------
+    # Fitting helpers
+    # ------------------------------------------------------------------
+    def _fit_read_dfs(
+        self, read_times: Dict[Tuple[int, int], float], cluster: ClusterInfo
+    ) -> Tuple[SubOpModel, float]:
+        """Per-size regression of elapsed time over parallel units.
+
+        The shared intercept (averaged over sizes) estimates the engine's
+        fixed job overhead; the per-size slopes give ReadDFS's per-record
+        cost, which is then fitted against record size.
+        """
+        per_size_us: List[Tuple[int, float]] = []
+        intercepts: List[float] = []
+        for size in self.record_sizes:
+            units = np.asarray(
+                [cluster.parallel_units(count, size) for count in self.record_counts],
+                dtype=float,
+            )
+            times = np.asarray(
+                [read_times[(count, size)] for count in self.record_counts]
+            )
+            fit = LinearRegression().fit(units.reshape(-1, 1), times)
+            per_size_us.append((size, max(0.0, fit.slope * 1e6)))
+            intercepts.append(fit.intercept)
+        overhead = max(0.0, float(np.mean(intercepts)))
+        sizes = np.asarray([s for s, _ in per_size_us], dtype=float)
+        costs = np.asarray([c for _, c in per_size_us])
+        regression = LinearRegression().fit(sizes.reshape(-1, 1), costs)
+        return SubOpModel(SubOp.READ_DFS, regression), overhead
+
+    def _read_samples(
+        self,
+        read_times: Dict[Tuple[int, int], float],
+        overhead: float,
+        cluster: ClusterInfo,
+    ) -> List[SubOpSample]:
+        samples = []
+        for (count, size), elapsed in read_times.items():
+            units = cluster.parallel_units(count, size)
+            per_record = max(0.0, (elapsed - overhead) / units * 1e6)
+            samples.append(
+                SubOpSample(record_size=size, num_records=count, per_record_us=per_record)
+            )
+        return samples
+
+    def _train_read_local(self, run, write_local_times, read_times, cluster):
+        """rL = (READ_LOCAL query) − (READ_WRITE_LOCAL query), per unit."""
+        op_samples: List[SubOpSample] = []
+        for size in self.record_sizes:
+            for count in self.record_counts:
+                base = write_local_times.get((count, size))
+                if base is None:
+                    base = run(PrimitiveKind.READ_WRITE_LOCAL, count, size)
+                    write_local_times[(count, size)] = base
+                elapsed = run(PrimitiveKind.READ_LOCAL, count, size)
+                units = cluster.parallel_units(count, size)
+                delta_us = (elapsed - base) / units * 1e6
+                op_samples.append(
+                    SubOpSample(
+                        record_size=size,
+                        num_records=count,
+                        per_record_us=max(0.0, delta_us),
+                    )
+                )
+        return SubOpModel(SubOp.READ_LOCAL, self._fit_linear(op_samples)), op_samples
+
+    def _train_hash_build(self, run, read_times, cluster):
+        """Collect (size, workspace) samples and fit the two-regime model."""
+        op_samples: List[SubOpSample] = []
+        for size in self.record_sizes:
+            for count in self.record_counts:
+                elapsed = run(PrimitiveKind.READ_HASH_BUILD, count, size)
+                units = cluster.parallel_units(count, size)
+                delta_us = (elapsed - read_times[(count, size)]) / units * 1e6
+                op_samples.append(
+                    SubOpSample(
+                        record_size=size,
+                        num_records=count,
+                        per_record_us=max(0.0, delta_us),
+                        workspace_bytes=count * size,
+                    )
+                )
+        return self._fit_hash_build(op_samples), op_samples
+
+    def _fit_hash_build(self, samples: Sequence[SubOpSample]) -> HashBuildModel:
+        """Search the workspace threshold splitting the two regimes.
+
+        Candidates are midpoints between consecutive distinct workspace
+        sizes; the split minimizing the total squared error of two
+        per-record-vs-record-size linear fits wins.  If no split improves
+        on a single fit (all samples in one regime), a one-regime model
+        with an infinite threshold is returned.
+        """
+        workspaces = sorted({s.workspace_bytes for s in samples})
+        single = self._fit_linear(samples)
+        single_sse = self._sse(single, samples)
+        best = (float("inf"), None, None, single_sse * 0.98)  # require 2% gain
+        for lo, hi in zip(workspaces[:-1], workspaces[1:]):
+            threshold = (lo + hi) / 2.0
+            low = [s for s in samples if s.workspace_bytes <= threshold]
+            high = [s for s in samples if s.workspace_bytes > threshold]
+            if len(low) < 3 or len(high) < 3:
+                continue
+            if len({s.record_size for s in low}) < 2:
+                continue
+            if len({s.record_size for s in high}) < 2:
+                continue
+            low_fit = self._fit_linear(low)
+            high_fit = self._fit_linear(high)
+            sse = self._sse(low_fit, low) + self._sse(high_fit, high)
+            if sse < best[3]:
+                best = (threshold, low_fit, high_fit, sse)
+        threshold, low_fit, high_fit, _ = best
+        if low_fit is None:
+            return HashBuildModel(
+                in_memory=single, spilling=None, workspace_threshold=float("inf")
+            )
+        return HashBuildModel(
+            in_memory=low_fit, spilling=high_fit, workspace_threshold=threshold
+        )
+
+    @staticmethod
+    def _fit_linear(samples: Sequence[SubOpSample]) -> LinearRegression:
+        if len(samples) < 2:
+            raise TrainingError("need >= 2 samples for a sub-op fit")
+        sizes = np.asarray([s.record_size for s in samples], dtype=float)
+        costs = np.asarray([s.per_record_us for s in samples])
+        return LinearRegression().fit(sizes.reshape(-1, 1), costs)
+
+    @staticmethod
+    def _sse(model: LinearRegression, samples: Sequence[SubOpSample]) -> float:
+        sizes = np.asarray([[float(s.record_size)] for s in samples])
+        costs = np.asarray([s.per_record_us for s in samples])
+        residual = costs - model.predict(sizes)
+        return float(np.sum(residual**2))
+
+    @staticmethod
+    def _constant_regression(value: float) -> LinearRegression:
+        model = LinearRegression()
+        model._weights = np.asarray([0.0])
+        model._intercept = value
+        return model

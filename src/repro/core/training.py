@@ -1,0 +1,141 @@
+"""Training datasets for the costing models.
+
+A :class:`TrainingSet` is the labeled table of Fig. 2: one row per
+training configuration (a query executed on the remote system), columns
+being the operator's training dimensions plus the observed execution
+cost.  It carries per-dimension :class:`~repro.core.metadata.DimensionMetadata`
+and the cumulative time the remote system spent executing the training
+queries (the paper's Figs. 11(a)/12(a) training-cost curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metadata import DimensionMetadata
+from repro.exceptions import ConfigurationError, TrainingError
+
+
+@dataclass(frozen=True)
+class TrainingRecord:
+    """One labeled training configuration.
+
+    Attributes:
+        features: Values in the operator's dimension order.
+        cost: Observed elapsed execution time, seconds.
+    """
+
+    features: Tuple[float, ...]
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ConfigurationError(f"cost must be >= 0, got {self.cost}")
+
+
+class TrainingSet:
+    """A growing collection of labeled training records."""
+
+    def __init__(self, dimension_names: Sequence[str]) -> None:
+        if not dimension_names:
+            raise ConfigurationError("training set needs at least one dimension")
+        self.dimension_names: Tuple[str, ...] = tuple(dimension_names)
+        self._records: List[TrainingRecord] = []
+        self._cumulative_training_seconds: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add(self, features: Sequence[float], cost: float) -> None:
+        """Record one executed training query."""
+        features = tuple(float(v) for v in features)
+        if len(features) != len(self.dimension_names):
+            raise TrainingError(
+                f"expected {len(self.dimension_names)} features, got {len(features)}"
+            )
+        self._records.append(TrainingRecord(features=features, cost=float(cost)))
+        previous = (
+            self._cumulative_training_seconds[-1]
+            if self._cumulative_training_seconds
+            else 0.0
+        )
+        self._cumulative_training_seconds.append(previous + float(cost))
+
+    def extend(self, other: "TrainingSet") -> None:
+        """Append all records of a compatible training set."""
+        if other.dimension_names != self.dimension_names:
+            raise TrainingError("dimension mismatch between training sets")
+        for record in other.records:
+            self.add(record.features, record.cost)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> Tuple[TrainingRecord, ...]:
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def num_dimensions(self) -> int:
+        return len(self.dimension_names)
+
+    def feature_matrix(self) -> np.ndarray:
+        """(n, d) matrix of training features."""
+        if not self._records:
+            raise TrainingError("empty training set")
+        return np.asarray([r.features for r in self._records], dtype=float)
+
+    def cost_vector(self) -> np.ndarray:
+        """(n,) vector of observed costs."""
+        if not self._records:
+            raise TrainingError("empty training set")
+        return np.asarray([r.cost for r in self._records], dtype=float)
+
+    @property
+    def total_training_seconds(self) -> float:
+        """Total remote-system time consumed to build this set."""
+        if not self._cumulative_training_seconds:
+            return 0.0
+        return self._cumulative_training_seconds[-1]
+
+    def training_cost_curve(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(#queries, cumulative seconds) series — Figs. 11(a)/12(a)."""
+        n = len(self._cumulative_training_seconds)
+        return (
+            np.arange(1, n + 1),
+            np.asarray(self._cumulative_training_seconds, dtype=float),
+        )
+
+    # ------------------------------------------------------------------
+    # Metadata derivation
+    # ------------------------------------------------------------------
+    def build_metadata(self) -> List[DimensionMetadata]:
+        """Per-dimension [min, max, stepSize] metadata from the records."""
+        matrix = self.feature_matrix()
+        return [
+            DimensionMetadata.from_values(name, matrix[:, i])
+            for i, name in enumerate(self.dimension_names)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"TrainingSet(dims={len(self.dimension_names)}, "
+            f"records={len(self._records)}, "
+            f"training_time={self.total_training_seconds:.1f}s)"
+        )
+
+
+def grid_size(domains: Sequence[Sequence[float]]) -> int:
+    """Number of configurations in a full cross-product grid (§3)."""
+    size = 1
+    for domain in domains:
+        if not domain:
+            raise ConfigurationError("empty dimension domain")
+        size *= len(domain)
+    return size

@@ -1,0 +1,43 @@
+"""Data substrate: schemas, table specifications, statistics, catalogs.
+
+Tables in this reproduction are *specifications* (schema + row count + row
+size + location), not materialized row sets — the engine simulators compute
+elapsed times analytically from the specs, exactly the way a cost model
+sees a table.  Small tables can still be materialized row-by-row for
+examples and tests via :func:`repro.data.generator.materialize_rows`.
+
+:mod:`repro.data.generator` builds the paper's 120-table synthetic corpus
+(Fig. 10): names ``t{num_rows}_{row_size}``, 20 row-count configurations
+times 6 record sizes, shared schema ``(a1,a2,a5,a10,a20,a50,a100,z,dummy)``
+where column ``a_i`` has duplication rate ``i`` and ``z`` is all zeros.
+"""
+
+from repro.data.schema import Column, DataType, TableSchema, paper_schema
+from repro.data.table import TableSpec
+from repro.data.statistics import ColumnStatistics, TableStatistics
+from repro.data.catalog import Catalog
+from repro.data.generator import (
+    PAPER_ROW_COUNTS,
+    PAPER_ROW_SIZES,
+    SyntheticCorpus,
+    build_paper_corpus,
+    materialize_rows,
+    table_name,
+)
+
+__all__ = [
+    "Column",
+    "DataType",
+    "TableSchema",
+    "paper_schema",
+    "TableSpec",
+    "ColumnStatistics",
+    "TableStatistics",
+    "Catalog",
+    "PAPER_ROW_COUNTS",
+    "PAPER_ROW_SIZES",
+    "SyntheticCorpus",
+    "build_paper_corpus",
+    "materialize_rows",
+    "table_name",
+]

@@ -1,0 +1,162 @@
+"""Relational schemas for synthetic tables.
+
+The paper's corpus uses one shared schema (Fig. 10):
+``(a1, a2, a5, a10, a20, a50, a100, z, dummy)`` where every ``a_i`` is an
+integer column whose values repeat ``i`` times each (duplication rate),
+``z`` is an all-zero integer column, and ``dummy`` is a character column
+padded to reach the target record size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+class DataType(enum.Enum):
+    """Supported column data types with fixed on-disk widths."""
+
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    FLOAT = "float"
+    CHAR = "char"
+
+    @property
+    def base_width(self) -> int:
+        """On-disk width in bytes (CHAR width comes from the column)."""
+        widths = {
+            DataType.INTEGER: 4,
+            DataType.BIGINT: 8,
+            DataType.FLOAT: 8,
+            DataType.CHAR: 1,
+        }
+        return widths[self]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema.
+
+    Attributes:
+        name: Column name, unique within its schema.
+        dtype: Data type.
+        width: On-disk width in bytes; defaults to the dtype's base width
+            (CHAR columns must set it explicitly).
+        duplication_rate: Each distinct value appears this many times, so
+            NDV = row_count / duplication_rate.  The paper's ``a_i``
+            columns have duplication rate ``i``.
+        constant: True when every row holds the same value (the paper's
+            all-zero ``z`` column); NDV is then 1 regardless of row count.
+    """
+
+    name: str
+    dtype: DataType
+    width: Optional[int] = None
+    duplication_rate: int = 1
+    constant: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("column name must be non-empty")
+        if self.duplication_rate < 1:
+            raise ConfigurationError(
+                f"duplication_rate must be >= 1, got {self.duplication_rate}"
+            )
+        if self.width is None:
+            if self.dtype is DataType.CHAR:
+                raise ConfigurationError(
+                    f"CHAR column {self.name!r} must declare an explicit width"
+                )
+            object.__setattr__(self, "width", self.dtype.base_width)
+        elif self.width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {self.width}")
+
+    @property
+    def byte_width(self) -> int:
+        """On-disk width in bytes (never None after construction)."""
+        assert self.width is not None
+        return self.width
+
+
+class TableSchema:
+    """An ordered collection of uniquely named columns."""
+
+    def __init__(self, columns: Tuple[Column, ...]) -> None:
+        if not columns:
+            raise ConfigurationError("a schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate column names in schema: {names}")
+        self._columns: Tuple[Column, ...] = tuple(columns)
+        self._by_name: Dict[str, Column] = {c.name: c for c in columns}
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no column {name!r}; schema has {self.column_names}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def row_width(self) -> int:
+        """Total on-disk row width in bytes."""
+        return sum(c.byte_width for c in self._columns)
+
+    def projected_width(self, names: Tuple[str, ...]) -> int:
+        """Sum of widths of the named columns (the paper's projected size)."""
+        return sum(self.column(n).byte_width for n in names)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        return f"TableSchema({', '.join(self.column_names)})"
+
+
+#: Duplication rates of the paper's ``a_i`` columns.
+PAPER_DUPLICATION_RATES: Tuple[int, ...] = (1, 2, 5, 10, 20, 50, 100)
+
+
+def paper_schema(row_size: int) -> TableSchema:
+    """Build the Fig. 10 schema padded with ``dummy`` to ``row_size`` bytes.
+
+    The seven ``a_i`` integer columns plus ``z`` take 32 bytes; ``dummy``
+    absorbs the remainder.  ``row_size`` must leave at least one byte for
+    ``dummy`` (the paper's smallest record size is 40 bytes).
+    """
+    fixed = [
+        Column(name=f"a{i}", dtype=DataType.INTEGER, duplication_rate=i)
+        for i in PAPER_DUPLICATION_RATES
+    ]
+    fixed.append(Column(name="z", dtype=DataType.INTEGER, constant=True))
+    fixed_width = sum(c.byte_width for c in fixed)
+    dummy_width = row_size - fixed_width
+    if dummy_width < 1:
+        raise ConfigurationError(
+            f"row_size {row_size} too small; need > {fixed_width} bytes"
+        )
+    fixed.append(Column(name="dummy", dtype=DataType.CHAR, width=dummy_width))
+    return TableSchema(tuple(fixed))

@@ -1,0 +1,105 @@
+"""Table specifications.
+
+A :class:`TableSpec` is the complete logical description of a stored table:
+its schema, row count, on-disk row size, the system that owns it, and its
+DFS path when stored on a DFS-backed remote system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.data.schema import TableSchema
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Logical description of one stored table.
+
+    Attributes:
+        name: Unique table name, e.g. ``"t1000000_250"``.
+        schema: Column layout.
+        num_rows: Exact row count.
+        row_size: On-disk bytes per row.  Usually equals
+            ``schema.row_width`` but may include storage overhead.
+        location: Name of the system storing the table (``"teradata"`` or
+            a remote-system name).
+        dfs_path: DFS path for DFS-backed systems, else None.
+        partitioned_by: Column the table is hash/bucket partitioned on, if
+            any; drives join-algorithm applicability rules (paper §4).
+        sorted_by: Column the table is sorted on within partitions, if any.
+        skewed_columns: Columns whose value distribution is heavily
+            skewed (a few very hot keys); joining on one triggers skew
+            handling (Hive's Skew Join, §4).
+    """
+
+    name: str
+    schema: TableSchema
+    num_rows: int
+    row_size: Optional[int] = None
+    location: str = "teradata"
+    dfs_path: Optional[str] = None
+    partitioned_by: Optional[str] = None
+    sorted_by: Optional[str] = None
+    skewed_columns: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("table name must be non-empty")
+        if self.num_rows < 0:
+            raise ConfigurationError(f"num_rows must be >= 0, got {self.num_rows}")
+        if self.row_size is None:
+            object.__setattr__(self, "row_size", self.schema.row_width)
+        elif self.row_size < 1:
+            raise ConfigurationError(f"row_size must be >= 1, got {self.row_size}")
+        for attr in ("partitioned_by", "sorted_by"):
+            column = getattr(self, attr)
+            if column is not None and not self.schema.has_column(column):
+                raise ConfigurationError(
+                    f"{attr}={column!r} is not a column of table {self.name!r}"
+                )
+        for column in self.skewed_columns:
+            if not self.schema.has_column(column):
+                raise ConfigurationError(
+                    f"skewed column {column!r} is not a column of table "
+                    f"{self.name!r}"
+                )
+
+    @property
+    def byte_row_size(self) -> int:
+        """Row size in bytes (never None after construction)."""
+        assert self.row_size is not None
+        return self.row_size
+
+    @property
+    def size_bytes(self) -> int:
+        """Total logical table size in bytes."""
+        return self.num_rows * self.byte_row_size
+
+    def with_location(
+        self, location: str, dfs_path: Optional[str] = None
+    ) -> "TableSpec":
+        """Return a copy of this spec stored on a different system."""
+        return TableSpec(
+            name=self.name,
+            schema=self.schema,
+            num_rows=self.num_rows,
+            row_size=self.row_size,
+            location=location,
+            dfs_path=dfs_path,
+            partitioned_by=self.partitioned_by,
+            sorted_by=self.sorted_by,
+            skewed_columns=self.skewed_columns,
+        )
+
+    def projected_row_size(self, columns: Tuple[str, ...]) -> int:
+        """On-disk width of the named columns — the paper's projected size."""
+        return self.schema.projected_width(columns)
+
+    def __repr__(self) -> str:
+        return (
+            f"TableSpec({self.name!r}, rows={self.num_rows}, "
+            f"row_size={self.row_size}, at={self.location!r})"
+        )

@@ -1,0 +1,63 @@
+"""Engine-internal physical planner.
+
+Every engine holds an ordered list of physical join algorithms (most
+specialized first, matching Hive's and Spark's optimizer preferences) and
+picks the first applicable one — the behaviour IntelliSphere must *predict*
+from the outside using the applicability rules of §4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.engines.physical import (
+    AggregateContext,
+    HashAggregate,
+    JoinAlgorithm,
+    JoinContext,
+    SortAggregate,
+)
+from repro.exceptions import PlanningError
+
+
+class PhysicalPlanner:
+    """Ordered-preference selection among an engine's physical algorithms."""
+
+    def __init__(
+        self,
+        join_algorithms: Sequence[JoinAlgorithm],
+        aggregate_algorithms: Tuple[HashAggregate, SortAggregate] = (
+            HashAggregate(),
+            SortAggregate(),
+        ),
+    ) -> None:
+        if not join_algorithms:
+            raise PlanningError("planner needs at least one join algorithm")
+        self._join_algorithms = tuple(join_algorithms)
+        self._aggregate_algorithms = aggregate_algorithms
+
+    @property
+    def join_algorithms(self) -> Tuple[JoinAlgorithm, ...]:
+        return self._join_algorithms
+
+    def choose_join(self, ctx: JoinContext) -> JoinAlgorithm:
+        """First applicable join algorithm in preference order.
+
+        Raises:
+            PlanningError: when no algorithm is applicable (an engine with
+                a complete algorithm set always has a fallback).
+        """
+        for algorithm in self._join_algorithms:
+            if algorithm.applicable(ctx):
+                return algorithm
+        raise PlanningError(
+            "no applicable join algorithm for context "
+            f"(equi={ctx.is_equi}, small_bytes={ctx.small.total_bytes})"
+        )
+
+    def choose_aggregate(self, ctx: AggregateContext):
+        """Hash aggregation when groups fit memory, else sort aggregation."""
+        for algorithm in self._aggregate_algorithms:
+            if algorithm.applicable(ctx):
+                return algorithm
+        raise PlanningError("no applicable aggregation algorithm")

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class CatalogError(ReproError):
+    """A table or statistic was requested that the catalog does not hold."""
+
+
+class UnsupportedOperationError(ReproError):
+    """A remote system was asked to perform an operation it cannot run."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a valid placement plan."""
+
+
+class ModelNotTrainedError(ReproError):
+    """A cost model was used for estimation before being trained."""
+
+
+class TrainingError(ReproError):
+    """Model training failed or was given an unusable training set."""
+
+
+class FormulaError(ReproError):
+    """A sub-op cost formula referenced an unknown sub-operator or input."""
+
+
+class ParseError(ReproError):
+    """The SQL text could not be parsed."""

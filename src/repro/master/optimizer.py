@@ -1,0 +1,331 @@
+"""Cost-based operator placement (§2, "Query Plans").
+
+IntelliSphere schedules each SQL operator either on a remote system that
+owns (part of) its input data or on the master.  Data moves only between
+a remote system and the master.  The optimizer is a small dynamic
+program over (plan node, result location): for every node it keeps the
+cheapest way to have that node's result materialized at each candidate
+location, combining
+
+* remote operator estimates from the cost-estimation module (the paper's
+  contribution),
+* the master's in-house cost model, and
+* QueryGrid transfer estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.costing import CostEstimationModule, derive_operator_stats
+from repro.core.operators import (
+    AggregateOperatorStats,
+    JoinOperatorStats,
+    ScanOperatorStats,
+)
+from repro.data.catalog import Catalog
+from repro.exceptions import PlanningError
+from repro.master.querygrid import QueryGrid, TERADATA
+from repro.master.teradata import TeradataCostModel
+from repro.sql.cardinality import CardinalityEstimator
+from repro.sql.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    LogicalPlan,
+    Project,
+    Scan,
+)
+
+
+@dataclass(frozen=True)
+class PlacementStep:
+    """One costed action of a placement plan.
+
+    Attributes:
+        kind: ``"execute"`` or ``"transfer"``.
+        description: Human-readable summary.
+        system: Where the action happens (transfer: the destination).
+        seconds: Estimated cost of the action.
+    """
+
+    kind: str
+    description: str
+    system: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class PlacementOption:
+    """The cheapest found way to materialize a result at one location."""
+
+    location: str
+    seconds: float
+    steps: Tuple[PlacementStep, ...]
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Optimizer output: the chosen placement and its alternatives.
+
+    Attributes:
+        plan: The logical plan that was placed.
+        best: The cheapest end-to-end option (result at the master).
+        alternatives: Best option per final execution location of the
+            root operator, for plan-quality comparisons.
+    """
+
+    plan: LogicalPlan
+    best: PlacementOption
+    alternatives: Tuple[PlacementOption, ...]
+
+    def describe(self) -> str:
+        lines = [f"placement plan  (total {self.best.seconds:.2f}s estimated)"]
+        for step in self.best.steps:
+            lines.append(
+                f"  [{step.kind:8s}] {step.description}  "
+                f"@ {step.system}  ({step.seconds:.2f}s)"
+            )
+        return "\n".join(lines)
+
+
+class PlacementOptimizer:
+    """Places a plan's operators across the federation by cost."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        costing: CostEstimationModule,
+        querygrid: QueryGrid,
+        teradata: Optional[TeradataCostModel] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.costing = costing
+        self.querygrid = querygrid
+        self.teradata = teradata or TeradataCostModel()
+        self._estimator = CardinalityEstimator(catalog)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def optimize(self, plan: LogicalPlan) -> PlacementPlan:
+        """Choose the cheapest placement delivering the result to the master."""
+        options = self._node_options(plan)
+        if not options:
+            raise PlanningError("no feasible placement for plan")
+        shape = self._estimator.estimate(plan)
+        finals: List[PlacementOption] = []
+        for location, option in options.items():
+            transfer = self.querygrid.estimate(
+                location, TERADATA, shape.num_rows, shape.row_size
+            )
+            steps = option.steps
+            if transfer.seconds > 0:
+                steps = steps + (
+                    PlacementStep(
+                        kind="transfer",
+                        description=(
+                            f"results {location} -> {TERADATA} "
+                            f"({shape.num_rows} rows)"
+                        ),
+                        system=TERADATA,
+                        seconds=transfer.seconds,
+                    ),
+                )
+            finals.append(
+                PlacementOption(
+                    location=location,
+                    seconds=option.seconds + transfer.seconds,
+                    steps=steps,
+                )
+            )
+        finals.sort(key=lambda option: option.seconds)
+        return PlacementPlan(plan=plan, best=finals[0], alternatives=tuple(finals))
+
+    # ------------------------------------------------------------------
+    # Dynamic program
+    # ------------------------------------------------------------------
+    def _node_options(self, node: LogicalPlan) -> Dict[str, PlacementOption]:
+        if isinstance(node, Scan):
+            return self._scan_options(node)
+        child_options = [self._node_options(child) for child in node.children]
+        candidates = self._candidate_locations(node)
+        options: Dict[str, PlacementOption] = {}
+        for location in candidates:
+            option = self._option_at(node, location, child_options)
+            if option is not None:
+                options[location] = option
+        if not options:
+            raise PlanningError(
+                f"no system can execute operator {type(node).__name__}"
+            )
+        return options
+
+    def _scan_options(self, node: Scan) -> Dict[str, PlacementOption]:
+        owner = self.catalog.table(node.table).location
+        if node.predicate is None and not node.projection:
+            # The raw table is simply available where it lives.
+            return {owner: PlacementOption(location=owner, seconds=0.0, steps=())}
+        options: Dict[str, PlacementOption] = {}
+        for location in self._filter_capable({owner, TERADATA}, node):
+            seconds = 0.0
+            steps: List[PlacementStep] = []
+            if location != owner:
+                spec = self.catalog.table(node.table)
+                transfer = self.querygrid.estimate(
+                    owner, location, spec.num_rows, spec.byte_row_size
+                )
+                seconds += transfer.seconds
+                steps.append(
+                    PlacementStep(
+                        kind="transfer",
+                        description=f"table {node.table} {owner} -> {location}",
+                        system=location,
+                        seconds=transfer.seconds,
+                    )
+                )
+            exec_seconds = self._operator_cost(node, location)
+            seconds += exec_seconds
+            steps.append(
+                PlacementStep(
+                    kind="execute",
+                    description=f"scan/filter {node.table}",
+                    system=location,
+                    seconds=exec_seconds,
+                )
+            )
+            options[location] = PlacementOption(
+                location=location, seconds=seconds, steps=tuple(steps)
+            )
+        return options
+
+    def _option_at(
+        self,
+        node: LogicalPlan,
+        location: str,
+        child_options: List[Dict[str, PlacementOption]],
+    ) -> Optional[PlacementOption]:
+        seconds = 0.0
+        steps: List[PlacementStep] = []
+        for child, options in zip(node.children, child_options):
+            delivered = self._deliver(child, options, location)
+            if delivered is None:
+                return None
+            delivered_seconds, delivered_steps = delivered
+            seconds += delivered_seconds
+            steps.extend(delivered_steps)
+        try:
+            exec_seconds = self._operator_cost(node, location)
+        except PlanningError:
+            return None
+        seconds += exec_seconds
+        steps.append(
+            PlacementStep(
+                kind="execute",
+                description=_describe(node),
+                system=location,
+                seconds=exec_seconds,
+            )
+        )
+        return PlacementOption(
+            location=location, seconds=seconds, steps=tuple(steps)
+        )
+
+    def _deliver(
+        self,
+        child: LogicalPlan,
+        options: Dict[str, PlacementOption],
+        destination: str,
+    ) -> Optional[Tuple[float, Tuple[PlacementStep, ...]]]:
+        """Cheapest (cost, steps) to have the child's result at ``destination``."""
+        shape = self._estimator.estimate(child)
+        best: Optional[Tuple[float, Tuple[PlacementStep, ...]]] = None
+        for location, option in options.items():
+            transfer = self.querygrid.estimate(
+                location, destination, shape.num_rows, shape.row_size
+            )
+            total = option.seconds + transfer.seconds
+            steps = option.steps
+            if transfer.seconds > 0:
+                steps = steps + (
+                    PlacementStep(
+                        kind="transfer",
+                        description=(
+                            f"intermediate {location} -> {destination} "
+                            f"({shape.num_rows} rows)"
+                        ),
+                        system=destination,
+                        seconds=transfer.seconds,
+                    ),
+                )
+            if best is None or total < best[0]:
+                best = (total, steps)
+        return best
+
+    # ------------------------------------------------------------------
+    # Per-operator costs
+    # ------------------------------------------------------------------
+    def _operator_cost(self, node: LogicalPlan, location: str) -> float:
+        if location == TERADATA:
+            stats = derive_operator_stats(node, self.catalog)
+            if isinstance(stats, JoinOperatorStats):
+                return self.teradata.estimate_join(stats)
+            if isinstance(stats, AggregateOperatorStats):
+                return self.teradata.estimate_aggregate(stats)
+            assert isinstance(stats, ScanOperatorStats)
+            return self.teradata.estimate_scan(stats)
+        estimate = self.costing.estimate_plan(location, node, self.catalog)
+        return estimate.seconds
+
+    # ------------------------------------------------------------------
+    # Candidate locations
+    # ------------------------------------------------------------------
+    def _candidate_locations(self, node: LogicalPlan) -> List[str]:
+        owners = {
+            self.catalog.table(name).location for name in node.referenced_tables
+        }
+        owners.add(TERADATA)
+        return sorted(self._filter_capable(owners, node))
+
+    def _filter_capable(self, locations, node: LogicalPlan) -> List[str]:
+        capable = []
+        for location in locations:
+            if location == TERADATA:
+                capable.append(location)
+                continue
+            if location not in self.costing.system_names:
+                continue
+            system = self.costing.system(location)
+            if _root_supported(system, node):
+                capable.append(location)
+        return capable
+
+
+def _root_supported(system, node: LogicalPlan) -> bool:
+    caps = system.capabilities
+    if isinstance(node, Scan):
+        return caps.scan
+    if isinstance(node, Filter):
+        return caps.filter
+    if isinstance(node, Project):
+        return caps.project
+    if isinstance(node, Join):
+        return caps.join
+    if isinstance(node, Aggregate):
+        return caps.aggregate
+    return False
+
+
+def _describe(node: LogicalPlan) -> str:
+    if isinstance(node, Join):
+        return f"join on {node.condition}"
+    if isinstance(node, Aggregate):
+        return f"aggregate by {list(node.group_by)}"
+    if isinstance(node, Filter):
+        return f"filter {node.predicate}"
+    if isinstance(node, Project):
+        return f"project {list(node.columns)}"
+    if isinstance(node, Scan):
+        return f"scan {node.table}"
+    return type(node).__name__

@@ -1,0 +1,117 @@
+"""The master engine's own operator cost model.
+
+Teradata's costing mechanism is itself sub-op based (§4): the optimizer
+maintains a long, detailed list of sub-operator costs for its own engine.
+:class:`TeradataCostModel` is that in-house model, expressed over the
+same operator descriptors the remote costing module uses, so remote and
+local estimates compose directly inside a plan's cost.
+
+The constants model a parallel MPP warehouse appliance: markedly faster
+than the simulated Hive VM cluster per operator, which is what makes the
+optimizer's placement decisions interesting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.operators import (
+    AggregateOperatorStats,
+    JoinOperatorStats,
+    ScanOperatorStats,
+)
+from repro.exceptions import ConfigurationError
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class TeradataTuning:
+    """Sub-op style constants of the master engine.
+
+    Attributes:
+        scan_us_per_row_per_kb: Scan cost per row per KiB of row width.
+        hash_us_per_row: In-memory hash build/probe per row.
+        sort_us_per_row_per_log: Sort cost per row per log2(n).
+        redistribution_us_per_row_per_kb: AMP-to-AMP row redistribution.
+        spill_penalty: Multiplier when a hash workspace exceeds memory.
+        workspace_budget: Per-operator workspace, bytes.
+        startup_seconds: Fixed per-operator dispatch overhead.
+    """
+
+    scan_us_per_row_per_kb: float = 0.3
+    hash_us_per_row: float = 0.9
+    sort_us_per_row_per_log: float = 0.12
+    redistribution_us_per_row_per_kb: float = 0.5
+    spill_penalty: float = 2.5
+    workspace_budget: int = 16 * GIB
+    startup_seconds: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.workspace_budget <= 0:
+            raise ConfigurationError("workspace_budget must be positive")
+
+
+class TeradataCostModel:
+    """In-house cost estimates for operators executed on the master."""
+
+    def __init__(self, tuning: TeradataTuning = TeradataTuning()) -> None:
+        self.tuning = tuning
+
+    # ------------------------------------------------------------------
+    # Per-operator estimates
+    # ------------------------------------------------------------------
+    def estimate_join(self, stats: JoinOperatorStats) -> float:
+        """Redistribution hash join (Teradata's common plan)."""
+        t = self.tuning
+        seconds = t.startup_seconds
+        seconds += self._redistribute(stats.num_rows_r, stats.row_size_r)
+        seconds += self._redistribute(stats.num_rows_s, stats.row_size_s)
+        hash_rows = stats.num_rows_r + stats.num_rows_s
+        hash_seconds = hash_rows * t.hash_us_per_row * 1e-6
+        if stats.small_bytes > t.workspace_budget:
+            hash_seconds *= t.spill_penalty
+        seconds += hash_seconds
+        seconds += self._scan(stats.num_output_rows, stats.output_row_size)
+        return seconds
+
+    def estimate_aggregate(self, stats: AggregateOperatorStats) -> float:
+        """Local hash aggregation plus a global merge of partials."""
+        t = self.tuning
+        seconds = t.startup_seconds
+        seconds += self._scan(stats.num_input_rows, stats.input_row_size)
+        seconds += stats.num_input_rows * t.hash_us_per_row * 1e-6
+        seconds += self._redistribute(stats.num_output_rows, stats.output_row_size)
+        return seconds
+
+    def estimate_scan(self, stats: ScanOperatorStats) -> float:
+        """Full scan with predicate/projection evaluation."""
+        t = self.tuning
+        seconds = t.startup_seconds
+        seconds += self._scan(stats.num_input_rows, stats.input_row_size)
+        seconds += self._scan(stats.num_output_rows, stats.output_row_size)
+        return seconds
+
+    # ------------------------------------------------------------------
+    # Sub-op primitives
+    # ------------------------------------------------------------------
+    def _scan(self, num_rows: int, row_size: int) -> float:
+        kb = max(1.0, row_size / 1024.0)
+        return num_rows * self.tuning.scan_us_per_row_per_kb * kb * 1e-6
+
+    def _redistribute(self, num_rows: int, row_size: int) -> float:
+        kb = max(1.0, row_size / 1024.0)
+        return (
+            num_rows * self.tuning.redistribution_us_per_row_per_kb * kb * 1e-6
+        )
+
+    def sort_seconds(self, num_rows: int) -> float:
+        if num_rows <= 1:
+            return 0.0
+        return (
+            num_rows
+            * math.log2(num_rows)
+            * self.tuning.sort_us_per_row_per_log
+            * 1e-6
+        )

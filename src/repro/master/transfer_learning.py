@@ -1,0 +1,148 @@
+"""Learning QueryGrid transfer costs from observed transfers.
+
+The paper assumes network and data-transfer costs "are learned through
+some other mechanisms, which are outside the scope of this paper" (§1).
+This module is that mechanism: every QueryGrid transfer the federation
+performs (or a small set of synthetic probe transfers at registration
+time) yields a ``(rows, row size, seconds)`` observation, and a linear
+model with the QueryGrid's own structure —
+
+    seconds = connection_latency + bytes / bandwidth + rows * per_row_us
+
+— is fitted by least squares.  The fitted model *is* a
+:class:`~repro.master.querygrid.QueryGrid`, so it drops straight into
+the placement optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.master.querygrid import QueryGrid
+
+#: Default probe shapes: rows x row-size pairs spanning the workloads'
+#: typical transfer sizes (a few KB to a few GB).
+DEFAULT_PROBE_SHAPES: Tuple[Tuple[int, int], ...] = tuple(
+    (rows, size)
+    for rows in (1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+    for size in (40, 250, 1000)
+)
+
+
+@dataclass(frozen=True)
+class TransferObservation:
+    """One measured transfer.
+
+    Attributes:
+        num_rows: Rows moved.
+        row_size: Bytes per row.
+        seconds: Observed wall-clock transfer time.
+    """
+
+    num_rows: int
+    row_size: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.num_rows < 1 or self.row_size < 1:
+            raise ConfigurationError("transfer shape must be positive")
+        if self.seconds <= 0:
+            raise ConfigurationError("observed seconds must be positive")
+
+
+class TransferCostLearner:
+    """Accumulates transfer observations and fits a QueryGrid model."""
+
+    def __init__(self) -> None:
+        self._observations: List[TransferObservation] = []
+
+    def observe(self, num_rows: int, row_size: int, seconds: float) -> None:
+        """Record one measured master<->remote transfer."""
+        self._observations.append(
+            TransferObservation(num_rows=num_rows, row_size=row_size, seconds=seconds)
+        )
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._observations)
+
+    def fit(self) -> QueryGrid:
+        """Least-squares fit of the QueryGrid cost structure.
+
+        Solves ``seconds ~ latency + bytes/bandwidth + rows*per_row`` and
+        clamps the physical parameters to sane ranges (non-negative
+        latency and per-row overhead, positive bandwidth).
+
+        Raises:
+            TrainingError: with fewer than four observations or no spread
+                in the probe shapes.
+        """
+        if len(self._observations) < 4:
+            raise TrainingError("need at least 4 transfer observations")
+        total_bytes = np.asarray(
+            [o.num_rows * o.row_size for o in self._observations], dtype=float
+        )
+        rows = np.asarray([o.num_rows for o in self._observations], dtype=float)
+        seconds = np.asarray([o.seconds for o in self._observations])
+        if float(np.ptp(total_bytes)) == 0.0:
+            raise TrainingError("probe shapes have no spread in payload size")
+
+        design = np.column_stack([total_bytes, rows, np.ones_like(rows)])
+        (per_byte, per_row, latency), *_ = np.linalg.lstsq(
+            design, seconds, rcond=None
+        )
+        per_byte = max(float(per_byte), 1e-12)
+        return QueryGrid(
+            bandwidth=1.0 / per_byte,
+            connection_latency=max(0.0, float(latency)),
+            per_row_overhead_us=max(0.0, float(per_row) * 1e6),
+        )
+
+
+def probe_transfers(
+    channel: Callable[[int, int], float],
+    shapes: Sequence[Tuple[int, int]] = DEFAULT_PROBE_SHAPES,
+) -> TransferCostLearner:
+    """Measure a set of probe transfers through a channel.
+
+    Args:
+        channel: Callable performing a transfer of ``(num_rows,
+            row_size)`` and returning the observed seconds — in a live
+            deployment, an actual QueryGrid round-trip; in this
+            reproduction, a noisy simulated link.
+        shapes: The probe grid.
+
+    Returns:
+        A learner pre-populated with the measurements (call
+        :meth:`TransferCostLearner.fit` to obtain the model).
+    """
+    learner = TransferCostLearner()
+    for num_rows, row_size in shapes:
+        learner.observe(num_rows, row_size, channel(num_rows, row_size))
+    return learner
+
+
+class NoisyTransferChannel:
+    """A simulated transfer link: a hidden true QueryGrid plus noise.
+
+    Stands in for real probe transfers when exercising the learning
+    mechanism inside the simulation.
+    """
+
+    def __init__(
+        self, truth: QueryGrid, noise_sigma: float = 0.05, seed: int = 0
+    ) -> None:
+        if noise_sigma < 0:
+            raise ConfigurationError("noise_sigma must be >= 0")
+        self.truth = truth
+        self.noise_sigma = noise_sigma
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, num_rows: int, row_size: int) -> float:
+        seconds = self.truth.transfer_seconds(num_rows, row_size)
+        factor = 1.0 + self.noise_sigma * float(self._rng.standard_normal())
+        return max(1e-6, seconds * factor)

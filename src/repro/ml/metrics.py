@@ -1,0 +1,94 @@
+"""Accuracy metrics used throughout the evaluation.
+
+The paper reports RMSE, the *RMSE percentage* ``e * 100 / v`` where ``e``
+is the RMSE and ``v`` the mean actual execution time (§7), the R² of
+predicted-vs-actual scatter fits, and the fitted line itself (the
+``y = 0.95x + 0.24`` annotations of Figs. 11–13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _validate(actual: np.ndarray, predicted: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    actual = np.asarray(actual, dtype=float).ravel()
+    predicted = np.asarray(predicted, dtype=float).ravel()
+    if actual.shape != predicted.shape:
+        raise ConfigurationError(
+            f"shape mismatch: actual {actual.shape} vs predicted {predicted.shape}"
+        )
+    if actual.size == 0:
+        raise ConfigurationError("metrics need at least one sample")
+    return actual, predicted
+
+
+def rmse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Root mean square error."""
+    actual, predicted = _validate(actual, predicted)
+    return float(np.sqrt(np.mean((actual - predicted) ** 2)))
+
+
+def rmse_percent(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """The paper's RMSE%: ``rmse * 100 / mean(actual)``."""
+    actual, predicted = _validate(actual, predicted)
+    mean_actual = float(np.mean(actual))
+    if mean_actual == 0:
+        raise ConfigurationError("RMSE% undefined for zero-mean actuals")
+    return rmse(actual, predicted) * 100.0 / mean_actual
+
+
+def mean_absolute_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error."""
+    actual, predicted = _validate(actual, predicted)
+    return float(np.mean(np.abs(actual - predicted)))
+
+
+def r_squared(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Coefficient of determination of predictions against actuals."""
+    actual, predicted = _validate(actual, predicted)
+    ss_res = float(np.sum((actual - predicted) ** 2))
+    ss_tot = float(np.sum((actual - np.mean(actual)) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+@dataclass(frozen=True)
+class FittedLine:
+    """Least-squares line through a predicted-vs-actual scatter.
+
+    Attributes:
+        slope: Fitted slope (1.0 = unbiased).
+        intercept: Fitted intercept.
+        r2: R² of the line fit — the figure-annotation R², which measures
+            how *linear* the relationship is (distinct from
+            :func:`r_squared`, which measures agreement with identity).
+    """
+
+    slope: float
+    intercept: float
+    r2: float
+
+    def __str__(self) -> str:
+        return f"y = {self.slope:.4f}x + {self.intercept:.4f} (R² = {self.r2:.5f})"
+
+
+def fit_line(x: np.ndarray, y: np.ndarray) -> FittedLine:
+    """Fit ``y = slope * x + intercept`` by least squares.
+
+    Used to reproduce the scatter-plot annotations of Figs. 11(c,d),
+    12(c,d), and 13(b-g).
+    """
+    x, y = _validate(x, y)
+    if x.size < 2 or float(np.ptp(x)) == 0.0:
+        raise ConfigurationError("line fit needs >= 2 samples with spread in x")
+    design = np.vstack([x, np.ones_like(x)]).T
+    (slope, intercept), *_ = np.linalg.lstsq(design, y, rcond=None)
+    fitted = slope * x + intercept
+    return FittedLine(slope=float(slope), intercept=float(intercept), r2=r_squared(y, fitted))

@@ -1,0 +1,280 @@
+"""A small feed-forward neural network (numpy, from scratch).
+
+This is the model class of the paper's logical-op costing (§3): two
+hidden layers whose widths come from a cross-validation topology search,
+trained for ~20,000 iterations.  Hidden units use **tanh** — a bounded
+activation.  Saturation of bounded activations is exactly why the trained
+network "cannot extrapolate out-of-range values" (§3, Fig. 14): inputs
+far outside the trained range push the hidden units onto their flat
+tails, so the output plateaus near the trained extremes.  The online
+remedy and offline tuning phases exist to repair this.
+
+Inputs are ``log1p``-standardized (training dimensions span decades) and
+the target is modeled in ``log1p`` space, giving multiplicative accuracy
+across the wide execution-time range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ModelNotTrainedError, TrainingError
+from repro.ml.metrics import rmse_percent
+from repro.ml.scaling import LogStandardScaler, StandardScaler
+
+
+@dataclass
+class TrainingHistory:
+    """RMSE% trajectory over training iterations (Figs. 11(b), 12(b)).
+
+    Attributes:
+        iterations: Iteration numbers at which the error was recorded.
+        rmse_percent: RMSE% (on the recording set, raw scale) per record.
+    """
+
+    iterations: List[int] = field(default_factory=list)
+    rmse_percent: List[float] = field(default_factory=list)
+
+    def record(self, iteration: int, error: float) -> None:
+        self.iterations.append(iteration)
+        self.rmse_percent.append(error)
+
+    @property
+    def final_error(self) -> float:
+        if not self.rmse_percent:
+            raise ModelNotTrainedError("empty training history")
+        return self.rmse_percent[-1]
+
+
+class NeuralNetwork:
+    """MLP with tanh hidden layers, linear output, Adam, and minibatches.
+
+    Args:
+        hidden_layers: Widths of the hidden layers, e.g. ``(14, 5)``.
+        learning_rate: Adam step size.
+        batch_size: Minibatch size per iteration.
+        seed: Weight-init and batch-sampling seed.
+        log_target: Model the target in ``log1p`` space (recommended for
+            execution times spanning decades).
+    """
+
+    def __init__(
+        self,
+        hidden_layers: Sequence[int] = (14, 5),
+        learning_rate: float = 3e-3,
+        batch_size: int = 64,
+        seed: int = 0,
+        log_target: bool = True,
+    ) -> None:
+        if not hidden_layers or any(h < 1 for h in hidden_layers):
+            raise ConfigurationError(
+                f"hidden_layers must be positive, got {hidden_layers}"
+            )
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        self.hidden_layers = tuple(int(h) for h in hidden_layers)
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.seed = seed
+        self.log_target = log_target
+
+        self._rng = np.random.default_rng(seed)
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._adam_m: List[np.ndarray] = []
+        self._adam_v: List[np.ndarray] = []
+        self._adam_t = 0
+        self._x_scaler = LogStandardScaler()
+        self._y_scaler = StandardScaler()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        iterations: int = 20_000,
+        record_every: int = 200,
+        record_on: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> TrainingHistory:
+        """Train from scratch; returns the error trajectory.
+
+        Args:
+            x: Feature matrix (raw scale).
+            y: Targets (raw scale, non-negative).
+            iterations: Minibatch gradient steps (paper uses 20,000).
+            record_every: History recording period.
+            record_on: Optional (x, y) set on which the history error is
+                computed; defaults to the training set.
+        """
+        x, y = _validate_xy(x, y)
+        self._x_scaler = LogStandardScaler()
+        self._y_scaler = StandardScaler()
+        xs = self._x_scaler.fit_transform(x)
+        ys = self._y_scaler.fit_transform(self._target_forward(y))
+        self._init_weights(xs.shape[1])
+        return self._train_loop(xs, ys, x, y, iterations, record_every, record_on)
+
+    def partial_fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        iterations: int = 2_000,
+        record_every: int = 200,
+    ) -> TrainingHistory:
+        """Continue training with existing weights and scalers.
+
+        This implements the offline tuning phase (§3): logged executions
+        are folded into the model without re-deriving the topology.
+        """
+        if not self._weights:
+            raise ModelNotTrainedError("partial_fit requires a previous fit")
+        x, y = _validate_xy(x, y)
+        xs = self._x_scaler.transform(x)
+        ys = self._y_scaler.transform(self._target_forward(y))
+        return self._train_loop(xs, ys, x, y, iterations, record_every, None)
+
+    def _train_loop(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        x_raw: np.ndarray,
+        y_raw: np.ndarray,
+        iterations: int,
+        record_every: int,
+        record_on: Optional[Tuple[np.ndarray, np.ndarray]],
+    ) -> TrainingHistory:
+        if iterations < 1:
+            raise TrainingError("iterations must be >= 1")
+        history = TrainingHistory()
+        n = xs.shape[0]
+        batch = min(self.batch_size, n)
+        for step in range(1, iterations + 1):
+            idx = self._rng.integers(0, n, size=batch)
+            self._adam_step(xs[idx], ys[idx])
+            if step % record_every == 0 or step == iterations:
+                if record_on is not None:
+                    error = rmse_percent(record_on[1], self.predict(record_on[0]))
+                else:
+                    error = rmse_percent(y_raw, self.predict(x_raw))
+                history.record(step, error)
+        return history
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict raw-scale targets for raw-scale features."""
+        if not self._weights:
+            raise ModelNotTrainedError("NeuralNetwork.predict before fit")
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        xs = self._x_scaler.transform(x)
+        out = self._forward(xs)[-1].ravel()
+        raw = self._y_scaler.inverse_transform(out.reshape(-1, 1)).ravel()
+        return self._target_inverse(raw)
+
+    def predict_one(self, features: Sequence[float]) -> float:
+        """Predict a single sample given as a flat feature sequence."""
+        return float(self.predict(np.asarray(features, dtype=float).reshape(1, -1))[0])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _init_weights(self, n_inputs: int) -> None:
+        sizes = [n_inputs, *self.hidden_layers, 1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self._weights.append(
+                self._rng.uniform(-limit, limit, size=(fan_in, fan_out))
+            )
+            self._biases.append(np.zeros(fan_out))
+        self._adam_m = [np.zeros_like(w) for w in self._weights] + [
+            np.zeros_like(b) for b in self._biases
+        ]
+        self._adam_v = [np.zeros_like(m) for m in self._adam_m]
+        self._adam_t = 0
+
+    def _forward(self, xs: np.ndarray) -> List[np.ndarray]:
+        activations = [xs]
+        current = xs
+        last = len(self._weights) - 1
+        for i, (w, b) in enumerate(zip(self._weights, self._biases)):
+            z = current @ w + b
+            current = z if i == last else np.tanh(z)
+            activations.append(current)
+        return activations
+
+    def _adam_step(self, xs: np.ndarray, ys: np.ndarray) -> None:
+        grads_w, grads_b = self._gradients(xs, ys)
+        self._adam_t += 1
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        params = self._weights + self._biases
+        grads = grads_w + grads_b
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            self._adam_m[i] = beta1 * self._adam_m[i] + (1 - beta1) * grad
+            self._adam_v[i] = beta2 * self._adam_v[i] + (1 - beta2) * grad**2
+            m_hat = self._adam_m[i] / (1 - beta1**self._adam_t)
+            v_hat = self._adam_v[i] / (1 - beta2**self._adam_t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+    def _gradients(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        activations = self._forward(xs)
+        n = xs.shape[0]
+        delta = (activations[-1] - ys.reshape(-1, 1)) * (2.0 / n)
+        grads_w: List[np.ndarray] = [np.empty(0)] * len(self._weights)
+        grads_b: List[np.ndarray] = [np.empty(0)] * len(self._biases)
+        for layer in range(len(self._weights) - 1, -1, -1):
+            grads_w[layer] = activations[layer].T @ delta
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self._weights[layer].T) * (
+                    1.0 - activations[layer] ** 2
+                )
+        return grads_w, grads_b
+
+    def _target_forward(self, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=float).reshape(-1, 1)
+        if self.log_target:
+            if np.any(y < 0):
+                raise TrainingError("log-target model needs non-negative targets")
+            return np.log1p(y)
+        return y
+
+    def _target_inverse(self, y: np.ndarray) -> np.ndarray:
+        if self.log_target:
+            return np.expm1(np.clip(y, None, 50.0))
+        return y
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._weights)
+
+    def __repr__(self) -> str:
+        return (
+            f"NeuralNetwork(hidden={self.hidden_layers}, "
+            f"lr={self.learning_rate}, fitted={self.is_fitted})"
+        )
+
+
+def _validate_xy(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x.reshape(-1, 1)
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape[0] != y.shape[0]:
+        raise TrainingError(f"x rows {x.shape[0]} != y rows {y.shape[0]}")
+    if x.shape[0] < 2:
+        raise TrainingError("need at least two training samples")
+    return x, y

@@ -1,0 +1,100 @@
+"""Feature scaling.
+
+The logical-op training dimensions span four orders of magnitude (10⁴ to
+10⁷ rows), so the NN front-end log-transforms before standardizing
+(:class:`LogStandardScaler`); plain :class:`StandardScaler` serves the
+narrower sub-op feature spaces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ModelNotTrainedError, ConfigurationError
+
+
+class StandardScaler:
+    """Zero-mean unit-variance standardization per feature column."""
+
+    def __init__(self) -> None:
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = _as_matrix(x)
+        self._mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        # Constant columns standardize to zero rather than dividing by 0.
+        std[std == 0] = 1.0
+        self._std = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self._mean is None or self._std is None:
+            raise ModelNotTrainedError("StandardScaler.transform before fit")
+        x = _as_matrix(x)
+        if x.shape[1] != self._mean.shape[0]:
+            raise ConfigurationError(
+                f"expected {self._mean.shape[0]} features, got {x.shape[1]}"
+            )
+        return (x - self._mean) / self._std
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self._mean is None or self._std is None:
+            raise ModelNotTrainedError("StandardScaler.inverse_transform before fit")
+        return _as_matrix(x) * self._std + self._mean
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._mean is not None
+
+
+class LogStandardScaler:
+    """``log1p`` then standardize — for features spanning decades.
+
+    All inputs must be non-negative (training dimensions are counts and
+    byte sizes).
+    """
+
+    def __init__(self) -> None:
+        self._inner = StandardScaler()
+
+    def fit(self, x: np.ndarray) -> "LogStandardScaler":
+        self._inner.fit(self._log(x))
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        return self._inner.transform(self._log(x))
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        return np.expm1(self._inner.inverse_transform(x))
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._inner.is_fitted
+
+    @staticmethod
+    def _log(x: np.ndarray) -> np.ndarray:
+        x = _as_matrix(x)
+        if np.any(x < 0):
+            raise ConfigurationError("LogStandardScaler requires non-negative inputs")
+        return np.log1p(x)
+
+
+def _as_matrix(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x.reshape(-1, 1)
+    if x.ndim != 2:
+        raise ConfigurationError(f"expected a 2-D feature matrix, got shape {x.shape}")
+    if x.shape[0] == 0:
+        raise ConfigurationError("feature matrix must have at least one row")
+    return x

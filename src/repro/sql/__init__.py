@@ -1,0 +1,67 @@
+"""SQL layer: expressions, logical plans, parsing, and query building.
+
+IntelliSphere's query language is SQL (§1): the master builds a logical
+plan of SQL operators (scan, filter, project, join, aggregate) and decides
+where each operator executes.  This package provides:
+
+* :mod:`repro.sql.ast` — scalar expressions and predicates;
+* :mod:`repro.sql.logical` — logical plan operator tree;
+* :mod:`repro.sql.parser` — a compact SQL ``SELECT`` parser;
+* :mod:`repro.sql.builder` — a fluent programmatic plan builder.
+"""
+
+from repro.sql.ast import (
+    AggregateCall,
+    AggregateKind,
+    BinaryArithmetic,
+    BooleanAnd,
+    BooleanNot,
+    BooleanOr,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expression,
+    Literal,
+    column,
+    lit,
+)
+from repro.sql.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    JoinCondition,
+    LogicalPlan,
+    Project,
+    Scan,
+)
+from repro.sql.parser import parse_select
+from repro.sql.builder import QueryBuilder, scan
+from repro.sql.render import render_expression, render_plan
+
+__all__ = [
+    "AggregateCall",
+    "AggregateKind",
+    "BinaryArithmetic",
+    "BooleanAnd",
+    "BooleanNot",
+    "BooleanOr",
+    "ColumnRef",
+    "Comparison",
+    "ComparisonOp",
+    "Expression",
+    "Literal",
+    "column",
+    "lit",
+    "Aggregate",
+    "Filter",
+    "Join",
+    "JoinCondition",
+    "LogicalPlan",
+    "Project",
+    "Scan",
+    "parse_select",
+    "QueryBuilder",
+    "scan",
+    "render_expression",
+    "render_plan",
+]

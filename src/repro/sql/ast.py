@@ -1,0 +1,248 @@
+"""Scalar expressions and predicates for the SQL layer.
+
+The expression language is deliberately small — column references,
+literals, arithmetic, comparisons, boolean connectives, and aggregate
+calls — but it is rich enough to express every query of the paper's
+workloads, including the selectivity-control predicate
+``R.a1 + S.z < threshold`` of Fig. 10.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+
+
+class Expression:
+    """Base class for all scalar expressions."""
+
+    def referenced_columns(self) -> FrozenSet["ColumnRef"]:
+        """All column references appearing in this expression tree."""
+        raise NotImplementedError
+
+    # Convenience constructors so predicates read naturally in examples:
+    def __add__(self, other: "ExpressionLike") -> "BinaryArithmetic":
+        return BinaryArithmetic(self, "+", _coerce(other))
+
+    def __sub__(self, other: "ExpressionLike") -> "BinaryArithmetic":
+        return BinaryArithmetic(self, "-", _coerce(other))
+
+    def __mul__(self, other: "ExpressionLike") -> "BinaryArithmetic":
+        return BinaryArithmetic(self, "*", _coerce(other))
+
+    def eq(self, other: "ExpressionLike") -> "Comparison":
+        return Comparison(self, ComparisonOp.EQ, _coerce(other))
+
+    def lt(self, other: "ExpressionLike") -> "Comparison":
+        return Comparison(self, ComparisonOp.LT, _coerce(other))
+
+    def le(self, other: "ExpressionLike") -> "Comparison":
+        return Comparison(self, ComparisonOp.LE, _coerce(other))
+
+    def gt(self, other: "ExpressionLike") -> "Comparison":
+        return Comparison(self, ComparisonOp.GT, _coerce(other))
+
+    def ge(self, other: "ExpressionLike") -> "Comparison":
+        return Comparison(self, ComparisonOp.GE, _coerce(other))
+
+    def ne(self, other: "ExpressionLike") -> "Comparison":
+        return Comparison(self, ComparisonOp.NE, _coerce(other))
+
+
+ExpressionLike = Union[Expression, int, float, str]
+
+
+def _coerce(value: ExpressionLike) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a column, optionally qualified by table name."""
+
+    column: str
+    table: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.column:
+            raise ConfigurationError("column name must be non-empty")
+
+    def referenced_columns(self) -> FrozenSet["ColumnRef"]:
+        return frozenset({self})
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Union[int, float, str]
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryArithmetic(Expression):
+    """``left (+|-|*|/) right``."""
+
+    left: Expression
+    op: str
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/"):
+            raise ConfigurationError(f"unknown arithmetic operator {self.op!r}")
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class ComparisonOp(enum.Enum):
+    """Comparison operators."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """``left <op> right`` predicate."""
+
+    left: Expression
+    op: ComparisonOp
+    right: Expression
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+@dataclass(frozen=True)
+class BooleanAnd(Expression):
+    """Conjunction of two or more predicates."""
+
+    operands: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise ConfigurationError("AND needs at least two operands")
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        result: FrozenSet[ColumnRef] = frozenset()
+        for operand in self.operands:
+            result |= operand.referenced_columns()
+        return result
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({operand})" for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class BooleanOr(Expression):
+    """Disjunction of two or more predicates."""
+
+    operands: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise ConfigurationError("OR needs at least two operands")
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        result: FrozenSet[ColumnRef] = frozenset()
+        for operand in self.operands:
+            result |= operand.referenced_columns()
+        return result
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({operand})" for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class BooleanNot(Expression):
+    """Negation of a predicate."""
+
+    operand: Expression
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        return self.operand.referenced_columns()
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+class AggregateKind(enum.Enum):
+    """Supported aggregate functions."""
+
+    SUM = "SUM"
+    COUNT = "COUNT"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expression):
+    """An aggregate function applied to an expression (or ``*``)."""
+
+    kind: AggregateKind
+    argument: Optional[Expression] = None
+
+    def __post_init__(self) -> None:
+        if self.argument is None and self.kind is not AggregateKind.COUNT:
+            raise ConfigurationError(
+                f"{self.kind.value} requires an argument (only COUNT(*) may omit it)"
+            )
+
+    def referenced_columns(self) -> FrozenSet[ColumnRef]:
+        if self.argument is None:
+            return frozenset()
+        return self.argument.referenced_columns()
+
+    def __str__(self) -> str:
+        arg = "*" if self.argument is None else str(self.argument)
+        return f"{self.kind.value}({arg})"
+
+
+def column(name: str, table: Optional[str] = None) -> ColumnRef:
+    """Shorthand constructor for a column reference."""
+    return ColumnRef(column=name, table=table)
+
+
+def lit(value: Union[int, float, str]) -> Literal:
+    """Shorthand constructor for a literal."""
+    return Literal(value)
+
+
+def conjunction(*predicates: Expression) -> Expression:
+    """AND together any number of predicates (one predicate passes through).
+
+    Raises:
+        ConfigurationError: when called with no predicates.
+    """
+    if not predicates:
+        raise ConfigurationError("conjunction needs at least one predicate")
+    if len(predicates) == 1:
+        return predicates[0]
+    return BooleanAnd(tuple(predicates))

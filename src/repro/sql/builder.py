@@ -1,0 +1,126 @@
+"""Fluent programmatic construction of logical plans.
+
+The workload generators build thousands of queries; the builder keeps that
+code readable::
+
+    plan = (
+        scan("t1000000_250")
+        .join("t10000_250", on=("a1", "a1"), extra=extra_predicate)
+        .project("a1", "a2")
+        .plan()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.sql.ast import AggregateCall, AggregateKind, Expression, column
+from repro.sql.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    JoinCondition,
+    LogicalPlan,
+    Project,
+    Scan,
+)
+
+
+class QueryBuilder:
+    """Immutable fluent builder over a logical plan."""
+
+    def __init__(self, plan: LogicalPlan) -> None:
+        self._plan = plan
+
+    # ------------------------------------------------------------------
+    # Plan-extending steps (each returns a new builder)
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Expression) -> "QueryBuilder":
+        """Apply a filter on top of the current plan."""
+        return QueryBuilder(Filter(input=self._plan, predicate=predicate))
+
+    def project(self, *columns: str) -> "QueryBuilder":
+        """Keep only the named columns."""
+        return QueryBuilder(Project(input=self._plan, columns=tuple(columns)))
+
+    def join(
+        self,
+        right: Union[str, "QueryBuilder", LogicalPlan],
+        on: Tuple[str, str],
+        extra: Optional[Expression] = None,
+        project: Sequence[str] = (),
+    ) -> "QueryBuilder":
+        """Equi-join the current plan with ``right``.
+
+        Args:
+            right: Table name, another builder, or a raw plan.
+            on: ``(left_column, right_column)`` equality pair.
+            extra: Optional extra predicate on the join output.
+            project: Output columns to keep (empty keeps all).
+        """
+        right_plan = _as_plan(right)
+        left_col, right_col = on
+        return QueryBuilder(
+            Join(
+                left=self._plan,
+                right=right_plan,
+                condition=JoinCondition(left_column=left_col, right_column=right_col),
+                extra_predicate=extra,
+                projection=tuple(project),
+            )
+        )
+
+    def aggregate(
+        self,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateCall],
+    ) -> "QueryBuilder":
+        """Group-by aggregation over the current plan."""
+        return QueryBuilder(
+            Aggregate(
+                input=self._plan,
+                group_by=tuple(group_by),
+                aggregates=tuple(aggregates),
+            )
+        )
+
+    def sum_of(self, *columns_to_sum: str, group_by: Sequence[str] = ()) -> "QueryBuilder":
+        """Shorthand: SUM() one or more columns, optionally grouped."""
+        aggs = tuple(
+            AggregateCall(kind=AggregateKind.SUM, argument=column(name))
+            for name in columns_to_sum
+        )
+        return self.aggregate(group_by=group_by, aggregates=aggs)
+
+    # ------------------------------------------------------------------
+    # Terminal
+    # ------------------------------------------------------------------
+    def plan(self) -> LogicalPlan:
+        """Return the built logical plan."""
+        return self._plan
+
+    def __repr__(self) -> str:
+        return f"QueryBuilder({self._plan._label()})"
+
+
+def scan(
+    table: str,
+    projection: Sequence[str] = (),
+    predicate: Optional[Expression] = None,
+) -> QueryBuilder:
+    """Start a builder with a base-table scan."""
+    return QueryBuilder(
+        Scan(table=table, projection=tuple(projection), predicate=predicate)
+    )
+
+
+def _as_plan(value: Union[str, QueryBuilder, LogicalPlan]) -> LogicalPlan:
+    if isinstance(value, str):
+        return Scan(table=value)
+    if isinstance(value, QueryBuilder):
+        return value.plan()
+    if isinstance(value, LogicalPlan):
+        return value
+    raise ConfigurationError(f"cannot treat {value!r} as a plan")

@@ -1,0 +1,212 @@
+"""Row-level interpreter for logical plans.
+
+Every cost in this library rests on the cardinality model of
+:mod:`repro.sql.cardinality`.  This interpreter provides the ground
+truth to validate it against: it executes a logical plan over actual
+materialized tuples (from :func:`repro.data.generator.materialize_rows`)
+with ordinary nested-loop/hash semantics.  For the synthetic corpus the
+analytic estimates are exact, so ``len(interpret(plan)) ==
+estimate(plan).num_rows`` — a property the test suite pins down.
+
+It is deliberately simple and only meant for small inputs (tests,
+examples); the engines never tuple-at-a-time execute anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.data.schema import TableSchema
+from repro.exceptions import ConfigurationError, UnsupportedOperationError
+from repro.sql.ast import (
+    AggregateCall,
+    AggregateKind,
+    BinaryArithmetic,
+    BooleanAnd,
+    BooleanNot,
+    BooleanOr,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expression,
+    Literal,
+)
+from repro.sql.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    LogicalPlan,
+    Project,
+    Scan,
+)
+
+Row = Dict[str, object]
+
+
+class MaterializedTable:
+    """A small table held as a list of column-name -> value dicts."""
+
+    def __init__(self, schema: TableSchema, rows: Sequence[Tuple[object, ...]]):
+        names = schema.column_names
+        self.schema = schema
+        self.rows: List[Row] = [dict(zip(names, row)) for row in rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class PlanInterpreter:
+    """Executes logical plans over materialized tables."""
+
+    def __init__(self, tables: Mapping[str, MaterializedTable]) -> None:
+        self._tables = dict(tables)
+
+    def run(self, plan: LogicalPlan) -> List[Row]:
+        """Execute ``plan`` and return its result rows."""
+        if isinstance(plan, Scan):
+            return self._run_scan(plan)
+        if isinstance(plan, Filter):
+            rows = self.run(plan.input)
+            return [r for r in rows if _truthy(plan.predicate, r)]
+        if isinstance(plan, Project):
+            rows = self.run(plan.input)
+            return [_project(r, plan.columns) for r in rows]
+        if isinstance(plan, Join):
+            return self._run_join(plan)
+        if isinstance(plan, Aggregate):
+            return self._run_aggregate(plan)
+        raise UnsupportedOperationError(
+            f"interpreter cannot run {type(plan).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def _run_scan(self, plan: Scan) -> List[Row]:
+        try:
+            table = self._tables[plan.table]
+        except KeyError:
+            raise ConfigurationError(
+                f"no materialized table {plan.table!r}"
+            ) from None
+        rows = table.rows
+        if plan.predicate is not None:
+            rows = [r for r in rows if _truthy(plan.predicate, r)]
+        if plan.projection:
+            rows = [_project(r, plan.projection) for r in rows]
+        return list(rows)
+
+    def _run_join(self, plan: Join) -> List[Row]:
+        left_rows = self.run(plan.left)
+        right_rows = self.run(plan.right)
+        # Hash join on the equi-condition.
+        buckets: Dict[object, List[Row]] = {}
+        for row in right_rows:
+            buckets.setdefault(row[plan.condition.right_column], []).append(row)
+        joined: List[Row] = []
+        for left_row in left_rows:
+            for right_row in buckets.get(left_row[plan.condition.left_column], ()):
+                merged = dict(right_row)
+                merged.update(left_row)  # left wins on name clashes
+                if plan.extra_predicate is None or _truthy(
+                    plan.extra_predicate, merged
+                ):
+                    joined.append(merged)
+        if plan.projection:
+            joined = [_project(r, plan.projection) for r in joined]
+        return joined
+
+    def _run_aggregate(self, plan: Aggregate) -> List[Row]:
+        rows = self.run(plan.input)
+        groups: Dict[Tuple[object, ...], List[Row]] = {}
+        for row in rows:
+            key = tuple(row[name] for name in plan.group_by)
+            groups.setdefault(key, []).append(row)
+        if not plan.group_by and not groups:
+            groups[()] = []  # global aggregate over empty input: one group
+        result: List[Row] = []
+        for key, members in groups.items():
+            out: Row = dict(zip(plan.group_by, key))
+            for index, call in enumerate(plan.aggregates):
+                out[f"agg_{index}"] = _aggregate(call, members)
+            result.append(out)
+        return result
+
+
+# ----------------------------------------------------------------------
+# Expression evaluation
+# ----------------------------------------------------------------------
+def _evaluate(expr: Expression, row: Row) -> object:
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        try:
+            return row[expr.column]
+        except KeyError:
+            raise ConfigurationError(
+                f"row has no column {expr.column!r}: {sorted(row)}"
+            ) from None
+    if isinstance(expr, BinaryArithmetic):
+        left = _evaluate(expr.left, row)
+        right = _evaluate(expr.right, row)
+        if expr.op == "+":
+            return left + right  # type: ignore[operator]
+        if expr.op == "-":
+            return left - right  # type: ignore[operator]
+        if expr.op == "*":
+            return left * right  # type: ignore[operator]
+        return left / right  # type: ignore[operator]
+    raise UnsupportedOperationError(
+        f"cannot evaluate {type(expr).__name__} as a value"
+    )
+
+
+def _truthy(predicate: Expression, row: Row) -> bool:
+    if isinstance(predicate, Comparison):
+        left = _evaluate(predicate.left, row)
+        right = _evaluate(predicate.right, row)
+        op = predicate.op
+        if op is ComparisonOp.EQ:
+            return left == right
+        if op is ComparisonOp.NE:
+            return left != right
+        if op is ComparisonOp.LT:
+            return left < right  # type: ignore[operator]
+        if op is ComparisonOp.LE:
+            return left <= right  # type: ignore[operator]
+        if op is ComparisonOp.GT:
+            return left > right  # type: ignore[operator]
+        return left >= right  # type: ignore[operator]
+    if isinstance(predicate, BooleanAnd):
+        return all(_truthy(operand, row) for operand in predicate.operands)
+    if isinstance(predicate, BooleanOr):
+        return any(_truthy(operand, row) for operand in predicate.operands)
+    if isinstance(predicate, BooleanNot):
+        return not _truthy(predicate.operand, row)
+    raise UnsupportedOperationError(
+        f"cannot evaluate {type(predicate).__name__} as a predicate"
+    )
+
+
+def _aggregate(call: AggregateCall, rows: Sequence[Row]) -> object:
+    if call.kind is AggregateKind.COUNT:
+        if call.argument is None:
+            return len(rows)
+        return sum(1 for r in rows if _evaluate(call.argument, r) is not None)
+    values = [_evaluate(call.argument, r) for r in rows]  # type: ignore[arg-type]
+    if not values:
+        return None
+    if call.kind is AggregateKind.SUM:
+        return sum(values)  # type: ignore[arg-type]
+    if call.kind is AggregateKind.AVG:
+        return sum(values) / len(values)  # type: ignore[arg-type]
+    if call.kind is AggregateKind.MIN:
+        return min(values)  # type: ignore[type-var]
+    return max(values)  # type: ignore[type-var]
+
+
+def _project(row: Row, columns: Sequence[str]) -> Row:
+    try:
+        return {name: row[name] for name in columns}
+    except KeyError as exc:
+        raise ConfigurationError(f"projection column missing: {exc}") from exc

@@ -1,0 +1,207 @@
+"""Logical query plan operators.
+
+A plan is a tree of :class:`LogicalPlan` nodes.  Only the operator shapes
+the paper costs are modeled: scan (with pushed-down filter/projection,
+matching QueryGrid's predicate push-down in §2), filter, project, equi-join
+with an optional extra predicate (Fig. 10's ``R.a1 + S.z < threshold``),
+and group-by aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.sql.ast import AggregateCall, Expression
+
+
+class LogicalPlan:
+    """Base class for logical plan nodes."""
+
+    @property
+    def children(self) -> Tuple["LogicalPlan", ...]:
+        raise NotImplementedError
+
+    @property
+    def referenced_tables(self) -> Tuple[str, ...]:
+        """Base tables referenced anywhere under this node, in scan order."""
+        tables: list = []
+        for node in self.walk():
+            if isinstance(node, Scan) and node.table not in tables:
+                tables.append(node.table)
+        return tuple(tables)
+
+    def walk(self) -> Sequence["LogicalPlan"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        nodes = [self]
+        for child in self.children:
+            nodes.extend(child.walk())
+        return nodes
+
+    def describe(self, indent: int = 0) -> str:
+        """Human-readable indented plan text."""
+        line = " " * indent + self._label()
+        parts = [line]
+        for child in self.children:
+            parts.append(child.describe(indent + 2))
+        return "\n".join(parts)
+
+    def _label(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Scan(LogicalPlan):
+    """Read a base table, optionally projecting columns and filtering.
+
+    Attributes:
+        table: Base table name.
+        projection: Columns to keep; empty tuple means all columns.
+        predicate: Pushed-down filter evaluated during the scan, if any.
+    """
+
+    table: str
+    projection: Tuple[str, ...] = ()
+    predicate: Optional[Expression] = None
+
+    def __post_init__(self) -> None:
+        if not self.table:
+            raise ConfigurationError("scan table name must be non-empty")
+
+    @property
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return ()
+
+    def _label(self) -> str:
+        parts = [f"Scan({self.table}"]
+        if self.projection:
+            parts.append(f", cols={list(self.projection)}")
+        if self.predicate is not None:
+            parts.append(f", filter={self.predicate}")
+        return "".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class Filter(LogicalPlan):
+    """Keep rows of the input satisfying a predicate."""
+
+    input: LogicalPlan
+    predicate: Expression
+
+    @property
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.input,)
+
+    def _label(self) -> str:
+        return f"Filter({self.predicate})"
+
+
+@dataclass(frozen=True)
+class Project(LogicalPlan):
+    """Keep only the named columns of the input."""
+
+    input: LogicalPlan
+    columns: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ConfigurationError("projection needs at least one column")
+
+    @property
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.input,)
+
+    def _label(self) -> str:
+        return f"Project({list(self.columns)})"
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """Equi-join condition ``left_table.left_column = right_table.right_column``.
+
+    The table qualifiers are optional provenance (which side each column
+    came from, as written in the query); SQL rendering uses them when
+    present.
+    """
+
+    left_column: str
+    right_column: str
+    left_table: Optional[str] = None
+    right_table: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.left_column or not self.right_column:
+            raise ConfigurationError("join condition columns must be non-empty")
+
+    def __str__(self) -> str:
+        left = (
+            f"{self.left_table}.{self.left_column}"
+            if self.left_table
+            else self.left_column
+        )
+        right = (
+            f"{self.right_table}.{self.right_column}"
+            if self.right_table
+            else self.right_column
+        )
+        return f"{left} = {right}"
+
+
+@dataclass(frozen=True)
+class Join(LogicalPlan):
+    """Inner equi-join of two inputs.
+
+    Attributes:
+        left: Left (conventionally the larger, R) input.
+        right: Right (conventionally the smaller, S) input.
+        condition: The equality join condition.
+        extra_predicate: Additional predicate applied to join results —
+            the paper's selectivity-control term (Fig. 10).
+        projection: Output columns to keep; empty tuple keeps all.
+    """
+
+    left: LogicalPlan
+    right: LogicalPlan
+    condition: JoinCondition
+    extra_predicate: Optional[Expression] = None
+    projection: Tuple[str, ...] = ()
+
+    @property
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    def _label(self) -> str:
+        label = f"Join({self.condition}"
+        if self.extra_predicate is not None:
+            label += f", extra={self.extra_predicate}"
+        if self.projection:
+            label += f", cols={list(self.projection)}"
+        return label + ")"
+
+
+@dataclass(frozen=True)
+class Aggregate(LogicalPlan):
+    """Group-by aggregation.
+
+    Attributes:
+        input: Input plan.
+        group_by: Grouping columns (empty = single-group aggregation).
+        aggregates: The aggregate calls computed per group.
+    """
+
+    input: LogicalPlan
+    group_by: Tuple[str, ...]
+    aggregates: Tuple[AggregateCall, ...]
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise ConfigurationError("aggregation needs at least one aggregate")
+
+    @property
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.input,)
+
+    def _label(self) -> str:
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        return f"Aggregate(by={list(self.group_by)}, [{aggs}])"

@@ -1,0 +1,437 @@
+"""A compact SQL ``SELECT`` parser.
+
+Grammar (case-insensitive keywords)::
+
+    select    := SELECT select_list FROM table_ref [join_clause]
+                 [WHERE predicate] [GROUP BY column_list]
+    select_list := '*' | item (',' item)*
+    item      := aggregate | qualified_column
+    aggregate := (SUM|COUNT|AVG|MIN|MAX) '(' ('*' | expr) ')'
+    join_clause := JOIN table_ref ON predicate
+    predicate := disjunction
+    disjunction := conjunction (OR conjunction)*
+    conjunction := negation (AND negation)*
+    negation  := [NOT] comparison | '(' predicate ')'
+    comparison := expr (= | <> | != | < | <= | > | >=) expr
+    expr      := term (('+'|'-') term)*
+    term      := factor ('*' factor)*
+    factor    := number | string | qualified_column | '(' expr ')'
+
+The parser produces a :class:`~repro.sql.logical.LogicalPlan`.  For joins,
+the first top-level equality between columns of the two tables becomes the
+:class:`~repro.sql.logical.JoinCondition`; the remaining conjuncts become
+the join's ``extra_predicate`` (this is exactly the shape of the paper's
+Fig. 10 join queries).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.exceptions import ParseError
+from repro.sql.ast import (
+    AggregateCall,
+    AggregateKind,
+    BinaryArithmetic,
+    BooleanAnd,
+    BooleanNot,
+    BooleanOr,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expression,
+    Literal,
+    conjunction,
+)
+from repro.sql.logical import Aggregate, Join, JoinCondition, LogicalPlan, Project, Scan
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>\d+\.\d+|\d+)"
+    r"|(?P<string>'[^']*')"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><>|!=|<=|>=|=|<|>|\+|-|\*|/|\(|\)|,|\.)"
+    r")"
+)
+
+_KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "JOIN",
+    "ON",
+    "GROUP",
+    "BY",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+}
+
+_AGGREGATES = {k.value for k in AggregateKind}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "string" | "ident" | "keyword" | "op"
+    text: str
+    position: int
+
+
+def _tokenize(sql: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            if sql[pos:].strip():
+                raise ParseError(f"unexpected character at {pos}: {sql[pos]!r}")
+            break
+        pos = match.end()
+        for kind in ("number", "string", "ident", "op"):
+            text = match.group(kind)
+            if text is not None:
+                if kind == "ident" and text.upper() in _KEYWORDS:
+                    tokens.append(_Token("keyword", text.upper(), match.start()))
+                else:
+                    tokens.append(_Token(kind, text, match.start()))
+                break
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = _tokenize(sql)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in: {self.sql!r}")
+        self.index += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return None
+        if text is not None and token.text != text:
+            return None
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._accept(kind, text)
+        if token is None:
+            found = self._peek()
+            want = text or kind
+            got = found.text if found else "<eof>"
+            raise ParseError(f"expected {want!r}, got {got!r} in: {self.sql!r}")
+        return token
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> LogicalPlan:
+        self._expect("keyword", "SELECT")
+        select_items = self._select_list()
+        self._expect("keyword", "FROM")
+        left_table, left_alias = self._table_ref()
+
+        # Any number of chained JOIN clauses builds a left-deep tree.
+        joins: List[Tuple[str, Optional[str], Expression]] = []
+        while self._accept("keyword", "JOIN"):
+            right_table, right_alias = self._table_ref()
+            self._expect("keyword", "ON")
+            joins.append((right_table, right_alias, self._predicate()))
+
+        where_predicate: Optional[Expression] = None
+        if self._accept("keyword", "WHERE"):
+            where_predicate = self._predicate()
+
+        group_by: Tuple[str, ...] = ()
+        if self._accept("keyword", "GROUP"):
+            self._expect("keyword", "BY")
+            group_by = self._column_list()
+
+        if self._peek() is not None:
+            raise ParseError(f"trailing input after query: {self._peek().text!r}")
+
+        return self._assemble(
+            select_items,
+            left_table,
+            left_alias,
+            joins,
+            where_predicate,
+            group_by,
+        )
+
+    def _select_list(self) -> List[Expression]:
+        if self._accept("op", "*"):
+            return []
+        items: List[Expression] = [self._select_item()]
+        while self._accept("op", ","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> Expression:
+        token = self._peek()
+        if (
+            token is not None
+            and token.kind == "ident"
+            and token.text.upper() in _AGGREGATES
+        ):
+            return self._aggregate_call()
+        return self._expr()
+
+    def _aggregate_call(self) -> AggregateCall:
+        name = self._next().text.upper()
+        kind = AggregateKind(name)
+        self._expect("op", "(")
+        if self._accept("op", "*"):
+            argument: Optional[Expression] = None
+        else:
+            argument = self._expr()
+        self._expect("op", ")")
+        if argument is None and kind is not AggregateKind.COUNT:
+            raise ParseError(f"{name}(*) is not valid; only COUNT(*) may use '*'")
+        return AggregateCall(kind=kind, argument=argument)
+
+    def _table_ref(self) -> Tuple[str, Optional[str]]:
+        table = self._expect("ident").text
+        alias: Optional[str] = None
+        if self._accept("keyword", "AS"):
+            alias = self._expect("ident").text
+        else:
+            token = self._peek()
+            if token is not None and token.kind == "ident":
+                alias = self._next().text
+        return table, alias
+
+    def _column_list(self) -> Tuple[str, ...]:
+        columns = [self._qualified_column().column]
+        while self._accept("op", ","):
+            columns.append(self._qualified_column().column)
+        return tuple(columns)
+
+    def _predicate(self) -> Expression:
+        return self._disjunction()
+
+    def _disjunction(self) -> Expression:
+        operands = [self._conjunction()]
+        while self._accept("keyword", "OR"):
+            operands.append(self._conjunction())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOr(tuple(operands))
+
+    def _conjunction(self) -> Expression:
+        operands = [self._negation()]
+        while self._accept("keyword", "AND"):
+            operands.append(self._negation())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanAnd(tuple(operands))
+
+    def _negation(self) -> Expression:
+        if self._accept("keyword", "NOT"):
+            return BooleanNot(self._negation())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        # A parenthesis may open either a nested predicate or an arithmetic
+        # group; try the predicate first and fall back on arithmetic.
+        if self._peek() is not None and self._peek().text == "(":
+            saved = self.index
+            self._next()
+            try:
+                inner = self._predicate()
+                self._expect("op", ")")
+                return inner
+            except ParseError:
+                self.index = saved
+        left = self._expr()
+        token = self._peek()
+        ops = {"=": "=", "<>": "<>", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+        if token is not None and token.kind == "op" and token.text in ops:
+            self._next()
+            right = self._expr()
+            return Comparison(left, ComparisonOp(ops[token.text]), right)
+        raise ParseError(
+            f"expected comparison operator at {token.text if token else '<eof>'!r}"
+        )
+
+    def _expr(self) -> Expression:
+        left = self._term()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "op" and token.text in ("+", "-"):
+                self._next()
+                left = BinaryArithmetic(left, token.text, self._term())
+            else:
+                return left
+
+    def _term(self) -> Expression:
+        left = self._factor()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "op" and token.text in ("*", "/"):
+                self._next()
+                left = BinaryArithmetic(left, token.text, self._factor())
+            else:
+                return left
+
+    def _factor(self) -> Expression:
+        token = self._next()
+        if token.kind == "number":
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Literal(value)
+        if token.kind == "string":
+            return Literal(token.text.strip("'"))
+        if token.kind == "op" and token.text == "(":
+            inner = self._expr()
+            self._expect("op", ")")
+            return inner
+        if token.kind == "ident":
+            self.index -= 1
+            return self._qualified_column()
+        raise ParseError(f"unexpected token {token.text!r} in expression")
+
+    def _qualified_column(self) -> ColumnRef:
+        first = self._expect("ident").text
+        if self._accept("op", "."):
+            second = self._expect("ident").text
+            return ColumnRef(column=second, table=first)
+        return ColumnRef(column=first)
+
+    # -- plan assembly ---------------------------------------------------
+    def _assemble(
+        self,
+        select_items: List[Expression],
+        left_table: str,
+        left_alias: Optional[str],
+        joins: List[Tuple[str, Optional[str], Expression]],
+        where_predicate: Optional[Expression],
+        group_by: Tuple[str, ...],
+    ) -> LogicalPlan:
+        aggregates = tuple(
+            item for item in select_items if isinstance(item, AggregateCall)
+        )
+        plain_columns = tuple(
+            item.column for item in select_items if isinstance(item, ColumnRef)
+        )
+
+        plan: LogicalPlan
+        if not joins:
+            plan = Scan(
+                table=left_table,
+                projection=() if aggregates else plain_columns,
+                predicate=where_predicate,
+            )
+        else:
+            plan = Scan(table=left_table)
+            # Names visible on the left side grow as joins chain up.
+            left_names = {left_table, left_alias} - {None}
+            for index, (right_table, right_alias, predicate) in enumerate(joins):
+                right_names = {right_table, right_alias} - {None}
+                condition, extra = self._split_join_predicate(
+                    predicate, left_names, right_names
+                )
+                last = index == len(joins) - 1
+                extras = [
+                    e
+                    for e in (extra, where_predicate if last else None)
+                    if e is not None
+                ]
+                plan = Join(
+                    left=plan,
+                    right=Scan(table=right_table),
+                    condition=condition,
+                    extra_predicate=conjunction(*extras) if extras else None,
+                    projection=(
+                        (() if aggregates else plain_columns) if last else ()
+                    ),
+                )
+                left_names |= right_names
+
+        if aggregates:
+            plan = Aggregate(input=plan, group_by=group_by, aggregates=aggregates)
+        elif group_by:
+            raise ParseError("GROUP BY without aggregate functions is not supported")
+        return plan
+
+    def _split_join_predicate(
+        self,
+        predicate: Optional[Expression],
+        left_names: set,
+        right_names: set,
+    ) -> Tuple[JoinCondition, Optional[Expression]]:
+        if predicate is None:
+            raise ParseError("JOIN requires an ON predicate")
+        conjuncts = (
+            list(predicate.operands)
+            if isinstance(predicate, BooleanAnd)
+            else [predicate]
+        )
+        condition: Optional[JoinCondition] = None
+        extras: List[Expression] = []
+        for conjunct in conjuncts:
+            candidate = self._as_join_condition(conjunct, left_names, right_names)
+            if candidate is not None and condition is None:
+                condition = candidate
+            else:
+                extras.append(conjunct)
+        if condition is None:
+            raise ParseError(
+                "ON clause must contain an equality between columns of the "
+                "two joined tables"
+            )
+        extra = conjunction(*extras) if extras else None
+        return condition, extra
+
+    @staticmethod
+    def _as_join_condition(
+        predicate: Expression, left_names: set, right_names: set
+    ) -> Optional[JoinCondition]:
+        if not isinstance(predicate, Comparison):
+            return None
+        if predicate.op is not ComparisonOp.EQ:
+            return None
+        lhs, rhs = predicate.left, predicate.right
+        if not isinstance(lhs, ColumnRef) or not isinstance(rhs, ColumnRef):
+            return None
+        if lhs.table in left_names and rhs.table in right_names:
+            return JoinCondition(
+                left_column=lhs.column,
+                right_column=rhs.column,
+                left_table=lhs.table,
+                right_table=rhs.table,
+            )
+        if lhs.table in right_names and rhs.table in left_names:
+            return JoinCondition(
+                left_column=rhs.column,
+                right_column=lhs.column,
+                left_table=rhs.table,
+                right_table=lhs.table,
+            )
+        return None
+
+
+def parse_select(sql: str) -> LogicalPlan:
+    """Parse a SQL ``SELECT`` statement into a logical plan.
+
+    Raises:
+        ParseError: on any syntax the small grammar does not cover.
+    """
+    if not sql or not sql.strip():
+        raise ParseError("empty SQL text")
+    return _Parser(sql.strip().rstrip(";")).parse()

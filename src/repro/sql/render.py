@@ -1,0 +1,217 @@
+"""Render logical plans back to SQL text.
+
+A remote system only speaks SQL (§2): when the optimizer places an
+operator remotely, the connector must ship it as a SQL statement.  This
+module produces that statement for every plan shape the library builds —
+scans with push-down, left-deep join chains with extra predicates, and
+group-by aggregations — and is the inverse of
+:func:`repro.sql.parser.parse_select` (``parse(render(plan))`` yields an
+equivalent plan; a property test pins this down).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.sql.ast import (
+    AggregateCall,
+    BinaryArithmetic,
+    BooleanAnd,
+    BooleanNot,
+    BooleanOr,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+)
+from repro.sql.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    LogicalPlan,
+    Project,
+    Scan,
+)
+
+
+def render_expression(expr: Expression) -> str:
+    """SQL text of a scalar expression or predicate."""
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, str):
+            escaped = expr.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(expr.value)
+    if isinstance(expr, ColumnRef):
+        return f"{expr.table}.{expr.column}" if expr.table else expr.column
+    if isinstance(expr, BinaryArithmetic):
+        return (
+            f"({render_expression(expr.left)} {expr.op} "
+            f"{render_expression(expr.right)})"
+        )
+    if isinstance(expr, Comparison):
+        return (
+            f"{render_expression(expr.left)} {expr.op.value} "
+            f"{render_expression(expr.right)}"
+        )
+    if isinstance(expr, BooleanAnd):
+        return " AND ".join(
+            f"({render_expression(operand)})" for operand in expr.operands
+        )
+    if isinstance(expr, BooleanOr):
+        return " OR ".join(
+            f"({render_expression(operand)})" for operand in expr.operands
+        )
+    if isinstance(expr, BooleanNot):
+        return f"NOT ({render_expression(expr.operand)})"
+    if isinstance(expr, AggregateCall):
+        argument = (
+            "*" if expr.argument is None else render_expression(expr.argument)
+        )
+        return f"{expr.kind.value}({argument})"
+    raise ConfigurationError(f"cannot render expression {type(expr).__name__}")
+
+
+def render_plan(plan: LogicalPlan) -> str:
+    """SQL SELECT text equivalent to ``plan``.
+
+    Raises:
+        ConfigurationError: for shapes outside the library's SELECT
+            dialect (e.g. a bushy join tree, whose right side is not a
+            base scan).
+    """
+    if isinstance(plan, Aggregate):
+        return _render_aggregate(plan)
+    if isinstance(plan, (Scan, Filter, Project, Join)):
+        return _render_select(plan)
+    raise ConfigurationError(f"cannot render plan {type(plan).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _render_aggregate(plan: Aggregate) -> str:
+    select_list = ", ".join(render_expression(a) for a in plan.aggregates)
+    body = _render_body(plan.input)
+    sql = f"SELECT {select_list} FROM {body.from_clause}"
+    if body.where is not None:
+        sql += f" WHERE {render_expression(body.where)}"
+    if plan.group_by:
+        sql += f" GROUP BY {', '.join(plan.group_by)}"
+    return sql
+
+
+def _render_select(plan: LogicalPlan) -> str:
+    body = _render_body(plan)
+    select_list = ", ".join(body.projection) if body.projection else "*"
+    sql = f"SELECT {select_list} FROM {body.from_clause}"
+    if body.where is not None:
+        sql += f" WHERE {render_expression(body.where)}"
+    return sql
+
+
+class _Body:
+    """FROM/WHERE/projection pieces accumulated while walking a plan."""
+
+    def __init__(self) -> None:
+        self.from_clause = ""
+        self.where: Optional[Expression] = None
+        self.projection: List[str] = []
+
+
+def _render_body(plan: LogicalPlan) -> _Body:
+    body = _Body()
+    _fill_body(plan, body)
+    return body
+
+
+def _fill_body(plan: LogicalPlan, body: _Body) -> None:
+    if isinstance(plan, Scan):
+        body.from_clause = plan.table
+        body.projection = list(plan.projection)
+        _add_where(body, plan.predicate)
+        return
+    if isinstance(plan, Filter):
+        _fill_body(plan.input, body)
+        _add_where(body, plan.predicate)
+        return
+    if isinstance(plan, Project):
+        _fill_body(plan.input, body)
+        body.projection = list(plan.columns)
+        return
+    if isinstance(plan, Join):
+        _fill_join(plan, body)
+        return
+    raise ConfigurationError(
+        f"cannot render plan node {type(plan).__name__} inside a SELECT"
+    )
+
+
+def _fill_join(plan: Join, body: _Body) -> None:
+    if not isinstance(plan.right, Scan) or plan.right.predicate or plan.right.projection:
+        raise ConfigurationError(
+            "only left-deep joins of base tables render to the SELECT dialect"
+        )
+    _fill_body(plan.left, body)
+    # The FROM clause uses base table names (no aliases), so stored
+    # qualifiers only survive when they name an actual table in scope;
+    # alias qualifiers from the original query text are replaced.
+    left_tables = set(plan.left.referenced_tables)
+    left_qualifier = (
+        plan.condition.left_table
+        if plan.condition.left_table in left_tables
+        else _leftmost_table(plan.left)
+    )
+    right_qualifier = plan.right.table
+    on = (
+        f"{left_qualifier}.{plan.condition.left_column} = "
+        f"{right_qualifier}.{plan.condition.right_column}"
+    )
+    if plan.extra_predicate is not None:
+        in_scope = left_tables | {plan.right.table}
+        extra = _requalify(plan.extra_predicate, in_scope)
+        on += f" AND {render_expression(extra)}"
+    body.from_clause += f" JOIN {plan.right.table} ON {on}"
+    body.projection = list(plan.projection)
+
+
+def _add_where(body: _Body, predicate: Optional[Expression]) -> None:
+    if predicate is None:
+        return
+    if body.where is None:
+        body.where = predicate
+    else:
+        body.where = BooleanAnd((body.where, predicate))
+
+
+def _requalify(expr: Expression, in_scope: set) -> Expression:
+    """Drop column qualifiers that do not name a table in scope (they
+    were aliases in the original query text; columns resolve by name)."""
+    if isinstance(expr, ColumnRef):
+        if expr.table is not None and expr.table not in in_scope:
+            return ColumnRef(column=expr.column)
+        return expr
+    if isinstance(expr, BinaryArithmetic):
+        return BinaryArithmetic(
+            _requalify(expr.left, in_scope), expr.op, _requalify(expr.right, in_scope)
+        )
+    if isinstance(expr, Comparison):
+        return Comparison(
+            _requalify(expr.left, in_scope), expr.op, _requalify(expr.right, in_scope)
+        )
+    if isinstance(expr, BooleanAnd):
+        return BooleanAnd(tuple(_requalify(o, in_scope) for o in expr.operands))
+    if isinstance(expr, BooleanOr):
+        return BooleanOr(tuple(_requalify(o, in_scope) for o in expr.operands))
+    if isinstance(expr, BooleanNot):
+        return BooleanNot(_requalify(expr.operand, in_scope))
+    return expr
+
+
+def _leftmost_table(plan: LogicalPlan) -> str:
+    node = plan
+    while not isinstance(node, Scan):
+        if not node.children:
+            raise ConfigurationError("join left side has no base table")
+        node = node.children[0]
+    return node.table

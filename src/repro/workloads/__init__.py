@@ -1,0 +1,27 @@
+"""Training and evaluation workload generators (§7, Fig. 10).
+
+* :mod:`repro.workloads.aggregation` — the ~3,700-query aggregation grid
+  (vary target table, shrink factor via the ``a_i`` columns, and the
+  number of SUM aggregates);
+* :mod:`repro.workloads.join` — the ~4,000-query join grid (vary both
+  tables, record sizes, and output selectivity through the
+  ``R.a1 + S.z < threshold`` control predicate);
+* :mod:`repro.workloads.subop_queries` — budget-sized primitive
+  measurement workloads for sub-op training (Fig. 13(a));
+* :mod:`repro.workloads.out_of_range` — the 45 out-of-range join queries
+  of Fig. 14 / Table 1.
+"""
+
+from repro.workloads.aggregation import AggregationWorkload
+from repro.workloads.join import JoinWorkload
+from repro.workloads.scan import ScanWorkload
+from repro.workloads.subop_queries import trainer_for_budget
+from repro.workloads.out_of_range import OutOfRangeWorkload
+
+__all__ = [
+    "AggregationWorkload",
+    "JoinWorkload",
+    "ScanWorkload",
+    "trainer_for_budget",
+    "OutOfRangeWorkload",
+]

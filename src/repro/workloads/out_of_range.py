@@ -1,0 +1,99 @@
+"""The 45 out-of-range join queries of Fig. 14 and Table 1.
+
+Both costing approaches are trained on tables of up to 8 × 10⁶ records;
+the evaluation queries then join tables of 20 × 10⁶ records (record
+sizes stay within the trained range).  Some configurations put only one
+join side out of range, others both — matching the paper's setup.  The
+workload also supports splitting into batches (Table 1 uses five batches
+of nine queries to drive the α-recalibration loop).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.costing import TrainingQuery, derive_join_stats
+from repro.data.catalog import Catalog
+from repro.data.generator import SyntheticCorpus
+from repro.exceptions import ConfigurationError
+from repro.sql.logical import Join, LogicalPlan
+from repro.workloads.join import JoinConfig, JoinWorkload
+
+#: The out-of-range cardinality of Fig. 14 (20 million records).
+OUT_OF_RANGE_ROWS = 20_000_000
+
+#: In-range cardinalities paired against the out-of-range side; the last
+#: entry makes *both* sides out of range.
+DEFAULT_SMALL_ROWS: Tuple[int, ...] = (1_000_000, 8_000_000, 20_000_000)
+
+DEFAULT_SIZES: Tuple[int, ...] = (70, 100, 250, 500, 1000)
+
+DEFAULT_SELECTIVITIES: Tuple[float, ...] = (1.0, 0.5, 0.25)
+
+
+class OutOfRangeWorkload:
+    """Generator of the 45-query out-of-range evaluation set."""
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        big_rows: int = OUT_OF_RANGE_ROWS,
+        small_rows: Sequence[int] = DEFAULT_SMALL_ROWS,
+        row_sizes: Sequence[int] = DEFAULT_SIZES,
+        selectivities: Sequence[float] = DEFAULT_SELECTIVITIES,
+    ) -> None:
+        self.corpus = corpus
+        self.big_rows = big_rows
+        self.small_rows = tuple(small_rows)
+        self.row_sizes = tuple(row_sizes)
+        self.selectivities = tuple(selectivities)
+
+    def configs(self) -> List[JoinConfig]:
+        """All out-of-range configurations (default: 5 x 3 x 3 = 45)."""
+        grid: List[JoinConfig] = []
+        for row_size in self.row_sizes:
+            for s_rows in self.small_rows:
+                for selectivity in self.selectivities:
+                    grid.append(
+                        JoinConfig(
+                            r_rows=max(self.big_rows, s_rows),
+                            s_rows=min(self.big_rows, s_rows),
+                            row_size=row_size,
+                            selectivity=selectivity,
+                            projection=(),
+                        )
+                    )
+        return grid
+
+    def plans(self) -> List[LogicalPlan]:
+        return [JoinWorkload.build_plan(config) for config in self.configs()]
+
+    def training_queries(self, catalog: Catalog) -> List[TrainingQuery]:
+        """Plans paired with their seven-dimension feature vectors."""
+        queries = []
+        for plan in self.plans():
+            assert isinstance(plan, Join)
+            stats = derive_join_stats(plan, catalog)
+            queries.append(TrainingQuery(plan=plan, features=stats.features()))
+        return queries
+
+    def __len__(self) -> int:
+        return len(self.row_sizes) * len(self.small_rows) * len(self.selectivities)
+
+    @staticmethod
+    def split_batches(
+        queries: Sequence[TrainingQuery],
+        num_batches: int = 5,
+        seed: int = 0,
+    ) -> List[List[TrainingQuery]]:
+        """Randomly split queries into batches (Table 1: 5 batches of 9)."""
+        if num_batches < 1:
+            raise ConfigurationError("num_batches must be >= 1")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(queries))
+        batches: List[List[TrainingQuery]] = [[] for _ in range(num_batches)]
+        for position, index in enumerate(order):
+            batches[position % num_batches].append(queries[index])
+        return batches

@@ -1,0 +1,77 @@
+"""Budget-sized sub-op measurement workloads (Fig. 13(a)).
+
+The sub-op training cost experiment varies the number of primitive
+queries from 6 to 32; :func:`trainer_for_budget` builds a
+:class:`~repro.core.subop_model.SubOpTrainer` whose ReadDFS base grid
+(sizes × counts) matches a requested budget as closely as possible while
+keeping at least two cardinalities per size (needed to separate the job
+overhead from per-record costs).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.subop_model import (
+    DEFAULT_RECORD_COUNTS,
+    DEFAULT_RECORD_SIZES,
+    SubOpTrainer,
+)
+from repro.engines.subops import SubOp
+from repro.exceptions import ConfigurationError
+
+
+def grid_for_budget(
+    budget: int,
+    sizes: Sequence[int] = DEFAULT_RECORD_SIZES,
+    counts: Sequence[int] = DEFAULT_RECORD_COUNTS,
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Pick (record_sizes, record_counts) with |sizes|·|counts| ≈ budget.
+
+    Counts shrink first (per-record costs are flat across counts —
+    Fig. 7(a)), then sizes; at least two sizes and two counts remain.
+    """
+    if budget < 4:
+        raise ConfigurationError("budget must be >= 4 (2 sizes x 2 counts)")
+    sizes = tuple(sorted(sizes))
+    counts = tuple(sorted(counts))
+    best: Tuple[Tuple[int, ...], Tuple[int, ...]] = (sizes[:2], counts[:2])
+    best_gap = abs(budget - 4)
+    for n_counts in range(2, len(counts) + 1):
+        for n_sizes in range(2, len(sizes) + 1):
+            total = n_counts * n_sizes
+            if total > budget:
+                continue
+            gap = budget - total
+            # Prefer more sizes over more counts at equal coverage.
+            if gap < best_gap or (
+                gap == best_gap and n_sizes > len(best[0])
+            ):
+                chosen_sizes = _spread(sizes, n_sizes)
+                chosen_counts = _spread(counts, n_counts)
+                best = (chosen_sizes, chosen_counts)
+                best_gap = gap
+    return best
+
+
+def trainer_for_budget(
+    budget: int,
+    ops: Sequence[SubOp] = (SubOp.WRITE_DFS,),
+) -> SubOpTrainer:
+    """A trainer whose ReadDFS base grid has about ``budget`` queries.
+
+    Args:
+        budget: Target number of ReadDFS measurements.
+        ops: Additional sub-ops to train beyond ReadDFS (each adds one
+            measurement per grid cell).
+    """
+    sizes, counts = grid_for_budget(budget)
+    return SubOpTrainer(record_sizes=sizes, record_counts=counts, ops=ops)
+
+
+def _spread(values: Tuple[int, ...], n: int) -> Tuple[int, ...]:
+    """Pick ``n`` values evenly spread over the sorted input."""
+    if n >= len(values):
+        return values
+    indices = [round(i * (len(values) - 1) / (n - 1)) for i in range(n)]
+    return tuple(values[i] for i in sorted(set(indices)))

@@ -1,0 +1,79 @@
+"""Architectural tests: the costing module must not peek at engine truth.
+
+The paper's premise is that remote systems are learned through their
+observable surface (executed queries and, for openbox systems, primitive
+measurement queries plus profile facts).  These tests enforce that the
+:mod:`repro.core` source never references the hidden kernel constructors
+or engine tuning internals.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import repro.core
+
+CORE_DIR = pathlib.Path(repro.core.__file__).parent
+
+#: Engine internals the costing code must never touch.
+FORBIDDEN_PATTERNS = (
+    r"hive_kernels",
+    r"spark_kernels",
+    r"KernelSet",
+    r"TwoRegimeKernel",
+    r"EngineTuning",
+    r"ExecutionEnv",  # DfsEngine's truth-side task math
+    r"overlap_factor",
+    r"job_startup",
+    r"wave_startup",
+)
+
+#: The only engine symbols the core may import: the observable surface.
+ALLOWED_ENGINE_IMPORTS = {
+    "PrimitiveKind",
+    "PrimitiveQuery",
+    "RemoteSystem",
+    "SubOp",
+}
+
+
+def core_sources():
+    for path in sorted(CORE_DIR.glob("*.py")):
+        yield path, path.read_text()
+
+
+class TestBlackboxDiscipline:
+    def test_no_forbidden_engine_internals(self):
+        for path, source in core_sources():
+            for pattern in FORBIDDEN_PATTERNS:
+                assert not re.search(pattern, source), (
+                    f"{path.name} references engine internal {pattern!r}: "
+                    "the costing module must learn from observations only"
+                )
+
+    def test_engine_imports_limited_to_observable_surface(self):
+        import_re = re.compile(
+            r"from repro\.engines[.\w]* import (?:\(([^)]*)\)|([^\n]*))",
+            re.DOTALL,
+        )
+        for path, source in core_sources():
+            for match in import_re.finditer(source):
+                body = match.group(1) or match.group(2) or ""
+                names = {
+                    n.strip()
+                    for n in body.replace("\n", ",").split(",")
+                    if n.strip()
+                }
+                unexpected = names - ALLOWED_ENGINE_IMPORTS
+                assert not unexpected, (
+                    f"{path.name} imports engine internals {unexpected}; "
+                    f"allowed surface is {ALLOWED_ENGINE_IMPORTS}"
+                )
+
+    def test_result_breakdown_not_consumed(self):
+        """QueryResult.breakdown/algorithm are diagnostics; estimation code
+        must not read them."""
+        for path, source in core_sources():
+            assert ".breakdown" not in source, path.name
+            assert "result.algorithm" not in source, path.name

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, build_sandbox, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_explain_requires_query(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain"])
+
+
+class TestCommands:
+    def test_corpus(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "120 tables" in out
+        assert "t1000000_250" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "bench_fig14_out_of_range.py" in out
+        assert "Table 1" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "estimate" in out and "actual" in out
+        assert out.count("s ") >= 3
+
+    def test_explain(self, capsys):
+        code = main(
+            [
+                "explain",
+                "SELECT r.a1 FROM t8000000_100 r JOIN t100000_100 s "
+                "ON r.a1 = s.a1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "placement plan" in out
+        assert "alternatives:" in out
+
+    def test_run(self, capsys):
+        code = main(["run", "SELECT SUM(a1) FROM t1000000_100 GROUP BY a20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total: estimated" in out
+
+    def test_unknown_table_reports_error(self, capsys):
+        code = main(["explain", "SELECT * FROM mystery_table WHERE a1 < 5"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSandbox:
+    def test_sandbox_with_spark(self):
+        sphere = build_sandbox(with_spark=True)
+        assert set(sphere.remote_system_names) == {"hive", "spark"}

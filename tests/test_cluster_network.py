@@ -1,0 +1,60 @@
+"""Tests for the network fabric model."""
+
+import pytest
+
+from repro.cluster import NetworkFabric
+from repro.exceptions import ConfigurationError
+
+MIB = 1024**2
+
+
+class TestTransfer:
+    def test_zero_bytes_is_free(self):
+        fabric = NetworkFabric()
+        assert fabric.transfer_seconds(0) == 0.0
+
+    def test_transfer_scales_with_payload(self):
+        fabric = NetworkFabric(bandwidth=100 * MIB, latency=0.0)
+        assert fabric.transfer_seconds(100 * MIB) == pytest.approx(1.0)
+        assert fabric.transfer_seconds(200 * MIB) == pytest.approx(2.0)
+
+    def test_latency_added_once(self):
+        fabric = NetworkFabric(bandwidth=100 * MIB, latency=0.5)
+        assert fabric.transfer_seconds(100 * MIB) == pytest.approx(1.5)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ConfigurationError):
+            NetworkFabric().transfer_seconds(-1)
+
+
+class TestCollectives:
+    def test_shuffle_benefits_from_parallelism(self):
+        fabric = NetworkFabric(latency=0.0)
+        one = fabric.shuffle_seconds(300 * MIB, num_nodes=1)
+        three = fabric.shuffle_seconds(300 * MIB, num_nodes=3)
+        assert three == pytest.approx(one / 3)
+
+    def test_shuffle_contention_derating(self):
+        full = NetworkFabric(latency=0.0, bisection_factor=1.0)
+        derated = NetworkFabric(latency=0.0, bisection_factor=0.5)
+        payload = 100 * MIB
+        assert derated.shuffle_seconds(payload, 2) == pytest.approx(
+            2 * full.shuffle_seconds(payload, 2)
+        )
+
+    def test_broadcast_grows_sublinearly_in_nodes(self):
+        fabric = NetworkFabric(latency=0.0)
+        two = fabric.broadcast_seconds(100 * MIB, 2)
+        eight = fabric.broadcast_seconds(100 * MIB, 8)
+        assert eight < 4 * two  # log-depth, not linear
+
+    def test_collectives_reject_zero_nodes(self):
+        fabric = NetworkFabric()
+        with pytest.raises(ConfigurationError):
+            fabric.shuffle_seconds(10, 0)
+        with pytest.raises(ConfigurationError):
+            fabric.broadcast_seconds(10, 0)
+
+    def test_invalid_bisection_factor(self):
+        with pytest.raises(ConfigurationError):
+            NetworkFabric(bisection_factor=0.0)

@@ -1,0 +1,222 @@
+"""Tests for the top-level CostEstimationModule and stats derivation."""
+
+import pytest
+
+from repro.core import (
+    AggregateOperatorStats,
+    ClusterInfo,
+    CostEstimationModule,
+    CostingApproach,
+    JoinOperatorStats,
+    LogicalOpModel,
+    OperatorKind,
+    RemoteSystemProfile,
+    ScanOperatorStats,
+    SubOpTrainer,
+)
+from repro.core.costing import derive_join_stats, derive_operator_stats
+from repro.data import TableSpec, build_paper_corpus
+from repro.engines import HiveEngine
+from repro.exceptions import CatalogError, ConfigurationError
+from repro.sql.parser import parse_select
+from repro.workloads import AggregationWorkload
+
+
+@pytest.fixture()
+def module(small_corpus, cluster_info):
+    engine = HiveEngine(seed=0, noise_sigma=0.0)
+    for spec in small_corpus:
+        engine.load_table(spec)
+    module = CostEstimationModule()
+    module.register_system(
+        engine, RemoteSystemProfile(name="hive", cluster=cluster_info)
+    )
+    return module
+
+
+class TestRegistration:
+    def test_name_mismatch_rejected(self, cluster_info):
+        module = CostEstimationModule()
+        engine = HiveEngine(name="a")
+        with pytest.raises(ConfigurationError):
+            module.register_system(
+                engine, RemoteSystemProfile(name="b", cluster=cluster_info)
+            )
+
+    def test_duplicate_rejected(self, module, cluster_info):
+        with pytest.raises(ConfigurationError):
+            module.register_system(
+                HiveEngine(name="hive"),
+                RemoteSystemProfile(name="hive", cluster=cluster_info),
+            )
+
+    def test_unknown_system_raises(self, module):
+        with pytest.raises(CatalogError):
+            module.system("nope")
+
+
+class TestSubOpTrainingPath:
+    def test_train_and_estimate(self, module, small_catalog):
+        result = module.train_sub_op(
+            "hive",
+            SubOpTrainer(record_counts=(1_000_000, 2_000_000)),
+        )
+        assert result.num_queries > 0
+        plan = parse_select(
+            "SELECT * FROM t1000000_100 r JOIN t10000_100 s ON r.a1 = s.a1"
+        )
+        estimate = module.estimate_plan("hive", plan, small_catalog)
+        assert estimate.approach is CostingApproach.SUB_OP
+        actual = module.system("hive").execute(plan).elapsed_seconds
+        assert estimate.seconds == pytest.approx(actual, rel=0.35)
+
+    def test_blackbox_subop_training_rejected(self, cluster_info):
+        module = CostEstimationModule()
+        engine = HiveEngine(name="bb")
+        module.register_system(
+            engine,
+            RemoteSystemProfile(
+                name="bb", openbox=False, approach=CostingApproach.LOGICAL_OP
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            module.train_sub_op("bb")
+
+
+class TestLogicalOpTrainingPath:
+    def test_train_via_workload(self, module, small_corpus, small_catalog):
+        workload = AggregationWorkload(small_corpus, max_queries=60)
+        report = module.train_logical_op(
+            "hive",
+            OperatorKind.AGGREGATE,
+            workload.training_queries(small_catalog),
+            model=LogicalOpModel(
+                OperatorKind.AGGREGATE,
+                search_topology=False,
+                nn_iterations=1500,
+                seed=0,
+            ),
+        )
+        assert report.num_queries == 60
+        assert report.remote_training_seconds > 0
+
+        module.profile("hive").approach = CostingApproach.LOGICAL_OP
+        plan = parse_select("SELECT SUM(a1) FROM t1000000_100 GROUP BY a5")
+        estimate = module.estimate_plan("hive", plan, small_catalog)
+        assert estimate.approach is CostingApproach.LOGICAL_OP
+        actual = module.system("hive").execute(plan).elapsed_seconds
+        assert estimate.seconds == pytest.approx(actual, rel=0.6)
+
+    def test_feedback_and_tuning_cycle(self, module, small_corpus, small_catalog):
+        workload = AggregationWorkload(small_corpus, max_queries=40)
+        module.train_logical_op(
+            "hive",
+            OperatorKind.AGGREGATE,
+            workload.training_queries(small_catalog),
+            model=LogicalOpModel(
+                OperatorKind.AGGREGATE,
+                search_topology=False,
+                nn_iterations=500,
+                seed=0,
+            ),
+        )
+        module.profile("hive").approach = CostingApproach.LOGICAL_OP
+        plan = parse_select("SELECT SUM(a1) FROM t8000000_1000 GROUP BY a5")
+        estimate = module.estimate_plan("hive", plan, small_catalog)
+        actual = module.system("hive").execute(plan).elapsed_seconds
+        module.record_actual("hive", estimate, actual)
+        applied = module.run_offline_tuning("hive", OperatorKind.AGGREGATE)
+        assert applied == 1
+        alpha = module.recalibrate_alpha("hive", OperatorKind.AGGREGATE)
+        assert 0 < alpha < 1
+
+
+class TestStatsDerivation:
+    def test_join_stats(self, small_catalog):
+        plan = parse_select(
+            "SELECT * FROM t1000000_100 r JOIN t10000_100 s "
+            "ON r.a1 = s.a1 AND r.a1 + s.z < 5000"
+        )
+        stats = derive_join_stats(plan, small_catalog)
+        assert isinstance(stats, JoinOperatorStats)
+        assert stats.num_rows_r == 1_000_000
+        assert stats.num_rows_s == 10_000
+        assert stats.num_output_rows == pytest.approx(5000, rel=0.02)
+        assert stats.projected_size_r == 100  # no projection -> full rows
+
+    def test_join_projection_split(self, small_catalog):
+        from repro.sql.builder import scan
+
+        plan = (
+            scan("t1000000_100")
+            .join("t10000_100", on=("a1", "a1"), project=("a1", "a2"))
+            .plan()
+        )
+        stats = derive_join_stats(plan, small_catalog)
+        assert stats.projected_size_r == 8
+        assert stats.projected_size_s == 1  # clamped: all columns on left
+
+    def test_partitioned_layout_flags(self, small_catalog, small_corpus):
+        from repro.data.schema import paper_schema
+
+        spec = TableSpec(
+            name="bucketed",
+            schema=paper_schema(100),
+            num_rows=10_000,
+            location="hive",
+            partitioned_by="a1",
+            sorted_by="a1",
+        )
+        small_catalog.register(spec)
+        plan = parse_select(
+            "SELECT * FROM bucketed r JOIN t10000_100 s ON r.a1 = s.a1"
+        )
+        stats = derive_join_stats(plan, small_catalog)
+        assert stats.r_partitioned_on_key
+        assert stats.r_sorted_on_key
+        assert not stats.s_partitioned_on_key
+
+    def test_aggregate_stats(self, small_catalog):
+        plan = parse_select("SELECT SUM(a1) FROM t1000000_100 GROUP BY a5")
+        stats = derive_operator_stats(plan, small_catalog)
+        assert isinstance(stats, AggregateOperatorStats)
+        assert stats.num_input_rows == 1_000_000
+        assert stats.num_output_rows == 200_000
+
+    def test_scan_stats(self, small_catalog):
+        plan = parse_select("SELECT a1 FROM t1000000_100 WHERE a1 < 1000")
+        stats = derive_operator_stats(plan, small_catalog)
+        assert isinstance(stats, ScanOperatorStats)
+        assert stats.num_input_rows == 1_000_000
+        assert stats.num_output_rows == pytest.approx(1000, rel=0.05)
+        assert stats.output_row_size == 4
+
+
+class TestFullPlanEstimation:
+    def test_agg_over_join_composes(self, module, small_catalog):
+        module.train_sub_op("hive")
+        plan = parse_select(
+            "SELECT SUM(a1) FROM t1000000_100 r JOIN t100000_100 s "
+            "ON r.a1 = s.a1 GROUP BY a5"
+        )
+        total, estimates = module.estimate_full_plan("hive", plan, small_catalog)
+        assert len(estimates) == 2  # join + aggregate
+        assert total == pytest.approx(sum(e.seconds for e in estimates))
+        actual = module.system("hive").execute(plan).elapsed_seconds
+        assert total == pytest.approx(actual, rel=0.35)
+
+    def test_single_operator_matches_estimate_plan(self, module, small_catalog):
+        module.train_sub_op("hive")
+        plan = parse_select(
+            "SELECT * FROM t1000000_100 r JOIN t100000_100 s ON r.a1 = s.a1"
+        )
+        total, estimates = module.estimate_full_plan("hive", plan, small_catalog)
+        single = module.estimate_plan("hive", plan, small_catalog)
+        assert len(estimates) == 1
+        assert total == pytest.approx(single.seconds)
+
+    def test_bare_scan_children_are_free(self, module, small_catalog):
+        module.train_sub_op("hive")
+        plan = parse_select("SELECT SUM(a1) FROM t1000000_100 GROUP BY a5")
+        total, estimates = module.estimate_full_plan("hive", plan, small_catalog)
+        assert len(estimates) == 1  # the aggregate only

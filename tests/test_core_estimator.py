@@ -1,0 +1,255 @@
+"""Tests for the three estimators and hybrid routing (§5)."""
+
+import pytest
+
+from repro.core.estimator import (
+    CostingApproach,
+    HybridEstimator,
+    LogicalOpEstimator,
+    SubOpEstimator,
+    normalize_join_stats,
+)
+from repro.core.logical_op import LogicalOpModel
+from repro.core.operators import (
+    AggregateOperatorStats,
+    JoinOperatorStats,
+    OperatorKind,
+    ScanOperatorStats,
+)
+from repro.core.rules import JoinAlgorithmSelector, hive_join_algorithms
+from repro.core.subop_model import ClusterInfo, SubOpTrainer
+from repro.core.training import TrainingSet
+from repro.data import build_paper_corpus
+from repro.engines import HiveEngine
+from repro.exceptions import ConfigurationError, ModelNotTrainedError
+
+
+@pytest.fixture(scope="module")
+def subop_estimator():
+    engine = HiveEngine(seed=0, noise_sigma=0.0)
+    for spec in build_paper_corpus(row_counts=(10_000,), row_sizes=(40,)):
+        engine.load_table(spec)
+    cluster = ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+    model_set = SubOpTrainer().train(engine, cluster).model_set
+    return SubOpEstimator(
+        subops=model_set,
+        cluster=cluster,
+        join_selector=JoinAlgorithmSelector(hive_join_algorithms()),
+    )
+
+
+@pytest.fixture(scope="module")
+def logical_estimator():
+    model = LogicalOpModel(
+        OperatorKind.AGGREGATE, search_topology=False, nn_iterations=1500, seed=0
+    )
+    ts = TrainingSet(model.dimension_names)
+    for rows in (1e5, 1e6, 4e6, 8e6):
+        for size in (40, 100, 1000):
+            for groups in (rows, rows / 10, rows / 100):
+                ts.add((rows, size, groups, 12), 1 + rows * 2e-6 * (size / 100))
+    model.train(ts)
+    estimator = LogicalOpEstimator()
+    estimator.add_model(model)
+    return estimator
+
+
+def join_stats(**kw):
+    defaults = dict(
+        row_size_r=100,
+        num_rows_r=1_000_000,
+        row_size_s=100,
+        num_rows_s=10_000,
+        projected_size_r=100,
+        projected_size_s=100,
+        num_output_rows=10_000,
+    )
+    defaults.update(kw)
+    return JoinOperatorStats(**defaults)
+
+
+def agg_stats():
+    return AggregateOperatorStats(
+        num_input_rows=1_000_000,
+        input_row_size=100,
+        num_output_rows=10_000,
+        output_row_size=12,
+    )
+
+
+class TestNormalization:
+    def test_already_normalized_passthrough(self):
+        stats = join_stats()
+        assert normalize_join_stats(stats) is stats
+
+    def test_swaps_when_s_is_bigger(self):
+        inverted = join_stats(num_rows_r=10_000, num_rows_s=1_000_000)
+        fixed = normalize_join_stats(inverted)
+        assert fixed.num_rows_r == 1_000_000
+        assert fixed.num_rows_s == 10_000
+
+    def test_swap_preserves_layout_flags(self):
+        inverted = join_stats(
+            num_rows_r=10_000,
+            num_rows_s=1_000_000,
+            r_partitioned_on_key=True,
+        )
+        fixed = normalize_join_stats(inverted)
+        assert fixed.s_partitioned_on_key
+        assert not fixed.r_partitioned_on_key
+
+
+class TestSubOpEstimator:
+    def test_join_estimate(self, subop_estimator):
+        estimate = subop_estimator.estimate_join(join_stats())
+        assert estimate.approach is CostingApproach.SUB_OP
+        assert estimate.operator is OperatorKind.JOIN
+        assert estimate.seconds > 0
+        assert estimate.detail.predicted_algorithm == "broadcast_join"
+
+    def test_denormalized_input_handled(self, subop_estimator):
+        straight = subop_estimator.estimate_join(join_stats()).seconds
+        inverted = subop_estimator.estimate_join(
+            join_stats(num_rows_r=10_000, num_rows_s=1_000_000)
+        ).seconds
+        assert straight == pytest.approx(inverted)
+
+    def test_aggregate_estimate(self, subop_estimator):
+        estimate = subop_estimator.estimate_aggregate(agg_stats())
+        assert estimate.seconds > 0
+        assert estimate.detail.predicted_algorithm == "hash_aggregate"
+
+    def test_scan_estimate(self, subop_estimator):
+        stats = ScanOperatorStats(
+            num_input_rows=1_000_000,
+            input_row_size=100,
+            num_output_rows=1000,
+            output_row_size=8,
+        )
+        estimate = subop_estimator.estimate_scan(stats)
+        assert estimate.seconds > 0
+        assert estimate.detail.predicted_algorithm == "scan"
+
+    def test_memory_threshold_learned_from_hash_build(self, subop_estimator):
+        assert (
+            subop_estimator.context.memory_threshold_bytes
+            == subop_estimator.subops.hash_build.workspace_threshold
+        )
+
+
+class TestLogicalOpEstimator:
+    def test_aggregate_estimate(self, logical_estimator):
+        estimate = logical_estimator.estimate_aggregate(agg_stats())
+        assert estimate.approach is CostingApproach.LOGICAL_OP
+        assert estimate.seconds > 0
+
+    def test_missing_model_raises(self, logical_estimator):
+        with pytest.raises(ModelNotTrainedError):
+            logical_estimator.estimate_join(join_stats())
+
+    def test_has_model(self, logical_estimator):
+        assert logical_estimator.has_model(OperatorKind.AGGREGATE)
+        assert not logical_estimator.has_model(OperatorKind.JOIN)
+
+
+class TestHybridEstimator:
+    def test_requires_at_least_one(self):
+        with pytest.raises(ConfigurationError):
+            HybridEstimator()
+
+    def test_default_routing(self, subop_estimator, logical_estimator):
+        hybrid = HybridEstimator(
+            sub_op=subop_estimator, logical_op=logical_estimator
+        )
+        estimate = hybrid.estimate_aggregate(agg_stats())
+        assert estimate.approach is CostingApproach.SUB_OP
+
+    def test_switch_to_logical(self, subop_estimator, logical_estimator):
+        """The §5 'system C' switchover scenario."""
+        hybrid = HybridEstimator(
+            sub_op=subop_estimator, logical_op=logical_estimator
+        )
+        hybrid.switch_to(CostingApproach.LOGICAL_OP)
+        estimate = hybrid.estimate_aggregate(agg_stats())
+        assert estimate.approach is CostingApproach.LOGICAL_OP
+
+    def test_per_operator_routing(self, subop_estimator, logical_estimator):
+        """§5: different operators may use different approaches."""
+        hybrid = HybridEstimator(
+            sub_op=subop_estimator, logical_op=logical_estimator
+        )
+        hybrid.route(OperatorKind.AGGREGATE, CostingApproach.LOGICAL_OP)
+        agg = hybrid.estimate_aggregate(agg_stats())
+        join = hybrid.estimate_join(join_stats())
+        assert agg.approach is CostingApproach.LOGICAL_OP
+        assert join.approach is CostingApproach.SUB_OP
+
+    def test_falls_back_when_logical_model_missing(
+        self, subop_estimator, logical_estimator
+    ):
+        hybrid = HybridEstimator(
+            sub_op=subop_estimator, logical_op=logical_estimator
+        )
+        hybrid.switch_to(CostingApproach.LOGICAL_OP)
+        # No join model is trained -> falls back to sub-op.
+        estimate = hybrid.estimate_join(join_stats())
+        assert estimate.approach is CostingApproach.SUB_OP
+
+    def test_route_to_absent_estimator_rejected(self, logical_estimator):
+        hybrid = HybridEstimator(logical_op=logical_estimator)
+        with pytest.raises(ConfigurationError):
+            hybrid.route(OperatorKind.JOIN, CostingApproach.SUB_OP)
+
+
+class TestScanRouting:
+    def test_logical_scan_estimation(self):
+        """A trained SCAN logical model serves scan estimates."""
+        model = LogicalOpModel(
+            OperatorKind.SCAN, search_topology=False, nn_iterations=400, seed=0
+        )
+        ts = TrainingSet(model.dimension_names)
+        for rows in (1e5, 1e6, 8e6):
+            for size in (40, 100, 1000):
+                for sel in (1.0, 0.1):
+                    ts.add(
+                        (rows, size, rows * sel, size),
+                        0.5 + rows * size * 1e-9,
+                    )
+        model.train(ts)
+        estimator = LogicalOpEstimator({OperatorKind.SCAN: model})
+        stats = ScanOperatorStats(
+            num_input_rows=1_000_000,
+            input_row_size=100,
+            num_output_rows=100_000,
+            output_row_size=100,
+        )
+        estimate = estimator.estimate_scan(stats)
+        assert estimate.approach is CostingApproach.LOGICAL_OP
+        assert estimate.operator is OperatorKind.SCAN
+        assert estimate.seconds > 0
+
+    def test_hybrid_scan_routing(self, subop_estimator):
+        """Scans route like the other operators in the hybrid."""
+        model = LogicalOpModel(
+            OperatorKind.SCAN, search_topology=False, nn_iterations=200, seed=0
+        )
+        ts = TrainingSet(model.dimension_names)
+        for rows in (1e5, 2e5, 4e5, 8e5, 1e6):
+            for size in (40, 100, 1000):
+                ts.add((rows, size, rows, size), 0.5 + rows * 1e-6)
+        model.train(ts)
+        logical = LogicalOpEstimator({OperatorKind.SCAN: model})
+        hybrid = HybridEstimator(sub_op=subop_estimator, logical_op=logical)
+        stats = ScanOperatorStats(
+            num_input_rows=1_000_000,
+            input_row_size=100,
+            num_output_rows=1_000,
+            output_row_size=8,
+        )
+        assert hybrid.estimate_scan(stats).approach is CostingApproach.SUB_OP
+        hybrid.route(OperatorKind.SCAN, CostingApproach.LOGICAL_OP)
+        assert (
+            hybrid.estimate_scan(stats).approach is CostingApproach.LOGICAL_OP
+        )

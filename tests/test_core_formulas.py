@@ -1,0 +1,187 @@
+"""Tests for the analytic cost formulas (§4, Fig. 6)."""
+
+import pytest
+
+from repro.core.formulas import (
+    AGGREGATE_FORMULAS,
+    BroadcastJoinFormula,
+    BucketMapJoinFormula,
+    CartesianProductJoinFormula,
+    HashAggregateFormula,
+    HIVE_JOIN_FORMULAS,
+    ScanCostFormula,
+    ShuffleJoinFormula,
+    SkewJoinFormula,
+    SortAggregateFormula,
+    SPARK_JOIN_FORMULAS,
+)
+from repro.core.operators import (
+    AggregateOperatorStats,
+    JoinOperatorStats,
+    ScanOperatorStats,
+)
+from repro.core.subop_model import ClusterInfo, SubOpTrainer
+from repro.data import build_paper_corpus
+from repro.engines import HiveEngine
+
+
+@pytest.fixture(scope="module")
+def subops():
+    """Real trained sub-op models over the noise-free engine."""
+    engine = HiveEngine(seed=0, noise_sigma=0.0)
+    for spec in build_paper_corpus(row_counts=(10_000,), row_sizes=(40,)):
+        engine.load_table(spec)
+    cluster = ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+    return SubOpTrainer().train(engine, cluster).model_set
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+
+
+def join_stats(r_rows=1_000_000, s_rows=10_000, size=100, out=None, **kw):
+    return JoinOperatorStats(
+        row_size_r=size,
+        num_rows_r=r_rows,
+        row_size_s=size,
+        num_rows_s=s_rows,
+        projected_size_r=size,
+        projected_size_s=size,
+        num_output_rows=out if out is not None else s_rows,
+        **kw,
+    )
+
+
+class TestBroadcastJoinFormula:
+    def test_monotone_in_big_side(self, subops, cluster):
+        formula = BroadcastJoinFormula()
+        small = formula.estimate_seconds(join_stats(r_rows=1_000_000), subops, cluster)
+        large = formula.estimate_seconds(join_stats(r_rows=8_000_000), subops, cluster)
+        assert large > small
+
+    def test_monotone_in_small_side(self, subops, cluster):
+        formula = BroadcastJoinFormula()
+        a = formula.estimate_seconds(join_stats(s_rows=10_000), subops, cluster)
+        b = formula.estimate_seconds(join_stats(s_rows=100_000), subops, cluster)
+        assert b > a
+
+    def test_includes_job_overhead(self, subops, cluster):
+        formula = BroadcastJoinFormula()
+        tiny = formula.estimate_seconds(
+            join_stats(r_rows=10, s_rows=10, out=10), subops, cluster
+        )
+        assert tiny >= subops.job_overhead_seconds
+
+    def test_renaming_for_spark(self):
+        spark_variant = BroadcastJoinFormula(algorithm="broadcast_hash_join")
+        assert spark_variant.algorithm == "broadcast_hash_join"
+
+
+class TestShuffleJoinFormula:
+    def test_costs_both_sides(self, subops, cluster):
+        formula = ShuffleJoinFormula()
+        balanced = formula.estimate_seconds(
+            join_stats(r_rows=4_000_000, s_rows=4_000_000), subops, cluster
+        )
+        lopsided = formula.estimate_seconds(
+            join_stats(r_rows=4_000_000, s_rows=10_000), subops, cluster
+        )
+        assert balanced > lopsided
+
+    def test_broadcast_cheaper_for_tiny_small_side(self, subops, cluster):
+        stats = join_stats(r_rows=8_000_000, s_rows=1_000)
+        shuffle = ShuffleJoinFormula().estimate_seconds(stats, subops, cluster)
+        broadcast = BroadcastJoinFormula().estimate_seconds(stats, subops, cluster)
+        assert broadcast < shuffle
+
+
+class TestOtherJoins:
+    def test_skew_exceeds_shuffle(self, subops, cluster):
+        stats = join_stats(skewed=True)
+        assert SkewJoinFormula().estimate_seconds(
+            stats, subops, cluster
+        ) > ShuffleJoinFormula().estimate_seconds(stats, subops, cluster)
+
+    def test_bucket_map_cheaper_than_broadcast_for_large_s(self, subops, cluster):
+        stats = join_stats(r_rows=8_000_000, s_rows=4_000_000)
+        bucket = BucketMapJoinFormula().estimate_seconds(stats, subops, cluster)
+        broadcast = BroadcastJoinFormula().estimate_seconds(stats, subops, cluster)
+        assert bucket < broadcast
+
+    def test_cartesian_dominates_everything(self, subops, cluster):
+        stats = join_stats(r_rows=100_000, s_rows=10_000, is_equi=False)
+        cartesian = CartesianProductJoinFormula().estimate_seconds(
+            stats, subops, cluster
+        )
+        shuffle = ShuffleJoinFormula().estimate_seconds(stats, subops, cluster)
+        assert cartesian > shuffle
+
+
+class TestAggregateFormulas:
+    def test_hash_cheaper_for_few_groups(self, subops, cluster):
+        stats = AggregateOperatorStats(
+            num_input_rows=4_000_000,
+            input_row_size=100,
+            num_output_rows=1_000,
+            output_row_size=12,
+        )
+        hash_cost = HashAggregateFormula().estimate_seconds(stats, subops, cluster)
+        sort_cost = SortAggregateFormula().estimate_seconds(stats, subops, cluster)
+        assert hash_cost < sort_cost
+
+    def test_monotone_in_input(self, subops, cluster):
+        def cost(rows):
+            stats = AggregateOperatorStats(
+                num_input_rows=rows,
+                input_row_size=100,
+                num_output_rows=1000,
+                output_row_size=12,
+            )
+            return HashAggregateFormula().estimate_seconds(stats, subops, cluster)
+
+        assert cost(8_000_000) > cost(1_000_000)
+
+
+class TestScanFormula:
+    def test_scan_cost_positive_and_monotone(self, subops, cluster):
+        def cost(rows):
+            stats = ScanOperatorStats(
+                num_input_rows=rows,
+                input_row_size=100,
+                num_output_rows=rows // 10,
+                output_row_size=8,
+            )
+            return ScanCostFormula().estimate_seconds(stats, subops, cluster)
+
+        assert 0 < cost(1_000_000) < cost(8_000_000)
+
+
+class TestRosters:
+    def test_hive_formula_names(self):
+        assert [f.algorithm for f in HIVE_JOIN_FORMULAS] == [
+            "sort_merge_bucket_join",
+            "bucket_map_join",
+            "broadcast_join",
+            "skew_join",
+            "shuffle_join",
+        ]
+
+    def test_spark_formula_names(self):
+        assert [f.algorithm for f in SPARK_JOIN_FORMULAS] == [
+            "broadcast_hash_join",
+            "shuffle_hash_join",
+            "sort_merge_join",
+            "broadcast_nested_loop_join",
+            "cartesian_product_join",
+        ]
+
+    def test_aggregate_roster(self):
+        assert [f.algorithm for f in AGGREGATE_FORMULAS] == [
+            "hash_aggregate",
+            "sort_aggregate",
+        ]

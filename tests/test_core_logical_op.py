@@ -1,0 +1,161 @@
+"""Tests for the complete logical-op costing model (Fig. 3 flow)."""
+
+import numpy as np
+import pytest
+
+from repro.core.logical_op import LogicalOpModel
+from repro.core.operators import OperatorKind
+from repro.core.training import TrainingSet
+from repro.exceptions import (
+    ConfigurationError,
+    ModelNotTrainedError,
+    TrainingError,
+)
+
+
+def agg_cost(rows, size, groups, out_size):
+    """Synthetic but realistic aggregation cost surface."""
+    return 1.5 + rows * (0.5 + 0.004 * size) * 1e-6 + groups * out_size * 2e-8
+
+
+def make_training_set():
+    ts = TrainingSet(
+        ("num_input_rows", "input_row_size", "num_output_rows", "output_row_size")
+    )
+    for rows in (1e5, 5e5, 1e6, 4e6, 8e6):
+        for size in (40, 100, 500, 1000):
+            for factor in (1, 5, 20, 100):
+                groups = rows / factor
+                ts.add(
+                    (rows, size, groups, 12),
+                    agg_cost(rows, size, groups, 12),
+                )
+    return ts
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    model = LogicalOpModel(
+        OperatorKind.AGGREGATE,
+        search_topology=False,
+        nn_iterations=5000,
+        seed=0,
+    )
+    model.train(make_training_set())
+    return model
+
+
+class TestTraining:
+    def test_report_contents(self, trained_model):
+        report = trained_model.last_report
+        assert report is not None
+        assert report.num_queries == 80
+        assert report.remote_training_seconds > 0
+        assert len(report.topology) == 2
+        assert report.history.final_error < 15
+
+    def test_untrained_estimate_rejected(self):
+        model = LogicalOpModel(OperatorKind.AGGREGATE)
+        with pytest.raises(ModelNotTrainedError):
+            model.estimate((1, 2, 3, 4))
+
+    def test_too_small_training_set_rejected(self):
+        model = LogicalOpModel(OperatorKind.AGGREGATE)
+        tiny = TrainingSet(model.dimension_names)
+        tiny.add((1, 2, 3, 4), 1.0)
+        with pytest.raises(TrainingError):
+            model.train(tiny)
+
+    def test_dimension_mismatch_rejected(self):
+        model = LogicalOpModel(OperatorKind.AGGREGATE)
+        wrong = TrainingSet(("a", "b"))
+        with pytest.raises(TrainingError):
+            model.train(wrong)
+
+    def test_beta_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogicalOpModel(OperatorKind.JOIN, beta=0.5)
+
+
+class TestEstimationFlow:
+    def test_in_range_uses_nn_directly(self, trained_model):
+        estimate = trained_model.estimate((1e6, 100, 1e6 / 5, 12))
+        assert not estimate.used_remedy
+        truth = agg_cost(1e6, 100, 1e6 / 5, 12)
+        assert estimate.seconds == pytest.approx(truth, rel=0.35)
+
+    def test_out_of_range_triggers_remedy(self, trained_model):
+        estimate = trained_model.estimate((8e7, 100, 8e7 / 5, 12))
+        assert estimate.used_remedy
+        assert estimate.remedy is not None
+        assert estimate.remedy.pivots  # the rows dims are the pivots
+
+    def test_remedy_beats_raw_nn_out_of_range(self, trained_model):
+        features = (8e7, 100, 8e7 / 100, 12)
+        truth = agg_cost(*features)
+        nn_only = trained_model.estimate_nn_only(features)
+        remedied = trained_model.estimate(features).seconds
+        assert abs(remedied - truth) < abs(nn_only - truth)
+
+    def test_feature_count_checked(self, trained_model):
+        with pytest.raises(ConfigurationError):
+            trained_model.estimate((1, 2, 3))
+
+
+class TestFeedbackLoop:
+    def test_record_actual_feeds_log_and_alpha(self):
+        model = LogicalOpModel(
+            OperatorKind.AGGREGATE, search_topology=False, nn_iterations=800, seed=0
+        )
+        model.train(make_training_set())
+        estimate = model.estimate((8e7, 100, 8e7 / 5, 12))
+        assert estimate.used_remedy
+        model.record_actual(estimate, agg_cost(8e7, 100, 8e7 / 5, 12))
+        assert len(model.execution_log) == 1
+        assert model.alpha_calibrator.num_observations == 1
+
+    def test_alpha_recalibration_changes_alpha(self):
+        model = LogicalOpModel(
+            OperatorKind.AGGREGATE, search_topology=False, nn_iterations=800, seed=0
+        )
+        model.train(make_training_set())
+        for factor in (1, 2, 5, 10, 20, 50):
+            features = (8e7 / factor * 10, 100, 8e7 / factor, 12)
+            estimate = model.estimate(features)
+            if estimate.used_remedy:
+                model.record_actual(estimate, agg_cost(*features))
+        alpha = model.recalibrate_alpha()
+        assert 0.05 <= alpha <= 0.95
+
+    def test_offline_tuning_consumes_log(self):
+        model = LogicalOpModel(
+            OperatorKind.AGGREGATE, search_topology=False, nn_iterations=800, seed=0
+        )
+        model.train(make_training_set())
+        estimate = model.estimate((8e7, 100, 8e7 / 5, 12))
+        model.record_actual(estimate, agg_cost(8e7, 100, 8e7 / 5, 12))
+        applied = model.run_offline_tuning()
+        assert applied == 1
+        assert len(model.execution_log) == 0
+        # The out-of-range value is remembered in the metadata.
+        rows_meta = model.metadata[0]
+        assert rows_meta.extra_points or rows_meta.max_value >= 8e7
+
+    def test_tuning_with_empty_log_is_noop(self, trained_model):
+        assert trained_model.run_offline_tuning() == 0
+
+
+class TestTopologySearch:
+    def test_search_runs_and_picks_valid_topology(self):
+        model = LogicalOpModel(
+            OperatorKind.AGGREGATE,
+            search_topology=True,
+            search_iterations=200,
+            max_search_candidates=2,
+            nn_iterations=400,
+            seed=0,
+        )
+        report = model.train(make_training_set())
+        layer1, layer2 = report.topology
+        assert 4 <= layer1 <= 8
+        assert layer2 >= 3

@@ -1,0 +1,116 @@
+"""Tests for dimension metadata and the continuity expansion rule."""
+
+import pytest
+
+from repro.core.metadata import DimensionMetadata, find_pivots
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def meta():
+    """The Fig. 2 example: range [100, 1000] with step 100."""
+    return DimensionMetadata(
+        name="row_size", min_value=100, max_value=1000, step_size=100
+    )
+
+
+class TestConstruction:
+    def test_from_values_derives_step(self):
+        meta = DimensionMetadata.from_values("d", [100, 200, 300, 400])
+        assert meta.min_value == 100
+        assert meta.max_value == 400
+        assert meta.step_size == 100
+
+    def test_from_values_median_gap_robust_to_irregularity(self):
+        meta = DimensionMetadata.from_values("d", [0, 100, 200, 300, 1000])
+        assert meta.step_size == 100  # median gap, not mean
+
+    def test_single_value_dimension(self):
+        meta = DimensionMetadata.from_values("d", [500, 500])
+        assert meta.min_value == meta.max_value == 500
+        assert meta.step_size > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DimensionMetadata.from_values("d", [])
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DimensionMetadata(name="d", min_value=10, max_value=5, step_size=1)
+
+
+class TestWayOffCheck:
+    def test_paper_example(self, meta):
+        """Fig. 2 narrative: a 10,000-byte row size is way off [100, 1000]."""
+        assert meta.is_way_off(10_000, beta=2.0)
+
+    def test_inside_range_not_off(self, meta):
+        assert not meta.is_way_off(500, beta=2.0)
+
+    def test_proximity_band_not_off(self, meta):
+        # within beta * step = 200 of the boundary
+        assert not meta.is_way_off(1150, beta=2.0)
+        assert not meta.is_way_off(0, beta=2.0)
+
+    def test_just_past_band_is_off(self, meta):
+        assert meta.is_way_off(1201, beta=2.0)
+
+    def test_beta_must_exceed_one(self, meta):
+        with pytest.raises(ConfigurationError):
+            meta.is_way_off(5000, beta=1.0)
+
+    def test_extra_points_count_as_covered(self, meta):
+        meta.extra_points = [8000.0, 10_000.0]
+        assert not meta.is_way_off(8100, beta=2.0)
+        assert meta.is_way_off(5000, beta=2.0)  # the gap is still uncovered
+
+
+class TestAbsorption:
+    def test_contiguous_expansion(self, meta):
+        """Values within β·step of the boundary extend the range (§3)."""
+        meta.absorb([1100, 1200], beta=2.0)
+        assert meta.max_value == 1200
+        assert meta.extra_points == []
+
+    def test_discontiguous_values_become_extra_points(self, meta):
+        """The paper's 8,000/10,000-byte example: range stays intact."""
+        meta.absorb([8000, 10_000], beta=2.0)
+        assert meta.max_value == 1000
+        assert meta.extra_points == [8000.0, 10_000.0]
+
+    def test_bridging_merges_extras_into_range(self, meta):
+        meta.absorb([8000], beta=2.0)
+        assert meta.extra_points == [8000.0]
+        # Now fill the gap with a chain of near-step values.
+        chain = list(range(1200, 8001, 150))
+        meta.absorb(chain, beta=2.0)
+        assert meta.max_value == 8000
+        assert meta.extra_points == []
+
+    def test_downward_expansion(self, meta):
+        meta.absorb([0], beta=2.0)
+        assert meta.min_value == 0
+
+    def test_duplicate_extras_not_stored(self, meta):
+        meta.absorb([8000], beta=2.0)
+        meta.absorb([8000], beta=2.0)
+        assert meta.extra_points == [8000.0]
+
+
+class TestPivotReport:
+    def test_classification(self, meta):
+        other = DimensionMetadata(
+            name="rows", min_value=1e4, max_value=8e6, step_size=1e5
+        )
+        report = find_pivots([meta, other], [500, 2e7], beta=2.0)
+        assert report.pivots == (1,)
+        assert report.in_range == (0,)
+        assert report.needs_remedy
+
+    def test_all_in_range(self, meta):
+        report = find_pivots([meta], [500], beta=2.0)
+        assert not report.needs_remedy
+
+    def test_length_mismatch_rejected(self, meta):
+        with pytest.raises(ConfigurationError):
+            find_pivots([meta], [1, 2])

@@ -1,0 +1,101 @@
+"""Tests for operator statistics descriptors."""
+
+import pytest
+
+from repro.core.operators import (
+    AGGREGATE_DIMENSIONS,
+    AggregateOperatorStats,
+    JOIN_DIMENSIONS,
+    JoinOperatorStats,
+    OperatorKind,
+    ScanOperatorStats,
+    dimensions_for,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestDimensions:
+    def test_join_has_seven_dimensions(self):
+        """Fig. 2: the join training model has exactly seven dimensions."""
+        assert len(JOIN_DIMENSIONS) == 7
+
+    def test_aggregate_has_four_dimensions(self):
+        assert len(AGGREGATE_DIMENSIONS) == 4
+
+    def test_dimensions_for(self):
+        assert dimensions_for(OperatorKind.JOIN) == JOIN_DIMENSIONS
+        assert dimensions_for(OperatorKind.AGGREGATE) == AGGREGATE_DIMENSIONS
+
+
+class TestJoinStats:
+    @pytest.fixture()
+    def stats(self):
+        return JoinOperatorStats(
+            row_size_r=100,
+            num_rows_r=1_000_000,
+            row_size_s=250,
+            num_rows_s=10_000,
+            projected_size_r=8,
+            projected_size_s=12,
+            num_output_rows=5_000,
+        )
+
+    def test_feature_order_matches_dimensions(self, stats):
+        features = stats.features()
+        assert len(features) == len(JOIN_DIMENSIONS)
+        assert features[0] == 100.0  # row_size_r
+        assert features[1] == 1_000_000.0  # num_rows_r
+        assert features[6] == 5_000.0  # num_output_rows
+
+    def test_derived_sizes(self, stats):
+        assert stats.big_bytes == 100_000_000
+        assert stats.small_bytes == 2_500_000
+        assert stats.output_row_size == 20
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            JoinOperatorStats(
+                row_size_r=-1,
+                num_rows_r=1,
+                row_size_s=1,
+                num_rows_s=1,
+                projected_size_r=1,
+                projected_size_s=1,
+                num_output_rows=1,
+            )
+
+    def test_layout_flags_default_false(self, stats):
+        assert not stats.r_partitioned_on_key
+        assert not stats.skewed
+        assert stats.is_equi
+
+
+class TestAggregateStats:
+    def test_features(self):
+        stats = AggregateOperatorStats(
+            num_input_rows=1_000_000,
+            input_row_size=100,
+            num_output_rows=200_000,
+            output_row_size=12,
+        )
+        assert stats.features() == (1_000_000.0, 100.0, 200_000.0, 12.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            AggregateOperatorStats(
+                num_input_rows=1,
+                input_row_size=1,
+                num_output_rows=-1,
+                output_row_size=1,
+            )
+
+
+class TestScanStats:
+    def test_features(self):
+        stats = ScanOperatorStats(
+            num_input_rows=100,
+            input_row_size=40,
+            num_output_rows=10,
+            output_row_size=8,
+        )
+        assert len(stats.features()) == 4

@@ -1,0 +1,167 @@
+"""Tests for remote-system profiles and costing profiles (CP)."""
+
+import pytest
+
+from repro.core.estimator import CostingApproach
+from repro.core.logical_op import LogicalOpModel
+from repro.core.operators import OperatorKind
+from repro.core.profile import CostingProfile, RemoteSystemProfile
+from repro.core.subop_model import ClusterInfo, SubOpTrainer
+from repro.core.training import TrainingSet
+from repro.data import build_paper_corpus
+from repro.engines import HiveEngine
+from repro.exceptions import ConfigurationError, ModelNotTrainedError
+
+
+@pytest.fixture(scope="module")
+def cluster_info():
+    return ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+
+
+@pytest.fixture(scope="module")
+def subop_result(cluster_info):
+    engine = HiveEngine(seed=0, noise_sigma=0.0)
+    for spec in build_paper_corpus(row_counts=(10_000,), row_sizes=(40,)):
+        engine.load_table(spec)
+    return SubOpTrainer().train(engine, cluster_info)
+
+
+def trained_logical_model():
+    model = LogicalOpModel(
+        OperatorKind.AGGREGATE, search_topology=False, nn_iterations=300, seed=0
+    )
+    ts = TrainingSet(model.dimension_names)
+    for rows in (1e5, 1e6, 8e6):
+        for size in (40, 100, 1000):
+            for groups in (rows, rows / 100):
+                ts.add((rows, size, groups, 12), 1 + rows * 1e-6)
+    model.train(ts)
+    return model
+
+
+class TestProfileValidation:
+    def test_openbox_requires_cluster(self):
+        with pytest.raises(ConfigurationError):
+            RemoteSystemProfile(name="x", openbox=True, cluster=None)
+
+    def test_blackbox_cannot_default_to_subop(self):
+        with pytest.raises(ConfigurationError):
+            RemoteSystemProfile(
+                name="x",
+                openbox=False,
+                approach=CostingApproach.SUB_OP,
+            )
+
+    def test_blackbox_logical_ok(self):
+        profile = RemoteSystemProfile(
+            name="x", openbox=False, approach=CostingApproach.LOGICAL_OP
+        )
+        assert not profile.openbox
+
+    def test_name_required(self, cluster_info):
+        with pytest.raises(ConfigurationError):
+            RemoteSystemProfile(name="", cluster=cluster_info)
+
+
+class TestEstimatorAssembly:
+    def test_untrained_profile_cannot_build(self, cluster_info):
+        profile = RemoteSystemProfile(name="hive", cluster=cluster_info)
+        with pytest.raises(ModelNotTrainedError):
+            profile.build_estimator()
+
+    def test_subop_only(self, cluster_info, subop_result):
+        profile = RemoteSystemProfile(name="hive", cluster=cluster_info)
+        profile.costing.subop_result = subop_result
+        hybrid = profile.build_estimator()
+        assert hybrid.sub_op is not None
+        assert hybrid.logical_op is None
+        assert hybrid.default_approach is CostingApproach.SUB_OP
+
+    def test_logical_only_blackbox(self):
+        profile = RemoteSystemProfile(
+            name="bb", openbox=False, approach=CostingApproach.LOGICAL_OP
+        )
+        profile.costing.logical_models[OperatorKind.AGGREGATE] = (
+            trained_logical_model()
+        )
+        hybrid = profile.build_estimator()
+        assert hybrid.sub_op is None
+        assert hybrid.default_approach is CostingApproach.LOGICAL_OP
+
+    def test_requested_logical_falls_back_without_models(
+        self, cluster_info, subop_result
+    ):
+        profile = RemoteSystemProfile(
+            name="hive",
+            cluster=cluster_info,
+            approach=CostingApproach.LOGICAL_OP,
+        )
+        profile.costing.subop_result = subop_result
+        hybrid = profile.build_estimator()
+        assert hybrid.default_approach is CostingApproach.SUB_OP
+
+    def test_spark_family_selectable(self, cluster_info, subop_result):
+        profile = RemoteSystemProfile(name="spark", cluster=cluster_info)
+        profile.costing.join_family = "spark"
+        profile.costing.subop_result = subop_result
+        hybrid = profile.build_estimator()
+        names = [a.name for a in hybrid.sub_op.join_selector.algorithms]
+        assert "broadcast_hash_join" in names
+
+    def test_unknown_family_rejected(self, cluster_info, subop_result):
+        profile = RemoteSystemProfile(name="x", cluster=cluster_info)
+        profile.costing.join_family = "postgres"
+        profile.costing.subop_result = subop_result
+        with pytest.raises(ConfigurationError):
+            profile.build_estimator()
+
+
+class TestCostingProfileFlags:
+    def test_flags(self, subop_result):
+        cp = CostingProfile()
+        assert not cp.has_subop_models
+        assert not cp.has_logical_models
+        cp.subop_result = subop_result
+        assert cp.has_subop_models
+        cp.logical_models[OperatorKind.AGGREGATE] = trained_logical_model()
+        assert cp.has_logical_models
+
+
+class TestOperatorRoutes:
+    """§5's per-operator hybrid, stored in the CP itself."""
+
+    def test_routes_applied_on_build(self, cluster_info, subop_result):
+        profile = RemoteSystemProfile(name="hive", cluster=cluster_info)
+        profile.costing.subop_result = subop_result
+        profile.costing.logical_models[OperatorKind.AGGREGATE] = (
+            trained_logical_model()
+        )
+        profile.costing.operator_routes[OperatorKind.AGGREGATE] = (
+            CostingApproach.LOGICAL_OP
+        )
+        hybrid = profile.build_estimator()
+        from repro.core.operators import AggregateOperatorStats, JoinOperatorStats
+
+        agg = hybrid.estimate_aggregate(
+            AggregateOperatorStats(
+                num_input_rows=1_000_000,
+                input_row_size=100,
+                num_output_rows=1_000,
+                output_row_size=12,
+            )
+        )
+        join = hybrid.estimate_join(
+            JoinOperatorStats(
+                row_size_r=100,
+                num_rows_r=1_000_000,
+                row_size_s=100,
+                num_rows_s=10_000,
+                projected_size_r=100,
+                projected_size_s=100,
+                num_output_rows=10_000,
+            )
+        )
+        assert agg.approach is CostingApproach.LOGICAL_OP
+        assert join.approach is CostingApproach.SUB_OP

@@ -1,0 +1,158 @@
+"""Tests for applicability rules and algorithm selection (§4)."""
+
+import pytest
+
+from repro.core.operators import AggregateOperatorStats, JoinOperatorStats
+from repro.core.rules import (
+    AggregateAlgorithmSelector,
+    BOTH_PARTITIONED_ON_KEY,
+    EQUI_JOIN_ONLY,
+    JoinAlgorithmSelector,
+    RuleContext,
+    SelectionStrategy,
+    SMALL_FITS_MEMORY,
+    hive_join_algorithms,
+    spark_join_algorithms,
+)
+from repro.core.subop_model import ClusterInfo, SubOpTrainer
+from repro.data import build_paper_corpus
+from repro.engines import HiveEngine
+from repro.exceptions import PlanningError
+
+GIB = 1024**3
+
+
+@pytest.fixture(scope="module")
+def subops():
+    engine = HiveEngine(seed=0, noise_sigma=0.0)
+    for spec in build_paper_corpus(row_counts=(10_000,), row_sizes=(40,)):
+        engine.load_table(spec)
+    cluster = ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+    return SubOpTrainer().train(engine, cluster).model_set
+
+
+@pytest.fixture()
+def ctx():
+    cluster = ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+    return RuleContext(cluster=cluster, memory_threshold_bytes=2 * GIB)
+
+
+def join_stats(s_rows=10_000, size=100, **kw):
+    return JoinOperatorStats(
+        row_size_r=size,
+        num_rows_r=10_000_000,
+        row_size_s=size,
+        num_rows_s=s_rows,
+        projected_size_r=size,
+        projected_size_s=size,
+        num_output_rows=s_rows,
+        **kw,
+    )
+
+
+class TestIndividualRules:
+    def test_equi_rule(self, ctx):
+        assert EQUI_JOIN_ONLY(join_stats(), ctx)
+        assert not EQUI_JOIN_ONLY(join_stats(is_equi=False), ctx)
+
+    def test_memory_rule(self, ctx):
+        assert SMALL_FITS_MEMORY(join_stats(s_rows=10_000), ctx)
+        huge = join_stats(s_rows=int(3 * GIB / 100))
+        assert not SMALL_FITS_MEMORY(huge, ctx)
+
+    def test_partitioning_rule(self, ctx):
+        assert not BOTH_PARTITIONED_ON_KEY(join_stats(), ctx)
+        assert BOTH_PARTITIONED_ON_KEY(
+            join_stats(r_partitioned_on_key=True, s_partitioned_on_key=True), ctx
+        )
+
+
+class TestEliminationExamples:
+    """The §4 narrative examples of rule-based elimination."""
+
+    def test_unpartitioned_transfer_eliminates_bucket_joins(self, ctx):
+        stats = join_stats()  # nothing partitioned
+        applicable = [
+            a.name for a in hive_join_algorithms() if a.applicable(stats, ctx)
+        ]
+        assert "bucket_map_join" not in applicable
+        assert "sort_merge_bucket_join" not in applicable
+
+    def test_equi_join_eliminates_spark_nested_loops(self, ctx):
+        stats = join_stats()
+        applicable = [
+            a.name for a in spark_join_algorithms() if a.applicable(stats, ctx)
+        ]
+        assert "broadcast_nested_loop_join" not in applicable
+        assert "cartesian_product_join" not in applicable
+
+    def test_two_large_relations_eliminate_broadcast(self, ctx):
+        stats = join_stats(s_rows=int(3 * GIB / 100))
+        applicable = [
+            a.name for a in hive_join_algorithms() if a.applicable(stats, ctx)
+        ]
+        assert "broadcast_join" not in applicable
+        assert "shuffle_join" in applicable
+
+
+class TestSelectionStrategies:
+    def test_preference_picks_first_applicable(self, subops, ctx):
+        selector = JoinAlgorithmSelector(
+            hive_join_algorithms(), SelectionStrategy.PREFERENCE
+        )
+        result = selector.select(join_stats(), subops, ctx)
+        assert result.predicted_algorithm == "broadcast_join"
+
+    def test_highest_is_max_of_candidates(self, subops, ctx):
+        selector = JoinAlgorithmSelector(
+            hive_join_algorithms(), SelectionStrategy.HIGHEST
+        )
+        result = selector.select(join_stats(), subops, ctx)
+        assert result.seconds == max(s for _, s in result.candidates)
+
+    def test_in_house_is_min_of_candidates(self, subops, ctx):
+        selector = JoinAlgorithmSelector(
+            hive_join_algorithms(), SelectionStrategy.IN_HOUSE
+        )
+        result = selector.select(join_stats(), subops, ctx)
+        assert result.seconds == min(s for _, s in result.candidates)
+
+    def test_average_between_extremes(self, subops, ctx):
+        selector = JoinAlgorithmSelector(
+            hive_join_algorithms(), SelectionStrategy.AVERAGE
+        )
+        result = selector.select(join_stats(), subops, ctx)
+        values = [s for _, s in result.candidates]
+        assert min(values) <= result.seconds <= max(values)
+
+    def test_nothing_applicable_raises(self, subops, ctx):
+        only_smb = hive_join_algorithms()[:1]
+        selector = JoinAlgorithmSelector(only_smb)
+        with pytest.raises(PlanningError):
+            selector.select(join_stats(), subops, ctx)
+
+
+class TestAggregateSelector:
+    def test_hash_when_groups_fit(self, subops, ctx):
+        stats = AggregateOperatorStats(
+            num_input_rows=1_000_000,
+            input_row_size=100,
+            num_output_rows=1000,
+            output_row_size=12,
+        )
+        result = AggregateAlgorithmSelector().select(stats, subops, ctx)
+        assert result.predicted_algorithm == "hash_aggregate"
+
+    def test_sort_when_groups_spill(self, subops, ctx):
+        stats = AggregateOperatorStats(
+            num_input_rows=500_000_000,
+            input_row_size=100,
+            num_output_rows=int(3 * GIB / 16),
+            output_row_size=16,
+        )
+        result = AggregateAlgorithmSelector().select(stats, subops, ctx)
+        assert result.predicted_algorithm == "sort_aggregate"

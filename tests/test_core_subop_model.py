@@ -1,0 +1,168 @@
+"""Tests for sub-op training (Fig. 5 protocol) and models."""
+
+import pytest
+
+from repro.core.subop_model import (
+    ClusterInfo,
+    SubOpTrainer,
+    SubOpModelSet,
+)
+from repro.engines.subops import SubOp
+from repro.exceptions import ConfigurationError, ModelNotTrainedError
+
+GIB = 1024**3
+
+
+@pytest.fixture(scope="module")
+def trained(small_hive_module, cluster_info_module):
+    trainer = SubOpTrainer()
+    return trainer.train(small_hive_module, cluster_info_module)
+
+
+@pytest.fixture(scope="module")
+def small_hive_module():
+    from repro.data import build_paper_corpus
+    from repro.engines import HiveEngine
+
+    engine = HiveEngine(seed=0, noise_sigma=0.0)
+    for spec in build_paper_corpus(row_counts=(10_000,), row_sizes=(40,)):
+        engine.load_table(spec)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def cluster_info_module():
+    return ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+
+
+class TestClusterInfo:
+    def test_parallel_units(self, cluster_info_module):
+        info = cluster_info_module
+        # 1M x 100B = 100MB -> 1 task, 1 wave, block_rows = 1M.
+        assert info.parallel_units(1_000_000, 100) == 1_000_000
+        # 8M x 1000B = 8GB -> 63 tasks, 11 waves, block rows ~127k.
+        tasks = info.num_tasks(8_000_000 * 1000)
+        assert tasks == 60
+        assert info.waves(tasks) == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterInfo(num_data_nodes=0, cores_per_node=1, dfs_block_size=1)
+
+
+class TestKernelRecovery:
+    """The trainer must recover the hidden kernels from observations only."""
+
+    def test_read_dfs_close_to_truth(self, trained, small_hive_module):
+        """Learned ReadDFS tracks the hidden kernel.  It runs somewhat
+        high because the per-record regression slope absorbs the engine's
+        per-wave scheduling overhead — an inherent property of
+        measurement-based learning that contributes to the sub-op
+        approach's slight overestimation trend (Fig. 13(g))."""
+        learned = trained.model_set.model(SubOp.READ_DFS)
+        truth = small_hive_module.env.kernels.kernel(SubOp.READ_DFS)
+        for size in (100, 500, 1000):
+            ratio = learned.per_record_us(size) / truth.per_record_us(size)
+            assert 0.9 < ratio < 1.8, size
+
+    @pytest.mark.parametrize(
+        "op",
+        [SubOp.WRITE_DFS, SubOp.SHUFFLE, SubOp.SORT, SubOp.SCAN, SubOp.REC_MERGE],
+    )
+    def test_subtraction_protocol_recovers_kernels(
+        self, trained, small_hive_module, op
+    ):
+        learned = trained.model_set.model(op)
+        truth = small_hive_module.env.kernels.kernel(op)
+        for size in (100, 500, 1000):
+            assert learned.per_record_us(size) == pytest.approx(
+                truth.per_record_us(size), rel=0.2, abs=0.3
+            )
+
+    def test_read_local_via_double_subtraction(self, trained, small_hive_module):
+        learned = trained.model_set.model(SubOp.READ_LOCAL)
+        truth = small_hive_module.env.kernels.kernel(SubOp.READ_LOCAL)
+        assert learned.per_record_us(500) == pytest.approx(
+            truth.per_record_us(500), rel=0.3, abs=0.3
+        )
+
+    def test_job_overhead_estimated(self, trained, small_hive_module):
+        tuning = small_hive_module.tuning
+        assert trained.model_set.job_overhead_seconds == pytest.approx(
+            tuning.job_startup, rel=0.6
+        )
+
+    def test_hash_build_two_regimes_found(self, trained, small_hive_module):
+        hb = trained.model_set.hash_build
+        assert hb.has_spill_regime
+        truth_budget = small_hive_module.env.kernels.hash_build.memory_budget
+        assert hb.workspace_threshold == pytest.approx(truth_budget, rel=0.8)
+        # in-memory cheaper than spilling for big records
+        assert hb.per_record_us(1000, workspace_bytes=0) < hb.per_record_us(
+            1000, workspace_bytes=int(hb.workspace_threshold * 4)
+        )
+
+
+class TestTrainingAccounting:
+    def test_query_count_and_time(self, trained):
+        assert trained.num_queries > 0
+        assert trained.remote_training_seconds > 0
+        assert len(trained.training_curve) == trained.num_queries
+
+    def test_curve_is_monotone(self, trained):
+        seconds = [t for _, t in trained.training_curve]
+        assert all(b >= a for a, b in zip(seconds, seconds[1:]))
+
+    def test_samples_collected_per_op(self, trained):
+        assert SubOp.READ_DFS in trained.samples
+        assert SubOp.HASH_BUILD in trained.samples
+        assert all(s.per_record_us >= 0 for s in trained.samples[SubOp.SHUFFLE])
+
+    def test_per_record_flat_across_counts(self, trained):
+        """Fig. 7(a): per-record cost is flat in the record count."""
+        samples = [
+            s for s in trained.samples[SubOp.READ_DFS] if s.record_size == 1000
+        ]
+        values = [s.per_record_us for s in samples]
+        assert max(values) - min(values) < 0.5 * max(values)
+
+
+class TestModelSet:
+    def test_seconds_scaling(self, trained):
+        ms = trained.model_set
+        one = ms.seconds(SubOp.READ_DFS, 1_000_000, 100)
+        two = ms.seconds(SubOp.READ_DFS, 2_000_000, 100)
+        assert two == pytest.approx(2 * one)
+
+    def test_zero_records_free(self, trained):
+        assert trained.model_set.seconds(SubOp.SHUFFLE, 0, 100) == 0.0
+
+    def test_hash_build_via_accessor_only(self, trained):
+        with pytest.raises(ConfigurationError):
+            trained.model_set.model(SubOp.HASH_BUILD)
+
+    def test_missing_op_raises(self):
+        from repro.core.subop_model import HashBuildModel
+
+        empty = SubOpModelSet(
+            models={},
+            hash_build=HashBuildModel(
+                in_memory=SubOpTrainer._constant_regression(1.0),
+                spilling=None,
+                workspace_threshold=float("inf"),
+            ),
+        )
+        with pytest.raises(ModelNotTrainedError):
+            empty.model(SubOp.SHUFFLE)
+
+
+class TestTrainerValidation:
+    def test_needs_two_counts(self):
+        with pytest.raises(ConfigurationError):
+            SubOpTrainer(record_counts=(1_000_000,))
+
+    def test_empty_grids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SubOpTrainer(record_sizes=())

@@ -1,0 +1,87 @@
+"""Tests for training sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import TrainingSet, grid_size
+from repro.exceptions import ConfigurationError, TrainingError
+
+
+@pytest.fixture()
+def training_set():
+    ts = TrainingSet(("rows", "size"))
+    ts.add((100, 10), 1.0)
+    ts.add((200, 10), 2.0)
+    ts.add((100, 20), 1.5)
+    return ts
+
+
+class TestPopulation:
+    def test_add_and_len(self, training_set):
+        assert len(training_set) == 3
+
+    def test_dimension_mismatch_rejected(self, training_set):
+        with pytest.raises(TrainingError):
+            training_set.add((1, 2, 3), 1.0)
+
+    def test_negative_cost_rejected(self, training_set):
+        with pytest.raises(ConfigurationError):
+            training_set.add((1, 2), -0.5)
+
+    def test_extend(self, training_set):
+        other = TrainingSet(("rows", "size"))
+        other.add((300, 30), 3.0)
+        training_set.extend(other)
+        assert len(training_set) == 4
+
+    def test_extend_dimension_mismatch(self, training_set):
+        other = TrainingSet(("x",))
+        with pytest.raises(TrainingError):
+            training_set.extend(other)
+
+
+class TestMatrices:
+    def test_feature_matrix_shape(self, training_set):
+        matrix = training_set.feature_matrix()
+        assert matrix.shape == (3, 2)
+        assert matrix[1, 0] == 200
+
+    def test_cost_vector(self, training_set):
+        assert np.allclose(training_set.cost_vector(), [1.0, 2.0, 1.5])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(TrainingError):
+            TrainingSet(("x",)).feature_matrix()
+
+
+class TestTrainingCost:
+    def test_cumulative_cost(self, training_set):
+        assert training_set.total_training_seconds == pytest.approx(4.5)
+
+    def test_training_curve_monotone(self, training_set):
+        queries, cumulative = training_set.training_cost_curve()
+        assert list(queries) == [1, 2, 3]
+        assert np.all(np.diff(cumulative) >= 0)
+        assert cumulative[-1] == pytest.approx(4.5)
+
+    def test_empty_curve(self):
+        ts = TrainingSet(("x",))
+        assert ts.total_training_seconds == 0.0
+
+
+class TestMetadata:
+    def test_build_metadata_per_dimension(self, training_set):
+        metadata = training_set.build_metadata()
+        assert [m.name for m in metadata] == ["rows", "size"]
+        assert metadata[0].min_value == 100
+        assert metadata[0].max_value == 200
+        assert metadata[1].step_size == 10
+
+
+class TestGridSize:
+    def test_product(self):
+        assert grid_size([(1, 2), (1, 2, 3)]) == 6
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_size([(1, 2), ()])

@@ -1,0 +1,108 @@
+"""Tests for the execution log and offline tuning phase."""
+
+import numpy as np
+import pytest
+
+from repro.core.metadata import DimensionMetadata
+from repro.core.training import TrainingSet
+from repro.core.tuning import ExecutionLog, LogEntry, OfflineTuner
+from repro.exceptions import ConfigurationError
+from repro.ml.metrics import rmse_percent
+from repro.ml.nn import NeuralNetwork
+
+
+def linear_cost(rows, size):
+    return 2 * rows / 1e5 + size / 100
+
+
+def make_trained_model():
+    ts = TrainingSet(("rows", "size"))
+    for rows in range(100_000, 900_000, 100_000):
+        for size in range(100, 600, 100):
+            ts.add((rows, size), linear_cost(rows, size))
+    network = NeuralNetwork(hidden_layers=(6, 3), seed=0)
+    network.fit(
+        ts.feature_matrix(), ts.cost_vector(), iterations=4000, record_every=4000
+    )
+    return ts, network, ts.build_metadata()
+
+
+class TestExecutionLog:
+    def test_record_and_drain(self):
+        log = ExecutionLog(2)
+        log.record((1, 2), 3.0)
+        log.record((4, 5), 6.0)
+        assert len(log) == 2
+        batch = log.drain()
+        assert len(batch) == 2
+        assert len(log) == 0
+        assert batch[0] == LogEntry(features=(1.0, 2.0), actual_cost=3.0)
+
+    def test_dimension_check(self):
+        log = ExecutionLog(2)
+        with pytest.raises(ConfigurationError):
+            log.record((1,), 3.0)
+
+    def test_negative_cost_rejected(self):
+        log = ExecutionLog(1)
+        with pytest.raises(ConfigurationError):
+            log.record((1,), -1.0)
+
+
+class TestOfflineTuner:
+    def test_empty_batch_noop(self):
+        ts, network, metadata = make_trained_model()
+        tuner = OfflineTuner()
+        assert tuner.tune(network, ts, metadata, []) == 0
+
+    def test_tuning_improves_out_of_range_accuracy(self):
+        """The Fig. 14 'NN + Offline Tuning' effect."""
+        ts, network, metadata = make_trained_model()
+        rng = np.random.default_rng(0)
+        rows = rng.uniform(1.5e6, 2.5e6, size=40)
+        sizes = rng.choice([100, 200, 300, 400, 500], size=40)
+        x_new = np.column_stack([rows, sizes])
+        y_new = np.array([linear_cost(r, s) for r, s in x_new])
+
+        before = rmse_percent(y_new, network.predict(x_new))
+        batch = [
+            LogEntry(features=tuple(x_new[i]), actual_cost=float(y_new[i]))
+            for i in range(30)
+        ]
+        tuner = OfflineTuner(tuning_iterations=4000, seed=0)
+        applied = tuner.tune(network, ts, metadata, batch)
+        assert applied == 30
+        after = rmse_percent(y_new, network.predict(x_new))
+        assert after < before / 2
+
+    def test_batch_joins_training_set(self):
+        ts, network, metadata = make_trained_model()
+        n_before = len(ts)
+        batch = [LogEntry(features=(2e6, 300.0), actual_cost=43.0)]
+        OfflineTuner(tuning_iterations=50).tune(network, ts, metadata, batch)
+        assert len(ts) == n_before + 1
+
+    def test_metadata_absorbs_under_continuity_rule(self):
+        ts, network, metadata = make_trained_model()
+        # rows metadata: [1e5, 8e5] step 1e5 -> 2e6 is discontiguous.
+        batch = [LogEntry(features=(2e6, 300.0), actual_cost=43.0)]
+        OfflineTuner(tuning_iterations=50, beta=2.0).tune(
+            network, ts, metadata, batch
+        )
+        rows_meta = metadata[0]
+        assert rows_meta.max_value == 800_000  # unchanged
+        assert 2e6 in rows_meta.extra_points
+
+    def test_contiguous_value_expands_range(self):
+        ts, network, metadata = make_trained_model()
+        batch = [LogEntry(features=(900_000.0, 300.0), actual_cost=21.0)]
+        OfflineTuner(tuning_iterations=50, beta=2.0).tune(
+            network, ts, metadata, batch
+        )
+        assert metadata[0].max_value == 900_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OfflineTuner(tuning_iterations=0)
+        with pytest.raises(ConfigurationError):
+            OfflineTuner(replay_fraction=1.0)

@@ -1,0 +1,74 @@
+"""Tests for the federated catalog."""
+
+import pytest
+
+from repro.data import Catalog, TableSpec
+from repro.data.schema import paper_schema
+from repro.exceptions import CatalogError
+
+
+@pytest.fixture()
+def spec():
+    return TableSpec(name="t1", schema=paper_schema(40), num_rows=100, location="hive")
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, spec):
+        cat = Catalog()
+        cat.register(spec)
+        assert cat.table("t1") is spec
+        assert cat.has_table("t1")
+        assert "t1" in cat
+
+    def test_statistics_derived_automatically(self, spec):
+        cat = Catalog()
+        cat.register(spec)
+        assert cat.statistics("t1").num_rows == 100
+
+    def test_duplicate_rejected(self, spec):
+        cat = Catalog()
+        cat.register(spec)
+        with pytest.raises(CatalogError):
+            cat.register(spec)
+
+    def test_replace_allowed(self, spec):
+        cat = Catalog()
+        cat.register(spec)
+        bigger = TableSpec(
+            name="t1", schema=spec.schema, num_rows=999, location="hive"
+        )
+        cat.register(bigger, replace=True)
+        assert cat.table("t1").num_rows == 999
+
+    def test_unregister(self, spec):
+        cat = Catalog()
+        cat.register(spec)
+        cat.unregister("t1")
+        assert not cat.has_table("t1")
+        with pytest.raises(CatalogError):
+            cat.unregister("t1")
+
+
+class TestLookups:
+    def test_missing_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("nope")
+        with pytest.raises(CatalogError):
+            Catalog().statistics("nope")
+
+    def test_tables_at_location(self, spec):
+        cat = Catalog()
+        cat.register(spec)
+        other = TableSpec(
+            name="t2", schema=spec.schema, num_rows=5, location="spark"
+        )
+        cat.register(other)
+        assert [t.name for t in cat.tables_at("hive")] == ["t1"]
+        assert [t.name for t in cat.tables_at("spark")] == ["t2"]
+        assert cat.tables_at("nowhere") == ()
+
+    def test_iteration_and_len(self, spec):
+        cat = Catalog()
+        cat.register(spec)
+        assert len(cat) == 1
+        assert [t.name for t in cat] == ["t1"]

@@ -1,0 +1,92 @@
+"""Tests for schemas and the paper's shared table schema."""
+
+import pytest
+
+from repro.data.schema import (
+    Column,
+    DataType,
+    PAPER_DUPLICATION_RATES,
+    TableSchema,
+    paper_schema,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestColumn:
+    def test_default_width_from_dtype(self):
+        assert Column("a", DataType.INTEGER).byte_width == 4
+        assert Column("b", DataType.BIGINT).byte_width == 8
+
+    def test_char_requires_width(self):
+        with pytest.raises(ConfigurationError):
+            Column("c", DataType.CHAR)
+        assert Column("c", DataType.CHAR, width=10).byte_width == 10
+
+    def test_rejects_bad_duplication_rate(self):
+        with pytest.raises(ConfigurationError):
+            Column("a", DataType.INTEGER, duplication_rate=0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            Column("", DataType.INTEGER)
+
+
+class TestTableSchema:
+    def test_rejects_duplicate_names(self):
+        cols = (Column("a", DataType.INTEGER), Column("a", DataType.INTEGER))
+        with pytest.raises(ConfigurationError):
+            TableSchema(cols)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            TableSchema(())
+
+    def test_row_width_sums_columns(self):
+        schema = TableSchema(
+            (Column("a", DataType.INTEGER), Column("b", DataType.BIGINT))
+        )
+        assert schema.row_width == 12
+
+    def test_projected_width(self):
+        schema = TableSchema(
+            (
+                Column("a", DataType.INTEGER),
+                Column("b", DataType.BIGINT),
+                Column("c", DataType.CHAR, width=20),
+            )
+        )
+        assert schema.projected_width(("a", "c")) == 24
+
+    def test_unknown_column_raises(self):
+        schema = TableSchema((Column("a", DataType.INTEGER),))
+        with pytest.raises(ConfigurationError):
+            schema.column("zzz")
+
+    def test_equality_and_hash(self):
+        a = TableSchema((Column("a", DataType.INTEGER),))
+        b = TableSchema((Column("a", DataType.INTEGER),))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestPaperSchema:
+    def test_exact_row_size(self):
+        for size in (40, 70, 100, 250, 500, 1000):
+            assert paper_schema(size).row_width == size
+
+    def test_column_roster(self):
+        schema = paper_schema(100)
+        expected = tuple(f"a{i}" for i in PAPER_DUPLICATION_RATES) + ("z", "dummy")
+        assert schema.column_names == expected
+
+    def test_duplication_rates(self):
+        schema = paper_schema(100)
+        for rate in PAPER_DUPLICATION_RATES:
+            assert schema.column(f"a{rate}").duplication_rate == rate
+
+    def test_z_is_constant(self):
+        assert paper_schema(100).column("z").constant
+
+    def test_too_small_row_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_schema(32)  # the eight integers alone need 32 bytes

@@ -1,0 +1,75 @@
+"""Tests for table/column statistics derivation."""
+
+import pytest
+
+from repro.data.schema import paper_schema
+from repro.data.statistics import ColumnStatistics, TableStatistics
+from repro.data.table import TableSpec
+from repro.exceptions import CatalogError, ConfigurationError
+
+
+@pytest.fixture()
+def spec():
+    return TableSpec(name="t", schema=paper_schema(100), num_rows=1_000_000)
+
+
+class TestColumnStatistics:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ColumnStatistics(name="a", ndv=10, min_value=5, max_value=1)
+
+    def test_range_selectivity_uniform(self):
+        stat = ColumnStatistics(name="a", ndv=100, min_value=0, max_value=100)
+        assert stat.selectivity_range(0, 50) == pytest.approx(0.5)
+        assert stat.selectivity_range(-10, 200) == 1.0
+        assert stat.selectivity_range(200, 300) == 0.0
+
+    def test_unknown_bounds_conservative(self):
+        stat = ColumnStatistics(name="a", ndv=10)
+        assert stat.selectivity_range(0, 1) == 1.0
+
+
+class TestFromSpec:
+    def test_row_counts(self, spec):
+        stats = TableStatistics.from_spec(spec)
+        assert stats.num_rows == 1_000_000
+        assert stats.avg_row_size == 100.0
+
+    def test_ndv_follows_duplication_rate(self, spec):
+        stats = TableStatistics.from_spec(spec)
+        assert stats.column("a1").ndv == 1_000_000
+        assert stats.column("a5").ndv == 200_000
+        assert stats.column("a100").ndv == 10_000
+
+    def test_constant_column_ndv_one(self, spec):
+        stats = TableStatistics.from_spec(spec)
+        z = stats.column("z")
+        assert z.ndv == 1
+        assert z.min_value == 0.0
+        assert z.max_value == 0.0
+
+    def test_value_bounds(self, spec):
+        stats = TableStatistics.from_spec(spec)
+        a1 = stats.column("a1")
+        assert a1.min_value == 0.0
+        assert a1.max_value == 999_999.0
+
+    def test_char_column_has_no_bounds(self, spec):
+        stats = TableStatistics.from_spec(spec)
+        dummy = stats.column("dummy")
+        assert dummy.min_value is None
+
+    def test_empty_table(self):
+        empty = TableSpec(name="e", schema=paper_schema(40), num_rows=0)
+        stats = TableStatistics.from_spec(empty)
+        assert stats.num_rows == 0
+        assert stats.column("a1").ndv == 0
+
+    def test_missing_column_raises(self, spec):
+        stats = TableStatistics.from_spec(spec)
+        with pytest.raises(CatalogError):
+            stats.column("nope")
+
+    def test_total_bytes(self, spec):
+        stats = TableStatistics.from_spec(spec)
+        assert stats.total_bytes == 100_000_000

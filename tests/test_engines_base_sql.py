@@ -1,0 +1,30 @@
+"""Tests for the SQL-text execution surface and plan shipping."""
+
+import pytest
+
+from repro.sql.parser import parse_select
+from repro.sql.render import render_plan
+
+
+class TestExecuteSql:
+    def test_sql_text_equals_plan_execution(self, small_hive):
+        sql = "SELECT SUM(a1) FROM t1000000_100 GROUP BY a5"
+        via_text = small_hive.execute_sql(sql)
+        via_plan = small_hive.execute(parse_select(sql))
+        assert via_text.output_rows == via_plan.output_rows
+        assert via_text.algorithm == via_plan.algorithm
+
+    def test_rendered_plan_ships_and_runs(self, small_hive):
+        """The connector path: plan -> SQL text -> remote execution."""
+        plan = parse_select(
+            "SELECT r.a1 FROM t1000000_100 r JOIN t10000_100 s "
+            "ON r.a1 = s.a1 AND r.a1 + s.z < 5000"
+        )
+        shipped = render_plan(plan)
+        direct = small_hive.execute(plan)
+        remote = small_hive.execute_sql(shipped)
+        assert remote.output_rows == direct.output_rows
+        assert remote.algorithm == direct.algorithm
+        assert remote.elapsed_seconds == pytest.approx(
+            direct.elapsed_seconds, rel=0.2
+        )

@@ -1,0 +1,169 @@
+"""Tests for the DFS-engine execution model."""
+
+import pytest
+
+from repro.engines import (
+    EngineCapabilities,
+    HiveEngine,
+    PrimitiveKind,
+    PrimitiveQuery,
+)
+from repro.engines.execution import EngineTuning
+from repro.exceptions import ConfigurationError, UnsupportedOperationError
+from repro.sql.parser import parse_select
+
+
+class TestQueryExecution:
+    def test_bare_scan_feeding_nothing_still_runs(self, small_hive):
+        result = small_hive.execute(parse_select("SELECT * FROM t10000_40"))
+        assert result.elapsed_seconds == 0.0  # raw table access costs nothing
+        assert result.output_rows == 10_000
+
+    def test_filter_scan_has_cost(self, small_hive):
+        result = small_hive.execute(
+            parse_select("SELECT * FROM t1000000_100 WHERE a1 < 100")
+        )
+        assert result.elapsed_seconds > 0
+        assert result.algorithm == "scan"
+        assert result.output_rows == pytest.approx(100, rel=0.05)
+
+    def test_join_reports_algorithm_and_cardinality(self, small_hive):
+        result = small_hive.execute(
+            parse_select(
+                "SELECT * FROM t1000000_100 r JOIN t10000_100 s ON r.a1 = s.a1"
+            )
+        )
+        assert result.algorithm == "broadcast_join"
+        assert result.output_rows == 10_000
+        assert result.elapsed_seconds > 0
+
+    def test_aggregate_reports_algorithm(self, small_hive):
+        result = small_hive.execute(
+            parse_select("SELECT SUM(a1) FROM t1000000_100 GROUP BY a100")
+        )
+        assert result.algorithm == "hash_aggregate"
+        assert result.output_rows == 10_000
+
+    def test_aggregate_over_join_composes(self, small_hive):
+        result = small_hive.execute(
+            parse_select(
+                "SELECT SUM(a1) FROM t1000000_100 r JOIN t10000_100 s "
+                "ON r.a1 = s.a1 GROUP BY a5"
+            )
+        )
+        join_only = small_hive.execute(
+            parse_select(
+                "SELECT * FROM t1000000_100 r JOIN t10000_100 s ON r.a1 = s.a1"
+            )
+        )
+        assert result.elapsed_seconds > join_only.elapsed_seconds
+
+    def test_missing_table_rejected(self, small_hive):
+        with pytest.raises(UnsupportedOperationError):
+            small_hive.execute(parse_select("SELECT * FROM nope WHERE a1 < 5"))
+
+    def test_capability_enforcement(self, small_corpus):
+        no_join = HiveEngine(
+            seed=0,
+            noise_sigma=0.0,
+        )
+        no_join.capabilities = EngineCapabilities(join=False)
+        for spec in small_corpus:
+            no_join.load_table(spec)
+        with pytest.raises(UnsupportedOperationError):
+            no_join.execute(
+                parse_select(
+                    "SELECT * FROM t10000_40 r JOIN t10000_100 s ON r.a1 = s.a1"
+                )
+            )
+
+    def test_determinism_under_seed(self, small_corpus):
+        plan = parse_select("SELECT SUM(a1) FROM t1000000_100 GROUP BY a5")
+
+        def run():
+            engine = HiveEngine(seed=42)
+            for spec in small_corpus:
+                engine.load_table(spec)
+            return engine.execute(plan).elapsed_seconds
+
+        assert run() == run()
+
+    def test_noise_perturbs_elapsed(self, small_corpus):
+        plan = parse_select("SELECT SUM(a1) FROM t1000000_100 GROUP BY a5")
+        noisy = HiveEngine(seed=1, noise_sigma=0.05)
+        quiet = HiveEngine(seed=1, noise_sigma=0.0)
+        for spec in small_corpus:
+            noisy.load_table(spec)
+            quiet.load_table(spec)
+        a = noisy.execute(plan).elapsed_seconds
+        b = quiet.execute(plan).elapsed_seconds
+        assert a != b
+        assert a == pytest.approx(b, rel=0.3)
+
+
+class TestWaveScaling:
+    def test_task_waves_create_cost_steps(self, hive):
+        """Doubling the input of a big scan roughly doubles elapsed time."""
+        small = hive.execute(
+            parse_select("SELECT * FROM t10000000_1000 WHERE a1 < 100")
+        ).elapsed_seconds
+        large = hive.execute(
+            parse_select("SELECT * FROM t20000000_1000 WHERE a1 < 100")
+        ).elapsed_seconds
+        assert large == pytest.approx(2 * small, rel=0.25)
+
+
+class TestPrimitives:
+    def test_read_dfs_baseline(self, small_hive):
+        t = small_hive.execute_primitive(
+            PrimitiveQuery(PrimitiveKind.READ_DFS, 1_000_000, 100)
+        )
+        assert t > 0
+
+    def test_extras_cost_more_than_baseline(self, small_hive):
+        base = small_hive.execute_primitive(
+            PrimitiveQuery(PrimitiveKind.READ_DFS, 1_000_000, 100)
+        )
+        for kind in (
+            PrimitiveKind.READ_WRITE_DFS,
+            PrimitiveKind.READ_SHUFFLE,
+            PrimitiveKind.READ_MERGE,
+            PrimitiveKind.READ_HASH_BUILD,
+        ):
+            extra = small_hive.execute_primitive(
+                PrimitiveQuery(kind, 1_000_000, 100)
+            )
+            assert extra > base, kind
+
+    def test_hash_build_spill_regime(self, small_hive):
+        """Whole-input hash builds switch regimes past the memory budget."""
+        budget = small_hive.env.kernels.hash_build.memory_budget
+        small_n = budget // 1000 // 2
+        big_n = budget // 1000 * 2
+
+        def per_record(n):
+            read = small_hive.execute_primitive(
+                PrimitiveQuery(PrimitiveKind.READ_DFS, n, 1000)
+            )
+            build = small_hive.execute_primitive(
+                PrimitiveQuery(PrimitiveKind.READ_HASH_BUILD, n, 1000)
+            )
+            return (build - read) / n
+
+        assert per_record(big_n) > 2 * per_record(small_n)
+
+    def test_invalid_primitive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrimitiveQuery(PrimitiveKind.READ_DFS, -1, 100)
+        with pytest.raises(ConfigurationError):
+            PrimitiveQuery(PrimitiveKind.READ_DFS, 1, 0)
+
+
+class TestEngineTuning:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EngineTuning(job_startup=-1)
+        with pytest.raises(ConfigurationError):
+            EngineTuning(overlap_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            EngineTuning(noise_sigma=-0.1)

@@ -1,0 +1,50 @@
+"""Tests comparing the Hive and Spark engine configurations."""
+
+import pytest
+
+from repro.engines import HiveEngine, SparkEngine
+from repro.sql.parser import parse_select
+
+
+class TestEngineDifferences:
+    def test_spark_faster_on_shuffle_heavy_join(self, small_corpus):
+        plan = parse_select(
+            "SELECT * FROM t8000000_1000 r JOIN t8000000_100 s ON r.a1 = s.a1"
+        )
+        hive = HiveEngine(seed=0, noise_sigma=0.0)
+        spark = SparkEngine(seed=0, noise_sigma=0.0)
+        for spec in small_corpus:
+            hive.load_table(spec)
+            spark.load_table(spec)
+        assert spark.execute(plan).elapsed_seconds < hive.execute(plan).elapsed_seconds
+
+    def test_spark_algorithm_names(self, spark):
+        result = spark.execute(
+            parse_select(
+                "SELECT * FROM t1000000_100 r JOIN t10000_100 s ON r.a1 = s.a1"
+            )
+        )
+        assert result.algorithm == "broadcast_hash_join"
+
+    def test_spark_lower_startup(self):
+        hive = HiveEngine()
+        spark = SparkEngine()
+        assert spark.tuning.job_startup < hive.tuning.job_startup
+
+    def test_engines_have_independent_catalogs(self, small_corpus):
+        hive = HiveEngine()
+        spark = SparkEngine()
+        hive.load_table(next(iter(small_corpus)))
+        assert not spark.has_table(next(iter(small_corpus)).name)
+
+    def test_load_table_relocates_spec(self, small_corpus):
+        hive = HiveEngine(name="hive-x")
+        located = hive.load_table(next(iter(small_corpus)))
+        assert located.location == "hive-x"
+
+    def test_drop_table(self, small_corpus):
+        hive = HiveEngine()
+        spec = next(iter(small_corpus))
+        hive.load_table(spec)
+        hive.drop_table(spec.name)
+        assert not hive.has_table(spec.name)

@@ -1,0 +1,154 @@
+"""Tests for the pipelined MPP engines (Impala, Presto)."""
+
+import pytest
+
+from repro.core import (
+    ClusterInfo,
+    CostEstimationModule,
+    RemoteSystemProfile,
+    SubOpTrainer,
+)
+from repro.data import Catalog, build_paper_corpus
+from repro.engines import HiveEngine, ImpalaEngine, PrestoEngine
+from repro.engines.physical import PipelinedEnv, RelShape
+from repro.sql.parser import parse_select
+
+MIB = 1024**2
+
+
+@pytest.fixture(scope="module")
+def mpp_corpus():
+    return build_paper_corpus(
+        row_counts=(10_000, 1_000_000, 8_000_000), row_sizes=(100, 1000)
+    )
+
+
+@pytest.fixture()
+def impala(mpp_corpus):
+    engine = ImpalaEngine(seed=0, noise_sigma=0.0)
+    for spec in mpp_corpus:
+        engine.load_table(spec)
+    return engine
+
+
+@pytest.fixture()
+def presto(mpp_corpus):
+    engine = PrestoEngine(seed=0, noise_sigma=0.0)
+    for spec in mpp_corpus:
+        engine.load_table(spec)
+    return engine
+
+
+class TestPipelinedEnv:
+    def test_no_waves(self, impala):
+        shape = RelShape(num_rows=80_000_000, row_size=1000)  # 80 GB
+        assert isinstance(impala.env, PipelinedEnv)
+        tasks = impala.env.num_tasks(shape)
+        assert tasks == impala.env.slots
+        assert impala.env.waves(tasks) == 1
+
+    def test_small_input_fewer_fragments(self, impala):
+        shape = RelShape(num_rows=1, row_size=100 * MIB)
+        assert impala.env.num_tasks(shape) == 1
+
+
+class TestExecution:
+    def test_join_algorithm_names(self, impala):
+        small = impala.execute(
+            parse_select(
+                "SELECT * FROM t1000000_100 r JOIN t10000_100 s ON r.a1 = s.a1"
+            )
+        )
+        assert small.algorithm == "broadcast_hash_join"
+        big = impala.execute(
+            parse_select(
+                "SELECT * FROM t8000000_1000 r JOIN t8000000_1000 s ON r.a1 = s.a1"
+            )
+        )
+        assert big.algorithm == "partitioned_hash_join"
+
+    def test_impala_much_faster_than_hive(self, mpp_corpus):
+        plan = parse_select(
+            "SELECT SUM(a1) FROM t8000000_100 GROUP BY a100"
+        )
+        hive = HiveEngine(seed=0, noise_sigma=0.0)
+        impala = ImpalaEngine(seed=0, noise_sigma=0.0)
+        for spec in mpp_corpus:
+            hive.load_table(spec)
+            impala.load_table(spec)
+        assert impala.execute(plan).elapsed_seconds < 0.5 * hive.execute(
+            plan
+        ).elapsed_seconds
+
+    def test_presto_between_hive_and_impala(self, mpp_corpus, presto, impala):
+        plan = parse_select(
+            "SELECT * FROM t8000000_100 r JOIN t1000000_100 s ON r.a1 = s.a1"
+        )
+        hive = HiveEngine(seed=0, noise_sigma=0.0)
+        for spec in mpp_corpus:
+            hive.load_table(spec)
+        hive_s = hive.execute(plan).elapsed_seconds
+        presto_s = presto.execute(plan).elapsed_seconds
+        impala_s = impala.execute(plan).elapsed_seconds
+        assert impala_s < presto_s < hive_s
+
+    def test_tiny_startup(self, impala):
+        result = impala.execute(
+            parse_select("SELECT * FROM t10000_100 WHERE a1 < 100")
+        )
+        assert result.elapsed_seconds < 1.0
+
+
+class TestMppCosting:
+    """End-to-end: sub-op training + costing for a pipelined profile."""
+
+    def test_subop_costing_tracks_impala(self, mpp_corpus, impala):
+        catalog = Catalog()
+        for spec in mpp_corpus:
+            catalog.register(spec)
+        info = ClusterInfo(
+            num_data_nodes=3,
+            cores_per_node=2,
+            dfs_block_size=128 * MIB,
+            pipelined=True,
+        )
+        profile = RemoteSystemProfile(name="impala", cluster=info)
+        profile.costing.join_family = "impala"
+        module = CostEstimationModule()
+        module.register_system(impala, profile)
+        module.train_sub_op("impala")
+
+        plans = [
+            "SELECT * FROM t8000000_100 r JOIN t1000000_100 s ON r.a1 = s.a1",
+            "SELECT * FROM t8000000_1000 r JOIN t8000000_100 s ON r.a1 = s.a1",
+            "SELECT SUM(a1) FROM t8000000_100 GROUP BY a100",
+        ]
+        for sql in plans:
+            plan = parse_select(sql)
+            estimate = module.estimate_plan("impala", plan, catalog)
+            actual = impala.execute(plan)
+            assert estimate.seconds == pytest.approx(
+                actual.elapsed_seconds, rel=0.4
+            ), sql
+
+    def test_algorithm_prediction(self, mpp_corpus, impala):
+        catalog = Catalog()
+        for spec in mpp_corpus:
+            catalog.register(spec)
+        info = ClusterInfo(
+            num_data_nodes=3,
+            cores_per_node=2,
+            dfs_block_size=128 * MIB,
+            pipelined=True,
+        )
+        profile = RemoteSystemProfile(name="impala", cluster=info)
+        profile.costing.join_family = "impala"
+        module = CostEstimationModule()
+        module.register_system(impala, profile)
+        module.train_sub_op("impala")
+        plan = parse_select(
+            "SELECT * FROM t8000000_100 r JOIN t10000_100 s ON r.a1 = s.a1"
+        )
+        estimate = module.estimate_plan("impala", plan, catalog)
+        actual = impala.execute(plan)
+        assert estimate.detail.predicted_algorithm == actual.algorithm

@@ -1,0 +1,278 @@
+"""Tests for physical operator algorithms and cost composition."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.engines.physical import (
+    AggregateContext,
+    BroadcastJoin,
+    BucketMapJoin,
+    CartesianProductJoin,
+    CostAccumulator,
+    ExecutionEnv,
+    HIVE_JOIN_ALGORITHMS,
+    HashAggregate,
+    JoinContext,
+    RelShape,
+    ScanContext,
+    ScanPass,
+    ShuffleJoin,
+    SkewJoin,
+    SortAggregate,
+    SortMergeBucketJoin,
+    SPARK_JOIN_ALGORITHMS,
+)
+from repro.engines.subops import SubOp, hive_kernels
+from repro.exceptions import ConfigurationError
+
+GIB = 1024**3
+MIB = 1024**2
+
+
+@pytest.fixture()
+def env():
+    cluster = Cluster(ClusterConfig(num_data_nodes=3))
+    return ExecutionEnv(cluster, hive_kernels(cluster.per_task_memory))
+
+
+def make_join_ctx(env, big_rows=1_000_000, small_rows=10_000, row_size=100, **kw):
+    return JoinContext(
+        env=env,
+        big=RelShape(num_rows=big_rows, row_size=row_size, **kw.pop("big_kw", {})),
+        small=RelShape(
+            num_rows=small_rows, row_size=row_size, **kw.pop("small_kw", {})
+        ),
+        join_column_big="a1",
+        join_column_small="a1",
+        output_rows=small_rows,
+        output_row_size=2 * row_size,
+        **kw,
+    )
+
+
+class TestRelShape:
+    def test_total_bytes(self):
+        assert RelShape(num_rows=10, row_size=100).total_bytes == 1000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RelShape(num_rows=-1, row_size=100)
+        with pytest.raises(ConfigurationError):
+            RelShape(num_rows=1, row_size=0)
+
+
+class TestExecutionEnv:
+    def test_num_tasks_per_block(self, env):
+        shape = RelShape(num_rows=1, row_size=300 * MIB)
+        assert env.num_tasks(shape) == 3
+
+    def test_block_rows(self, env):
+        shape = RelShape(num_rows=4_000_000, row_size=128)
+        tasks = env.num_tasks(shape)
+        assert env.block_rows(shape) == pytest.approx(4_000_000 / tasks, rel=0.01)
+
+    def test_empty_shape(self, env):
+        shape = RelShape(num_rows=0, row_size=100)
+        assert env.num_tasks(shape) == 0
+        assert env.block_rows(shape) == 0
+
+
+class TestCostAccumulator:
+    def test_accumulates_by_label(self, env):
+        acc = CostAccumulator(env)
+        acc.add(SubOp.READ_DFS, 1000, 100)
+        acc.add(SubOp.READ_DFS, 1000, 100)
+        assert acc.breakdown["read_dfs"] == pytest.approx(2 * acc.total / 2)
+        assert len(acc.breakdown) == 1
+
+    def test_zero_records_ignored(self, env):
+        acc = CostAccumulator(env)
+        acc.add(SubOp.READ_DFS, 0, 100)
+        assert acc.total == 0.0
+        assert acc.breakdown == {}
+
+    def test_repeat_multiplies(self, env):
+        one = CostAccumulator(env)
+        one.add(SubOp.SCAN, 100, 100)
+        five = CostAccumulator(env)
+        five.add(SubOp.SCAN, 100, 100, repeat=5)
+        assert five.total == pytest.approx(5 * one.total)
+
+
+class TestBroadcastJoin:
+    def test_applicable_when_small_fits(self, env):
+        ctx = make_join_ctx(env, small_rows=10_000)
+        assert BroadcastJoin().applicable(ctx)
+
+    def test_not_applicable_when_small_spills(self, env):
+        big_small = env.kernels.hash_build.memory_budget // 100 + 1
+        ctx = make_join_ctx(env, small_rows=big_small, row_size=100)
+        assert not BroadcastJoin().applicable(ctx)
+
+    def test_cost_structure_matches_fig6(self, env):
+        """The breakdown must contain exactly the Fig. 6 sub-ops."""
+        ctx = make_join_ctx(env)
+        breakdown = BroadcastJoin().cost(ctx).breakdown
+        assert set(breakdown) == {
+            "read_dfs",
+            "broadcast",
+            "read_local",
+            "hash_build",
+            "hash_probe",
+            "write_dfs",
+        }
+
+    def test_cost_grows_with_big_side(self, env):
+        small = BroadcastJoin().cost(make_join_ctx(env, big_rows=1_000_000)).total
+        large = BroadcastJoin().cost(make_join_ctx(env, big_rows=8_000_000)).total
+        assert large > small
+
+
+class TestShuffleJoin:
+    def test_always_applicable_for_equi(self, env):
+        assert ShuffleJoin().applicable(make_join_ctx(env))
+        assert not ShuffleJoin().applicable(make_join_ctx(env, is_equi=False))
+
+    def test_includes_shuffle_and_sort(self, env):
+        breakdown = ShuffleJoin().cost(make_join_ctx(env)).breakdown
+        assert "shuffle" in breakdown
+        assert "sort" in breakdown
+        assert "rec_merge" in breakdown
+
+    def test_more_expensive_than_broadcast_for_small_s(self, env):
+        """With a tiny S, broadcasting beats shuffling everything."""
+        ctx = make_join_ctx(env, big_rows=8_000_000, small_rows=10_000)
+        assert ShuffleJoin().cost(ctx).total > BroadcastJoin().cost(ctx).total
+
+
+class TestBucketJoins:
+    def test_bucket_map_needs_partitioning(self, env):
+        plain = make_join_ctx(env)
+        assert not BucketMapJoin().applicable(plain)
+        bucketed = make_join_ctx(
+            env,
+            big_kw={"partitioned_by": "a1"},
+            small_kw={"partitioned_by": "a1"},
+        )
+        assert BucketMapJoin().applicable(bucketed)
+
+    def test_smb_needs_sorting_too(self, env):
+        bucketed = make_join_ctx(
+            env,
+            big_kw={"partitioned_by": "a1"},
+            small_kw={"partitioned_by": "a1"},
+        )
+        assert not SortMergeBucketJoin().applicable(bucketed)
+        sorted_ctx = make_join_ctx(
+            env,
+            big_kw={"partitioned_by": "a1", "sorted_by": "a1"},
+            small_kw={"partitioned_by": "a1", "sorted_by": "a1"},
+        )
+        assert SortMergeBucketJoin().applicable(sorted_ctx)
+
+    def test_smb_cheapest_on_aligned_data(self, env):
+        ctx = make_join_ctx(
+            env,
+            big_rows=8_000_000,
+            small_rows=4_000_000,
+            big_kw={"partitioned_by": "a1", "sorted_by": "a1"},
+            small_kw={"partitioned_by": "a1", "sorted_by": "a1"},
+        )
+        smb = SortMergeBucketJoin().cost(ctx).total
+        shuffle = ShuffleJoin().cost(ctx).total
+        assert smb < shuffle
+
+
+class TestSkewJoin:
+    def test_only_for_skewed_keys(self, env):
+        assert not SkewJoin().applicable(make_join_ctx(env))
+        assert SkewJoin().applicable(make_join_ctx(env, skewed=True))
+
+    def test_costs_more_than_shuffle(self, env):
+        ctx = make_join_ctx(env, skewed=True)
+        assert SkewJoin().cost(ctx).total > ShuffleJoin().cost(ctx).total
+
+
+class TestNonEquiJoins:
+    def test_cartesian_only_non_equi(self, env):
+        assert not CartesianProductJoin().applicable(make_join_ctx(env))
+        assert CartesianProductJoin().applicable(make_join_ctx(env, is_equi=False))
+
+    def test_cartesian_explodes_with_inputs(self, env):
+        small = CartesianProductJoin().cost(
+            make_join_ctx(env, big_rows=10_000, small_rows=1_000, is_equi=False)
+        )
+        large = CartesianProductJoin().cost(
+            make_join_ctx(env, big_rows=100_000, small_rows=1_000, is_equi=False)
+        )
+        assert large.total > 5 * small.total
+
+
+class TestAggregation:
+    def test_hash_agg_applicability(self, env):
+        small = AggregateContext(
+            env=env,
+            input=RelShape(num_rows=1_000_000, row_size=100),
+            num_groups=1000,
+            output_row_size=12,
+        )
+        assert HashAggregate().applicable(small)
+        huge = AggregateContext(
+            env=env,
+            input=RelShape(num_rows=1_000_000, row_size=100),
+            num_groups=env.kernels.hash_build.memory_budget,
+            output_row_size=12,
+        )
+        assert not HashAggregate().applicable(huge)
+
+    def test_sort_agg_always_applicable(self, env):
+        ctx = AggregateContext(
+            env=env,
+            input=RelShape(num_rows=1000, row_size=100),
+            num_groups=10,
+            output_row_size=12,
+        )
+        assert SortAggregate().applicable(ctx)
+
+    def test_hash_cheaper_when_few_groups(self, env):
+        ctx = AggregateContext(
+            env=env,
+            input=RelShape(num_rows=4_000_000, row_size=100),
+            num_groups=100,
+            output_row_size=12,
+        )
+        assert HashAggregate().cost(ctx).total < SortAggregate().cost(ctx).total
+
+
+class TestScanPass:
+    def test_breakdown(self, env):
+        ctx = ScanContext(
+            env=env,
+            input=RelShape(num_rows=1_000_000, row_size=100),
+            output_rows=100_000,
+            output_row_size=8,
+        )
+        breakdown = ScanPass().cost(ctx).breakdown
+        assert set(breakdown) == {"read_dfs", "scan", "write_dfs"}
+
+
+class TestAlgorithmRosters:
+    def test_hive_has_five_join_algorithms(self):
+        names = [a.name for a in HIVE_JOIN_ALGORITHMS]
+        assert names == [
+            "sort_merge_bucket_join",
+            "bucket_map_join",
+            "broadcast_join",
+            "skew_join",
+            "shuffle_join",
+        ]
+
+    def test_spark_has_five_join_algorithms(self):
+        names = [a.name for a in SPARK_JOIN_ALGORITHMS]
+        assert names == [
+            "broadcast_hash_join",
+            "shuffle_hash_join",
+            "sort_merge_join",
+            "broadcast_nested_loop_join",
+            "cartesian_product_join",
+        ]

@@ -1,0 +1,97 @@
+"""Tests for the engine-internal physical planner."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.engines.physical import (
+    AggregateContext,
+    ExecutionEnv,
+    HIVE_JOIN_ALGORITHMS,
+    JoinContext,
+    RelShape,
+)
+from repro.engines.planner import PhysicalPlanner
+from repro.engines.subops import hive_kernels
+from repro.exceptions import PlanningError
+
+
+@pytest.fixture()
+def env():
+    cluster = Cluster(ClusterConfig(num_data_nodes=3))
+    return ExecutionEnv(cluster, hive_kernels(cluster.per_task_memory))
+
+
+@pytest.fixture()
+def planner():
+    return PhysicalPlanner(HIVE_JOIN_ALGORITHMS)
+
+
+def ctx_for(env, small_rows, row_size=100, **kw):
+    return JoinContext(
+        env=env,
+        big=RelShape(num_rows=10_000_000, row_size=row_size, **kw.pop("big_kw", {})),
+        small=RelShape(num_rows=small_rows, row_size=row_size, **kw.pop("small_kw", {})),
+        join_column_big="a1",
+        join_column_small="a1",
+        output_rows=small_rows,
+        output_row_size=row_size,
+        **kw,
+    )
+
+
+class TestJoinChoice:
+    def test_small_side_broadcast(self, env, planner):
+        assert planner.choose_join(ctx_for(env, 10_000)).name == "broadcast_join"
+
+    def test_large_small_side_shuffles(self, env, planner):
+        too_big = env.kernels.hash_build.memory_budget // 100 * 2
+        assert planner.choose_join(ctx_for(env, too_big)).name == "shuffle_join"
+
+    def test_bucketed_beats_broadcast(self, env, planner):
+        ctx = ctx_for(
+            env,
+            10_000,
+            big_kw={"partitioned_by": "a1"},
+            small_kw={"partitioned_by": "a1"},
+        )
+        assert planner.choose_join(ctx).name == "bucket_map_join"
+
+    def test_sorted_buckets_win_overall(self, env, planner):
+        ctx = ctx_for(
+            env,
+            10_000,
+            big_kw={"partitioned_by": "a1", "sorted_by": "a1"},
+            small_kw={"partitioned_by": "a1", "sorted_by": "a1"},
+        )
+        assert planner.choose_join(ctx).name == "sort_merge_bucket_join"
+
+    def test_no_algorithm_raises(self, env):
+        planner = PhysicalPlanner(HIVE_JOIN_ALGORITHMS[:1])  # SMB only
+        with pytest.raises(PlanningError):
+            planner.choose_join(ctx_for(env, 1000))
+
+
+class TestAggregateChoice:
+    def test_hash_when_groups_fit(self, env, planner):
+        ctx = AggregateContext(
+            env=env,
+            input=RelShape(num_rows=1_000_000, row_size=100),
+            num_groups=100,
+            output_row_size=12,
+        )
+        assert planner.choose_aggregate(ctx).name == "hash_aggregate"
+
+    def test_sort_when_groups_spill(self, env, planner):
+        ctx = AggregateContext(
+            env=env,
+            input=RelShape(num_rows=1_000_000, row_size=100),
+            num_groups=env.kernels.hash_build.memory_budget,
+            output_row_size=16,
+        )
+        assert planner.choose_aggregate(ctx).name == "sort_aggregate"
+
+
+class TestValidation:
+    def test_empty_roster_rejected(self):
+        with pytest.raises(PlanningError):
+            PhysicalPlanner(())

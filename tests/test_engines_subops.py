@@ -1,0 +1,125 @@
+"""Tests for the ground-truth sub-operator kernels."""
+
+import pytest
+
+from repro.engines.subops import (
+    KernelSet,
+    SUBOP_NOTATION,
+    SubOp,
+    SubOpKernel,
+    TwoRegimeKernel,
+    hive_kernels,
+    spark_kernels,
+)
+from repro.exceptions import ConfigurationError
+
+GIB = 1024**3
+
+
+class TestSubOpEnum:
+    def test_basic_categorization(self):
+        assert SubOp.READ_DFS.is_basic
+        assert SubOp.BROADCAST.is_basic
+        assert not SubOp.SORT.is_basic
+        assert not SubOp.HASH_BUILD.is_basic
+
+    def test_notation_covers_all(self):
+        assert set(SUBOP_NOTATION) == set(SubOp)
+        assert SUBOP_NOTATION[SubOp.READ_DFS] == "rD"
+        assert SUBOP_NOTATION[SubOp.HASH_BUILD] == "hI"
+
+
+class TestSubOpKernel:
+    def test_linear_cost(self):
+        kernel = SubOpKernel(slope=0.01, intercept=1.0)
+        assert kernel.per_record_us(100) == pytest.approx(2.0)
+
+    def test_total_seconds(self):
+        kernel = SubOpKernel(slope=0.0, intercept=1.0)
+        assert kernel.total_seconds(1_000_000, 100) == pytest.approx(1.0)
+
+    def test_negative_intercept_clamped_to_zero_cost(self):
+        kernel = SubOpKernel(slope=0.1, intercept=-100.0)
+        assert kernel.per_record_us(10) == 0.0
+
+    def test_rejects_negative_slope(self):
+        with pytest.raises(ConfigurationError):
+            SubOpKernel(slope=-0.1, intercept=0.0)
+
+    def test_rejects_bad_record_size(self):
+        with pytest.raises(ConfigurationError):
+            SubOpKernel(slope=0.1, intercept=0.0).per_record_us(0)
+
+    def test_zero_records_zero_seconds(self):
+        kernel = SubOpKernel(slope=0.1, intercept=1.0)
+        assert kernel.total_seconds(0, 100) == 0.0
+
+
+class TestTwoRegimeKernel:
+    @pytest.fixture()
+    def kernel(self):
+        return TwoRegimeKernel(
+            in_memory=SubOpKernel(slope=0.01, intercept=1.0),
+            spilling=SubOpKernel(slope=0.1, intercept=0.0),
+            memory_budget=GIB,
+        )
+
+    def test_regime_switch(self, kernel):
+        fits = kernel.per_record_us(100, workspace_bytes=GIB)
+        spills = kernel.per_record_us(100, workspace_bytes=GIB + 1)
+        assert fits == pytest.approx(2.0)
+        assert spills == pytest.approx(10.0)
+        assert spills > fits
+
+    def test_fits_predicate(self, kernel):
+        assert kernel.fits(GIB)
+        assert not kernel.fits(GIB + 1)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            TwoRegimeKernel(
+                in_memory=SubOpKernel(0.0, 1.0),
+                spilling=SubOpKernel(0.0, 1.0),
+                memory_budget=0,
+            )
+
+
+class TestKernelSets:
+    def test_hive_matches_paper_fits(self):
+        kernels = hive_kernels(per_task_memory=2 * GIB)
+        read = kernels.kernel(SubOp.READ_DFS)
+        assert read.slope == pytest.approx(0.0041)
+        assert read.intercept == pytest.approx(0.6323)
+        write = kernels.kernel(SubOp.WRITE_DFS)
+        assert write.slope == pytest.approx(0.0314)
+
+    def test_hash_build_via_property(self):
+        kernels = hive_kernels(per_task_memory=GIB)
+        with pytest.raises(ConfigurationError):
+            kernels.kernel(SubOp.HASH_BUILD)
+        assert kernels.hash_build.memory_budget == GIB
+
+    def test_seconds_dispatch(self):
+        kernels = hive_kernels(per_task_memory=GIB)
+        assert kernels.seconds(SubOp.READ_DFS, 0, 100) == 0.0
+        assert kernels.seconds(SubOp.READ_DFS, 1000, 100) > 0
+        in_mem = kernels.seconds(SubOp.HASH_BUILD, 1000, 100, workspace_bytes=10)
+        spill = kernels.seconds(
+            SubOp.HASH_BUILD, 1000, 1000, workspace_bytes=2 * GIB
+        )
+        assert spill > in_mem
+
+    def test_spark_cheaper_shuffle_than_hive(self):
+        hive = hive_kernels(per_task_memory=GIB)
+        spark = spark_kernels(per_task_memory=GIB)
+        assert (
+            spark.kernel(SubOp.SHUFFLE).per_record_us(500)
+            < hive.kernel(SubOp.SHUFFLE).per_record_us(500)
+        )
+
+    def test_missing_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelSet(
+                kernels={SubOp.READ_DFS: SubOpKernel(0.0, 1.0)},
+                hash_build=hive_kernels(GIB).hash_build,
+            )

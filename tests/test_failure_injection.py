@@ -1,0 +1,177 @@
+"""Failure-injection tests: stragglers in the remote system.
+
+Real clusters have slow tasks, GC pauses, and contended nodes.  The
+engine's straggler injection makes a configurable fraction of queries
+take several times longer, and these tests check the costing stack's
+robustness: estimation stays calibrated on the healthy majority, the
+drift monitor tolerates isolated stragglers but catches an epidemic,
+and offline tuning is not derailed by a contaminated log.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusterInfo,
+    CostEstimationModule,
+    RemoteSystemProfile,
+    SubOpTrainer,
+)
+from repro.data import Catalog, build_paper_corpus
+from repro.engines import HiveEngine
+from repro.engines.execution import EngineTuning
+from repro.exceptions import ConfigurationError
+from repro.sql.parser import parse_select
+
+
+def straggling_engine(probability, corpus, seed=0, factor=3.0):
+    engine = HiveEngine(
+        seed=seed,
+        tuning=EngineTuning(
+            straggler_probability=probability, straggler_factor=factor
+        ),
+    )
+    for spec in corpus:
+        engine.load_table(spec)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_paper_corpus(
+        row_counts=(100_000, 1_000_000, 4_000_000), row_sizes=(100, 1000)
+    )
+
+
+@pytest.fixture(scope="module")
+def catalog(corpus):
+    cat = Catalog()
+    for spec in corpus:
+        cat.register(spec)
+    return cat
+
+
+class TestInjectionMechanics:
+    def test_straggler_rate_matches_probability(self, corpus):
+        engine = straggling_engine(0.2, corpus, seed=1)
+        plan = parse_select("SELECT SUM(a1) FROM t1000000_100 GROUP BY a100")
+        baseline = HiveEngine(seed=99, noise_sigma=0.0)
+        for spec in corpus:
+            baseline.load_table(spec)
+        healthy = baseline.execute(plan).elapsed_seconds
+        hits = sum(
+            engine.execute(plan).elapsed_seconds > 2.0 * healthy
+            for _ in range(200)
+        )
+        assert 20 <= hits <= 60  # ~200 * 0.2, with noise slack
+
+    def test_zero_probability_never_straggles(self, corpus):
+        engine = straggling_engine(0.0, corpus, seed=1)
+        plan = parse_select("SELECT SUM(a1) FROM t1000000_100 GROUP BY a100")
+        times = [engine.execute(plan).elapsed_seconds for _ in range(50)]
+        assert max(times) < 1.3 * min(times)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EngineTuning(straggler_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            EngineTuning(straggler_factor=0.5)
+
+
+class TestCostingRobustness:
+    def test_estimates_stay_calibrated_on_majority(self, corpus, catalog):
+        """Sub-op training under 5% stragglers still yields estimates
+        tracking the healthy execution time."""
+        engine = straggling_engine(0.05, corpus, seed=2)
+        module = CostEstimationModule()
+        module.register_system(
+            engine,
+            RemoteSystemProfile(
+                name="hive",
+                cluster=ClusterInfo(
+                    num_data_nodes=3,
+                    cores_per_node=2,
+                    dfs_block_size=128 * 1024 * 1024,
+                ),
+            ),
+        )
+        module.train_sub_op("hive")
+
+        baseline = HiveEngine(seed=99, noise_sigma=0.0)
+        for spec in corpus:
+            baseline.load_table(spec)
+        plan = parse_select(
+            "SELECT * FROM t4000000_100 r JOIN t1000000_100 s ON r.a1 = s.a1"
+        )
+        estimate = module.estimate_plan("hive", plan, catalog)
+        healthy = baseline.execute(plan).elapsed_seconds
+        assert estimate.seconds == pytest.approx(healthy, rel=0.5)
+
+    def test_drift_monitor_tolerates_isolated_stragglers(self, corpus, catalog):
+        """5% stragglers are business as usual — no drift alarm."""
+        engine = straggling_engine(0.05, corpus, seed=3)
+        module = CostEstimationModule()
+        module.register_system(
+            engine,
+            RemoteSystemProfile(
+                name="hive",
+                cluster=ClusterInfo(
+                    num_data_nodes=3,
+                    cores_per_node=2,
+                    dfs_block_size=128 * 1024 * 1024,
+                ),
+            ),
+        )
+        module.train_sub_op("hive")
+        plans = [
+            parse_select(
+                f"SELECT * FROM t4000000_{size} r JOIN t1000000_{size} s "
+                "ON r.a1 = s.a1"
+            )
+            for size in (100, 1000)
+        ]
+        for _ in range(60):
+            for plan in plans:
+                estimate = module.estimate_plan("hive", plan, catalog)
+                actual = engine.execute(plan).elapsed_seconds
+                module.record_actual("hive", estimate, actual)
+        assert not module.drift_report("hive").drifted
+
+    def test_drift_monitor_catches_straggler_epidemic(self, corpus, catalog):
+        """When most queries straggle (an overloaded cluster), that IS a
+        behaviour change and must be flagged."""
+        engine = straggling_engine(0.05, corpus, seed=4)
+        module = CostEstimationModule()
+        module.register_system(
+            engine,
+            RemoteSystemProfile(
+                name="hive",
+                cluster=ClusterInfo(
+                    num_data_nodes=3,
+                    cores_per_node=2,
+                    dfs_block_size=128 * 1024 * 1024,
+                ),
+            ),
+        )
+        module.train_sub_op("hive")
+        plan = parse_select(
+            "SELECT * FROM t4000000_100 r JOIN t1000000_100 s ON r.a1 = s.a1"
+        )
+        for _ in range(40):
+            estimate = module.estimate_plan("hive", plan, catalog)
+            module.record_actual(
+                "hive", estimate, engine.execute(plan).elapsed_seconds
+            )
+        assert not module.drift_report("hive").drifted
+
+        epidemic = straggling_engine(0.8, corpus, seed=5, factor=3.0)
+        drifted = False
+        for _ in range(60):
+            estimate = module.estimate_plan("hive", plan, catalog)
+            module.record_actual(
+                "hive", estimate, epidemic.execute(plan).elapsed_seconds
+            )
+            if module.drift_report("hive").drifted:
+                drifted = True
+                break
+        assert drifted

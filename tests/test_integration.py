@@ -1,0 +1,239 @@
+"""End-to-end integration scenarios across the whole stack.
+
+These tests run the paper's full pipeline at reduced scale: train both
+costing approaches against the simulated Hive system, estimate unseen
+queries, exercise the out-of-range remedy/tuning loop, and drive the
+federation facade.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusterInfo,
+    CostEstimationModule,
+    CostingApproach,
+    LogicalOpModel,
+    OperatorKind,
+    RemoteSystemProfile,
+    SubOpTrainer,
+)
+from repro.data import Catalog, build_paper_corpus
+from repro.engines import HiveEngine
+from repro.master.federation import IntelliSphere
+from repro.ml.metrics import r_squared, rmse_percent
+from repro.workloads import AggregationWorkload, JoinWorkload
+
+COUNTS = (10_000, 100_000, 1_000_000, 4_000_000, 8_000_000)
+SIZES = (40, 100, 250, 1000)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    corpus = build_paper_corpus(row_counts=COUNTS, row_sizes=SIZES)
+    engine = HiveEngine(seed=11)  # noisy, as in reality
+    catalog = Catalog()
+    for spec in corpus:
+        engine.load_table(spec)
+        catalog.register(spec)
+    info = ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+    module = CostEstimationModule()
+    module.register_system(
+        engine, RemoteSystemProfile(name="hive", cluster=info)
+    )
+    return corpus, engine, catalog, module
+
+
+class TestSubOpPipeline:
+    def test_join_estimates_track_actuals(self, stack):
+        corpus, engine, catalog, module = stack
+        module.train_sub_op("hive")
+        workload = JoinWorkload(
+            corpus, row_counts=COUNTS[:4], row_sizes=(100, 1000), max_queries=24
+        )
+        estimates, actuals, predicted, chosen = [], [], [], []
+        for query in workload.training_queries(catalog):
+            estimate = module.estimate_plan("hive", query.plan, catalog)
+            result = engine.execute(query.plan)
+            estimates.append(estimate.seconds)
+            actuals.append(result.elapsed_seconds)
+            predicted.append(estimate.detail.predicted_algorithm)
+            chosen.append(result.algorithm)
+        estimates, actuals = np.asarray(estimates), np.asarray(actuals)
+        assert r_squared(actuals, estimates) > 0.9
+        # Slight overestimation trend (Fig. 13(g)).
+        assert 1.0 <= float(np.mean(estimates / actuals)) < 1.25
+        # Algorithm prediction via applicability rules is near-perfect.
+        matches = sum(p == c for p, c in zip(predicted, chosen))
+        assert matches >= len(predicted) - 2
+
+
+class TestLogicalOpPipeline:
+    def test_aggregation_model_generalizes(self, stack):
+        corpus, engine, catalog, module = stack
+        workload = AggregationWorkload(corpus, max_queries=240)
+        queries = workload.training_queries(catalog)
+        train, held_out = queries[:200], queries[200:]
+        module.train_logical_op(
+            "hive",
+            OperatorKind.AGGREGATE,
+            train,
+            model=LogicalOpModel(
+                OperatorKind.AGGREGATE,
+                search_topology=False,
+                nn_iterations=6000,
+                seed=0,
+            ),
+        )
+        module.profile("hive").approach = CostingApproach.LOGICAL_OP
+        module._systems["hive"].estimator = None
+
+        estimates, actuals = [], []
+        for query in held_out:
+            estimate = module.estimate_plan("hive", query.plan, catalog)
+            actuals.append(engine.execute(query.plan).elapsed_seconds)
+            estimates.append(estimate.seconds)
+        error = rmse_percent(np.asarray(actuals), np.asarray(estimates))
+        assert error < 40.0
+
+    def test_training_cost_dwarfs_subop_training(self, stack):
+        """§4/§7: at paper scale the logical-op training workload costs
+        the remote system an order of magnitude more time than the
+        sub-op measurement protocol."""
+        corpus, engine, catalog, module = stack
+        subop_seconds = module.train_sub_op("hive").remote_training_seconds
+        workload = AggregationWorkload(corpus, max_queries=1000)
+        report = module.train_logical_op(
+            "hive",
+            OperatorKind.AGGREGATE,
+            workload.training_queries(catalog),
+            model=LogicalOpModel(
+                OperatorKind.AGGREGATE,
+                search_topology=False,
+                nn_iterations=200,
+                seed=0,
+            ),
+        )
+        assert report.remote_training_seconds > 5 * subop_seconds
+
+
+class TestOutOfRangeLoop:
+    def test_remedy_and_tuning_improve_oor_estimates(self, stack):
+        corpus, engine, catalog, module = stack
+        # Train on joins up to 1M rows only.
+        workload = JoinWorkload(
+            corpus,
+            row_counts=(10_000, 100_000, 1_000_000),
+            row_sizes=(100, 1000),
+            max_queries=150,
+        )
+        model = LogicalOpModel(
+            OperatorKind.JOIN, search_topology=False, nn_iterations=6000, seed=0
+        )
+        module.train_logical_op(
+            "hive", OperatorKind.JOIN, workload.training_queries(catalog), model=model
+        )
+
+        # Out-of-range queries: the big side jumps to 8M rows while the
+        # small side stays within the trained range, keeping the engine's
+        # algorithm regime continuous with the training data (as in the
+        # paper's Fig. 14 setup, where record sizes stay in range).
+        from repro.workloads import OutOfRangeWorkload
+
+        oor = OutOfRangeWorkload(
+            corpus,
+            big_rows=8_000_000,
+            small_rows=(100_000,),
+            row_sizes=(100, 1000),
+            selectivities=(1.0, 0.5, 0.25),
+        )
+        queries = oor.training_queries(catalog)
+        actuals = np.asarray(
+            [engine.execute(q.plan).elapsed_seconds for q in queries]
+        )
+        nn_only = np.asarray(
+            [model.estimate_nn_only(q.features) for q in queries]
+        )
+        remedied = np.asarray([model.estimate(q.features).seconds for q in queries])
+
+        nn_error = rmse_percent(actuals, nn_only)
+        remedy_error = rmse_percent(actuals, remedied)
+        assert remedy_error < nn_error  # Fig. 14: remedy beats raw NN
+
+        # Offline tuning: log 70%, tune, re-test the rest (§7).
+        split = int(0.7 * len(queries))
+        for query, actual in zip(queries[:split], actuals[:split]):
+            estimate = model.estimate(query.features)
+            model.record_actual(estimate, actual)
+        model.run_offline_tuning()
+        tuned = np.asarray(
+            [model.estimate(q.features).seconds for q in queries[split:]]
+        )
+        tuned_error = rmse_percent(actuals[split:], tuned)
+        pre_tuning_error = rmse_percent(actuals[split:], remedied[split:])
+        assert tuned_error < pre_tuning_error
+
+
+class TestFederationEndToEnd:
+    def test_full_query_lifecycle(self):
+        sphere = IntelliSphere(seed=0)
+        hive = HiveEngine(seed=0, noise_sigma=0.0)
+        info = ClusterInfo(
+            num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+        )
+        sphere.add_remote_system(
+            hive, RemoteSystemProfile(name="hive", cluster=info)
+        )
+        for spec in build_paper_corpus(
+            row_counts=(10_000, 1_000_000, 8_000_000), row_sizes=(40, 100)
+        ):
+            sphere.add_table(spec)
+        sphere.costing.train_sub_op("hive")
+
+        result = sphere.run(
+            "SELECT SUM(a1) FROM t8000000_100 r JOIN t1000000_100 s "
+            "ON r.a1 = s.a1 GROUP BY a5"
+        )
+        assert result.observed_seconds > 0
+        assert result.placement.best.steps
+        assert result.estimated_seconds == pytest.approx(
+            result.observed_seconds, rel=0.5
+        )
+
+
+class TestSparkSubOpPipeline:
+    def test_spark_estimates_track_actuals(self):
+        """The §1 claim that extensions to other systems 'follow the same
+        methodology': the identical trainer + spark formulas calibrate a
+        Spark system."""
+        from repro.engines import SparkEngine
+
+        corpus = build_paper_corpus(
+            row_counts=(100_000, 1_000_000, 4_000_000), row_sizes=(100, 1000)
+        )
+        engine = SparkEngine(seed=13)
+        catalog = Catalog()
+        for spec in corpus:
+            engine.load_table(spec)
+            catalog.register(spec)
+        info = ClusterInfo(
+            num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+        )
+        profile = RemoteSystemProfile(name="spark", cluster=info)
+        profile.costing.join_family = "spark"
+        module = CostEstimationModule()
+        module.register_system(engine, profile)
+        module.train_sub_op("spark")
+
+        workload = JoinWorkload(corpus, row_sizes=(100, 1000), max_queries=16)
+        estimates, actuals, matches = [], [], 0
+        for query in workload.training_queries(catalog):
+            estimate = module.estimate_plan("spark", query.plan, catalog)
+            result = engine.execute(query.plan)
+            estimates.append(estimate.seconds)
+            actuals.append(result.elapsed_seconds)
+            matches += estimate.detail.predicted_algorithm == result.algorithm
+        assert rmse_percent(np.asarray(actuals), np.asarray(estimates)) < 30
+        assert matches >= len(estimates) - 2

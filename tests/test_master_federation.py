@@ -1,0 +1,136 @@
+"""Tests for the IntelliSphere federation facade."""
+
+import pytest
+
+from repro.core import (
+    ClusterInfo,
+    RemoteSystemProfile,
+    SubOpTrainer,
+)
+from repro.data import TableSpec, build_paper_corpus
+from repro.data.schema import paper_schema
+from repro.engines import HiveEngine
+from repro.exceptions import CatalogError, ConfigurationError
+from repro.master.federation import IntelliSphere
+from repro.master.querygrid import TERADATA
+
+
+@pytest.fixture(scope="module")
+def sphere():
+    sphere = IntelliSphere(seed=0)
+    hive = HiveEngine(seed=0, noise_sigma=0.0)
+    info = ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+    sphere.add_remote_system(hive, RemoteSystemProfile(name="hive", cluster=info))
+    corpus = build_paper_corpus(
+        row_counts=(10_000, 1_000_000, 8_000_000), row_sizes=(40, 100)
+    )
+    for spec in corpus:
+        sphere.add_table(spec)
+    sphere.add_table(
+        TableSpec(
+            name="td_users",
+            schema=paper_schema(100),
+            num_rows=50_000,
+            location=TERADATA,
+        )
+    )
+    sphere.costing.train_sub_op(
+        "hive", SubOpTrainer(record_counts=(1_000_000, 2_000_000))
+    )
+    return sphere
+
+
+class TestRegistration:
+    def test_reserved_master_name(self):
+        sphere = IntelliSphere()
+        engine = HiveEngine(name=TERADATA)
+        info = ClusterInfo(
+            num_data_nodes=1, cores_per_node=1, dfs_block_size=1024
+        )
+        with pytest.raises(ConfigurationError):
+            sphere.add_remote_system(
+                engine, RemoteSystemProfile(name=TERADATA, cluster=info)
+            )
+
+    def test_table_on_unregistered_system_rejected(self):
+        sphere = IntelliSphere()
+        spec = TableSpec(
+            name="x", schema=paper_schema(40), num_rows=1, location="ghost"
+        )
+        with pytest.raises(CatalogError):
+            sphere.add_table(spec)
+
+    def test_tables_mirrored_to_master(self, sphere):
+        assert sphere.teradata_engine.has_table("t10000_40")
+        assert sphere.catalog.table("t10000_40").location == "hive"
+
+    def test_remote_names(self, sphere):
+        assert sphere.remote_system_names == ("hive",)
+
+
+class TestExplainAndRun:
+    def test_explain_sql_string(self, sphere):
+        placement = sphere.explain(
+            "SELECT r.a1 FROM t8000000_100 r JOIN t1000000_100 s ON r.a1 = s.a1"
+        )
+        assert placement.best.seconds > 0
+        assert placement.alternatives
+
+    def test_run_produces_observed_times(self, sphere):
+        result = sphere.run(
+            "SELECT r.a1 FROM t8000000_100 r JOIN t1000000_100 s ON r.a1 = s.a1"
+        )
+        assert result.observed_seconds > 0
+        assert result.estimated_seconds > 0
+        # The estimate should be in the right ballpark of observation.
+        assert result.estimated_seconds == pytest.approx(
+            result.observed_seconds, rel=0.5
+        )
+
+    def test_run_step_accounting(self, sphere):
+        result = sphere.run("SELECT SUM(a1) FROM t1000000_100 GROUP BY a100")
+        total = sum(s.observed_seconds for s in result.steps)
+        assert total == pytest.approx(result.observed_seconds)
+
+    def test_teradata_placed_query_runs_on_master_engine(self, sphere):
+        result = sphere.run(
+            "SELECT r.a1 FROM t10000_40 r JOIN td_users s ON r.a1 = s.a1"
+        )
+        execute_steps = [
+            s for s in result.steps if s.description.startswith("join")
+        ]
+        assert execute_steps
+        assert execute_steps[0].system == TERADATA
+
+
+class TestCapabilityRestrictedSystems:
+    def test_no_join_system_forces_master_placement(self):
+        """§2: a remote system may not support joins; the optimizer must
+        route the join elsewhere even though the data lives there."""
+        from repro.engines.base import EngineCapabilities
+
+        sphere = IntelliSphere(seed=0)
+        info = ClusterInfo(
+            num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+        )
+        limited = HiveEngine(seed=0, noise_sigma=0.0)
+        limited.capabilities = EngineCapabilities(join=False)
+        sphere.add_remote_system(
+            limited, RemoteSystemProfile(name="hive", cluster=info)
+        )
+        for spec in build_paper_corpus(
+            row_counts=(100_000, 1_000_000), row_sizes=(100,)
+        ):
+            sphere.add_table(spec)
+        sphere.costing.train_sub_op(
+            "hive", SubOpTrainer(record_counts=(1_000_000, 2_000_000))
+        )
+        placement = sphere.explain(
+            "SELECT r.a1 FROM t1000000_100 r JOIN t100000_100 s ON r.a1 = s.a1"
+        )
+        execute_steps = [s for s in placement.best.steps if s.kind == "execute"]
+        assert all(step.system == TERADATA for step in execute_steps)
+        # Only the master appears among the alternatives for the join.
+        assert {opt.location for opt in placement.alternatives} == {TERADATA}

@@ -1,0 +1,135 @@
+"""Tests for the cost-based placement optimizer."""
+
+import pytest
+
+from repro.core import (
+    CostEstimationModule,
+    RemoteSystemProfile,
+    SubOpTrainer,
+)
+from repro.data import Catalog, TableSpec, build_paper_corpus
+from repro.data.schema import paper_schema
+from repro.engines import HiveEngine
+from repro.master.optimizer import PlacementOptimizer
+from repro.master.querygrid import QueryGrid, TERADATA
+from repro.sql.parser import parse_select
+
+
+@pytest.fixture(scope="module")
+def setup(cluster_info_mod):
+    """Federated catalog: corpus on hive plus one Teradata-resident table."""
+    corpus = build_paper_corpus(
+        row_counts=(10_000, 1_000_000, 8_000_000), row_sizes=(40, 100)
+    )
+    engine = HiveEngine(seed=0, noise_sigma=0.0)
+    catalog = Catalog()
+    for spec in corpus:
+        engine.load_table(spec)
+        catalog.register(spec)
+    catalog.register(
+        TableSpec(
+            name="td_dim",
+            schema=paper_schema(100),
+            num_rows=10_000,
+            location=TERADATA,
+        )
+    )
+    module = CostEstimationModule()
+    module.register_system(
+        engine, RemoteSystemProfile(name="hive", cluster=cluster_info_mod)
+    )
+    module.train_sub_op("hive", SubOpTrainer(record_counts=(1_000_000, 2_000_000)))
+    optimizer = PlacementOptimizer(
+        catalog=catalog, costing=module, querygrid=QueryGrid()
+    )
+    return optimizer, catalog
+
+
+@pytest.fixture(scope="module")
+def cluster_info_mod():
+    from repro.core import ClusterInfo
+
+    return ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+
+
+class TestPlacementChoices:
+    def test_hive_local_join_stays_on_hive(self, setup):
+        """Joining two big Hive tables: moving 800 MB+ to the master costs
+        more than running the join in place."""
+        optimizer, _ = setup
+        plan = parse_select(
+            "SELECT r.a1 FROM t8000000_100 r JOIN t1000000_100 s ON r.a1 = s.a1"
+        )
+        placement = optimizer.optimize(plan)
+        execute_steps = [s for s in placement.best.steps if s.kind == "execute"]
+        assert execute_steps[-1].system == "hive"
+
+    def test_small_inputs_pulled_to_master(self, setup):
+        """Tiny tables: the fast master engine wins despite the transfer."""
+        optimizer, _ = setup
+        plan = parse_select(
+            "SELECT r.a1 FROM t10000_40 r JOIN t10000_100 s ON r.a1 = s.a1"
+        )
+        placement = optimizer.optimize(plan)
+        execute_steps = [s for s in placement.best.steps if s.kind == "execute"]
+        assert execute_steps[-1].system == TERADATA
+
+    def test_cross_system_join_considered(self, setup):
+        optimizer, _ = setup
+        plan = parse_select(
+            "SELECT r.a1 FROM t8000000_100 r JOIN td_dim s ON r.a1 = s.a1"
+        )
+        placement = optimizer.optimize(plan)
+        locations = {opt.location for opt in placement.alternatives}
+        assert locations == {"hive", TERADATA}
+
+    def test_alternatives_sorted_by_cost(self, setup):
+        optimizer, _ = setup
+        plan = parse_select(
+            "SELECT r.a1 FROM t8000000_100 r JOIN td_dim s ON r.a1 = s.a1"
+        )
+        placement = optimizer.optimize(plan)
+        costs = [opt.seconds for opt in placement.alternatives]
+        assert costs == sorted(costs)
+        assert placement.best.seconds == costs[0]
+
+    def test_result_lands_at_master(self, setup):
+        """The final answer always returns to the master (Fig. 1)."""
+        optimizer, _ = setup
+        plan = parse_select(
+            "SELECT SUM(a1) FROM t8000000_100 GROUP BY a100"
+        )
+        placement = optimizer.optimize(plan)
+        if placement.best.location != TERADATA:
+            assert placement.best.steps[-1].kind == "transfer"
+            assert placement.best.steps[-1].system == TERADATA
+
+    def test_describe_renders(self, setup):
+        optimizer, _ = setup
+        plan = parse_select("SELECT SUM(a1) FROM t1000000_100 GROUP BY a5")
+        text = optimizer.optimize(plan).describe()
+        assert "placement plan" in text
+        assert "execute" in text
+
+
+class TestTransfersAccounting:
+    def test_remote_data_to_master_includes_transfer(self, setup):
+        optimizer, _ = setup
+        plan = parse_select(
+            "SELECT r.a1 FROM t10000_40 r JOIN t10000_100 s ON r.a1 = s.a1"
+        )
+        placement = optimizer.optimize(plan)
+        kinds = [s.kind for s in placement.best.steps]
+        assert "transfer" in kinds  # tables had to move to the master
+
+    def test_aggregate_over_join_places_both(self, setup):
+        optimizer, _ = setup
+        plan = parse_select(
+            "SELECT SUM(a1) FROM t8000000_100 r JOIN t1000000_100 s "
+            "ON r.a1 = s.a1 GROUP BY a5"
+        )
+        placement = optimizer.optimize(plan)
+        execute_steps = [s for s in placement.best.steps if s.kind == "execute"]
+        assert len(execute_steps) == 2  # join + aggregate

@@ -1,0 +1,65 @@
+"""Tests for the QueryGrid transfer cost model."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.master.querygrid import QueryGrid, TERADATA
+
+MIB = 1024**2
+
+
+class TestTransferModel:
+    def test_zero_rows_free(self):
+        grid = QueryGrid()
+        assert grid.transfer_seconds(0, 100) == 0.0
+
+    def test_scales_with_payload(self):
+        grid = QueryGrid(
+            bandwidth=100 * MIB, connection_latency=0.0, per_row_overhead_us=0.0
+        )
+        rows = (100 * MIB) // 100
+        assert grid.transfer_seconds(rows, 100) == pytest.approx(1.0)
+
+    def test_connection_latency_fixed(self):
+        grid = QueryGrid(connection_latency=2.0)
+        one = grid.transfer_seconds(1, 1)
+        assert one >= 2.0
+
+    def test_per_row_overhead(self):
+        grid = QueryGrid(
+            bandwidth=1e12, connection_latency=0.0, per_row_overhead_us=1.0
+        )
+        assert grid.transfer_seconds(1_000_000, 1) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryGrid().transfer_seconds(-1, 100)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            QueryGrid(bandwidth=0)
+
+
+class TestRouting:
+    def test_same_system_free(self):
+        grid = QueryGrid()
+        est = grid.estimate("hive", "hive", 1000, 100)
+        assert est.seconds == 0.0
+
+    def test_master_link_single_hop(self):
+        grid = QueryGrid()
+        est = grid.estimate("hive", TERADATA, 1000, 100)
+        assert est.seconds == pytest.approx(grid.transfer_seconds(1000, 100))
+
+    def test_remote_to_remote_double_hop(self):
+        """§2: data moves only through the master."""
+        grid = QueryGrid()
+        direct = grid.estimate("hive", TERADATA, 1000, 100).seconds
+        routed = grid.estimate("hive", "spark", 1000, 100).seconds
+        assert routed == pytest.approx(2 * direct)
+
+    def test_estimate_carries_shape(self):
+        est = QueryGrid().estimate("hive", TERADATA, 10, 100)
+        assert est.total_bytes == 1000
+        assert est.source == "hive"
+        assert est.destination == TERADATA

@@ -1,0 +1,93 @@
+"""Tests for the QueryGrid transfer-cost learning mechanism."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.master.querygrid import QueryGrid
+from repro.master.transfer_learning import (
+    DEFAULT_PROBE_SHAPES,
+    NoisyTransferChannel,
+    TransferCostLearner,
+    probe_transfers,
+)
+
+MIB = 1024**2
+
+
+@pytest.fixture()
+def hidden_truth():
+    return QueryGrid(
+        bandwidth=80 * MIB, connection_latency=0.4, per_row_overhead_us=0.8
+    )
+
+
+class TestLearning:
+    def test_recovers_noise_free_parameters(self, hidden_truth):
+        channel = NoisyTransferChannel(hidden_truth, noise_sigma=0.0)
+        learner = probe_transfers(channel)
+        learned = learner.fit()
+        assert learned.bandwidth == pytest.approx(hidden_truth.bandwidth, rel=0.02)
+        assert learned.connection_latency == pytest.approx(0.4, abs=0.05)
+        assert learned.per_row_overhead_us == pytest.approx(0.8, rel=0.1)
+
+    def test_predictions_match_truth_under_noise(self, hidden_truth):
+        channel = NoisyTransferChannel(hidden_truth, noise_sigma=0.05, seed=1)
+        learned = probe_transfers(channel).fit()
+        for rows, size in ((5_000, 100), (2_000_000, 500), (20_000_000, 100)):
+            # Latency-dominated tiny transfers carry the largest relative
+            # error (absolute-error least squares favors big payloads).
+            assert learned.transfer_seconds(rows, size) == pytest.approx(
+                hidden_truth.transfer_seconds(rows, size), rel=0.2
+            )
+
+    def test_learned_model_is_a_querygrid(self, hidden_truth):
+        learned = probe_transfers(NoisyTransferChannel(hidden_truth, 0.0)).fit()
+        assert isinstance(learned, QueryGrid)
+        estimate = learned.estimate("hive", "teradata", 1000, 100)
+        assert estimate.seconds > 0
+
+    def test_probe_grid_covers_decades(self):
+        byte_sizes = {rows * size for rows, size in DEFAULT_PROBE_SHAPES}
+        assert min(byte_sizes) < 10**5
+        assert max(byte_sizes) > 10**9
+
+
+class TestValidation:
+    def test_too_few_observations(self):
+        learner = TransferCostLearner()
+        learner.observe(100, 100, 1.0)
+        with pytest.raises(TrainingError):
+            learner.fit()
+
+    def test_degenerate_shapes(self):
+        learner = TransferCostLearner()
+        for _ in range(5):
+            learner.observe(100, 100, 1.0)
+        with pytest.raises(TrainingError):
+            learner.fit()
+
+    def test_bad_observation(self):
+        with pytest.raises(ConfigurationError):
+            TransferCostLearner().observe(0, 100, 1.0)
+        with pytest.raises(ConfigurationError):
+            TransferCostLearner().observe(10, 100, 0.0)
+
+    def test_bad_channel_noise(self):
+        with pytest.raises(ConfigurationError):
+            NoisyTransferChannel(QueryGrid(), noise_sigma=-1)
+
+
+class TestFederationIntegration:
+    def test_calibrate_querygrid_replaces_model(self, hidden_truth):
+        from repro.master.federation import IntelliSphere
+
+        sphere = IntelliSphere()
+        before = sphere.querygrid
+        learned = sphere.calibrate_querygrid(
+            NoisyTransferChannel(hidden_truth, noise_sigma=0.0)
+        )
+        assert sphere.querygrid is learned
+        assert sphere.querygrid is not before
+        assert learned.bandwidth == pytest.approx(
+            hidden_truth.bandwidth, rel=0.05
+        )

@@ -1,0 +1,84 @@
+"""Tests for the topology search and train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.ml.crossval import (
+    candidate_topologies,
+    topology_search,
+    train_test_split,
+)
+
+
+class TestSplit:
+    def test_sizes(self):
+        x = np.arange(100.0).reshape(-1, 1)
+        y = np.arange(100.0)
+        x_tr, y_tr, x_te, y_te = train_test_split(x, y, test_fraction=0.3, seed=0)
+        assert len(x_te) == 30
+        assert len(x_tr) == 70
+
+    def test_disjoint_and_complete(self):
+        x = np.arange(50.0).reshape(-1, 1)
+        y = np.arange(50.0)
+        x_tr, y_tr, x_te, y_te = train_test_split(x, y, seed=1)
+        combined = sorted(np.concatenate([y_tr, y_te]).tolist())
+        assert combined == sorted(y.tolist())
+
+    def test_deterministic(self):
+        x = np.arange(20.0).reshape(-1, 1)
+        y = np.arange(20.0)
+        a = train_test_split(x, y, seed=5)[1]
+        b = train_test_split(x, y, seed=5)[1]
+        assert np.array_equal(a, b)
+
+    def test_bad_fraction_rejected(self):
+        x = np.ones((10, 1))
+        with pytest.raises(ConfigurationError):
+            train_test_split(x, np.ones(10), test_fraction=1.5)
+
+
+class TestCandidateGrid:
+    def test_paper_bounds_for_join(self):
+        """Join has 7 inputs: layer1 in [7, 14], layer2 in [3, layer1/2]."""
+        grid = candidate_topologies(7)
+        layer1s = {a for a, _ in grid}
+        assert layer1s == set(range(7, 15))
+        for layer1, layer2 in grid:
+            assert 3 <= layer2 <= max(3, layer1 // 2)
+
+    def test_small_input_count(self):
+        grid = candidate_topologies(4)
+        assert all(layer2 >= 3 for _, layer2 in grid)
+        assert grid  # non-empty
+
+    def test_thinning(self):
+        grid = candidate_topologies(7, max_candidates=5)
+        assert len(grid) <= 5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            candidate_topologies(0)
+
+
+class TestTopologySearch:
+    def test_returns_valid_result(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(1, 50, size=(200, 4))
+        y = x[:, 0] * 2 + x[:, 1] * x[:, 2] * 0.1 + 5
+        result = topology_search(
+            x, y, iterations=300, seed=0, max_candidates=3
+        )
+        assert result.best_topology in [t for t, _ in result.scores]
+        assert result.best_rmse == min(s for _, s in result.scores)
+        assert len(result.scores) <= 3
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(1, 50, size=(120, 3))
+        y = x.sum(axis=1)
+        a = topology_search(x, y, iterations=150, seed=3, max_candidates=2)
+        b = topology_search(x, y, iterations=150, seed=3, max_candidates=2)
+        assert a.best_topology == b.best_topology
+        assert a.best_rmse == b.best_rmse

@@ -1,0 +1,93 @@
+"""Tests for accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.ml.metrics import (
+    fit_line,
+    mean_absolute_error,
+    r_squared,
+    rmse,
+    rmse_percent,
+)
+
+
+class TestRmse:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert rmse(y, y) == 0.0
+
+    def test_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rmse(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rmse(np.array([]), np.array([]))
+
+
+class TestRmsePercent:
+    def test_matches_paper_formula(self):
+        actual = np.array([10.0, 10.0])
+        predicted = np.array([11.0, 9.0])
+        # e = 1.0, v = 10 -> 10%
+        assert rmse_percent(actual, predicted) == pytest.approx(10.0)
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rmse_percent(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+
+
+class TestR2:
+    def test_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+
+    def test_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, y.mean())
+        assert r_squared(y, pred) == pytest.approx(0.0)
+
+    def test_constant_actuals(self):
+        y = np.array([5.0, 5.0])
+        assert r_squared(y, y) == 1.0
+        assert r_squared(y, np.array([4.0, 6.0])) == 0.0
+
+
+class TestMae:
+    def test_known_value(self):
+        assert mean_absolute_error(
+            np.array([1.0, 2.0]), np.array([2.0, 4.0])
+        ) == pytest.approx(1.5)
+
+
+class TestFitLine:
+    def test_recovers_exact_line(self):
+        x = np.linspace(0, 10, 20)
+        y = 0.9 * x + 1.2
+        line = fit_line(x, y)
+        assert line.slope == pytest.approx(0.9)
+        assert line.intercept == pytest.approx(1.2)
+        assert line.r2 == pytest.approx(1.0)
+
+    def test_noisy_line(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 100, 200)
+        y = 2 * x + rng.normal(0, 1, 200)
+        line = fit_line(x, y)
+        assert line.slope == pytest.approx(2.0, abs=0.05)
+        assert line.r2 > 0.99
+
+    def test_degenerate_x_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_line(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+
+    def test_str_rendering(self):
+        line = fit_line(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        assert "y = " in str(line) and "R²" in str(line)

@@ -1,0 +1,135 @@
+"""Tests for the from-scratch neural network."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ModelNotTrainedError, TrainingError
+from repro.ml.metrics import rmse_percent
+from repro.ml.nn import NeuralNetwork
+
+
+def make_dataset(n=400, seed=0):
+    """Nonlinear cost-like surface over positive features."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(1, 100, size=(n, 3))
+    y = 2 * x[:, 0] + 0.05 * x[:, 1] * x[:, 2] + 10
+    return x, y
+
+
+class TestTraining:
+    def test_learns_nonlinear_surface(self):
+        x, y = make_dataset()
+        nn = NeuralNetwork(hidden_layers=(10, 5), seed=0)
+        history = nn.fit(x, y, iterations=4000, record_every=500)
+        assert history.final_error < 6.0  # RMSE% on the training set
+
+    def test_error_decreases_over_training(self):
+        x, y = make_dataset()
+        nn = NeuralNetwork(hidden_layers=(8, 4), seed=0)
+        history = nn.fit(x, y, iterations=3000, record_every=300)
+        assert history.rmse_percent[-1] < history.rmse_percent[0]
+
+    def test_deterministic_under_seed(self):
+        x, y = make_dataset()
+
+        def run():
+            nn = NeuralNetwork(hidden_layers=(6, 3), seed=7)
+            nn.fit(x, y, iterations=500, record_every=500)
+            return nn.predict(x[:5])
+
+        assert np.allclose(run(), run())
+
+    def test_different_seeds_differ(self):
+        x, y = make_dataset()
+        preds = []
+        for seed in (0, 1):
+            nn = NeuralNetwork(hidden_layers=(6, 3), seed=seed)
+            nn.fit(x, y, iterations=300, record_every=300)
+            preds.append(nn.predict(x[:5]))
+        assert not np.allclose(preds[0], preds[1])
+
+    def test_history_records_on_external_set(self):
+        x, y = make_dataset()
+        x_val, y_val = make_dataset(n=50, seed=1)
+        nn = NeuralNetwork(seed=0)
+        history = nn.fit(
+            x, y, iterations=400, record_every=200, record_on=(x_val, y_val)
+        )
+        assert len(history.iterations) == 2
+
+
+class TestExtrapolationFailure:
+    def test_tanh_saturation_caps_out_of_range_predictions(self):
+        """The §3 premise: the NN cannot extrapolate beyond its training
+        range — predictions plateau rather than keep growing."""
+        rng = np.random.default_rng(3)
+        x = rng.uniform(1, 100, size=(500, 1))
+        y = 5.0 * x[:, 0]
+        nn = NeuralNetwork(hidden_layers=(8, 4), seed=0)
+        nn.fit(x, y, iterations=4000, record_every=4000)
+        in_range = nn.predict_one([100.0])
+        far_out = nn.predict_one([10_000.0])
+        true_far = 50_000.0
+        # Prediction grows a little past the boundary but vastly
+        # underestimates the true out-of-range value.
+        assert far_out < 0.2 * true_far
+        assert far_out < in_range * 10
+
+
+class TestPartialFit:
+    def test_improves_on_new_region(self):
+        x, y = make_dataset()
+        nn = NeuralNetwork(hidden_layers=(10, 5), seed=0)
+        nn.fit(x, y, iterations=2000, record_every=2000)
+        # New out-of-range data.
+        rng = np.random.default_rng(9)
+        x_new = rng.uniform(150, 300, size=(200, 3))
+        y_new = 2 * x_new[:, 0] + 0.05 * x_new[:, 1] * x_new[:, 2] + 10
+        before = rmse_percent(y_new, nn.predict(x_new))
+        nn.partial_fit(x_new, y_new, iterations=2500)
+        after = rmse_percent(y_new, nn.predict(x_new))
+        assert after < before / 2
+
+    def test_requires_prior_fit(self):
+        with pytest.raises(ModelNotTrainedError):
+            NeuralNetwork().partial_fit(np.ones((5, 2)), np.ones(5))
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelNotTrainedError):
+            NeuralNetwork().predict(np.ones((1, 2)))
+
+    def test_bad_hidden_layers(self):
+        with pytest.raises(ConfigurationError):
+            NeuralNetwork(hidden_layers=())
+        with pytest.raises(ConfigurationError):
+            NeuralNetwork(hidden_layers=(5, 0))
+
+    def test_bad_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            NeuralNetwork(learning_rate=0)
+
+    def test_negative_targets_rejected_in_log_mode(self):
+        with pytest.raises(TrainingError):
+            NeuralNetwork(log_target=True).fit(
+                np.ones((5, 1)), np.array([-1.0, 1, 1, 1, 1])
+            )
+
+    def test_non_log_mode_allows_negatives(self):
+        nn = NeuralNetwork(log_target=False, seed=0)
+        x = np.arange(10.0).reshape(-1, 1)
+        y = x.ravel() - 5
+        nn.fit(x, y, iterations=200, record_every=200)
+        assert nn.is_fitted
+
+    def test_row_mismatch(self):
+        with pytest.raises(TrainingError):
+            NeuralNetwork().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_predict_one(self):
+        x, y = make_dataset(n=100)
+        nn = NeuralNetwork(seed=0)
+        nn.fit(x, y, iterations=300, record_every=300)
+        value = nn.predict_one(x[0])
+        assert isinstance(value, float)

@@ -1,0 +1,70 @@
+"""Tests for feature scaling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ModelNotTrainedError
+from repro.ml.scaling import LogStandardScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5, 3, size=(100, 4))
+        scaler = StandardScaler()
+        z = scaler.fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0, atol=1e-10)
+        assert np.allclose(z.std(axis=0), 1, atol=1e-10)
+        assert np.allclose(scaler.inverse_transform(z), x)
+
+    def test_constant_column_handled(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z[:, 0], 0)
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(ModelNotTrainedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.ones((5, 3)))
+        with pytest.raises(ConfigurationError):
+            scaler.transform(np.ones((5, 2)))
+
+    def test_1d_promoted_to_column(self):
+        scaler = StandardScaler()
+        z = scaler.fit_transform(np.arange(10.0))
+        assert z.shape == (10, 1)
+
+
+class TestLogStandardScaler:
+    def test_roundtrip_wide_range(self):
+        x = np.array([[1e4], [1e5], [1e6], [1e7]])
+        scaler = LogStandardScaler()
+        z = scaler.fit_transform(x)
+        back = scaler.inverse_transform(z)
+        assert np.allclose(back, x, rtol=1e-9)
+
+    def test_compresses_decades_evenly(self):
+        x = np.array([[1e4], [1e5], [1e6], [1e7]])
+        z = LogStandardScaler().fit_transform(x).ravel()
+        gaps = np.diff(z)
+        assert np.allclose(gaps, gaps[0], rtol=0.01)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ConfigurationError):
+            LogStandardScaler().fit(np.array([[-1.0]]))
+
+    def test_zero_allowed(self):
+        scaler = LogStandardScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.is_fitted
+
+
+class TestValidation:
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StandardScaler().fit(np.empty((0, 3)))
+
+    def test_3d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StandardScaler().fit(np.ones((2, 2, 2)))

@@ -1,0 +1,112 @@
+"""Tests for the expression AST."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sql.ast import (
+    AggregateCall,
+    AggregateKind,
+    BinaryArithmetic,
+    BooleanAnd,
+    BooleanNot,
+    BooleanOr,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Literal,
+    column,
+    conjunction,
+    lit,
+)
+
+
+class TestColumnRef:
+    def test_referenced_columns(self):
+        ref = column("a1", table="r")
+        assert ref.referenced_columns() == frozenset({ref})
+
+    def test_str_qualified(self):
+        assert str(column("a1", table="r")) == "r.a1"
+        assert str(column("a1")) == "a1"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ColumnRef(column="")
+
+
+class TestOperatorSugar:
+    def test_addition_builds_arithmetic(self):
+        expr = column("a1") + column("z")
+        assert isinstance(expr, BinaryArithmetic)
+        assert expr.op == "+"
+
+    def test_scalar_coercion(self):
+        expr = column("a1") + 5
+        assert isinstance(expr.right, Literal)
+        assert expr.right.value == 5
+
+    def test_comparison_helpers(self):
+        pred = column("a1").lt(10)
+        assert isinstance(pred, Comparison)
+        assert pred.op is ComparisonOp.LT
+        assert column("a1").eq(1).op is ComparisonOp.EQ
+        assert column("a1").ge(1).op is ComparisonOp.GE
+
+    def test_fig10_predicate_shape(self):
+        """The selectivity-control predicate R.a1 + S.z < threshold."""
+        pred = (column("a1", "r") + column("z", "s")).lt(lit(5000))
+        cols = {str(c) for c in pred.referenced_columns()}
+        assert cols == {"r.a1", "s.z"}
+        assert str(pred) == "(r.a1 + s.z) < 5000"
+
+
+class TestBooleans:
+    def test_and_collects_columns(self):
+        pred = BooleanAnd((column("a").eq(1), column("b").eq(2)))
+        assert {c.column for c in pred.referenced_columns()} == {"a", "b"}
+
+    def test_and_requires_two_operands(self):
+        with pytest.raises(ConfigurationError):
+            BooleanAnd((column("a").eq(1),))
+
+    def test_or_requires_two_operands(self):
+        with pytest.raises(ConfigurationError):
+            BooleanOr((column("a").eq(1),))
+
+    def test_not_wraps(self):
+        pred = BooleanNot(column("a").eq(1))
+        assert "NOT" in str(pred)
+
+    def test_conjunction_single_passthrough(self):
+        p = column("a").eq(1)
+        assert conjunction(p) is p
+
+    def test_conjunction_multi(self):
+        combined = conjunction(column("a").eq(1), column("b").eq(2))
+        assert isinstance(combined, BooleanAnd)
+
+    def test_conjunction_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            conjunction()
+
+
+class TestAggregates:
+    def test_count_star_allowed(self):
+        call = AggregateCall(kind=AggregateKind.COUNT)
+        assert str(call) == "COUNT(*)"
+        assert call.referenced_columns() == frozenset()
+
+    def test_sum_requires_argument(self):
+        with pytest.raises(ConfigurationError):
+            AggregateCall(kind=AggregateKind.SUM)
+
+    def test_sum_of_column(self):
+        call = AggregateCall(kind=AggregateKind.SUM, argument=column("a5"))
+        assert str(call) == "SUM(a5)"
+        assert {c.column for c in call.referenced_columns()} == {"a5"}
+
+
+class TestArithmeticValidation:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BinaryArithmetic(lit(1), "%", lit(2))

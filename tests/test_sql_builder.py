@@ -1,0 +1,58 @@
+"""Tests for the fluent query builder."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sql.ast import column, lit
+from repro.sql.builder import QueryBuilder, scan
+from repro.sql.logical import Aggregate, Filter, Join, Project, Scan
+
+
+class TestBuilder:
+    def test_scan(self):
+        plan = scan("t").plan()
+        assert isinstance(plan, Scan)
+        assert plan.table == "t"
+
+    def test_scan_with_pushdown(self):
+        plan = scan("t", projection=("a1",), predicate=column("a1").lt(5)).plan()
+        assert plan.projection == ("a1",)
+        assert plan.predicate is not None
+
+    def test_filter_project_chain(self):
+        plan = scan("t").filter(column("a1").lt(5)).project("a1", "a2").plan()
+        assert isinstance(plan, Project)
+        assert isinstance(plan.input, Filter)
+        assert isinstance(plan.input.input, Scan)
+
+    def test_join_by_table_name(self):
+        plan = scan("r").join("s", on=("a1", "a2")).plan()
+        assert isinstance(plan, Join)
+        assert plan.condition.left_column == "a1"
+        assert plan.condition.right_column == "a2"
+
+    def test_join_with_builder_right(self):
+        right = scan("s").filter(column("a1").lt(10))
+        plan = scan("r").join(right, on=("a1", "a1")).plan()
+        assert isinstance(plan.right, Filter)
+
+    def test_join_with_extra_and_projection(self):
+        extra = (column("a1") + column("z")).lt(lit(100))
+        plan = scan("r").join("s", on=("a1", "a1"), extra=extra, project=("a1",)).plan()
+        assert plan.extra_predicate is extra
+        assert plan.projection == ("a1",)
+
+    def test_sum_of_shorthand(self):
+        plan = scan("t").sum_of("a1", "a2", group_by=("a5",)).plan()
+        assert isinstance(plan, Aggregate)
+        assert len(plan.aggregates) == 2
+        assert plan.group_by == ("a5",)
+
+    def test_builder_is_immutable(self):
+        base = scan("t")
+        base.filter(column("a1").lt(5))
+        assert isinstance(base.plan(), Scan)  # unchanged
+
+    def test_invalid_right_operand(self):
+        with pytest.raises(ConfigurationError):
+            scan("r").join(42, on=("a", "b"))  # type: ignore[arg-type]

@@ -1,0 +1,80 @@
+"""Tests for logical plan nodes."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sql.ast import AggregateCall, AggregateKind, column
+from repro.sql.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    JoinCondition,
+    Project,
+    Scan,
+)
+
+
+def _sum(name):
+    return AggregateCall(kind=AggregateKind.SUM, argument=column(name))
+
+
+class TestNodes:
+    def test_scan_requires_table(self):
+        with pytest.raises(ConfigurationError):
+            Scan(table="")
+
+    def test_project_requires_columns(self):
+        with pytest.raises(ConfigurationError):
+            Project(input=Scan(table="t"), columns=())
+
+    def test_aggregate_requires_aggregates(self):
+        with pytest.raises(ConfigurationError):
+            Aggregate(input=Scan(table="t"), group_by=("a1",), aggregates=())
+
+    def test_join_condition_validation(self):
+        with pytest.raises(ConfigurationError):
+            JoinCondition(left_column="", right_column="a1")
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        plan = Join(
+            left=Scan(table="r"),
+            right=Scan(table="s"),
+            condition=JoinCondition("a1", "a1"),
+        )
+        kinds = [type(n).__name__ for n in plan.walk()]
+        assert kinds == ["Join", "Scan", "Scan"]
+
+    def test_referenced_tables_in_scan_order(self):
+        plan = Aggregate(
+            input=Join(
+                left=Scan(table="r"),
+                right=Scan(table="s"),
+                condition=JoinCondition("a1", "a1"),
+            ),
+            group_by=("a1",),
+            aggregates=(_sum("a1"),),
+        )
+        assert plan.referenced_tables == ("r", "s")
+
+    def test_referenced_tables_deduplicated(self):
+        plan = Join(
+            left=Scan(table="r"),
+            right=Scan(table="r"),
+            condition=JoinCondition("a1", "a1"),
+        )
+        assert plan.referenced_tables == ("r",)
+
+    def test_describe_is_indented(self):
+        plan = Filter(input=Scan(table="t"), predicate=column("a1").lt(5))
+        text = plan.describe()
+        lines = text.splitlines()
+        assert lines[0].startswith("Filter")
+        assert lines[1].startswith("  Scan")
+
+    def test_children(self):
+        scan = Scan(table="t")
+        assert scan.children == ()
+        filt = Filter(input=scan, predicate=column("a").eq(1))
+        assert filt.children == (scan,)

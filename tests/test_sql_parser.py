@@ -1,0 +1,208 @@
+"""Tests for the SQL SELECT parser."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.sql.ast import (
+    AggregateKind,
+    BinaryArithmetic,
+    Comparison,
+    ComparisonOp,
+)
+from repro.sql.logical import Aggregate, Join, Scan
+from repro.sql.parser import parse_select
+
+
+class TestBasicSelect:
+    def test_select_star(self):
+        plan = parse_select("SELECT * FROM t1")
+        assert isinstance(plan, Scan)
+        assert plan.table == "t1"
+        assert plan.projection == ()
+        assert plan.predicate is None
+
+    def test_projection_pushed_into_scan(self):
+        plan = parse_select("SELECT a1, a2 FROM t1")
+        assert isinstance(plan, Scan)
+        assert plan.projection == ("a1", "a2")
+
+    def test_where_pushed_into_scan(self):
+        plan = parse_select("SELECT * FROM t1 WHERE a1 < 100")
+        assert isinstance(plan, Scan)
+        assert isinstance(plan.predicate, Comparison)
+        assert plan.predicate.op is ComparisonOp.LT
+
+    def test_trailing_semicolon_ok(self):
+        assert isinstance(parse_select("SELECT * FROM t;"), Scan)
+
+    def test_case_insensitive_keywords(self):
+        assert isinstance(parse_select("select * from t"), Scan)
+
+
+class TestAggregates:
+    def test_group_by_aggregate(self):
+        plan = parse_select("SELECT SUM(a1), SUM(a2) FROM t GROUP BY a5")
+        assert isinstance(plan, Aggregate)
+        assert plan.group_by == ("a5",)
+        assert len(plan.aggregates) == 2
+        assert plan.aggregates[0].kind is AggregateKind.SUM
+
+    def test_count_star(self):
+        plan = parse_select("SELECT COUNT(*) FROM t")
+        assert isinstance(plan, Aggregate)
+        assert plan.group_by == ()
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT SUM(*) FROM t")
+
+    def test_group_by_without_aggregates_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a1 FROM t GROUP BY a1")
+
+
+class TestJoins:
+    def test_basic_join(self):
+        plan = parse_select("SELECT r.a1 FROM r JOIN s ON r.a1 = s.a1")
+        assert isinstance(plan, Join)
+        assert plan.condition.left_column == "a1"
+        assert plan.condition.right_column == "a1"
+        assert plan.extra_predicate is None
+        assert plan.projection == ("a1",)
+
+    def test_join_with_extra_predicate(self):
+        plan = parse_select(
+            "SELECT r.a1 FROM r JOIN s ON r.a1 = s.a1 AND r.a1 + s.z < 5000"
+        )
+        assert isinstance(plan, Join)
+        assert isinstance(plan.extra_predicate, Comparison)
+        assert isinstance(plan.extra_predicate.left, BinaryArithmetic)
+
+    def test_reversed_equality_normalized(self):
+        plan = parse_select("SELECT * FROM r JOIN s ON s.a2 = r.a1")
+        assert plan.condition.left_column == "a1"
+        assert plan.condition.right_column == "a2"
+
+    def test_aliases(self):
+        plan = parse_select(
+            "SELECT * FROM t1000000_100 r JOIN t10000_100 s ON r.a1 = s.a1"
+        )
+        assert isinstance(plan, Join)
+        assert isinstance(plan.left, Scan) and plan.left.table == "t1000000_100"
+
+    def test_join_where_becomes_extra(self):
+        plan = parse_select(
+            "SELECT * FROM r JOIN s ON r.a1 = s.a1 WHERE r.a2 < 10"
+        )
+        assert plan.extra_predicate is not None
+
+    def test_join_without_equality_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT * FROM r JOIN s ON r.a1 < s.a1")
+
+    def test_join_then_aggregate(self):
+        plan = parse_select(
+            "SELECT SUM(a1) FROM r JOIN s ON r.a1 = s.a1 GROUP BY a5"
+        )
+        assert isinstance(plan, Aggregate)
+        assert isinstance(plan.input, Join)
+
+
+class TestErrors:
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("   ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("FROBNICATE the database")
+
+    def test_trailing_tokens_rejected(self):
+        # "t alias" is legal, but a second bare identifier is not.
+        with pytest.raises(ParseError):
+            parse_select("SELECT * FROM t alias extra")
+
+    def test_unterminated_expression(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT * FROM t WHERE a1 <")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT * FROM t WHERE a1 < #")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        plan = parse_select("SELECT * FROM t WHERE a1 + a2 * 2 < 100")
+        pred = plan.predicate
+        assert pred.left.op == "+"
+        assert pred.left.right.op == "*"
+
+    def test_parenthesized_arithmetic(self):
+        plan = parse_select("SELECT * FROM t WHERE (a1 + a2) * 2 < 100")
+        assert plan.predicate.left.op == "*"
+
+    def test_boolean_connectives(self):
+        plan = parse_select(
+            "SELECT * FROM t WHERE a1 < 10 OR a2 > 5 AND NOT a5 = 3"
+        )
+        assert plan.predicate is not None
+
+    def test_float_literal(self):
+        plan = parse_select("SELECT * FROM t WHERE a1 < 10.5")
+        assert plan.predicate.right.value == 10.5
+
+    def test_string_literal(self):
+        plan = parse_select("SELECT * FROM t WHERE dummy = 'xx'")
+        assert plan.predicate.right.value == "xx"
+
+
+class TestMultiJoin:
+    def test_three_way_left_deep(self):
+        plan = parse_select(
+            "SELECT * FROM t1 a JOIN t2 b ON a.a1 = b.a1 "
+            "JOIN t3 c ON b.a2 = c.a2"
+        )
+        assert isinstance(plan, Join)
+        assert isinstance(plan.left, Join)
+        assert isinstance(plan.left.left, Scan) and plan.left.left.table == "t1"
+        assert isinstance(plan.right, Scan) and plan.right.table == "t3"
+        assert plan.condition.left_column == "a2"
+
+    def test_later_join_may_reference_any_prior_table(self):
+        plan = parse_select(
+            "SELECT * FROM t1 a JOIN t2 b ON a.a1 = b.a1 "
+            "JOIN t3 c ON a.a5 = c.a5"
+        )
+        assert plan.condition.left_column == "a5"
+        assert plan.condition.right_column == "a5"
+
+    def test_extra_predicate_attaches_to_its_join(self):
+        plan = parse_select(
+            "SELECT * FROM t1 a JOIN t2 b ON a.a1 = b.a1 AND a.a2 < 5 "
+            "JOIN t3 c ON b.a2 = c.a2"
+        )
+        assert plan.extra_predicate is None
+        assert plan.left.extra_predicate is not None
+
+    def test_where_attaches_to_final_join(self):
+        plan = parse_select(
+            "SELECT * FROM t1 a JOIN t2 b ON a.a1 = b.a1 "
+            "JOIN t3 c ON b.a2 = c.a2 WHERE a.a5 < 9"
+        )
+        assert plan.extra_predicate is not None
+
+    def test_aggregate_over_three_way_join(self):
+        plan = parse_select(
+            "SELECT SUM(a1) FROM t1 a JOIN t2 b ON a.a1 = b.a1 "
+            "JOIN t3 c ON b.a2 = c.a2 GROUP BY a5"
+        )
+        assert isinstance(plan, Aggregate)
+        assert isinstance(plan.input, Join)
+
+    def test_join_missing_equality_in_chain(self):
+        with pytest.raises(ParseError):
+            parse_select(
+                "SELECT * FROM t1 a JOIN t2 b ON a.a1 = b.a1 "
+                "JOIN t3 c ON c.a1 < 5"
+            )

@@ -1,0 +1,172 @@
+"""Tests for SQL rendering, including parse/render round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.sql.ast import column, lit
+from repro.sql.builder import scan
+from repro.sql.logical import Aggregate, Filter, Join, Scan
+from repro.sql.parser import parse_select
+from repro.sql.render import render_expression, render_plan
+
+
+def normalized(plan):
+    """Structural signature for plan equivalence (qualifier-insensitive)."""
+    if isinstance(plan, Scan):
+        return ("scan", plan.table, plan.projection, _pred_sig(plan.predicate))
+    if isinstance(plan, Join):
+        return (
+            "join",
+            normalized(plan.left),
+            normalized(plan.right),
+            plan.condition.left_column,
+            plan.condition.right_column,
+            plan.projection,
+            _pred_sig(plan.extra_predicate),
+        )
+    if isinstance(plan, Aggregate):
+        return (
+            "agg",
+            normalized(plan.input),
+            plan.group_by,
+            tuple(str(a) for a in plan.aggregates),
+        )
+    if isinstance(plan, Filter):
+        return ("filter", normalized(plan.input), _pred_sig(plan.predicate))
+    return ("other", type(plan).__name__)
+
+
+def _pred_sig(predicate):
+    if predicate is None:
+        return None
+    # Qualifier-insensitive textual form.
+    import re
+
+    text = str(predicate)
+    for junk in ("(", ")", " "):
+        text = text.replace(junk, "")
+    text = re.sub(r"\b\w+\.", "", text)
+    return tuple(sorted(text.replace("AND", "&").split("&")))
+
+
+def roundtrip(sql: str):
+    first = parse_select(sql)
+    second = parse_select(render_plan(first))
+    assert normalized(second) == normalized(first), render_plan(first)
+    return render_plan(first)
+
+
+class TestExpressionRendering:
+    def test_literals(self):
+        assert render_expression(lit(5)) == "5"
+        assert render_expression(lit(2.5)) == "2.5"
+        assert render_expression(lit("o'brien")) == "'o''brien'"
+
+    def test_arithmetic_and_comparison(self):
+        expr = (column("a1", "r") + column("z", "s")).lt(lit(100))
+        assert render_expression(expr) == "(r.a1 + s.z) < 100"
+
+    def test_aggregate_call(self):
+        from repro.sql.ast import AggregateCall, AggregateKind
+
+        assert render_expression(AggregateCall(AggregateKind.COUNT)) == "COUNT(*)"
+
+
+class TestPlanRendering:
+    def test_plain_scan(self):
+        assert render_plan(parse_select("SELECT * FROM t")) == "SELECT * FROM t"
+
+    def test_scan_with_pushdown(self):
+        sql = roundtrip("SELECT a1, a2 FROM t WHERE a1 < 100")
+        assert "WHERE" in sql and "a1, a2" in sql
+
+    def test_join_roundtrip(self):
+        roundtrip(
+            "SELECT r.a1 FROM t1000000_100 r JOIN t10000_100 s "
+            "ON r.a1 = s.a1 AND r.a1 + s.z < 5000"
+        )
+
+    def test_three_way_join_roundtrip(self):
+        roundtrip(
+            "SELECT * FROM t1 a JOIN t2 b ON a.a1 = b.a1 "
+            "JOIN t3 c ON b.a2 = c.a2"
+        )
+
+    def test_aggregate_roundtrip(self):
+        sql = roundtrip("SELECT SUM(a1), SUM(a2) FROM t GROUP BY a5")
+        assert sql.startswith("SELECT SUM(a1), SUM(a2) FROM t")
+        assert sql.endswith("GROUP BY a5")
+
+    def test_aggregate_over_join_roundtrip(self):
+        roundtrip(
+            "SELECT SUM(a1) FROM r JOIN s ON r.a1 = s.a1 GROUP BY a5"
+        )
+
+    def test_builder_plans_render(self):
+        plan = (
+            scan("big")
+            .join("small", on=("a1", "a1"), extra=column("a2").lt(9))
+            .plan()
+        )
+        sql = render_plan(plan)
+        assert sql == (
+            "SELECT * FROM big JOIN small ON big.a1 = small.a1 AND a2 < 9"
+        )
+        parse_select(sql)
+
+    def test_filter_over_join_renders_as_where(self):
+        plan = Filter(
+            input=parse_select("SELECT * FROM r JOIN s ON r.a1 = s.a1"),
+            predicate=column("a1").lt(1),
+        )
+        sql = render_plan(plan)
+        assert "WHERE a1 < 1" in sql
+        parse_select(sql)
+
+    def test_bushy_join_not_renderable(self):
+        left = parse_select("SELECT * FROM a JOIN b ON a.a1 = b.a1")
+        right = parse_select("SELECT * FROM c JOIN d ON c.a1 = d.a1")
+        from repro.sql.logical import JoinCondition
+
+        bushy = Join(
+            left=left, right=right, condition=JoinCondition("a1", "a1")
+        )
+        with pytest.raises(ConfigurationError):
+            render_plan(bushy)
+
+
+_COLUMNS = st.sampled_from(["a1", "a2", "a5", "a10"])
+_TABLES = st.sampled_from(["t10000_40", "t10000_100", "t100000_40"])
+
+
+@st.composite
+def random_select(draw):
+    """Random SQL in the library's dialect."""
+    tables = draw(st.lists(_TABLES, min_size=1, max_size=3, unique=True))
+    aliases = [f"x{i}" for i in range(len(tables))]
+    sql = f"SELECT"
+    if draw(st.booleans()):
+        group = draw(_COLUMNS)
+        sql += f" SUM({draw(_COLUMNS)})"
+        tail = f" GROUP BY {group}"
+    else:
+        sql += " *"
+        tail = ""
+    sql += f" FROM {tables[0]} {aliases[0]}"
+    for i in range(1, len(tables)):
+        left = draw(st.integers(min_value=0, max_value=i - 1))
+        col = draw(_COLUMNS)
+        sql += f" JOIN {tables[i]} {aliases[i]} ON {aliases[left]}.{col} = {aliases[i]}.{col}"
+        if draw(st.booleans()):
+            sql += f" AND {aliases[left]}.a1 + {aliases[i]}.z < {draw(st.integers(1, 10_000))}"
+    if len(tables) == 1 and draw(st.booleans()):
+        sql += f" WHERE a1 < {draw(st.integers(1, 10_000))}"
+    return sql + tail
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(sql=random_select())
+    def test_parse_render_parse_is_stable(self, sql):
+        roundtrip(sql)
