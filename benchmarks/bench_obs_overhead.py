@@ -1,0 +1,111 @@
+"""Telemetry overhead on the estimate path.
+
+The observability layer promises a near-free disabled fast path: with
+tracing off, every instrumented site costs one shared no-op span (no
+allocation) plus a few registry counter increments.  This bench measures
+those primitive costs against the per-call time of
+``CostEstimationModule.estimate_plan`` and enforces the <5% budget; it
+also reports the (unbudgeted) cost of running with tracing enabled.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_series
+from repro import obs
+from repro.sql.parser import parse_select
+
+#: Instrumented sites executed by one sub-op join estimate_plan call:
+#: one span, ~6 counter increments, one histogram observation.
+SPANS_PER_CALL = 1
+COUNTERS_PER_CALL = 6
+HISTOGRAMS_PER_CALL = 1
+
+OVERHEAD_BUDGET = 0.05
+
+JOIN_SQL = "SELECT r.a1 FROM t8000000_100 r JOIN t100000_100 s ON r.a1 = s.a1"
+
+
+def _per_call_seconds(fn, inner: int, repeats: int = 7) -> float:
+    """Min-of-repeats per-call wall time (robust against scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+@pytest.fixture(scope="module")
+def experiment(module, catalog, results_dir):
+    module.train_sub_op("hive")
+    plan = parse_select(JOIN_SQL)
+    tracer = obs.get_tracer()
+    was_enabled = tracer.enabled
+    tracer.disable()
+
+    estimate = lambda: module.estimate_plan("hive", plan, catalog)
+    t_estimate_off = _per_call_seconds(estimate, inner=50)
+
+    # Disabled-path primitive costs.
+    t_noop_span = _per_call_seconds(
+        lambda: tracer.span("costing.estimate_plan", system="hive"), inner=20_000
+    )
+    counter = obs.counter("bench.obs_overhead.probe")
+    t_counter = _per_call_seconds(counter.inc, inner=20_000)
+    histogram = obs.histogram(
+        "bench.obs_overhead.probe_seconds", buckets=obs.DEFAULT_SECONDS_BUCKETS
+    )
+    t_histogram = _per_call_seconds(lambda: histogram.observe(1.0), inner=20_000)
+
+    instrumented_cost = (
+        SPANS_PER_CALL * t_noop_span
+        + COUNTERS_PER_CALL * t_counter
+        + HISTOGRAMS_PER_CALL * t_histogram
+    )
+    overhead_disabled = instrumented_cost / t_estimate_off
+
+    tracer.enable()
+    t_estimate_on = _per_call_seconds(estimate, inner=50)
+    tracer.clear()
+    if not was_enabled:
+        tracer.disable()
+    overhead_enabled = (t_estimate_on - t_estimate_off) / t_estimate_off
+
+    rows = [
+        ("estimate_plan_disabled_us", t_estimate_off * 1e6),
+        ("estimate_plan_enabled_us", t_estimate_on * 1e6),
+        ("noop_span_ns", t_noop_span * 1e9),
+        ("counter_inc_ns", t_counter * 1e9),
+        ("histogram_observe_ns", t_histogram * 1e9),
+        ("overhead_fraction_disabled", overhead_disabled),
+        ("overhead_fraction_enabled", overhead_enabled),
+    ]
+    write_series(
+        results_dir / "obs_overhead.txt",
+        "Telemetry overhead on estimate_plan (disabled budget <5%)",
+        ("metric", "value"),
+        rows,
+    )
+    return {
+        "overhead_disabled": overhead_disabled,
+        "overhead_enabled": overhead_enabled,
+        "t_estimate_off": t_estimate_off,
+        "t_noop_span": t_noop_span,
+    }
+
+
+def test_disabled_overhead_within_budget(experiment):
+    assert experiment["overhead_disabled"] < OVERHEAD_BUDGET
+
+
+def test_noop_span_is_cheap(experiment):
+    # The shared no-op span must cost well under a microsecond.
+    assert experiment["t_noop_span"] < 1e-6
+
+
+def test_benchmark_estimate_plan_instrumented(experiment, module, catalog, benchmark):
+    plan = parse_select(JOIN_SQL)
+    benchmark(lambda: module.estimate_plan("hive", plan, catalog))

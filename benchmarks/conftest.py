@@ -5,6 +5,10 @@ writes its series to ``benchmarks/results/<experiment>.txt`` so the rows
 can be compared against the published plots.  ``pytest-benchmark`` times
 the query-time estimation kernels; the experiment logic itself runs in
 session fixtures.
+
+Each written series also gets a ``<experiment>.metrics.json`` sibling — a
+snapshot of the process-wide telemetry registry and accuracy ledger at
+write time, viewable with ``repro stats --from <file>``.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from typing import Iterable, Sequence
 
 import pytest
 
+from repro.obs import exporters
 from repro.core import ClusterInfo, CostEstimationModule, RemoteSystemProfile
 from repro.data import Catalog, build_paper_corpus
 from repro.engines import HiveEngine
@@ -81,3 +86,6 @@ def write_series(
             )
         )
     path.write_text("\n".join(lines) + "\n")
+    # Dump the telemetry accumulated so far next to the series, so every
+    # experiment run carries its metrics trajectory.
+    exporters.write_json_snapshot(path.with_suffix(".metrics.json"))

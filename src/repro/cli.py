@@ -6,6 +6,8 @@ A small operational surface over the library::
     python -m repro demo                   # train + estimate-vs-actual demo
     python -m repro explain "SELECT ..."   # cost-based placement of a query
     python -m repro run "SELECT ..."       # place and simulate-execute it
+    python -m repro trace "SELECT ..."     # traced run: span tree + costs
+    python -m repro stats                  # telemetry counters and accuracy
     python -m repro experiments            # list the paper's benchmarks
 
 ``explain``/``run``/``demo`` operate on a self-contained sandbox
@@ -20,6 +22,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.core import ClusterInfo, RemoteSystemProfile
 from repro.data import build_paper_corpus
 from repro.data.generator import PAPER_ROW_COUNTS, PAPER_ROW_SIZES
@@ -118,6 +121,61 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default query for ``repro trace``: a selective demo join.
+TRACE_DEMO_QUERY = (
+    "SELECT r.a1 FROM t8000000_100 r JOIN t100000_100 s ON r.a1 = s.a1"
+)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import render_span_tree
+
+    tracer = obs.get_tracer()
+    tracer.enable()
+    sphere = build_sandbox(with_spark=args.spark, seed=args.seed)
+    tracer.clear()  # drop the sandbox-training traces; keep the query's
+    with tracer.span("repro.trace", query=args.query):
+        result = sphere.run(args.query)
+    root = tracer.last_trace()
+    if root is not None:
+        print(render_span_tree(root))
+    print()
+    for step in result.steps:
+        print(
+            f"  {step.description:55s} @ {step.system:9s} "
+            f"est {step.estimated_seconds:8.2f}s  obs {step.observed_seconds:8.2f}s"
+        )
+    print(
+        f"total: estimated {result.estimated_seconds:.2f}s, "
+        f"observed {result.observed_seconds:.2f}s"
+    )
+    if args.json:
+        tracer.export_json(args.json)
+        print(f"trace JSON written to {args.json}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import exporters
+
+    if args.from_file:
+        try:
+            snapshot = exporters.load_json_snapshot(args.from_file)
+        except (OSError, ValueError) as exc:
+            raise ReproError(str(exc)) from exc
+    else:
+        snapshot = exporters.build_snapshot()
+    if args.format == "json":
+        import json
+
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    elif args.format == "prom":
+        print(exporters.to_prometheus_text(metrics=snapshot["metrics"]), end="")
+    else:
+        print(exporters.format_snapshot_text(snapshot))
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     rows = (
         ("bench_fig07_readdfs.py", "Fig. 7: ReadDFS sub-op model"),
@@ -150,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
             "reproduction)"
         ),
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="enable DEBUG logging on the repro.* loggers",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("corpus", help="describe the synthetic corpus").set_defaults(
@@ -170,6 +234,37 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--seed", type=int, default=0)
         cmd.set_defaults(func=func)
 
+    trace = sub.add_parser(
+        "trace", help="run a query with tracing on and print the span tree"
+    )
+    trace.add_argument(
+        "query",
+        nargs="?",
+        default=TRACE_DEMO_QUERY,
+        help="SQL SELECT over the sandbox corpus (default: a demo join)",
+    )
+    trace.add_argument("--spark", action="store_true", help="add a Spark system")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--json", metavar="FILE", help="also export the trace JSON")
+    trace.set_defaults(func=cmd_trace)
+
+    stats = sub.add_parser(
+        "stats", help="show telemetry counters and the accuracy ledger"
+    )
+    stats.add_argument(
+        "--from",
+        dest="from_file",
+        metavar="FILE",
+        help="read a dumped *.metrics.json snapshot instead of the live registry",
+    )
+    stats.add_argument(
+        "--format",
+        choices=("text", "json", "prom"),
+        default="text",
+        help="output format (default: text)",
+    )
+    stats.set_defaults(func=cmd_stats)
+
     sub.add_parser(
         "experiments", help="list the paper-reproduction benchmarks"
     ).set_defaults(func=cmd_experiments)
@@ -179,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs.configure_logging(verbose=args.verbose)
     try:
         return args.func(args)
     except ReproError as exc:

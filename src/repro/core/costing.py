@@ -14,9 +14,12 @@ the log back into the neural models.
 
 from __future__ import annotations
 
+import logging
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro import obs
 from repro.core.estimator import (
     CostingApproach,
     HybridEstimator,
@@ -31,6 +34,7 @@ from repro.core.operators import (
 )
 from repro.core.drift import DriftMonitor, DriftReport
 from repro.core.profile import RemoteSystemProfile
+from repro.core.rules import SelectionResult
 from repro.core.subop_model import SubOpTrainer, SubOpTrainingResult
 from repro.core.training import TrainingSet
 from repro.data.catalog import Catalog
@@ -38,6 +42,8 @@ from repro.engines.base import RemoteSystem
 from repro.exceptions import CatalogError, ConfigurationError, PlanningError
 from repro.sql.cardinality import CardinalityEstimator
 from repro.sql.logical import Aggregate, Filter, Join, LogicalPlan, Project, Scan
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -63,10 +69,16 @@ class _RegisteredSystem:
 
 
 class CostEstimationModule:
-    """Remote-system cost estimation for SQL operators (the paper's core)."""
+    """Remote-system cost estimation for SQL operators (the paper's core).
 
-    def __init__(self) -> None:
+    Args:
+        ledger: Accuracy ledger fed by :meth:`record_actual`; defaults to
+            the process-wide :func:`repro.obs.get_ledger`.
+    """
+
+    def __init__(self, ledger: Optional[obs.AccuracyLedger] = None) -> None:
         self._systems: Dict[str, _RegisteredSystem] = {}
+        self.ledger = ledger if ledger is not None else obs.get_ledger()
 
     # ------------------------------------------------------------------
     # Registration
@@ -112,7 +124,17 @@ class CostEstimationModule:
                 f"system {name!r} is blackbox; sub-op training is not applicable"
             )
         trainer = trainer or SubOpTrainer()
-        result = trainer.train(entry.system, entry.profile.cluster)
+        with obs.get_tracer().span("costing.train_sub_op", system=name) as span:
+            result = trainer.train(entry.system, entry.profile.cluster)
+            span.set("queries", result.num_queries)
+            span.add_simulated(result.remote_training_seconds)
+        obs.counter("costing.sub_op_trainings").inc()
+        logger.info(
+            "sub-op training for %s: %d queries, %.1f simulated seconds",
+            name,
+            result.num_queries,
+            result.remote_training_seconds,
+        )
         entry.profile.costing.subop_result = result
         entry.estimator = None  # rebuild with the new CP contents
         return result
@@ -134,10 +156,25 @@ class CostEstimationModule:
         entry = self._entry(name)
         model = model or LogicalOpModel(kind)
         training_set = TrainingSet(model.dimension_names)
-        for query in queries:
-            result = entry.system.execute(query.plan)
-            training_set.add(query.features, result.elapsed_seconds)
-        report = model.train(training_set)
+        with obs.get_tracer().span(
+            "costing.train_logical_op", system=name, operator=kind.value
+        ) as span:
+            for query in queries:
+                result = entry.system.execute(query.plan)
+                training_set.add(query.features, result.elapsed_seconds)
+            report = model.train(training_set)
+            span.set("queries", report.num_queries)
+            span.add_simulated(report.remote_training_seconds)
+        obs.counter("costing.logical_op_trainings").inc()
+        logger.info(
+            "logical-op training for %s/%s: %d queries, %.1f simulated "
+            "seconds, final RMSE%% %.1f",
+            name,
+            kind.value,
+            report.num_queries,
+            report.remote_training_seconds,
+            report.history.final_error,
+        )
         entry.profile.costing.logical_models[kind] = model
         entry.estimator = None
         return report
@@ -169,13 +206,59 @@ class CostEstimationModule:
         resides on the remote system (§2's design assumption — transfer
         costs are handled elsewhere by the optimizer).
         """
-        stats = derive_operator_stats(plan, catalog)
-        estimator = self.estimator(name)
-        if isinstance(stats, JoinOperatorStats):
-            return estimator.estimate_join(stats)
-        if isinstance(stats, AggregateOperatorStats):
-            return estimator.estimate_aggregate(stats)
-        return estimator.estimate_scan(stats)
+        with obs.get_tracer().span("costing.estimate_plan", system=name) as span:
+            stats = derive_operator_stats(plan, catalog)
+            estimator = self.estimator(name)
+            if isinstance(stats, JoinOperatorStats):
+                estimate = estimator.estimate_join(stats)
+            elif isinstance(stats, AggregateOperatorStats):
+                estimate = estimator.estimate_aggregate(stats)
+            else:
+                estimate = estimator.estimate_scan(stats)
+            self._observe_estimate(name, estimate, span)
+        return estimate
+
+    def _observe_estimate(
+        self, name: str, estimate: OperatorEstimate, span
+    ) -> None:
+        """Telemetry for one produced estimate (metrics + span attributes)."""
+        obs.counter(
+            "costing.estimate_plan.calls", help="operator estimates produced"
+        ).inc()
+        obs.counter(f"costing.approach.{estimate.approach.value}").inc()
+        obs.histogram(
+            "costing.estimate_seconds",
+            help="distribution of estimated operator times",
+            unit="simulated seconds",
+        ).observe(estimate.seconds)
+        remedy_active = bool(
+            isinstance(estimate.detail, CostEstimate) and estimate.detail.used_remedy
+        )
+        if remedy_active:
+            obs.counter(
+                "costing.estimates_remedied",
+                help="estimates produced through the online remedy path",
+            ).inc()
+        if span.enabled:
+            span.set("operator", estimate.operator.value)
+            span.set("approach", estimate.approach.value)
+            span.set("seconds", estimate.seconds)
+            span.set("remedy", "on" if remedy_active else "off")
+            detail = estimate.detail
+            if isinstance(detail, SelectionResult):
+                span.set("algorithm", detail.predicted_algorithm)
+                span.set(
+                    "candidates",
+                    ",".join(f"{n}:{s:.2f}s" for n, s in detail.candidates),
+                )
+        logger.debug(
+            "estimate_plan %s %s via %s: %.3fs (remedy %s)",
+            name,
+            estimate.operator.value,
+            estimate.approach.value,
+            estimate.seconds,
+            "on" if remedy_active else "off",
+        )
 
     def estimate_full_plan(
         self, name: str, plan: LogicalPlan, catalog: Catalog
@@ -190,14 +273,20 @@ class CostEstimationModule:
         Returns:
             ``(total_seconds, per_operator_estimates)`` bottom-up.
         """
-        estimates = []
-        total = 0.0
-        for node in reversed(plan.walk()):
-            if isinstance(node, Scan) and node.predicate is None and not node.projection:
-                continue  # a bare table access costs nothing by itself
-            estimate = self.estimate_plan(name, node, catalog)
-            estimates.append(estimate)
-            total += estimate.seconds
+        with obs.get_tracer().span(
+            "costing.estimate_full_plan", system=name
+        ) as span:
+            estimates = []
+            total = 0.0
+            for node in reversed(plan.walk()):
+                if isinstance(node, Scan) and node.predicate is None and not node.projection:
+                    continue  # a bare table access costs nothing by itself
+                estimate = self.estimate_plan(name, node, catalog)
+                estimates.append(estimate)
+                total += estimate.seconds
+            obs.counter("costing.estimate_full_plan.calls").inc()
+            span.set("operators", len(estimates))
+            span.set("seconds", total)
         return total, tuple(estimates)
 
     # ------------------------------------------------------------------
@@ -208,15 +297,49 @@ class CostEstimationModule:
     ) -> None:
         """Report an actual remote execution back to the feedback loops.
 
-        Every observation feeds the system's drift monitor (§2's
-        supervised-ecosystem assumption needs a watchdog); logical-op
-        estimates additionally enter the execution log and α history.
+        Every observation feeds the accuracy ledger and the system's
+        drift monitor (§2's supervised-ecosystem assumption needs a
+        watchdog); logical-op estimates additionally enter the execution
+        log and α history.
+
+        Non-positive, NaN, or infinite actual times are *rejected* — a
+        broken measurement must not poison α recalibration or the drift
+        CUSUM — counted under ``costing.record_actual_invalid``.
         """
         entry = self._entry(name)
-        if estimate.seconds > 0 and actual_seconds > 0:
+        if not (actual_seconds > 0 and math.isfinite(actual_seconds)):
+            obs.counter(
+                "costing.record_actual_invalid",
+                help="rejected actual times (non-positive, NaN, or inf)",
+            ).inc()
+            logger.warning(
+                "rejecting invalid actual time %r for %s on %s",
+                actual_seconds,
+                estimate.operator.value,
+                name,
+            )
+            return
+        obs.counter("costing.record_actual.calls").inc()
+        remedy_active = bool(
+            isinstance(estimate.detail, CostEstimate) and estimate.detail.used_remedy
+        )
+        if estimate.seconds > 0:
+            self.ledger.record(
+                system=name,
+                operator=estimate.operator.value,
+                estimated_seconds=estimate.seconds,
+                actual_seconds=actual_seconds,
+                approach=estimate.approach.value,
+                remedy_active=remedy_active,
+            )
             if entry.drift is None:
                 entry.drift = DriftMonitor()
             entry.drift.observe(estimate.seconds, actual_seconds)
+            if entry.drift.drifted:
+                obs.counter(
+                    "costing.drift_flags",
+                    help="observations made while a system was flagged drifted",
+                ).inc()
         if estimate.approach is not CostingApproach.LOGICAL_OP:
             return  # sub-op models need no per-query model feedback
         model = entry.profile.costing.logical_models.get(estimate.operator)
@@ -242,10 +365,29 @@ class CostEstimationModule:
 
     def recalibrate_alpha(self, name: str, kind: OperatorKind) -> float:
         model = self._logical_model(name, kind)
-        return model.recalibrate_alpha()
+        alpha = model.recalibrate_alpha()
+        obs.gauge(
+            f"costing.alpha.{name}.{kind.value}",
+            help="current remedy-combination alpha per system/operator",
+        ).set(alpha)
+        logger.debug("recalibrated alpha for %s/%s: %.3f", name, kind.value, alpha)
+        return alpha
 
     def run_offline_tuning(self, name: str, kind: OperatorKind) -> int:
-        return self._logical_model(name, kind).run_offline_tuning()
+        with obs.get_tracer().span(
+            "costing.run_offline_tuning", system=name, operator=kind.value
+        ) as span:
+            applied = self._logical_model(name, kind).run_offline_tuning()
+            span.set("entries", applied)
+        obs.counter("costing.offline_tuning.runs").inc()
+        obs.counter(
+            "costing.offline_tuning.entries",
+            help="logged executions folded back into the models",
+        ).inc(applied)
+        logger.debug(
+            "offline tuning for %s/%s folded %d entries", name, kind.value, applied
+        )
+        return applied
 
     def _logical_model(self, name: str, kind: OperatorKind) -> LogicalOpModel:
         entry = self._entry(name)

@@ -20,11 +20,14 @@ drift.  Isolated outliers decay; only sustained shifts accumulate.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.exceptions import ConfigurationError
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -120,6 +123,14 @@ class DriftMonitor:
             elif self._cusum_low > self.threshold:
                 self._drifted = True
                 self._direction = "faster"
+            if self._drifted:
+                logger.warning(
+                    "drift detected after %d observations: remote runs %s "
+                    "than modeled (statistic %.2f)",
+                    self._count,
+                    self._direction,
+                    max(self._cusum_high, self._cusum_low),
+                )
         return self.report()
 
     def report(self) -> DriftReport:

@@ -12,9 +12,11 @@
 from __future__ import annotations
 
 import enum
+import logging
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
+from repro import obs
 from repro.core.formulas import ScanCostFormula
 from repro.core.logical_op import CostEstimate, LogicalOpModel
 from repro.core.operators import (
@@ -31,6 +33,8 @@ from repro.core.rules import (
 )
 from repro.core.subop_model import ClusterInfo, SubOpModelSet
 from repro.exceptions import ConfigurationError, ModelNotTrainedError
+
+logger = logging.getLogger(__name__)
 
 
 class CostingApproach(enum.Enum):
@@ -213,10 +217,31 @@ class HybridEstimator:
         if approach is CostingApproach.LOGICAL_OP:
             if self.logical_op is None or not self.logical_op.has_model(kind):
                 if self.sub_op is not None:
+                    self._count_route(kind, CostingApproach.SUB_OP, fallback=True)
                     return CostingApproach.SUB_OP
         elif self.sub_op is None:
+            self._count_route(kind, CostingApproach.LOGICAL_OP, fallback=True)
             return CostingApproach.LOGICAL_OP
+        self._count_route(kind, approach, fallback=False)
         return approach
+
+    @staticmethod
+    def _count_route(
+        kind: OperatorKind, approach: CostingApproach, fallback: bool
+    ) -> None:
+        obs.counter(
+            f"estimator.route.{approach.value}",
+            help="operator estimates routed to this costing approach",
+        ).inc()
+        if fallback:
+            obs.counter(
+                "estimator.route.fallbacks",
+                help="routings that fell back because the preferred "
+                "estimator was absent or untrained",
+            ).inc()
+            logger.debug(
+                "approach fallback for %s: routed to %s", kind.value, approach.value
+            )
 
     def _ensure_available(self, approach: CostingApproach) -> None:
         if approach is CostingApproach.SUB_OP and self.sub_op is None:

@@ -16,9 +16,11 @@ remote executions are logged and periodically folded back into the model.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.metadata import DimensionMetadata, find_pivots
 from repro.core.operators import OperatorKind, dimensions_for
 from repro.core.remedy import AlphaCalibrator, OnlineRemedy, RemedyEstimate
@@ -27,6 +29,8 @@ from repro.core.tuning import ExecutionLog, OfflineTuner
 from repro.exceptions import ConfigurationError, ModelNotTrainedError, TrainingError
 from repro.ml.crossval import topology_search
 from repro.ml.nn import NeuralNetwork, TrainingHistory
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -169,6 +173,18 @@ class LogicalOpModel:
             num_queries=len(self.training_set),
             remote_training_seconds=self.training_set.total_training_seconds,
         )
+        obs.counter("logical_op.trainings").inc()
+        obs.gauge(
+            f"logical_op.final_rmse_percent.{self.kind.value}",
+            help="convergence RMSE percent of the last training run (Fig. 11(b))",
+        ).set(history.final_error)
+        logger.info(
+            "trained %s logical-op model: topology=%s records=%d rmse%%=%.2f",
+            self.kind.value,
+            tuple(topology),
+            len(self.training_set),
+            history.final_error,
+        )
         return self.last_report
 
     @property
@@ -192,8 +208,13 @@ class LogicalOpModel:
             )
         nn_estimate = max(0.0, network.predict_one(features))
         report = find_pivots(self.metadata, features, beta=self.beta)
+        obs.counter("logical_op.estimates").inc()
         if not report.needs_remedy:
             return CostEstimate(seconds=nn_estimate, features=features)
+        obs.counter(
+            "logical_op.out_of_range",
+            help="estimates whose inputs had pivot (way-off) dimensions",
+        ).inc()
         remedy_estimate = self.remedy.estimate(
             nn_estimate=nn_estimate,
             training_set=self.training_set,
@@ -225,6 +246,7 @@ class LogicalOpModel:
         """
         if actual_seconds < 0:
             raise ConfigurationError("actual_seconds must be >= 0")
+        obs.counter("logical_op.recorded_actuals").inc()
         self.execution_log.record(estimate.features, actual_seconds)
         if estimate.used_remedy and estimate.remedy is not None:
             self.alpha_calibrator.observe(

@@ -20,15 +20,19 @@ are observed, is re-fit to minimize the squared error of the combination
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.metadata import DimensionMetadata
 from repro.core.training import TrainingSet
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.ml.linear import LinearRegression
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -94,6 +98,16 @@ class AlphaCalibrator:
         if denominator > 0:
             alpha = float(np.sum(d * (actual - reg)) / denominator)
             self.alpha = float(np.clip(alpha, self.min_alpha, self.max_alpha))
+        obs.counter("remedy.recalibrations").inc()
+        obs.gauge(
+            "remedy.alpha",
+            help="last recalibrated cost-combining alpha (Table 1 loop)",
+        ).set(self.alpha)
+        logger.debug(
+            "alpha recalibrated to %.3f over %d observations",
+            self.alpha,
+            len(self._nn),
+        )
         return self.alpha
 
     @property
@@ -136,12 +150,24 @@ class OnlineRemedy:
         """
         if not pivots:
             raise ConfigurationError("remedy called without pivot dimensions")
+        obs.counter(
+            "remedy.activations",
+            help="queries routed through the online remedy (out-of-range)",
+        ).inc()
         features = np.asarray([float(v) for v in features])
         try:
             regression_estimate = self._pivot_regression(
                 training_set, metadata, features, tuple(pivots)
             )
         except TrainingError:
+            obs.counter(
+                "remedy.regression_fallbacks",
+                help="remedies where the pivot regression degenerated",
+            ).inc()
+            logger.debug(
+                "pivot regression degenerate for pivots %s; NN estimate kept",
+                tuple(pivots),
+            )
             regression_estimate = nn_estimate
         regression_estimate = max(0.0, regression_estimate)
         combined = alpha * nn_estimate + (1.0 - alpha) * regression_estimate

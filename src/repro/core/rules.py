@@ -18,9 +18,11 @@ optimizer would pick, i.e. the cheapest (§4).
 from __future__ import annotations
 
 import enum
+import logging
 from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
+from repro import obs
 from repro.core.formulas import (
     AGGREGATE_FORMULAS,
     AggregateCostFormula,
@@ -32,6 +34,8 @@ from repro.core.formulas import (
 from repro.core.operators import AggregateOperatorStats, JoinOperatorStats
 from repro.core.subop_model import ClusterInfo, SubOpModelSet
 from repro.exceptions import ConfigurationError, PlanningError
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -211,11 +215,26 @@ class JoinAlgorithmSelector:
         ctx: RuleContext,
     ) -> SelectionResult:
         applicable = [a for a in self.algorithms if a.applicable(stats, ctx)]
+        obs.counter("rules.join.selections").inc()
+        obs.counter(
+            "rules.join.candidates_pruned",
+            help="join algorithms eliminated by applicability rules",
+        ).inc(len(self.algorithms) - len(applicable))
+        obs.counter(
+            "rules.join.candidates_kept",
+            help="join algorithms surviving applicability rules",
+        ).inc(len(applicable))
         if not applicable:
             raise PlanningError(
                 "applicability rules eliminated every join algorithm "
                 f"(equi={stats.is_equi})"
             )
+        logger.debug(
+            "join rules kept %d/%d algorithms: %s",
+            len(applicable),
+            len(self.algorithms),
+            [a.name for a in applicable],
+        )
         costed: List[Tuple[str, float]] = [
             (a.name, a.formula.estimate_seconds(stats, subops, ctx.cluster))
             for a in applicable
@@ -255,6 +274,12 @@ class AggregateAlgorithmSelector:
     ) -> SelectionResult:
         workspace = stats.num_output_rows * stats.output_row_size
         hash_applicable = workspace <= ctx.memory_threshold_bytes
+        obs.counter("rules.aggregate.selections").inc()
+        if not hash_applicable:
+            obs.counter(
+                "rules.aggregate.candidates_pruned",
+                help="aggregate formulas eliminated by the memory rule",
+            ).inc()
         candidates: List[Tuple[str, float]] = []
         for formula in self.formulas:
             if formula.algorithm == "hash_aggregate" and not hash_applicable:

@@ -24,6 +24,7 @@ output", "read and also shuffle" — and decomposes elapsed times:
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -38,6 +39,8 @@ from repro.exceptions import (
     TrainingError,
 )
 from repro.ml.linear import LinearRegression
+
+logger = logging.getLogger(__name__)
 
 #: Default record sizes for sub-op training (the corpus's six sizes).
 DEFAULT_RECORD_SIZES: Tuple[int, ...] = (40, 70, 100, 250, 500, 1000)
@@ -386,6 +389,12 @@ class SubOpTrainer:
             models=models,
             hash_build=hash_build,
             job_overhead_seconds=overhead,
+        )
+        logger.info(
+            "sub-op training on %s: %d primitive queries, %.1fs remote time",
+            system.name,
+            num_queries,
+            total_seconds,
         )
         return SubOpTrainingResult(
             model_set=model_set,

@@ -14,6 +14,7 @@ Periodically the log is:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -23,6 +24,8 @@ from repro.core.metadata import DimensionMetadata
 from repro.core.training import TrainingSet
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.ml.nn import NeuralNetwork
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -132,6 +135,11 @@ class OfflineTuner:
             training_set.add(entry.features, entry.actual_cost)
         for index, meta in enumerate(metadata):
             meta.absorb((entry.features[index] for entry in batch), beta=self.beta)
+        logger.debug(
+            "offline tuning folded %d logged executions (%d replayed)",
+            len(batch),
+            0 if replay_x is None else len(replay_x),
+        )
         return len(batch)
 
     def _replay_sample(self, training_set: TrainingSet, batch_size: int):

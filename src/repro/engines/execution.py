@@ -20,11 +20,13 @@ single-sub-op passes whose elapsed time the sub-op trainer decomposes.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.cluster import Cluster
 from repro.cluster.dfs import DistributedFileSystem
 from repro.data.table import TableSpec
@@ -50,6 +52,8 @@ from repro.engines.subops import KernelSet, SubOp
 from repro.exceptions import ConfigurationError, UnsupportedOperationError
 from repro.sql.cardinality import CardinalityEstimator
 from repro.sql.logical import Aggregate, Filter, Join, LogicalPlan, Project, Scan
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -151,14 +155,47 @@ class DfsEngine(RemoteSystem):
     # Execution
     # ------------------------------------------------------------------
     def _execute(self, plan: LogicalPlan) -> QueryResult:
-        result = self._cost_node(plan)
-        elapsed = self._apply_noise(result.seconds)
+        with obs.get_tracer().span("engine.execute", engine=self.name) as span:
+            result = self._cost_node(plan)
+            elapsed = self._apply_noise(result.seconds)
+            self._observe_execution(result, elapsed, span)
         return QueryResult(
             elapsed_seconds=elapsed,
             output_rows=result.shape.num_rows,
             output_row_size=result.shape.row_size,
             algorithm=result.algorithm,
             breakdown=result.breakdown,
+        )
+
+    def _observe_execution(
+        self, result: _NodeResult, elapsed: float, span: obs.Span
+    ) -> None:
+        obs.counter("engine.execute.calls").inc()
+        obs.histogram(
+            "engine.execute_seconds",
+            buckets=obs.DEFAULT_SECONDS_BUCKETS,
+            help="simulated elapsed seconds per executed plan",
+        ).observe(elapsed)
+        for op_name, seconds in result.breakdown.items():
+            obs.counter(
+                f"engine.subop_seconds.{op_name}",
+                help="simulated seconds attributed to this sub-op",
+            ).inc(seconds)
+        span.add_simulated(elapsed)
+        span.set(algorithm=result.algorithm, rows=result.shape.num_rows)
+        total = sum(result.breakdown.values())
+        if total > 0:
+            span.set(
+                subop_shares={
+                    op: round(seconds / total, 4)
+                    for op, seconds in sorted(result.breakdown.items())
+                }
+            )
+        logger.debug(
+            "%s executed plan via %s in %.3fs (simulated)",
+            self.name,
+            result.algorithm,
+            elapsed,
         )
 
     def _cost_node(self, node: LogicalPlan) -> _NodeResult:
@@ -338,6 +375,10 @@ class DfsEngine(RemoteSystem):
                 per_task(op)
 
         overhead = self.tuning.job_startup + self.tuning.wave_startup * waves
+        obs.counter(
+            "engine.primitive.calls",
+            help="primitive measurement queries executed (Fig. 5)",
+        ).inc()
         return self._apply_noise(acc.total + overhead)
 
     # ------------------------------------------------------------------

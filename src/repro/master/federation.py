@@ -10,9 +10,11 @@ through the QueryGrid model.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.core.costing import CostEstimationModule
 from repro.core.profile import RemoteSystemProfile
 from repro.data.catalog import Catalog
@@ -25,6 +27,8 @@ from repro.master.querygrid import QueryGrid, TERADATA
 from repro.master.teradata import TeradataCostModel
 from repro.sql.logical import LogicalPlan
 from repro.sql.parser import parse_select
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -156,6 +160,7 @@ class IntelliSphere:
     def explain(self, query: Union[str, LogicalPlan]) -> PlacementPlan:
         """Parse (if needed) and place a query; returns the placement."""
         plan = parse_select(query) if isinstance(query, str) else query
+        obs.counter("federation.explains").inc()
         return self.optimizer().optimize(plan)
 
     def run(self, query: Union[str, LogicalPlan]) -> FederatedResult:
@@ -167,32 +172,53 @@ class IntelliSphere:
         learned by a separate mechanism).
         """
         plan = parse_select(query) if isinstance(query, str) else query
-        placement = self.optimizer().optimize(plan)
-        execute_steps = [s for s in placement.best.steps if s.kind == "execute"]
-        execute_systems = {s.system for s in execute_steps}
-        # Whole-plan observation is possible when a single engine executes
-        # every operator; its elapsed time is apportioned to the execute
-        # steps by their estimated weights.
-        observed_plan: Optional[float] = None
-        if len(execute_systems) == 1:
-            observed_plan = self._observe_execution(plan, execute_steps[0].system)
-        execute_estimate_total = sum(s.seconds for s in execute_steps) or 1.0
-
-        steps: List[ExecutedStep] = []
-        observed_total = 0.0
-        for step in placement.best.steps:
-            if step.kind == "execute" and observed_plan is not None:
-                observed = observed_plan * step.seconds / execute_estimate_total
-            else:
-                observed = step.seconds
-            observed_total += observed
-            steps.append(
-                ExecutedStep(
-                    description=step.description,
-                    system=step.system,
-                    estimated_seconds=step.seconds,
-                    observed_seconds=observed,
+        with obs.get_tracer().span("federation.run") as span:
+            placement = self.optimizer().optimize(plan)
+            execute_steps = [
+                s for s in placement.best.steps if s.kind == "execute"
+            ]
+            execute_systems = {s.system for s in execute_steps}
+            # Whole-plan observation is possible when a single engine executes
+            # every operator; its elapsed time is apportioned to the execute
+            # steps by their estimated weights.
+            observed_plan: Optional[float] = None
+            if len(execute_systems) == 1:
+                observed_plan = self._observe_execution(
+                    plan, execute_steps[0].system
                 )
+            execute_estimate_total = sum(s.seconds for s in execute_steps) or 1.0
+
+            steps: List[ExecutedStep] = []
+            observed_total = 0.0
+            for step in placement.best.steps:
+                if step.kind == "execute" and observed_plan is not None:
+                    observed = (
+                        observed_plan * step.seconds / execute_estimate_total
+                    )
+                else:
+                    observed = step.seconds
+                observed_total += observed
+                steps.append(
+                    ExecutedStep(
+                        description=step.description,
+                        system=step.system,
+                        estimated_seconds=step.seconds,
+                        observed_seconds=observed,
+                    )
+                )
+            obs.counter("federation.runs").inc()
+            span.set(
+                location=placement.best.location,
+                estimated_seconds=round(placement.best.seconds, 6),
+                observed_seconds=round(observed_total, 6),
+                steps=len(steps),
+            )
+            span.add_simulated(observed_total)
+            logger.info(
+                "federated run on %s: estimated %.2fs, observed %.2fs",
+                placement.best.location,
+                placement.best.seconds,
+                observed_total,
             )
         return FederatedResult(
             plan=plan,

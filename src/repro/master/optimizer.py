@@ -15,9 +15,11 @@ location, combining
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.costing import CostEstimationModule, derive_operator_stats
 from repro.core.operators import (
     AggregateOperatorStats,
@@ -37,6 +39,8 @@ from repro.sql.logical import (
     Project,
     Scan,
 )
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -111,6 +115,12 @@ class PlacementOptimizer:
     # ------------------------------------------------------------------
     def optimize(self, plan: LogicalPlan) -> PlacementPlan:
         """Choose the cheapest placement delivering the result to the master."""
+        with obs.get_tracer().span("optimizer.optimize") as span:
+            placement = self._optimize(plan)
+            self._observe_placement(placement, span)
+        return placement
+
+    def _optimize(self, plan: LogicalPlan) -> PlacementPlan:
         options = self._node_options(plan)
         if not options:
             raise PlanningError("no feasible placement for plan")
@@ -142,6 +152,46 @@ class PlacementOptimizer:
             )
         finals.sort(key=lambda option: option.seconds)
         return PlacementPlan(plan=plan, best=finals[0], alternatives=tuple(finals))
+
+    @staticmethod
+    def _observe_placement(placement: PlacementPlan, span: obs.Span) -> None:
+        best = placement.best
+        obs.counter("optimizer.plans").inc()
+        obs.counter(
+            f"optimizer.placement.{best.location}",
+            help="plans whose root operator was placed on this system",
+        ).inc()
+        transfer_seconds = sum(
+            s.seconds for s in best.steps if s.kind == "transfer"
+        )
+        execute_seconds = sum(
+            s.seconds for s in best.steps if s.kind == "execute"
+        )
+        obs.counter(
+            "optimizer.transfer_seconds",
+            help="estimated QueryGrid transfer seconds in chosen placements",
+        ).inc(transfer_seconds)
+        obs.counter(
+            "optimizer.execute_seconds",
+            help="estimated operator execution seconds in chosen placements",
+        ).inc(execute_seconds)
+        span.set(
+            location=best.location,
+            estimated_seconds=round(best.seconds, 6),
+            transfer_seconds=round(transfer_seconds, 6),
+            execute_seconds=round(execute_seconds, 6),
+            transfer_share=(
+                round(transfer_seconds / best.seconds, 4) if best.seconds > 0 else 0.0
+            ),
+            alternatives=len(placement.alternatives),
+        )
+        logger.debug(
+            "placed plan on %s: %.2fs estimated (%.2fs transfers, %d alternatives)",
+            best.location,
+            best.seconds,
+            transfer_seconds,
+            len(placement.alternatives),
+        )
 
     # ------------------------------------------------------------------
     # Dynamic program

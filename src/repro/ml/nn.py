@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import ConfigurationError, ModelNotTrainedError, TrainingError
 from repro.ml.metrics import rmse_percent
 from repro.ml.scaling import LogStandardScaler, StandardScaler
@@ -119,6 +120,7 @@ class NeuralNetwork:
         xs = self._x_scaler.fit_transform(x)
         ys = self._y_scaler.fit_transform(self._target_forward(y))
         self._init_weights(xs.shape[1])
+        obs.counter("nn.fits").inc()
         return self._train_loop(xs, ys, x, y, iterations, record_every, record_on)
 
     def partial_fit(
@@ -138,6 +140,10 @@ class NeuralNetwork:
         x, y = _validate_xy(x, y)
         xs = self._x_scaler.transform(x)
         ys = self._y_scaler.transform(self._target_forward(y))
+        obs.counter(
+            "nn.partial_fits",
+            help="incremental trainings (offline tuning folds)",
+        ).inc()
         return self._train_loop(xs, ys, x, y, iterations, record_every, None)
 
     def _train_loop(
@@ -164,6 +170,13 @@ class NeuralNetwork:
                 else:
                     error = rmse_percent(y_raw, self.predict(x_raw))
                 history.record(step, error)
+        obs.counter(
+            "nn.iterations", help="minibatch gradient steps taken"
+        ).inc(iterations)
+        obs.gauge(
+            "nn.last_rmse_percent",
+            help="convergence RMSE percent of the most recent training loop",
+        ).set(history.final_error)
         return history
 
     # ------------------------------------------------------------------

@@ -1,0 +1,88 @@
+"""Observability for the cost estimation module.
+
+The paper's architecture is a supervised feedback loop (Fig. 3):
+estimates go out, actuals come back, α recalibrates, the offline tuner
+folds logs into the models.  This package is the runtime instrumentation
+around that loop:
+
+* :mod:`repro.obs.metrics` — a thread-safe, zero-dependency registry of
+  named counters, gauges, and fixed-bucket histograms, with a
+  process-wide default;
+* :mod:`repro.obs.tracing` — context-manager spans over the estimate
+  path (wall-clock and simulated seconds kept distinct), with a no-op
+  fast path when disabled and JSON export;
+* :mod:`repro.obs.ledger` — the accuracy ledger: rolling q-error /
+  RMSE% / slope per (system, operator), fed by ``record_actual``;
+* :mod:`repro.obs.exporters` — JSON-file and Prometheus-text exports;
+* :mod:`repro.obs.logconf` — stdlib-logging configuration for the
+  ``repro`` logger hierarchy.
+
+Instrumented subsystems must import *this* package, never the other way
+around: :mod:`repro.obs` depends only on the standard library.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_SECONDS_BUCKETS,
+    WALL_SECONDS_BUCKETS,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    set_registry,
+)
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    render_span_tree,
+)
+from repro.obs.ledger import (
+    AccuracyLedger,
+    AccuracyStats,
+    LedgerEntry,
+    get_ledger,
+    set_ledger,
+)
+from repro.obs.exporters import (
+    build_snapshot,
+    format_snapshot_text,
+    load_json_snapshot,
+    to_prometheus_text,
+    write_json_snapshot,
+)
+from repro.obs.logconf import configure as configure_logging
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+    "WALL_SECONDS_BUCKETS",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_registry",
+    "set_registry",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "render_span_tree",
+    "AccuracyLedger",
+    "AccuracyStats",
+    "LedgerEntry",
+    "get_ledger",
+    "set_ledger",
+    "build_snapshot",
+    "format_snapshot_text",
+    "load_json_snapshot",
+    "to_prometheus_text",
+    "write_json_snapshot",
+    "configure_logging",
+]

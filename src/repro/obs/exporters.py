@@ -1,0 +1,147 @@
+"""Exporters: registry/ledger snapshots as JSON files or Prometheus text.
+
+Two consumers:
+
+* the benchmark harness dumps a ``*.metrics.json`` snapshot next to every
+  ``benchmarks/results/*.txt`` series, so each experiment run carries its
+  telemetry trajectory;
+* ``repro stats`` renders the live registry (or a dumped snapshot file)
+  as a human table, JSON, or Prometheus exposition text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.obs.ledger import AccuracyLedger, get_ledger
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "build_snapshot",
+    "write_json_snapshot",
+    "load_json_snapshot",
+    "to_prometheus_text",
+    "format_snapshot_text",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+def build_snapshot(
+    registry: Optional[MetricsRegistry] = None,
+    ledger: Optional[AccuracyLedger] = None,
+) -> Dict[str, object]:
+    """One JSON-serializable dict of metrics + ledger state."""
+    registry = registry if registry is not None else get_registry()
+    ledger = ledger if ledger is not None else get_ledger()
+    return {
+        "version": SNAPSHOT_VERSION,
+        "metrics": registry.snapshot(),
+        "ledger": ledger.snapshot(),
+    }
+
+
+def write_json_snapshot(
+    path,
+    registry: Optional[MetricsRegistry] = None,
+    ledger: Optional[AccuracyLedger] = None,
+) -> None:
+    snapshot = build_snapshot(registry=registry, ledger=ledger)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_json_snapshot(path) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+    if not isinstance(snapshot, dict) or "metrics" not in snapshot:
+        raise ValueError(f"{path}: not a metrics snapshot file")
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition format
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"repro_{sanitized}"
+
+
+def to_prometheus_text(
+    registry: Optional[MetricsRegistry] = None,
+    metrics: Optional[Dict[str, dict]] = None,
+) -> str:
+    """Prometheus text-format exposition of a registry (or snapshot dict)."""
+    if metrics is None:
+        registry = registry if registry is not None else get_registry()
+        metrics = registry.snapshot()
+    lines = []
+    for name, data in sorted(metrics.items()):
+        prom = _prom_name(name)
+        kind = data["type"]
+        if data.get("help"):
+            lines.append(f"# HELP {prom} {data['help']}")
+        lines.append(f"# TYPE {prom} {kind}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"{prom} {data['value']}")
+        else:  # histogram
+            cumulative = 0
+            for bound, count in data["buckets"]:
+                cumulative += count
+                le = "+Inf" if bound == "+Inf" else repr(float(bound))
+                lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f"{prom}_sum {data['sum']}")
+            lines.append(f"{prom}_count {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Human-readable rendering (the `repro stats` default)
+# ----------------------------------------------------------------------
+def format_snapshot_text(snapshot: Dict[str, object]) -> str:
+    """Aligned text tables for a :func:`build_snapshot` dict."""
+    lines = ["metrics registry"]
+    metrics = snapshot.get("metrics", {})
+    if not metrics:
+        lines.append("  (empty)")
+    width = max((len(name) for name in metrics), default=0)
+    for name in sorted(metrics):
+        data = metrics[name]
+        kind = data["type"]
+        if kind in ("counter", "gauge"):
+            value = data["value"]
+            rendered = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<{width}}  {kind:9s} {rendered}")
+        else:
+            count, total = data["count"], data["sum"]
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {name:<{width}}  {kind:9s} "
+                f"count={count} sum={total:.6g} mean={mean:.6g}"
+            )
+    ledger = snapshot.get("ledger", {})
+    if ledger:
+        lines.append("")
+        lines.append("accuracy ledger (rolling windows)")
+        lines.append(
+            "  {:<24s} {:>6s} {:>9s} {:>8s} {:>7s} {:>7s}".format(
+                "system/operator", "count", "rmse%", "q-err", "slope", "remedy"
+            )
+        )
+        for key in sorted(ledger):
+            stats = ledger[key]
+            lines.append(
+                "  {:<24s} {:>6d} {:>9.2f} {:>8.3f} {:>7.3f} {:>6.0f}%".format(
+                    key,
+                    int(stats["count"]),
+                    float(stats["rmse_percent"]),
+                    float(stats["mean_q_error"]),
+                    float(stats["slope"]),
+                    100.0 * float(stats["remedy_fraction"]),
+                )
+            )
+    return "\n".join(lines)

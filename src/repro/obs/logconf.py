@@ -1,0 +1,57 @@
+"""Logging configuration for the ``repro`` logger hierarchy.
+
+Every module under :mod:`repro.core` and :mod:`repro.master` owns a
+module-level ``logging.getLogger(__name__)``; nothing emits until a
+handler is attached.  :func:`configure` installs exactly one stream
+handler on the ``repro`` root logger — idempotent, so the CLI, tests,
+and library embedders can all call it safely.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["configure", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Marker attribute identifying the handler this module installed.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def configure(
+    verbose: bool = False,
+    stream: Optional[TextIO] = None,
+    fmt: str = _FORMAT,
+) -> logging.Logger:
+    """Attach (or retune) the single ``repro`` stream handler.
+
+    Args:
+        verbose: DEBUG level when True, WARNING otherwise (the library
+            stays quiet by default; ``repro -v ...`` flips it).
+        stream: Destination; defaults to stderr.
+        fmt: Log line format.
+
+    Returns:
+        The configured ``repro`` root logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    level = logging.DEBUG if verbose else logging.WARNING
+    handler = next(
+        (h for h in logger.handlers if getattr(h, _HANDLER_FLAG, False)),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        setattr(handler, _HANDLER_FLAG, True)
+        handler.setFormatter(logging.Formatter(fmt))
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,299 @@
+"""Span tracing for the estimate path.
+
+A :class:`Tracer` produces nested, context-manager spans over the hot
+paths (optimizer → costing → estimator → engine).  Two clocks are kept
+strictly apart:
+
+* **wall seconds** — real time spent *computing* (estimation overhead,
+  Fig-relevant for "as fast as the hardware allows");
+* **simulated seconds** — the engines' modeled elapsed time, attributed
+  explicitly via :meth:`Span.add_simulated`.
+
+Tracing is **off by default**.  The disabled fast path hands back one
+shared no-op span object — no allocation, no clock reads, a single
+attribute check — so instrumented hot paths stay essentially free
+(``benchmarks/bench_obs_overhead.py`` enforces <5%).  Set the
+``REPRO_OBS_TRACE`` environment variable (or call
+``get_tracer().enable()``) to record.
+
+Finished root spans accumulate in an in-memory ring buffer, queryable
+(:meth:`Tracer.last_trace`, :meth:`Tracer.find`) and exportable as JSON
+(:meth:`Tracer.export_json`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NOOP_SPAN",
+    "get_tracer",
+    "render_span_tree",
+]
+
+
+class Span:
+    """One timed, attributed node of a trace tree."""
+
+    __slots__ = (
+        "name", "attributes", "children",
+        "wall_seconds", "sim_seconds",
+        "_tracer", "_start",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self.name = name
+        self.attributes = attributes
+        self.children: List[Span] = []
+        self.wall_seconds = 0.0
+        self.sim_seconds = 0.0
+        self._tracer = tracer
+        self._start = 0.0
+
+    # -- recording interface ------------------------------------------------
+    enabled = True
+
+    def set(self, key: Optional[str] = None, value: Any = None, **attributes: Any) -> None:
+        """Attach or overwrite attributes: ``set("k", v)`` or ``set(k=v, ...)``."""
+        if key is not None:
+            self.attributes[key] = value
+        if attributes:
+            self.attributes.update(attributes)
+
+    def add_simulated(self, seconds: float) -> None:
+        """Attribute simulated (engine-modeled) seconds to this span."""
+        self.sim_seconds += float(seconds)
+
+    # -- context manager ----------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_seconds = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        self._tracer._pop(self)
+
+    # -- queries ------------------------------------------------------------
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Tuple["Span", ...]:
+        """Every descendant span (including self) with the given name."""
+        return tuple(s for s in self.walk() if s.name == name)
+
+    @property
+    def total_sim_seconds(self) -> float:
+        """Simulated seconds of this span plus all descendants."""
+        return sum(s.sim_seconds for s in self.walk())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name}, wall={self.wall_seconds:.6f}s, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NoopSpan:
+    """The shared disabled-tracer span: every operation is a no-op."""
+
+    __slots__ = ()
+    enabled = False
+    name = ""
+    wall_seconds = 0.0
+    sim_seconds = 0.0
+    children: List[Span] = []
+    attributes: Dict[str, Any] = {}
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, key: Optional[str] = None, value: Any = None, **attributes: Any) -> None:
+        return None
+
+    def add_simulated(self, seconds: float) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NoopSpan()"
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Produces spans and keeps finished root spans in a ring buffer.
+
+    The span stack is thread-local, so concurrent queries trace into
+    independent trees; the finished-trace buffer is shared and locked.
+    """
+
+    def __init__(self, enabled: bool = False, max_traces: int = 64) -> None:
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        self.enabled = enabled
+        self.max_traces = max_traces
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._traces: List[Span] = []
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop recorded traces (the active span stack is untouched)."""
+        with self._lock:
+            self._traces.clear()
+
+    # ------------------------------------------------------------------
+    # Span production
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any):
+        """A context-manager span; the shared no-op when disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attributes)
+
+    def current(self):
+        """The innermost active span on this thread (no-op span if none)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return NOOP_SPAN
+        return stack[-1]
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if not stack or stack[-1] is not span:
+            # Unbalanced exit (tracer toggled mid-span); drop silently.
+            if stack and span in stack:
+                stack.remove(span)
+            return
+        stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._traces.append(span)
+                if len(self._traces) > self.max_traces:
+                    del self._traces[: len(self._traces) - self.max_traces]
+
+    # ------------------------------------------------------------------
+    # Queries and export
+    # ------------------------------------------------------------------
+    def traces(self) -> Tuple[Span, ...]:
+        with self._lock:
+            return tuple(self._traces)
+
+    def last_trace(self) -> Optional[Span]:
+        with self._lock:
+            return self._traces[-1] if self._traces else None
+
+    def find(self, name: str) -> Tuple[Span, ...]:
+        """Spans with the given name across every recorded trace."""
+        found: List[Span] = []
+        for root in self.traces():
+            found.extend(root.find(name))
+        return tuple(found)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [root.to_dict() for root in self.traces()],
+            indent=2,
+            default=str,
+        )
+
+    def export_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _span_line(span: Span) -> str:
+    parts = [span.name]
+    if span.wall_seconds >= 0.1:
+        parts.append(f"wall={span.wall_seconds:.2f}s")
+    else:
+        parts.append(f"wall={span.wall_seconds * 1e3:.2f}ms")
+    if span.sim_seconds:
+        parts.append(f"sim={span.sim_seconds:.2f}s")
+    attrs = " ".join(
+        f"{key}={_format_value(value)}"
+        for key, value in span.attributes.items()
+    )
+    if attrs:
+        parts.append(f"[{attrs}]")
+    return "  ".join(parts)
+
+
+def render_span_tree(span: Span) -> str:
+    """An annotated, human-readable tree of one trace."""
+    lines: List[str] = [_span_line(span)]
+
+    def _render(children: List[Span], prefix: str) -> None:
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            connector = "└─ " if last else "├─ "
+            lines.append(prefix + connector + _span_line(child))
+            _render(child.children, prefix + ("   " if last else "│  "))
+
+    _render(span.children, "")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Process-wide default tracer
+# ----------------------------------------------------------------------
+_default_tracer = Tracer(
+    enabled=os.environ.get("REPRO_OBS_TRACE", "").lower()
+    in ("1", "true", "yes", "on")
+)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer the instrumentation reports to."""
+    return _default_tracer

@@ -63,3 +63,88 @@ class TestSandbox:
     def test_sandbox_with_spark(self):
         sphere = build_sandbox(with_spark=True)
         assert set(sphere.remote_system_names) == {"hive", "spark"}
+
+
+class TestObservabilityCommands:
+    def test_stats_live(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics registry" in out
+
+    def test_stats_from_snapshot(self, capsys, tmp_path):
+        from repro.obs import MetricsRegistry, exporters
+
+        registry = MetricsRegistry()
+        registry.counter("costing.estimate_plan.calls").inc(7)
+        path = tmp_path / "run.metrics.json"
+        exporters.write_json_snapshot(path, registry=registry)
+        assert main(["stats", "--from", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "costing.estimate_plan.calls" in out
+        assert "7" in out
+
+    def test_stats_prometheus_format(self, capsys, tmp_path):
+        from repro.obs import MetricsRegistry, exporters
+
+        registry = MetricsRegistry()
+        registry.counter("federation.runs").inc()
+        path = tmp_path / "run.metrics.json"
+        exporters.write_json_snapshot(path, registry=registry)
+        assert main(["stats", "--from", str(path), "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_federation_runs counter" in out
+        assert "repro_federation_runs 1.0" in out
+
+    def test_stats_rejects_non_snapshot_file(self, capsys, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{}")
+        assert main(["stats", "--from", str(path)]) == 1
+        assert "not a metrics snapshot" in capsys.readouterr().err
+
+    def test_trace_prints_span_tree(self, capsys):
+        from repro import obs
+
+        try:
+            assert main(["trace"]) == 0
+        finally:
+            obs.get_tracer().disable()
+            obs.get_tracer().clear()
+        out = capsys.readouterr().out
+        assert "repro.trace" in out
+        assert "federation.run" in out
+        assert "costing.estimate_plan" in out
+        assert "approach=sub_op" in out
+        assert "remedy=off" in out
+        assert "subop_shares=" in out
+        assert "total: estimated" in out
+
+    def test_trace_exports_json(self, capsys, tmp_path):
+        import json
+
+        from repro import obs
+
+        path = tmp_path / "trace.json"
+        try:
+            code = main(
+                [
+                    "trace",
+                    "SELECT SUM(a1) FROM t1000000_100 GROUP BY a20",
+                    "--json",
+                    str(path),
+                ]
+            )
+        finally:
+            obs.get_tracer().disable()
+            obs.get_tracer().clear()
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data and data[0]["name"] == "repro.trace"
+
+    def test_verbose_flag_enables_debug_logging(self, capsys):
+        import logging
+
+        assert main(["-v", "corpus"]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        # A later non-verbose invocation retunes the level back down.
+        assert main(["corpus"]) == 0
+        assert logging.getLogger("repro").level == logging.WARNING

@@ -220,3 +220,75 @@ class TestFullPlanEstimation:
         plan = parse_select("SELECT SUM(a1) FROM t1000000_100 GROUP BY a5")
         total, estimates = module.estimate_full_plan("hive", plan, small_catalog)
         assert len(estimates) == 1  # the aggregate only
+
+
+class TestObservability:
+    """record_actual feeds the accuracy ledger and rejects broken actuals."""
+
+    @pytest.fixture()
+    def trained(self, module, small_catalog):
+        from repro.obs import AccuracyLedger
+
+        ledger = AccuracyLedger()
+        module.ledger = ledger
+        module.train_sub_op(
+            "hive", SubOpTrainer(record_counts=(1_000_000, 2_000_000))
+        )
+        plan = parse_select(
+            "SELECT * FROM t1000000_100 r JOIN t10000_100 s ON r.a1 = s.a1"
+        )
+        estimate = module.estimate_plan("hive", plan, small_catalog)
+        return module, ledger, estimate
+
+    def test_record_actual_populates_ledger(self, trained):
+        module, ledger, estimate = trained
+        module.record_actual("hive", estimate, 12.5)
+        entries = ledger.entries(system="hive", operator="join")
+        assert len(entries) == 1
+        assert entries[0].estimated_seconds == pytest.approx(estimate.seconds)
+        assert entries[0].actual_seconds == 12.5
+        assert entries[0].approach == "sub_op"
+        assert entries[0].remedy_active is False
+        stats = ledger.stats(system="hive", operator="join")
+        assert stats.count == 1
+
+    def test_invalid_actual_rejected_and_counted(self, trained):
+        from repro import obs
+        from repro.obs import MetricsRegistry
+
+        module, ledger, estimate = trained
+        previous = obs.set_registry(MetricsRegistry())
+        try:
+            for bad in (0.0, -1.0, float("nan"), float("inf")):
+                module.record_actual("hive", estimate, bad)
+            invalid = obs.get_registry().get("costing.record_actual_invalid")
+            assert invalid is not None and invalid.value == 4
+            assert obs.get_registry().get("costing.record_actual.calls") is None
+        finally:
+            obs.set_registry(previous)
+        assert len(ledger) == 0  # nothing poisoned the accuracy window
+
+    def test_invalid_actual_skips_logical_feedback(
+        self, module, small_corpus, small_catalog
+    ):
+        workload = AggregationWorkload(small_corpus, max_queries=40)
+        module.train_logical_op(
+            "hive",
+            OperatorKind.AGGREGATE,
+            workload.training_queries(small_catalog),
+            model=LogicalOpModel(
+                OperatorKind.AGGREGATE,
+                search_topology=False,
+                nn_iterations=500,
+                seed=0,
+            ),
+        )
+        module.profile("hive").approach = CostingApproach.LOGICAL_OP
+        plan = parse_select("SELECT SUM(a1) FROM t1000000_100 GROUP BY a5")
+        estimate = module.estimate_plan("hive", plan, small_catalog)
+        model = module.profile("hive").costing.logical_models[
+            OperatorKind.AGGREGATE
+        ]
+        module.record_actual("hive", estimate, float("nan"))
+        assert len(model.execution_log) == 0
+        assert module.run_offline_tuning("hive", OperatorKind.AGGREGATE) == 0

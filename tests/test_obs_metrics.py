@@ -1,0 +1,187 @@
+"""Metrics registry: instruments, thread-safety, snapshots, exporters."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import exporters
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("c")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_thread_safety_exact_total(self):
+        c = Counter("c")
+        threads = 8
+        per_thread = 5_000
+
+        def work():
+            for _ in range(per_thread):
+                c.inc()
+
+        workers = [threading.Thread(target=work) for _ in range(threads)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert c.value == threads * per_thread
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("g")
+        g.set(1.5)
+        assert g.value == 1.5
+        g.inc(-0.5)
+        assert g.value == 1.0
+
+
+class TestHistogram:
+    def test_bucket_placement_upper_bound_inclusive(self):
+        h = Histogram("h", buckets=(1.0, 5.0))
+        for value in (0.5, 1.0, 3.0, 7.0):
+            h.observe(value)
+        counts = dict(h.bucket_counts())
+        assert counts[1.0] == 2  # 0.5 and the exactly-on-bound 1.0
+        assert counts[5.0] == 1
+        assert counts[float("inf")] == 1
+        assert h.count == 4
+        assert h.sum == pytest.approx(11.5)
+        assert h.mean == pytest.approx(11.5 / 4)
+
+    def test_rejects_empty_or_duplicate_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_snapshot_labels_inf_tail(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(2.0)
+        snap = h.snapshot()
+        assert snap["buckets"] == [[1.0, 0], ["+Inf", 1]]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h", buckets=(1.0,)) is reg.histogram("h")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_names_iteration_and_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ("a", "b")
+        assert [m.name for m in reg] == ["a", "b"]
+        assert len(reg) == 2
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_snapshot_is_json_shaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help="calls").inc(2)
+        snap = reg.snapshot()
+        assert snap["c"]["type"] == "counter"
+        assert snap["c"]["value"] == 2.0
+        assert snap["c"]["help"] == "calls"
+
+    def test_concurrent_get_or_create_single_instrument(self):
+        reg = MetricsRegistry()
+        seen = []
+
+        def work():
+            c = reg.counter("shared")
+            seen.append(c)
+            for _ in range(1_000):
+                c.inc()
+
+        workers = [threading.Thread(target=work) for _ in range(8)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert len(set(id(c) for c in seen)) == 1
+        assert reg.counter("shared").value == 8_000
+
+
+class TestDefaultRegistry:
+    def test_module_level_helpers_hit_default_registry(self):
+        previous = obs.set_registry(MetricsRegistry())
+        try:
+            obs.counter("test.helper").inc()
+            assert obs.get_registry().counter("test.helper").value == 1
+        finally:
+            obs.set_registry(previous)
+
+    def test_set_registry_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = obs.set_registry(fresh)
+        try:
+            assert obs.get_registry() is fresh
+        finally:
+            assert obs.set_registry(previous) is fresh
+
+
+class TestPrometheusExport:
+    def test_counter_gauge_and_histogram_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("costing.estimate_plan.calls", help="estimate calls").inc(3)
+        reg.gauge("remedy.alpha").set(0.5)
+        h = reg.histogram("costing.estimate_seconds", buckets=(1.0, 5.0))
+        h.observe(0.5)
+        h.observe(7.0)
+        text = exporters.to_prometheus_text(registry=reg)
+        assert "# HELP repro_costing_estimate_plan_calls estimate calls" in text
+        assert "# TYPE repro_costing_estimate_plan_calls counter" in text
+        assert "repro_costing_estimate_plan_calls 3.0" in text
+        assert "repro_remedy_alpha 0.5" in text
+        # Buckets are cumulative and end at +Inf == count.
+        assert 'repro_costing_estimate_seconds_bucket{le="1.0"} 1' in text
+        assert 'repro_costing_estimate_seconds_bucket{le="5.0"} 1' in text
+        assert 'repro_costing_estimate_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_costing_estimate_seconds_count 2" in text
+
+    def test_renders_from_snapshot_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        metrics = reg.snapshot()
+        text = exporters.to_prometheus_text(metrics=metrics)
+        assert "repro_a_b 1.0" in text
+
+
+class TestJsonSnapshotRoundtrip:
+    def test_write_and_load(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("roundtrip").inc(4)
+        path = tmp_path / "run.metrics.json"
+        exporters.write_json_snapshot(path, registry=reg)
+        snapshot = exporters.load_json_snapshot(path)
+        assert snapshot["version"] == exporters.SNAPSHOT_VERSION
+        assert snapshot["metrics"]["roundtrip"]["value"] == 4.0
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            exporters.load_json_snapshot(path)
