@@ -1,0 +1,301 @@
+#!/usr/bin/env python
+"""The performance-regression gate (CI's ``benchmark-smoke`` job).
+
+Measures a fresh snapshot of the estimate path's hot-path latencies and
+a deterministic counter workload, then gates it against the committed
+``benchmarks/BENCH_baseline.json`` using
+:mod:`repro.obs.regress`.  Latencies are stored *normalized* against a
+pure-Python calibration loop timed in the same run, which cancels most
+machine-speed differences so the committed baseline stays meaningful
+across machines; per-metric slack for jitter-prone nanosecond
+primitives lives in the baseline's ``thresholds`` section.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regress.py              # gate
+    PYTHONPATH=src python benchmarks/regress.py --update     # re-pin
+    PYTHONPATH=src python benchmarks/regress.py --fast       # quick gate
+    PYTHONPATH=src python benchmarks/regress.py --inject-slowdown 2.0
+
+Exit codes: 0 = within budget, 1 = regression (or changed counter, or
+missing metric), 2 = usage error (missing/corrupt baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from typing import Callable, Dict
+
+from repro import obs
+from repro.core import ClusterInfo, CostEstimationModule, RemoteSystemProfile
+from repro.data import Catalog, build_paper_corpus
+from repro.engines import HiveEngine
+from repro.obs import regress
+from repro.obs.journal import EventJournal
+from repro.sql.parser import parse_select
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_baseline.json"
+)
+
+#: Corpus slice for the gate workload: enough shape coverage to exercise
+#: the sub-op path, small enough to train in a couple of seconds.
+GATE_COUNTS = (10_000, 100_000, 1_000_000, 8_000_000)
+GATE_SIZES = (100,)
+
+JOIN_SQL = "SELECT r.a1 FROM t8000000_100 r JOIN t100000_100 s ON r.a1 = s.a1"
+AGG_SQL = "SELECT SUM(a1) FROM t1000000_100 GROUP BY a20"
+SCAN_SQL = "SELECT a1 FROM t100000_100 WHERE a1 = 1"
+
+#: Per-metric slowdown budgets written into the baseline on ``--update``.
+#: Nanosecond-scale primitives jitter hard between runs and machines, so
+#: they get generous slack; a genuine 2x slowdown still blows every one.
+THRESHOLDS: Dict[str, float] = {
+    "estimate_plan_subop": 0.25,
+    "parse_select": 0.30,
+    "ledger_record": 0.40,
+    "journal_append": 0.50,
+    "noop_span": 0.60,
+    "counter_inc": 0.50,
+    "histogram_observe": 0.50,
+}
+
+
+def _per_call_seconds(fn: Callable, inner: int, repeats: int) -> float:
+    """Min-of-repeats per-call wall time (robust against scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def _calibration_workload() -> int:
+    """The pure-Python unit of work latencies are normalized against."""
+    total = 0
+    for i in range(1_000):
+        total += i * i
+    return total
+
+
+def _build_module():
+    """A trained sub-op costing module over a noise-free gate corpus."""
+    corpus = build_paper_corpus(row_counts=GATE_COUNTS, row_sizes=GATE_SIZES)
+    engine = HiveEngine(seed=2020, noise_sigma=0.0)
+    catalog = Catalog()
+    for spec in corpus:
+        engine.load_table(spec)
+        catalog.register(spec)
+    info = ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+    module = CostEstimationModule()
+    module.register_system(
+        engine, RemoteSystemProfile(name="hive", cluster=info)
+    )
+    module.train_sub_op("hive")
+    return module, engine, catalog
+
+
+def measure_latencies(module, catalog, fast: bool) -> Dict[str, Dict[str, float]]:
+    """Hot-path per-call wall times, raw and calibration-normalized."""
+    repeats = 3 if fast else 7
+    scale = 1 if fast else 4
+
+    tracer = obs.get_tracer()
+    was_enabled = tracer.enabled
+    tracer.disable()
+    try:
+        calibration = _per_call_seconds(
+            _calibration_workload, inner=50 * scale, repeats=repeats
+        )
+
+        plan = parse_select(JOIN_SQL)
+        timings: Dict[str, float] = {}
+        timings["estimate_plan_subop"] = _per_call_seconds(
+            lambda: module.estimate_plan("hive", plan, catalog),
+            inner=10 * scale,
+            repeats=repeats,
+        )
+        timings["parse_select"] = _per_call_seconds(
+            lambda: parse_select(JOIN_SQL), inner=50 * scale, repeats=repeats
+        )
+
+        ledger = obs.AccuracyLedger()
+        timings["ledger_record"] = _per_call_seconds(
+            lambda: ledger.record(
+                system="hive",
+                operator="join",
+                estimated_seconds=10.0,
+                actual_seconds=12.0,
+            ),
+            inner=500 * scale,
+            repeats=repeats,
+        )
+
+        with tempfile.TemporaryDirectory() as tmp:
+            journal = EventJournal(os.path.join(tmp, "journal.jsonl"))
+            timings["journal_append"] = _per_call_seconds(
+                lambda: journal.append(
+                    "estimate",
+                    system="hive",
+                    operator="join",
+                    approach="subop",
+                    seconds=10.0,
+                    remedy_active=False,
+                ),
+                inner=500 * scale,
+                repeats=repeats,
+            )
+            journal.close()
+
+        timings["noop_span"] = _per_call_seconds(
+            lambda: tracer.span("costing.estimate_plan", system="hive"),
+            inner=5_000 * scale,
+            repeats=repeats,
+        )
+        registry = obs.MetricsRegistry()
+        counter = registry.counter("regress.probe")
+        timings["counter_inc"] = _per_call_seconds(
+            counter.inc, inner=5_000 * scale, repeats=repeats
+        )
+        histogram = registry.histogram(
+            "regress.probe_seconds", buckets=obs.DEFAULT_SECONDS_BUCKETS
+        )
+        timings["histogram_observe"] = _per_call_seconds(
+            lambda: histogram.observe(1.0), inner=5_000 * scale, repeats=repeats
+        )
+    finally:
+        if was_enabled:
+            tracer.enable()
+
+    return {
+        "calibration_seconds": calibration,
+        "latencies": {
+            name: {"seconds": seconds, "normalized": seconds / calibration}
+            for name, seconds in timings.items()
+        },
+    }
+
+
+def measure_counters(module, engine, catalog) -> Dict[str, float]:
+    """Deterministic counters from a fixed, noise-free workload.
+
+    A changed value means the estimate path's *behaviour* changed
+    (different number of estimates, approach routing, remedy firing),
+    which the gate treats as a failure until the baseline is re-pinned.
+    """
+    registry = obs.MetricsRegistry()
+    ledger = obs.AccuracyLedger()
+    previous_registry = obs.set_registry(registry)
+    previous_ledger = obs.set_ledger(ledger)
+    previous_journal = obs.set_journal(obs.NOOP_JOURNAL)
+    try:
+        for sql in (JOIN_SQL, AGG_SQL, SCAN_SQL):
+            plan = parse_select(sql)
+            for _ in range(3):
+                estimate = module.estimate_plan("hive", plan, catalog)
+                actual = engine.execute(plan).elapsed_seconds
+                module.record_actual("hive", estimate, actual)
+        snapshot = registry.snapshot()
+    finally:
+        obs.set_registry(previous_registry)
+        obs.set_ledger(previous_ledger)
+        obs.set_journal(previous_journal)
+    return {
+        name: float(data["value"])
+        for name, data in sorted(snapshot.items())
+        if data["type"] == "counter"
+    }
+
+
+def build_current_snapshot(fast: bool, inject_slowdown: float) -> Dict[str, object]:
+    module, engine, catalog = _build_module()
+    snapshot = measure_latencies(module, catalog, fast=fast)
+    if inject_slowdown != 1.0:
+        for entry in snapshot["latencies"].values():
+            entry["seconds"] *= inject_slowdown
+            entry["normalized"] *= inject_slowdown
+    snapshot["counters"] = measure_counters(module, engine, catalog)
+    return snapshot
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark regression gate for the estimate path."
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="committed baseline file (default: benchmarks/BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="re-pin the baseline from this run instead of gating",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="fewer timing repeats (CI smoke and tests)",
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="multiply measured latencies (gate self-test; 2.0 must fail)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the fresh snapshot as JSON (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.inject_slowdown <= 0:
+        print("error: --inject-slowdown must be > 0", file=sys.stderr)
+        return 2
+    if not args.update and not os.path.exists(args.baseline):
+        print(
+            f"error: baseline not found: {args.baseline} "
+            "(create one with --update)",
+            file=sys.stderr,
+        )
+        return 2
+
+    current = build_current_snapshot(
+        fast=args.fast, inject_slowdown=args.inject_slowdown
+    )
+    if args.output:
+        import json
+
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    if args.update:
+        baseline = dict(current)
+        baseline["thresholds"] = dict(THRESHOLDS)
+        regress.write_baseline(args.baseline, baseline)
+        print(f"baseline re-pinned: {args.baseline}")
+        return 0
+
+    try:
+        baseline = regress.load_baseline(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = regress.compare_snapshots(baseline, current)
+    print(regress.render_gate_report(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ A small operational surface over the library::
     python -m repro explain "SELECT ..."   # cost-based placement of a query
     python -m repro run "SELECT ..."       # place and simulate-execute it
     python -m repro trace "SELECT ..."     # traced run: span tree + costs
+    python -m repro profile "SELECT ..."   # per-query cost-breakdown report
+    python -m repro report                 # replay the event journal
     python -m repro stats                  # telemetry counters and accuracy
     python -m repro experiments            # list the paper's benchmarks
 
@@ -155,6 +157,61 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import profiler
+
+    tracer = obs.get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enable()
+    try:
+        sphere = build_sandbox(with_spark=args.spark, seed=args.seed)
+        tracer.clear()  # drop sandbox-training traces; keep the query's
+        with tracer.span("repro.profile", query=args.query):
+            sphere.run(args.query)
+        root = tracer.last_trace()
+    finally:
+        if not was_enabled:
+            tracer.disable()
+    if root is None:
+        print("error: no trace was recorded for the query", file=sys.stderr)
+        return 1
+    profile = profiler.build_profile(root, query=args.query)
+    print(profiler.render_text(profile))
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(profiler.render_html(profile))
+        print(f"\nHTML profile written to {args.html}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import exporters, journal as journal_mod, profiler
+
+    path = args.journal or os.environ.get(obs.JOURNAL_ENV_VAR, "").strip()
+    if not path:
+        print(
+            "error: no journal given (pass --journal FILE or set "
+            f"{obs.JOURNAL_ENV_VAR})",
+            file=sys.stderr,
+        )
+        return 2
+    if not os.path.exists(path):
+        print(f"error: journal file not found: {path}", file=sys.stderr)
+        return 2
+    registry = obs.MetricsRegistry()
+    ledger = obs.AccuracyLedger()
+    result = journal_mod.replay(path, registry=registry, ledger=ledger)
+    snapshot = exporters.build_snapshot(registry=registry, ledger=ledger)
+    print(profiler.render_report_text(snapshot, result))
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(profiler.render_report_html(snapshot, result))
+        print(f"\nHTML report written to {args.html}")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import exporters
 
@@ -162,7 +219,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
         try:
             snapshot = exporters.load_json_snapshot(args.from_file)
         except (OSError, ValueError) as exc:
-            raise ReproError(str(exc)) from exc
+            # A missing or corrupt snapshot is an operator input error:
+            # report it cleanly and exit 2 (distinct from runtime errors).
+            print(f"error: stats --from: {exc}", file=sys.stderr)
+            return 2
     else:
         snapshot = exporters.build_snapshot()
     if args.format == "json":
@@ -247,6 +307,35 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--json", metavar="FILE", help="also export the trace JSON")
     trace.set_defaults(func=cmd_trace)
+
+    profile = sub.add_parser(
+        "profile", help="run a query and print a per-query cost breakdown"
+    )
+    profile.add_argument(
+        "query",
+        nargs="?",
+        default=TRACE_DEMO_QUERY,
+        help="SQL SELECT over the sandbox corpus (default: a demo join)",
+    )
+    profile.add_argument("--spark", action="store_true", help="add a Spark system")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--html", metavar="FILE", help="also write a self-contained HTML report"
+    )
+    profile.set_defaults(func=cmd_profile)
+
+    report = sub.add_parser(
+        "report", help="replay the event journal into an aggregate report"
+    )
+    report.add_argument(
+        "--journal",
+        metavar="FILE",
+        help=f"journal file to replay (default: ${obs.JOURNAL_ENV_VAR})",
+    )
+    report.add_argument(
+        "--html", metavar="FILE", help="also write a self-contained HTML report"
+    )
+    report.set_defaults(func=cmd_report)
 
     stats = sub.add_parser(
         "stats", help="show telemetry counters and the accuracy ledger"

@@ -239,6 +239,16 @@ class CostEstimationModule:
                 "costing.estimates_remedied",
                 help="estimates produced through the online remedy path",
             ).inc()
+        journal = obs.get_journal()
+        if journal.enabled:
+            journal.append(
+                "estimate",
+                system=name,
+                operator=estimate.operator.value,
+                approach=estimate.approach.value,
+                seconds=estimate.seconds,
+                remedy_active=remedy_active,
+            )
         if span.enabled:
             span.set("operator", estimate.operator.value)
             span.set("approach", estimate.approach.value)
@@ -323,6 +333,7 @@ class CostEstimationModule:
         remedy_active = bool(
             isinstance(estimate.detail, CostEstimate) and estimate.detail.used_remedy
         )
+        drift_flagged = False
         if estimate.seconds > 0:
             self.ledger.record(
                 system=name,
@@ -336,10 +347,23 @@ class CostEstimationModule:
                 entry.drift = DriftMonitor()
             entry.drift.observe(estimate.seconds, actual_seconds)
             if entry.drift.drifted:
+                drift_flagged = True
                 obs.counter(
                     "costing.drift_flags",
                     help="observations made while a system was flagged drifted",
                 ).inc()
+        journal = obs.get_journal()
+        if journal.enabled:
+            journal.append(
+                "actual",
+                system=name,
+                operator=estimate.operator.value,
+                approach=estimate.approach.value,
+                estimated_seconds=estimate.seconds,
+                actual_seconds=actual_seconds,
+                remedy_active=remedy_active,
+                drift_flagged=drift_flagged,
+            )
         if estimate.approach is not CostingApproach.LOGICAL_OP:
             return  # sub-op models need no per-query model feedback
         model = entry.profile.costing.logical_models.get(estimate.operator)

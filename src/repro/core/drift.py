@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.exceptions import ConfigurationError
 
 logger = logging.getLogger(__name__)
@@ -124,6 +125,18 @@ class DriftMonitor:
                 self._drifted = True
                 self._direction = "faster"
             if self._drifted:
+                obs.counter(
+                    "drift.alarms",
+                    help="drift monitors that crossed the CUSUM threshold",
+                ).inc()
+                journal = obs.get_journal()
+                if journal.enabled:
+                    journal.append(
+                        "drift",
+                        direction=self._direction,
+                        statistic=max(self._cusum_high, self._cusum_low),
+                        observations=self._count,
+                    )
                 logger.warning(
                     "drift detected after %d observations: remote runs %s "
                     "than modeled (statistic %.2f)",

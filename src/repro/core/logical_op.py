@@ -206,7 +206,9 @@ class LogicalOpModel:
             raise ConfigurationError(
                 f"expected {len(self.dimension_names)} features, got {len(features)}"
             )
-        nn_estimate = max(0.0, network.predict_one(features))
+        with obs.get_tracer().span("nn.inference", operator=self.kind.value) as span:
+            nn_estimate = max(0.0, network.predict_one(features))
+            span.set("seconds", nn_estimate)
         report = find_pivots(self.metadata, features, beta=self.beta)
         obs.counter("logical_op.estimates").inc()
         if not report.needs_remedy:

@@ -103,6 +103,14 @@ class AlphaCalibrator:
             "remedy.alpha",
             help="last recalibrated cost-combining alpha (Table 1 loop)",
         ).set(self.alpha)
+        journal = obs.get_journal()
+        if journal.enabled:
+            journal.append(
+                "remedy",
+                phase="recalibration",
+                alpha=self.alpha,
+                observations=len(self._nn),
+            )
         logger.debug(
             "alpha recalibrated to %.3f over %d observations",
             self.alpha,
@@ -155,22 +163,39 @@ class OnlineRemedy:
             help="queries routed through the online remedy (out-of-range)",
         ).inc()
         features = np.asarray([float(v) for v in features])
-        try:
-            regression_estimate = self._pivot_regression(
-                training_set, metadata, features, tuple(pivots)
-            )
-        except TrainingError:
-            obs.counter(
-                "remedy.regression_fallbacks",
-                help="remedies where the pivot regression degenerated",
-            ).inc()
-            logger.debug(
-                "pivot regression degenerate for pivots %s; NN estimate kept",
-                tuple(pivots),
-            )
-            regression_estimate = nn_estimate
+        fallback = False
+        with obs.get_tracer().span(
+            "remedy.estimate", pivots=len(pivots), alpha=alpha
+        ):
+            try:
+                regression_estimate = self._pivot_regression(
+                    training_set, metadata, features, tuple(pivots)
+                )
+            except TrainingError:
+                fallback = True
+                obs.counter(
+                    "remedy.regression_fallbacks",
+                    help="remedies where the pivot regression degenerated",
+                ).inc()
+                logger.debug(
+                    "pivot regression degenerate for pivots %s; NN estimate kept",
+                    tuple(pivots),
+                )
+                regression_estimate = nn_estimate
         regression_estimate = max(0.0, regression_estimate)
         combined = alpha * nn_estimate + (1.0 - alpha) * regression_estimate
+        journal = obs.get_journal()
+        if journal.enabled:
+            journal.append(
+                "remedy",
+                phase="activation",
+                alpha=alpha,
+                nn_estimate=nn_estimate,
+                regression_estimate=regression_estimate,
+                combined=max(0.0, combined),
+                pivots=list(int(p) for p in pivots),
+                fallback=fallback,
+            )
         return RemedyEstimate(
             combined=max(0.0, combined),
             nn_estimate=nn_estimate,

@@ -20,6 +20,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.metadata import DimensionMetadata
 from repro.core.training import TrainingSet
 from repro.exceptions import ConfigurationError, TrainingError
@@ -135,10 +136,26 @@ class OfflineTuner:
             training_set.add(entry.features, entry.actual_cost)
         for index, meta in enumerate(metadata):
             meta.absorb((entry.features[index] for entry in batch), beta=self.beta)
+        replayed = 0 if replay_x is None else len(replay_x)
+        obs.counter(
+            "tuning.folds", help="offline-tuning batches folded into models"
+        ).inc()
+        obs.counter(
+            "tuning.entries_folded",
+            help="logged executions folded back by the offline tuner",
+        ).inc(len(batch))
+        journal = obs.get_journal()
+        if journal.enabled:
+            journal.append(
+                "tuning",
+                entries=len(batch),
+                replayed=replayed,
+                iterations=self.tuning_iterations,
+            )
         logger.debug(
             "offline tuning folded %d logged executions (%d replayed)",
             len(batch),
-            0 if replay_x is None else len(replay_x),
+            replayed,
         )
         return len(batch)
 

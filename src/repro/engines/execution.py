@@ -184,10 +184,18 @@ class DfsEngine(RemoteSystem):
         span.add_simulated(elapsed)
         span.set(algorithm=result.algorithm, rows=result.shape.num_rows)
         total = sum(result.breakdown.values())
-        if total > 0:
+        if total > 0 and span.enabled:
             span.set(
                 subop_shares={
                     op: round(seconds / total, 4)
+                    for op, seconds in sorted(result.breakdown.items())
+                }
+            )
+            # Full-precision per-sub-op simulated seconds: the profiler
+            # aggregates these into the query's cost-breakdown report.
+            span.set(
+                _subop_seconds={
+                    op: seconds
                     for op, seconds in sorted(result.breakdown.items())
                 }
             )

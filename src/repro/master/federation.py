@@ -213,6 +213,20 @@ class IntelliSphere:
                 observed_seconds=round(observed_total, 6),
                 steps=len(steps),
             )
+            if span.enabled:
+                # Structured per-step record consumed by the profiler's
+                # estimate-vs-actual delta table (repro profile <sql>).
+                span.set(
+                    _step_details=tuple(
+                        {
+                            "description": step.description,
+                            "system": step.system,
+                            "estimated_seconds": step.estimated_seconds,
+                            "observed_seconds": step.observed_seconds,
+                        }
+                        for step in steps
+                    )
+                )
             span.add_simulated(observed_total)
             logger.info(
                 "federated run on %s: estimated %.2fs, observed %.2fs",

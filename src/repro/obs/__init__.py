@@ -13,6 +13,17 @@ around that loop:
   fast path when disabled and JSON export;
 * :mod:`repro.obs.ledger` — the accuracy ledger: rolling q-error /
   RMSE% / slope per (system, operator), fed by ``record_actual``;
+* :mod:`repro.obs.journal` — the persistent event journal: an
+  append-only, schema-versioned, size-rotated JSONL stream of
+  feedback-loop events (estimate/actual/remedy/tuning/drift) with a
+  deterministic :func:`~repro.obs.journal.replay` that rebuilds the
+  ledger and journal-backed counters in a fresh process;
+* :mod:`repro.obs.profiler` — per-query cost-breakdown reports (text
+  and self-contained HTML) assembled from recorded span trees, plus
+  the aggregate journal report;
+* :mod:`repro.obs.regress` — the performance-regression gate's
+  baseline schema and comparison logic (driven by
+  ``benchmarks/regress.py``);
 * :mod:`repro.obs.exporters` — JSON-file and Prometheus-text exports;
 * :mod:`repro.obs.logconf` — stdlib-logging configuration for the
   ``repro`` logger hierarchy.
@@ -48,6 +59,25 @@ from repro.obs.ledger import (
     get_ledger,
     set_ledger,
 )
+from repro.obs.journal import (
+    EVENT_TYPES,
+    JOURNAL_ENV_VAR,
+    NOOP_JOURNAL,
+    EventJournal,
+    JournalEvent,
+    NoopJournal,
+    ReplayResult,
+    get_journal,
+    read_journal,
+    replay,
+    set_journal,
+)
+from repro.obs.profiler import (
+    QueryProfile,
+    build_profile,
+    render_html,
+    render_text,
+)
 from repro.obs.exporters import (
     build_snapshot,
     format_snapshot_text,
@@ -79,6 +109,21 @@ __all__ = [
     "LedgerEntry",
     "get_ledger",
     "set_ledger",
+    "EVENT_TYPES",
+    "JOURNAL_ENV_VAR",
+    "NOOP_JOURNAL",
+    "EventJournal",
+    "JournalEvent",
+    "NoopJournal",
+    "ReplayResult",
+    "get_journal",
+    "read_journal",
+    "replay",
+    "set_journal",
+    "QueryProfile",
+    "build_profile",
+    "render_html",
+    "render_text",
     "build_snapshot",
     "format_snapshot_text",
     "load_json_snapshot",

@@ -71,6 +71,18 @@ def _prom_name(name: str) -> str:
     return f"repro_{sanitized}"
 
 
+def _escape_help(text: str) -> str:
+    """Escape a HELP line per the exposition format: ``\\`` and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value: backslash, double quote, and newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def to_prometheus_text(
     registry: Optional[MetricsRegistry] = None,
     metrics: Optional[Dict[str, dict]] = None,
@@ -84,7 +96,7 @@ def to_prometheus_text(
         prom = _prom_name(name)
         kind = data["type"]
         if data.get("help"):
-            lines.append(f"# HELP {prom} {data['help']}")
+            lines.append(f"# HELP {prom} {_escape_help(str(data['help']))}")
         lines.append(f"# TYPE {prom} {kind}")
         if kind in ("counter", "gauge"):
             lines.append(f"{prom} {data['value']}")
@@ -93,7 +105,10 @@ def to_prometheus_text(
             for bound, count in data["buckets"]:
                 cumulative += count
                 le = "+Inf" if bound == "+Inf" else repr(float(bound))
-                lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+                lines.append(
+                    f'{prom}_bucket{{le="{_escape_label_value(le)}"}} '
+                    f"{cumulative}"
+                )
             lines.append(f"{prom}_sum {data['sum']}")
             lines.append(f"{prom}_count {data['count']}")
     return "\n".join(lines) + ("\n" if lines else "")

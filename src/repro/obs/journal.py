@@ -1,0 +1,555 @@
+"""The persistent event journal: durable feedback-loop history.
+
+Everything PR 1's telemetry keeps (metrics registry, accuracy ledger)
+is in-memory and dies with the process.  The journal makes the
+feedback stream *durable*: every significant event on the estimate
+path — an estimate issued, an actual recorded, the online remedy
+firing, an offline-tuning fold-in, a drift alarm — is appended as one
+JSON line to an append-only file, and :func:`replay` deterministically
+rebuilds the accuracy ledger and the journal-backed metrics counters
+from that file in a fresh process.
+
+Design points, in order of importance:
+
+* **append-only JSONL** — one event per line, serialized with sorted
+  keys and compact separators so journal files are byte-comparable
+  across runs of the same workload;
+* **schema-versioned** — every line carries ``"v": SCHEMA_VERSION``;
+  readers skip events from future major versions instead of crashing;
+* **size-based rotation** — when the active file would exceed
+  ``max_bytes`` it is rotated to ``<path>.1`` (older generations shift
+  up, the oldest beyond ``max_files`` is deleted), so a long-lived
+  process cannot fill the disk;
+* **corruption tolerance** — reads skip torn/garbage lines (a crash
+  mid-append truncates at most the final line) and report how many
+  were skipped rather than refusing the whole file;
+* **cheap when off** — the process-wide default is a shared no-op
+  journal unless the ``REPRO_OBS_JOURNAL`` environment variable names
+  a path (or :func:`set_journal` installs one); emission sites guard
+  on ``journal.enabled`` so the disabled hot path costs one attribute
+  read.
+
+Like the rest of :mod:`repro.obs`, this module depends only on the
+standard library and must never import from the instrumented packages.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.obs.ledger import AccuracyLedger, get_ledger
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "JournalEvent",
+    "EventJournal",
+    "NoopJournal",
+    "NOOP_JOURNAL",
+    "JOURNAL_ENV_VAR",
+    "ReadResult",
+    "ReplayResult",
+    "read_journal",
+    "iter_journal_lines",
+    "replay",
+    "get_journal",
+    "set_journal",
+]
+
+#: Bump on breaking payload changes; readers skip newer-versioned events.
+SCHEMA_VERSION = 1
+
+#: The journaled feedback-loop event kinds (DESIGN §6).
+EVENT_TYPES: Tuple[str, ...] = (
+    "estimate",   # an operator estimate was issued
+    "actual",     # an actual execution time was recorded (validated)
+    "remedy",     # the online remedy fired / alpha recalibrated
+    "tuning",     # an offline-tuning batch was folded into a model
+    "drift",      # a drift monitor raised its alarm
+)
+
+JOURNAL_ENV_VAR = "REPRO_OBS_JOURNAL"
+
+#: Default rotation policy: 8 MiB active file, 4 rotated generations.
+DEFAULT_MAX_BYTES = 8 * 1024 * 1024
+DEFAULT_MAX_FILES = 4
+
+
+@dataclass(frozen=True)
+class JournalEvent:
+    """One deserialized journal line.
+
+    Attributes:
+        seq: Monotonic sequence number within the journal.
+        type: Event kind (one of :data:`EVENT_TYPES` for known events).
+        payload: The event's data fields.
+        version: Schema version the event was written under.
+    """
+
+    seq: int
+    type: str
+    payload: Dict[str, object] = field(default_factory=dict)
+    version: int = SCHEMA_VERSION
+
+    def to_line(self) -> str:
+        """The event's canonical serialized form (no trailing newline)."""
+        return json.dumps(
+            {
+                "v": self.version,
+                "seq": self.seq,
+                "type": self.type,
+                "payload": self.payload,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of reading a journal from disk.
+
+    Attributes:
+        events: The readable events, oldest first (rotated generations
+            before the active file).
+        corrupt_lines: Lines that failed to parse or lacked the
+            required fields (torn writes, editor damage).
+        skipped_versions: Events from a newer schema version.
+    """
+
+    events: Tuple[JournalEvent, ...]
+    corrupt_lines: int = 0
+    skipped_versions: int = 0
+
+
+class NoopJournal:
+    """The shared disabled journal: ``append`` does nothing."""
+
+    __slots__ = ()
+    enabled = False
+    path = None
+
+    def append(self, event_type: str, **payload: object) -> None:
+        return None
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NoopJournal()"
+
+
+NOOP_JOURNAL = NoopJournal()
+
+
+class EventJournal:
+    """Append-only, size-rotated JSONL journal of feedback-loop events.
+
+    Args:
+        path: The active journal file; rotated generations live next to
+            it as ``<path>.1`` (newest) .. ``<path>.<max_files>``.
+        max_bytes: Rotation trigger — the active file is rotated
+            *before* an append that would push it past this size.
+        max_files: Rotated generations kept; older ones are deleted.
+        fsync: Call ``os.fsync`` after every append.  Durable against
+            power loss but slow; off by default (crash durability is
+            to the last OS flush).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        max_files: int = DEFAULT_MAX_FILES,
+        fsync: bool = False,
+    ) -> None:
+        if max_bytes < 1024:
+            raise ValueError("max_bytes must be >= 1024")
+        if max_files < 1:
+            raise ValueError("max_files must be >= 1")
+        self.path = os.fspath(path)
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._fh: Optional[io.TextIOWrapper] = None
+        self._size = 0
+        self._seq = self._resume_seq()
+        self._appended = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, event_type: str, **payload: object) -> JournalEvent:
+        """Serialize and append one event; returns the written event."""
+        with self._lock:
+            self._seq += 1
+            event = JournalEvent(
+                seq=self._seq, type=event_type, payload=payload
+            )
+            line = event.to_line() + "\n"
+            encoded = len(line.encode("utf-8"))
+            if self._fh is None:
+                self._open()
+            if self._size + encoded > self.max_bytes and self._size > 0:
+                self._rotate()
+            self._fh.write(line)
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            self._size += encoded
+            self._appended += 1
+        return event
+
+    @property
+    def appended(self) -> int:
+        """Events appended through this journal instance."""
+        with self._lock:
+            return self._appended
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read(self) -> ReadResult:
+        """All readable events (rotated + active), oldest first."""
+        self.flush()
+        return read_journal(self.path, max_files=self.max_files)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = self._fh.tell()
+
+    def _rotate(self) -> None:
+        """Shift generations up and start a fresh active file."""
+        self._fh.close()
+        self._fh = None
+        oldest = f"{self.path}.{self.max_files}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.max_files - 1, 0, -1):
+            src = f"{self.path}.{index}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._open()
+
+    def _resume_seq(self) -> int:
+        """Continue sequence numbers across restarts (best effort)."""
+        best = 0
+        for path in _generation_paths(self.path, self.max_files):
+            try:
+                with open(path, "rb") as fh:
+                    tail = _last_complete_line(fh)
+            except OSError:
+                continue
+            if tail is None:
+                continue
+            try:
+                record = json.loads(tail)
+                best = max(best, int(record.get("seq", 0)))
+            except (ValueError, TypeError):
+                continue
+        return best
+
+    def __repr__(self) -> str:
+        return f"EventJournal({self.path!r}, seq={self._seq})"
+
+
+# ----------------------------------------------------------------------
+# Corruption-tolerant reading
+# ----------------------------------------------------------------------
+def _generation_paths(path: str, max_files: int) -> List[str]:
+    """Existing journal files newest-last: ``.<n>`` .. ``.1``, active."""
+    paths = [
+        f"{path}.{index}"
+        for index in range(max_files, 0, -1)
+        if os.path.exists(f"{path}.{index}")
+    ]
+    if os.path.exists(path):
+        paths.append(path)
+    return paths
+
+
+def _last_complete_line(fh) -> Optional[bytes]:
+    """The final newline-terminated line of a binary file, if any."""
+    try:
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        chunk = min(size, 64 * 1024)
+        fh.seek(size - chunk)
+        data = fh.read(chunk)
+    except OSError:
+        return None
+    lines = [line for line in data.split(b"\n") if line.strip()]
+    if not lines:
+        return None
+    if data.endswith(b"\n"):
+        return lines[-1]
+    # The final line was torn by a crash mid-append; use the one before.
+    return lines[-2] if len(lines) >= 2 else None
+
+
+def iter_journal_lines(path: Union[str, os.PathLike]) -> Iterator[str]:
+    """Raw journal lines of one file, without parsing."""
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield line
+
+
+def _parse_line(line: str) -> Optional[JournalEvent]:
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    event_type = record.get("type")
+    payload = record.get("payload")
+    if not isinstance(event_type, str) or not isinstance(payload, dict):
+        return None
+    try:
+        seq = int(record.get("seq", 0))
+        version = int(record.get("v", 0))
+    except (TypeError, ValueError):
+        return None
+    return JournalEvent(seq=seq, type=event_type, payload=payload, version=version)
+
+
+def read_journal(
+    path: Union[str, os.PathLike],
+    max_files: int = DEFAULT_MAX_FILES,
+) -> ReadResult:
+    """Read a journal (rotated generations + active file), tolerantly.
+
+    Unparseable lines are counted, not fatal; events written under a
+    newer schema version are skipped and counted separately.
+    """
+    path = os.fspath(path)
+    events: List[JournalEvent] = []
+    corrupt = 0
+    skipped = 0
+    for file_path in _generation_paths(path, max_files):
+        try:
+            lines = list(iter_journal_lines(file_path))
+        except OSError:
+            continue
+        for line in lines:
+            event = _parse_line(line)
+            if event is None:
+                corrupt += 1
+            elif event.version > SCHEMA_VERSION:
+                skipped += 1
+            else:
+                events.append(event)
+    return ReadResult(
+        events=tuple(events), corrupt_lines=corrupt, skipped_versions=skipped
+    )
+
+
+# ----------------------------------------------------------------------
+# Replay: journal -> ledger + metrics counters
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying a journal into a ledger and registry.
+
+    Attributes:
+        applied: Events applied to the ledger/registry.
+        ignored: Known-version events of unknown type (forward compat).
+        corrupt_lines: Unparseable lines skipped during the read.
+        skipped_versions: Events from a newer schema version.
+        counts: Applied events per event type.
+    """
+
+    applied: int
+    ignored: int
+    corrupt_lines: int
+    skipped_versions: int
+    counts: Dict[str, int]
+
+
+def _as_float(value: object, default: float = 0.0) -> float:
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return default
+
+
+def replay(
+    source: Union[str, os.PathLike, Iterable[JournalEvent], ReadResult],
+    registry: Optional[MetricsRegistry] = None,
+    ledger: Optional[AccuracyLedger] = None,
+) -> ReplayResult:
+    """Rebuild the ledger and journal-backed counters from a journal.
+
+    Replay is *deterministic*: applying the same journal to a fresh
+    registry/ledger yields bit-identical ledger statistics and counter
+    values to the live run that wrote it, because floats survive the
+    JSON round-trip exactly and events apply in append order.
+
+    Each event type maps onto the same instruments its live emission
+    site drives (see DESIGN §6 for the full table):
+
+    * ``estimate`` — ``costing.estimate_plan.calls``,
+      ``costing.approach.<approach>``, the ``costing.estimate_seconds``
+      histogram, ``costing.estimates_remedied``;
+    * ``actual`` — ``costing.record_actual.calls``,
+      ``costing.drift_flags``, and one :meth:`AccuracyLedger.record`;
+    * ``remedy`` — ``remedy.activations`` /
+      ``remedy.regression_fallbacks`` (activation phase) or
+      ``remedy.recalibrations`` + the ``remedy.alpha`` gauge
+      (recalibration phase);
+    * ``tuning`` — ``tuning.folds`` and ``tuning.entries_folded``;
+    * ``drift`` — ``drift.alarms``.
+
+    Args:
+        source: A journal path, a :class:`ReadResult`, or an iterable
+            of events.
+        registry: Target registry (defaults to the process-wide one).
+        ledger: Target ledger (defaults to the process-wide one).
+    """
+    registry = registry if registry is not None else get_registry()
+    ledger = ledger if ledger is not None else get_ledger()
+    corrupt = 0
+    skipped = 0
+    if isinstance(source, (str, os.PathLike)):
+        source = read_journal(source)
+    if isinstance(source, ReadResult):
+        corrupt = source.corrupt_lines
+        skipped = source.skipped_versions
+        events: Iterable[JournalEvent] = source.events
+    else:
+        events = source
+
+    applied = 0
+    ignored = 0
+    counts: Dict[str, int] = {}
+    for event in events:
+        payload = event.payload
+        if event.type == "estimate":
+            registry.counter("costing.estimate_plan.calls").inc()
+            approach = str(payload.get("approach", ""))
+            if approach:
+                registry.counter(f"costing.approach.{approach}").inc()
+            registry.histogram(
+                "costing.estimate_seconds", buckets=DEFAULT_SECONDS_BUCKETS
+            ).observe(_as_float(payload.get("seconds")))
+            if payload.get("remedy_active"):
+                registry.counter("costing.estimates_remedied").inc()
+        elif event.type == "actual":
+            registry.counter("costing.record_actual.calls").inc()
+            estimated = _as_float(payload.get("estimated_seconds"))
+            actual = _as_float(payload.get("actual_seconds"))
+            if estimated > 0 and actual > 0:
+                ledger.record(
+                    system=str(payload.get("system", "")),
+                    operator=str(payload.get("operator", "")),
+                    estimated_seconds=estimated,
+                    actual_seconds=actual,
+                    approach=str(payload.get("approach", "")),
+                    remedy_active=bool(payload.get("remedy_active", False)),
+                )
+            if payload.get("drift_flagged"):
+                registry.counter("costing.drift_flags").inc()
+        elif event.type == "remedy":
+            if payload.get("phase") == "recalibration":
+                registry.counter("remedy.recalibrations").inc()
+                registry.gauge("remedy.alpha").set(
+                    _as_float(payload.get("alpha"), default=0.5)
+                )
+            else:
+                registry.counter("remedy.activations").inc()
+                if payload.get("fallback"):
+                    registry.counter("remedy.regression_fallbacks").inc()
+        elif event.type == "tuning":
+            registry.counter("tuning.folds").inc()
+            registry.counter("tuning.entries_folded").inc(
+                _as_float(payload.get("entries"))
+            )
+        elif event.type == "drift":
+            registry.counter("drift.alarms").inc()
+        else:
+            ignored += 1
+            continue
+        applied += 1
+        counts[event.type] = counts.get(event.type, 0) + 1
+    return ReplayResult(
+        applied=applied,
+        ignored=ignored,
+        corrupt_lines=corrupt,
+        skipped_versions=skipped,
+        counts=counts,
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-wide default journal
+# ----------------------------------------------------------------------
+_default_journal: Optional[Union[EventJournal, NoopJournal]] = None
+_default_lock = threading.Lock()
+
+
+def get_journal() -> Union[EventJournal, NoopJournal]:
+    """The process-wide journal all emission sites append to.
+
+    Resolved lazily on first use: the ``REPRO_OBS_JOURNAL`` environment
+    variable names the journal path; unset means the shared no-op.
+    """
+    global _default_journal
+    journal = _default_journal
+    if journal is not None:
+        return journal
+    with _default_lock:
+        if _default_journal is None:
+            path = os.environ.get(JOURNAL_ENV_VAR, "").strip()
+            _default_journal = EventJournal(path) if path else NOOP_JOURNAL
+        return _default_journal
+
+
+def set_journal(
+    journal: Optional[Union[EventJournal, NoopJournal]],
+) -> Union[EventJournal, NoopJournal, None]:
+    """Swap the default journal; returns the previous one.
+
+    Passing ``None`` resets to unresolved, so the next
+    :func:`get_journal` re-reads the environment.
+    """
+    global _default_journal
+    with _default_lock:
+        previous = _default_journal
+        _default_journal = journal
+    return previous

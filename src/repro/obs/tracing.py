@@ -261,9 +261,12 @@ def _span_line(span: Span) -> str:
         parts.append(f"wall={span.wall_seconds * 1e3:.2f}ms")
     if span.sim_seconds:
         parts.append(f"sim={span.sim_seconds:.2f}s")
+    # Attributes starting with "_" are structured machine-facing payloads
+    # (profiler input); they stay out of the human-readable tree.
     attrs = " ".join(
         f"{key}={_format_value(value)}"
         for key, value in span.attributes.items()
+        if not key.startswith("_")
     )
     if attrs:
         parts.append(f"[{attrs}]")

@@ -98,8 +98,19 @@ class TestObservabilityCommands:
     def test_stats_rejects_non_snapshot_file(self, capsys, tmp_path):
         path = tmp_path / "junk.json"
         path.write_text("{}")
-        assert main(["stats", "--from", str(path)]) == 1
+        assert main(["stats", "--from", str(path)]) == 2
         assert "not a metrics snapshot" in capsys.readouterr().err
+
+    def test_stats_missing_snapshot_file_exits_2(self, capsys, tmp_path):
+        assert main(["stats", "--from", str(tmp_path / "absent.json")]) == 2
+        err = capsys.readouterr().err
+        assert "error: stats --from" in err
+
+    def test_stats_corrupt_snapshot_file_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json at all")
+        assert main(["stats", "--from", str(path)]) == 2
+        assert "error: stats --from" in capsys.readouterr().err
 
     def test_trace_prints_span_tree(self, capsys):
         from repro import obs
@@ -139,6 +150,78 @@ class TestObservabilityCommands:
         assert code == 0
         data = json.loads(path.read_text())
         assert data and data[0]["name"] == "repro.trace"
+
+    def test_profile_prints_cost_breakdown(self, capsys, tmp_path):
+        from repro import obs
+
+        html_path = tmp_path / "profile.html"
+        try:
+            code = main(["profile", "--html", str(html_path)])
+        finally:
+            obs.get_tracer().disable()
+            obs.get_tracer().clear()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "placement steps (estimate vs actual)" in out
+        assert "operator estimates" in out
+        assert "sub-operator breakdown" in out
+        assert "estimation overhead (wall clock)" in out
+        html = html_path.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "Query cost profile" in html
+
+    def test_profile_restores_disabled_tracer(self):
+        from repro import obs
+
+        tracer = obs.get_tracer()
+        assert not tracer.enabled
+        try:
+            assert main(["profile"]) == 0
+        finally:
+            tracer.disable()
+            tracer.clear()
+        assert not tracer.enabled
+
+    def test_report_replays_journal(self, capsys, tmp_path):
+        from repro.obs import EventJournal
+
+        journal = EventJournal(tmp_path / "journal.jsonl")
+        journal.append(
+            "estimate",
+            system="hive",
+            operator="join",
+            approach="sub_op",
+            seconds=10.0,
+            remedy_active=False,
+        )
+        journal.append(
+            "actual",
+            system="hive",
+            operator="join",
+            approach="sub_op",
+            estimated_seconds=10.0,
+            actual_seconds=12.0,
+            remedy_active=False,
+            drift_flagged=False,
+        )
+        journal.close()
+        code = main(["report", "--journal", str(journal.path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events applied: 2" in out
+        assert "hive/join" in out
+        assert "costing.estimate_plan.calls" in out
+
+    def test_report_without_journal_exits_2(self, capsys, monkeypatch):
+        from repro import obs
+
+        monkeypatch.delenv(obs.JOURNAL_ENV_VAR, raising=False)
+        assert main(["report"]) == 2
+        assert "no journal given" in capsys.readouterr().err
+
+    def test_report_missing_journal_file_exits_2(self, capsys, tmp_path):
+        assert main(["report", "--journal", str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
 
     def test_verbose_flag_enables_debug_logging(self, capsys):
         import logging

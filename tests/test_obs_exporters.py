@@ -1,0 +1,126 @@
+"""Exporters: Prometheus escaping and rendering, deterministic snapshots."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import exporters
+
+
+@pytest.fixture()
+def registry():
+    return obs.MetricsRegistry()
+
+
+class TestPrometheusText:
+    def test_empty_registry_renders_empty(self, registry):
+        assert exporters.to_prometheus_text(registry=registry) == ""
+
+    def test_counter_and_gauge_lines(self, registry):
+        registry.counter("federation.runs", help="completed runs").inc(3)
+        registry.gauge("remedy.alpha").set(0.625)
+        text = exporters.to_prometheus_text(registry=registry)
+        assert "# HELP repro_federation_runs completed runs" in text
+        assert "# TYPE repro_federation_runs counter" in text
+        assert "repro_federation_runs 3.0" in text
+        assert "repro_remedy_alpha 0.625" in text
+        assert text.endswith("\n")
+
+    def test_help_text_escaping(self, registry):
+        registry.counter(
+            "probe.one", help="path C:\\tmp\nsecond line"
+        ).inc()
+        text = exporters.to_prometheus_text(registry=registry)
+        assert "# HELP repro_probe_one path C:\\\\tmp\\nsecond line" in text
+        # The rendered exposition stays one line per metric family.
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
+        assert len(help_lines) == 1
+
+    def test_label_value_escaping(self):
+        # Label values pass through the exposition escaper: backslash,
+        # double quote, and newline must all be escaped.
+        assert exporters._escape_label_value('a"b') == 'a\\"b'
+        assert exporters._escape_label_value("a\\b") == "a\\\\b"
+        assert exporters._escape_label_value("a\nb") == "a\\nb"
+        assert (
+            exporters._escape_label_value('q="\\x\n"') == 'q=\\"\\\\x\\n\\"'
+        )
+
+    def test_histogram_bucket_rendering(self, registry):
+        histogram = registry.histogram(
+            "probe.seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        text = exporters.to_prometheus_text(registry=registry)
+        # Buckets are cumulative and the +Inf bucket equals the count.
+        assert 'repro_probe_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_probe_seconds_bucket{le="1.0"} 3' in text
+        assert 'repro_probe_seconds_bucket{le="10.0"} 4' in text
+        assert 'repro_probe_seconds_bucket{le="+Inf"} 5' in text
+        assert "repro_probe_seconds_count 5" in text
+        assert "repro_probe_seconds_sum 56.05" in text
+
+    def test_metric_name_sanitization(self, registry):
+        registry.counter("costing.estimate_plan.calls").inc()
+        text = exporters.to_prometheus_text(registry=registry)
+        assert "repro_costing_estimate_plan_calls" in text
+
+    def test_renders_from_snapshot_dict(self, registry):
+        registry.counter("federation.runs").inc()
+        snapshot = registry.snapshot()
+        text = exporters.to_prometheus_text(metrics=snapshot)
+        assert "repro_federation_runs 1.0" in text
+
+
+class TestDeterministicSnapshots:
+    def _populate(self, registry, ledger, order):
+        for name in order:
+            registry.counter(name).inc()
+        registry.histogram("probe.seconds", buckets=(1.0, 10.0)).observe(2.0)
+        ledger.record(
+            system="hive",
+            operator="join",
+            estimated_seconds=3.0,
+            actual_seconds=4.0,
+        )
+
+    def test_snapshots_are_byte_comparable(self, tmp_path):
+        """Same telemetry -> byte-identical file, whatever the insertion
+        order (sorted keys, stable label ordering)."""
+        paths = []
+        for index, order in enumerate(
+            (["b.two", "a.one", "c.three"], ["c.three", "b.two", "a.one"])
+        ):
+            registry = obs.MetricsRegistry()
+            ledger = obs.AccuracyLedger()
+            self._populate(registry, ledger, order)
+            path = tmp_path / f"snap{index}.metrics.json"
+            exporters.write_json_snapshot(path, registry=registry, ledger=ledger)
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_prometheus_output_is_order_independent(self):
+        texts = []
+        for order in (["b.two", "a.one"], ["a.one", "b.two"]):
+            registry = obs.MetricsRegistry()
+            for name in order:
+                registry.counter(name).inc()
+            texts.append(exporters.to_prometheus_text(registry=registry))
+        assert texts[0] == texts[1]
+
+    def test_snapshot_round_trip(self, tmp_path):
+        registry = obs.MetricsRegistry()
+        registry.counter("federation.runs").inc(2)
+        path = tmp_path / "run.metrics.json"
+        exporters.write_json_snapshot(path, registry=registry)
+        snapshot = exporters.load_json_snapshot(path)
+        assert snapshot["version"] == exporters.SNAPSHOT_VERSION
+        assert snapshot["metrics"]["federation.runs"]["value"] == 2.0
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ValueError):
+            exporters.load_json_snapshot(path)

@@ -1,0 +1,406 @@
+"""Event journal: append/read round-trips, rotation, corruption
+tolerance, sequence resumption, and deterministic replay — including
+the acceptance check that a fresh process replaying the journal
+rebuilds bit-identical ledger statistics and counters."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.core import ClusterInfo, CostEstimationModule, RemoteSystemProfile
+from repro.data import Catalog, build_paper_corpus
+from repro.engines import HiveEngine
+from repro.obs import journal as jmod
+from repro.obs.journal import (
+    EventJournal,
+    JournalEvent,
+    NOOP_JOURNAL,
+    SCHEMA_VERSION,
+    read_journal,
+    replay,
+)
+from repro.sql.parser import parse_select
+
+
+class TestAppendRead:
+    def test_round_trip(self, tmp_path):
+        journal = EventJournal(tmp_path / "j.jsonl")
+        journal.append("estimate", system="hive", seconds=1.5)
+        journal.append("actual", system="hive", actual_seconds=2.0)
+        result = journal.read()
+        journal.close()
+        assert result.corrupt_lines == 0
+        assert [e.type for e in result.events] == ["estimate", "actual"]
+        assert result.events[0].payload["seconds"] == 1.5
+        assert result.events[0].seq == 1
+        assert result.events[1].seq == 2
+        assert all(e.version == SCHEMA_VERSION for e in result.events)
+
+    def test_lines_are_canonical_json(self, tmp_path):
+        journal = EventJournal(tmp_path / "j.jsonl")
+        event = journal.append("estimate", b=2.0, a=1.0)
+        journal.close()
+        line = (tmp_path / "j.jsonl").read_text().strip()
+        assert line == event.to_line()
+        # Sorted keys, compact separators: byte-stable across runs.
+        assert line.index('"a"') < line.index('"b"')
+        assert ", " not in line
+
+    def test_floats_survive_json_round_trip_exactly(self, tmp_path):
+        value = 24.496869998477838
+        journal = EventJournal(tmp_path / "j.jsonl")
+        journal.append("estimate", seconds=value)
+        result = journal.read()
+        journal.close()
+        assert result.events[0].payload["seconds"] == value
+
+    def test_validates_configuration(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventJournal(tmp_path / "j.jsonl", max_bytes=10)
+        with pytest.raises(ValueError):
+            EventJournal(tmp_path / "j.jsonl", max_files=0)
+
+
+class TestRotation:
+    def test_rotates_at_size_and_keeps_generations(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = EventJournal(path, max_bytes=1024, max_files=2)
+        for index in range(40):
+            journal.append("estimate", index=index, padding="x" * 64)
+        journal.close()
+        assert path.exists()
+        assert (tmp_path / "j.jsonl.1").exists()
+        # Reading stitches generations back together, oldest first.
+        result = read_journal(path, max_files=2)
+        indices = [e.payload["index"] for e in result.events]
+        assert indices == sorted(indices)
+        assert indices[-1] == 39
+
+    def test_oldest_generation_is_deleted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = EventJournal(path, max_bytes=1024, max_files=1)
+        for index in range(80):
+            journal.append("estimate", index=index, padding="x" * 64)
+        journal.close()
+        assert not (tmp_path / "j.jsonl.2").exists()
+        result = read_journal(path, max_files=1)
+        # Early events have been rotated away; the stream stays ordered.
+        assert result.events[0].payload["index"] > 0
+
+
+class TestCorruptionTolerance:
+    def test_skips_garbage_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = EventJournal(path)
+        journal.append("estimate", seconds=1.0)
+        journal.append("actual", actual_seconds=2.0)
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{ not json")
+        lines.insert(0, "garbage")
+        path.write_text("\n".join(lines) + "\n")
+        result = read_journal(path)
+        assert result.corrupt_lines == 2
+        assert [e.type for e in result.events] == ["estimate", "actual"]
+
+    def test_torn_final_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = EventJournal(path)
+        journal.append("estimate", seconds=1.0)
+        journal.append("actual", actual_seconds=2.0)
+        journal.close()
+        # Simulate a crash mid-append: truncate inside the last line.
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 10])
+        result = read_journal(path)
+        assert result.corrupt_lines == 1
+        assert [e.type for e in result.events] == ["estimate"]
+
+    def test_newer_schema_versions_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        future = JournalEvent(
+            seq=1, type="estimate", payload={}, version=SCHEMA_VERSION + 1
+        )
+        path.write_text(future.to_line() + "\n")
+        result = read_journal(path)
+        assert result.skipped_versions == 1
+        assert result.events == ()
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        result = read_journal(tmp_path / "absent.jsonl")
+        assert result.events == ()
+        assert result.corrupt_lines == 0
+
+
+class TestSequenceResumption:
+    def test_seq_continues_across_reopen(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = EventJournal(path)
+        journal.append("estimate", seconds=1.0)
+        journal.append("estimate", seconds=2.0)
+        journal.close()
+        reopened = EventJournal(path)
+        event = reopened.append("estimate", seconds=3.0)
+        reopened.close()
+        assert event.seq == 3
+
+    def test_seq_resumes_past_torn_final_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = EventJournal(path)
+        journal.append("estimate", seconds=1.0)
+        journal.append("estimate", seconds=2.0)
+        journal.close()
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 5])
+        reopened = EventJournal(path)
+        event = reopened.append("estimate", seconds=3.0)
+        reopened.close()
+        # The torn line (seq 2) is unreadable; resumption is best-effort
+        # from the last complete line, so seq moves strictly forward.
+        assert event.seq >= 2
+
+
+class TestDefaultJournal:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(jmod.JOURNAL_ENV_VAR, raising=False)
+        obs.set_journal(None)
+        try:
+            journal = obs.get_journal()
+            assert journal is NOOP_JOURNAL
+            assert not journal.enabled
+            assert journal.append("estimate", seconds=1.0) is None
+        finally:
+            obs.set_journal(None)
+
+    def test_env_var_resolves_path(self, monkeypatch, tmp_path):
+        path = tmp_path / "env.jsonl"
+        monkeypatch.setenv(jmod.JOURNAL_ENV_VAR, str(path))
+        obs.set_journal(None)
+        try:
+            journal = obs.get_journal()
+            assert journal.enabled
+            assert journal.path == str(path)
+            journal.append("estimate", seconds=1.0)
+            journal.close()
+        finally:
+            obs.set_journal(None)
+        assert path.exists()
+
+    def test_set_journal_returns_previous(self, tmp_path):
+        journal = EventJournal(tmp_path / "j.jsonl")
+        previous = obs.set_journal(journal)
+        try:
+            assert obs.get_journal() is journal
+        finally:
+            obs.set_journal(previous)
+            journal.close()
+
+
+class TestReplayUnits:
+    def test_estimate_event(self):
+        registry = obs.MetricsRegistry()
+        events = [
+            JournalEvent(
+                seq=1,
+                type="estimate",
+                payload={
+                    "approach": "sub_op",
+                    "seconds": 10.0,
+                    "remedy_active": True,
+                },
+            )
+        ]
+        result = replay(events, registry=registry, ledger=obs.AccuracyLedger())
+        assert result.applied == 1
+        assert registry.counter("costing.estimate_plan.calls").value == 1
+        assert registry.counter("costing.approach.sub_op").value == 1
+        assert registry.counter("costing.estimates_remedied").value == 1
+
+    def test_actual_event_feeds_ledger(self):
+        ledger = obs.AccuracyLedger()
+        registry = obs.MetricsRegistry()
+        events = [
+            JournalEvent(
+                seq=1,
+                type="actual",
+                payload={
+                    "system": "hive",
+                    "operator": "join",
+                    "approach": "sub_op",
+                    "estimated_seconds": 10.0,
+                    "actual_seconds": 20.0,
+                    "remedy_active": False,
+                    "drift_flagged": True,
+                },
+            )
+        ]
+        replay(events, registry=registry, ledger=ledger)
+        assert registry.counter("costing.record_actual.calls").value == 1
+        assert registry.counter("costing.drift_flags").value == 1
+        stats = ledger.stats(system="hive", operator="join")
+        assert stats.count == 1
+        assert stats.mean_q_error == 2.0
+
+    def test_remedy_tuning_drift_events(self):
+        registry = obs.MetricsRegistry()
+        events = [
+            JournalEvent(seq=1, type="remedy", payload={"phase": "activation", "fallback": True}),
+            JournalEvent(seq=2, type="remedy", payload={"phase": "recalibration", "alpha": 0.7}),
+            JournalEvent(seq=3, type="tuning", payload={"entries": 12}),
+            JournalEvent(seq=4, type="drift", payload={"direction": "slower"}),
+        ]
+        result = replay(events, registry=registry, ledger=obs.AccuracyLedger())
+        assert result.applied == 4
+        assert registry.counter("remedy.activations").value == 1
+        assert registry.counter("remedy.regression_fallbacks").value == 1
+        assert registry.counter("remedy.recalibrations").value == 1
+        assert registry.gauge("remedy.alpha").value == 0.7
+        assert registry.counter("tuning.folds").value == 1
+        assert registry.counter("tuning.entries_folded").value == 12
+        assert registry.counter("drift.alarms").value == 1
+
+    def test_unknown_event_types_are_ignored(self):
+        registry = obs.MetricsRegistry()
+        events = [JournalEvent(seq=1, type="mystery", payload={})]
+        result = replay(events, registry=registry, ledger=obs.AccuracyLedger())
+        assert result.applied == 0
+        assert result.ignored == 1
+
+
+# ----------------------------------------------------------------------
+# Live-vs-replay parity (the tentpole acceptance test)
+# ----------------------------------------------------------------------
+def _journaled_workload(tmp_path):
+    """A mixed estimate/actual workload journaled with fresh telemetry.
+
+    Drift is deliberately triggered: the first ``baseline_window``
+    actuals match the estimates (healthy baseline), then actuals jump to
+    3x so the CUSUM crosses its threshold and both drift-flagged actuals
+    and a ``drift`` event land in the journal.
+
+    Returns ``(journal_path, live_registry, live_ledger)``.
+    """
+    corpus = build_paper_corpus(
+        row_counts=(10_000, 100_000, 1_000_000), row_sizes=(100,)
+    )
+    engine = HiveEngine(seed=7, noise_sigma=0.0)
+    catalog = Catalog()
+    for spec in corpus:
+        engine.load_table(spec)
+        catalog.register(spec)
+    module_ledger = obs.AccuracyLedger()
+    module = CostEstimationModule(ledger=module_ledger)
+    module.register_system(
+        engine,
+        RemoteSystemProfile(
+            name="hive",
+            cluster=ClusterInfo(
+                num_data_nodes=3,
+                cores_per_node=2,
+                dfs_block_size=128 * 1024 * 1024,
+            ),
+        ),
+    )
+    module.train_sub_op("hive")
+
+    path = tmp_path / "workload.jsonl"
+    registry = obs.MetricsRegistry()
+    previous_registry = obs.set_registry(registry)
+    previous_journal = obs.set_journal(EventJournal(path))
+    try:
+        queries = [
+            "SELECT r.a1 FROM t1000000_100 r JOIN t100000_100 s ON r.a1 = s.a1",
+            "SELECT SUM(a1) FROM t1000000_100 GROUP BY a20",
+            "SELECT a1 FROM t100000_100 WHERE a1 = 1",
+        ]
+        estimates = [
+            module.estimate_plan("hive", parse_select(sql), catalog)
+            for sql in queries
+        ]
+        # Healthy baseline, then a sustained 3x slowdown -> drift.
+        for index in range(45):
+            estimate = estimates[index % len(estimates)]
+            factor = 1.0 if index < 30 else 3.0
+            module.record_actual(
+                "hive", estimate, estimate.seconds * factor
+            )
+        obs.get_journal().close()
+    finally:
+        obs.set_registry(previous_registry)
+        obs.set_journal(previous_journal)
+    return path, registry, module_ledger
+
+
+def _comparable_metrics(snapshot):
+    """Metric snapshots minus help/unit text (replay can't know those)."""
+    cleaned = {}
+    for name, data in snapshot.items():
+        data = dict(data)
+        data.pop("help", None)
+        data.pop("unit", None)
+        cleaned[name] = data
+    return cleaned
+
+
+def test_replay_in_process_is_bit_identical(tmp_path):
+    path, live_registry, live_ledger = _journaled_workload(tmp_path)
+    registry = obs.MetricsRegistry()
+    ledger = obs.AccuracyLedger()
+    result = replay(str(path), registry=registry, ledger=ledger)
+
+    assert result.corrupt_lines == 0
+    assert result.counts["estimate"] == 3
+    assert result.counts["actual"] == 45
+    assert result.counts["drift"] == 1
+    # Every rebuilt instrument matches the live one exactly — including
+    # float histogram sums and all ledger statistics.
+    live_metrics = _comparable_metrics(live_registry.snapshot())
+    for name, data in _comparable_metrics(registry.snapshot()).items():
+        assert data == live_metrics[name], name
+    assert ledger.snapshot() == live_ledger.snapshot()
+
+
+def test_replay_in_fresh_process_is_bit_identical(tmp_path):
+    """The acceptance criterion: journal -> new process -> same stats."""
+    path, live_registry, live_ledger = _journaled_workload(tmp_path)
+
+    script = (
+        "import json, sys\n"
+        "from repro import obs\n"
+        "from repro.obs.journal import replay\n"
+        "registry = obs.MetricsRegistry()\n"
+        "ledger = obs.AccuracyLedger()\n"
+        "result = replay(sys.argv[1], registry=registry, ledger=ledger)\n"
+        "print(json.dumps({\n"
+        "    'applied': result.applied,\n"
+        "    'ledger': ledger.snapshot(),\n"
+        "    'metrics': registry.snapshot(),\n"
+        "}, sort_keys=True))\n"
+    )
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(obs.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src_dir, env.get("PYTHONPATH")) if part
+    )
+    env.pop(jmod.JOURNAL_ENV_VAR, None)
+    proc = subprocess.run(
+        [sys.executable, "-c", script, str(path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    rebuilt = json.loads(proc.stdout)
+
+    assert rebuilt["applied"] == 49  # 3 estimates + 45 actuals + 1 drift
+    # Ledger statistics — q-error, RMSE%, slope, remedy fraction — must
+    # be *bit-identical*: floats round-trip exactly through JSON and the
+    # replay applies observations in append order.
+    assert rebuilt["ledger"] == live_ledger.snapshot()
+    live_metrics = _comparable_metrics(live_registry.snapshot())
+    for name, data in _comparable_metrics(rebuilt["metrics"]).items():
+        assert data == live_metrics[name], name

@@ -1,0 +1,183 @@
+"""Regression gate: comparison logic and the benchmarks/regress.py CLI."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import regress
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GATE_SCRIPT = os.path.join(REPO_ROOT, "benchmarks", "regress.py")
+COMMITTED_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "BENCH_baseline.json")
+
+
+def _snapshot(latencies=None, counters=None, thresholds=None):
+    snapshot = {
+        "latencies": {
+            name: {"seconds": value, "normalized": value}
+            for name, value in (latencies or {}).items()
+        },
+        "counters": dict(counters or {}),
+    }
+    if thresholds is not None:
+        snapshot["thresholds"] = dict(thresholds)
+    return snapshot
+
+
+class TestCompareSnapshots:
+    def test_identical_snapshots_pass(self):
+        base = _snapshot(latencies={"a": 1.0}, counters={"c": 5})
+        report = regress.compare_snapshots(base, base)
+        assert report.ok
+        assert report.compared == 2
+        assert not report.regressions
+
+    def test_slowdown_past_threshold_fails(self):
+        base = _snapshot(latencies={"a": 1.0})
+        cur = _snapshot(latencies={"a": 1.2})
+        report = regress.compare_snapshots(base, cur)
+        assert not report.ok
+        assert report.regressions[0].name == "a"
+        assert report.regressions[0].kind == "latency"
+        assert report.regressions[0].change == pytest.approx(0.2)
+
+    def test_slowdown_within_threshold_passes(self):
+        base = _snapshot(latencies={"a": 1.0})
+        cur = _snapshot(latencies={"a": 1.1})
+        assert regress.compare_snapshots(base, cur).ok
+
+    def test_per_metric_threshold_from_baseline(self):
+        base = _snapshot(latencies={"a": 1.0}, thresholds={"a": 0.5})
+        cur = _snapshot(latencies={"a": 1.4})
+        assert regress.compare_snapshots(base, cur).ok
+        cur = _snapshot(latencies={"a": 1.6})
+        assert not regress.compare_snapshots(base, cur).ok
+
+    def test_speedup_reported_not_failed(self):
+        base = _snapshot(latencies={"a": 1.0})
+        cur = _snapshot(latencies={"a": 0.5})
+        report = regress.compare_snapshots(base, cur)
+        assert report.ok
+        assert report.improvements[0].name == "a"
+
+    def test_changed_counter_fails_exactly(self):
+        base = _snapshot(counters={"calls": 9})
+        cur = _snapshot(counters={"calls": 10})
+        report = regress.compare_snapshots(base, cur)
+        assert not report.ok
+        assert report.regressions[0].kind == "counter"
+
+    def test_missing_metric_fails(self):
+        base = _snapshot(latencies={"a": 1.0}, counters={"c": 1})
+        cur = _snapshot()
+        report = regress.compare_snapshots(base, cur)
+        assert not report.ok
+        assert set(report.missing) == {"latency:a", "counter:c"}
+
+    def test_extra_current_metrics_are_ignored(self):
+        base = _snapshot(latencies={"a": 1.0})
+        cur = _snapshot(latencies={"a": 1.0, "new": 99.0})
+        assert regress.compare_snapshots(base, cur).ok
+
+
+class TestBaselineFiles:
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_baseline.json"
+        regress.write_baseline(path, _snapshot(latencies={"a": 1.0}))
+        baseline = regress.load_baseline(path)
+        assert baseline["version"] == regress.BASELINE_VERSION
+        assert baseline["latencies"]["a"]["normalized"] == 1.0
+
+    def test_written_baseline_is_deterministic(self, tmp_path):
+        snapshot = _snapshot(latencies={"b": 2.0, "a": 1.0})
+        first, second = tmp_path / "one.json", tmp_path / "two.json"
+        regress.write_baseline(first, snapshot)
+        regress.write_baseline(second, snapshot)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_load_rejects_junk(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"not": "a baseline"}))
+        with pytest.raises(ValueError):
+            regress.load_baseline(path)
+
+    def test_load_rejects_newer_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        payload = _snapshot(latencies={"a": 1.0})
+        payload["version"] = regress.BASELINE_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            regress.load_baseline(path)
+
+
+class TestRenderGateReport:
+    def test_failure_lines(self):
+        report = regress.compare_snapshots(
+            _snapshot(latencies={"a": 1.0}, counters={"c": 1, "gone": 2}),
+            _snapshot(latencies={"a": 2.0}, counters={"c": 3}),
+        )
+        text = regress.render_gate_report(report)
+        assert "regression gate FAILED" in text
+        assert "SLOWER  a" in text
+        assert "CHANGED c" in text
+        assert "MISSING counter:gone" in text
+
+    def test_ok_line(self):
+        base = _snapshot(latencies={"a": 1.0})
+        text = regress.render_gate_report(regress.compare_snapshots(base, base))
+        assert "regression gate OK" in text
+
+
+# ----------------------------------------------------------------------
+# The gate script end to end (the tentpole acceptance test)
+# ----------------------------------------------------------------------
+def _run_gate(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH"))
+        if part
+    )
+    return subprocess.run(
+        [sys.executable, GATE_SCRIPT, *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+@pytest.mark.slow
+class TestGateScript:
+    def test_passes_against_committed_baseline(self):
+        proc = _run_gate("--fast")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "regression gate OK" in proc.stdout
+
+    def test_fails_on_injected_2x_slowdown(self):
+        proc = _run_gate("--fast", "--inject-slowdown", "2.0")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "SLOWER" in proc.stdout
+
+    def test_missing_baseline_is_usage_error(self, tmp_path):
+        proc = _run_gate("--fast", "--baseline", str(tmp_path / "nope.json"))
+        assert proc.returncode == 2
+        assert "baseline not found" in proc.stderr
+
+    def test_update_writes_baseline_and_gate_passes(self, tmp_path):
+        baseline = tmp_path / "BENCH_baseline.json"
+        update = _run_gate("--fast", "--update", "--baseline", str(baseline))
+        assert update.returncode == 0, update.stdout + update.stderr
+        assert baseline.exists()
+        gate = _run_gate(
+            "--fast",
+            "--baseline",
+            str(baseline),
+            "--output",
+            str(tmp_path / "current.json"),
+        )
+        assert gate.returncode == 0, gate.stdout + gate.stderr
+        assert (tmp_path / "current.json").exists()
