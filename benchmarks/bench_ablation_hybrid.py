@@ -97,12 +97,10 @@ def experiment(corpus, catalog, hive, cluster_info, results_dir):
         estimates, actuals = [], []
         for stats, actual in cases:
             if isinstance(stats, JoinOperatorStats):
-                seconds = estimator.estimate_join(
-                    normalize_join_stats(stats)
-                ).seconds
+                stats = normalize_join_stats(stats)
             else:
                 assert isinstance(stats, AggregateOperatorStats)
-                seconds = estimator.estimate_aggregate(stats).seconds
+            seconds = estimator.estimate(stats).seconds
             estimates.append(seconds)
             actuals.append(actual)
         return rmse_percent(np.asarray(actuals), np.asarray(estimates))
@@ -167,5 +165,5 @@ def test_benchmark_hybrid_estimate(experiment, benchmark):
         num_output_rows=10_000,
         output_row_size=12,
     )
-    estimate = benchmark(hybrid.estimate_aggregate, stats)
+    estimate = benchmark(hybrid.estimate, stats)
     assert estimate.seconds >= 0

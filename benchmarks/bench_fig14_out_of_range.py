@@ -82,7 +82,7 @@ def experiment(corpus, catalog, cluster_info, results_dir):
     subop_estimates = []
     for query in queries:
         stats = normalize_join_stats(derive_join_stats(query.plan, catalog))
-        subop_estimates.append(subop.estimate_join(stats).seconds)
+        subop_estimates.append(subop.estimate(stats).seconds)
     subop_estimates = np.asarray(subop_estimates)
 
     nn_estimates = np.asarray(

@@ -23,8 +23,10 @@ from repro.core.operators import (
     JOIN_DIMENSIONS,
     JoinOperatorStats,
     OperatorKind,
+    OperatorStats,
     ScanOperatorStats,
     dimensions_for,
+    operator_kind_for,
 )
 from repro.core.metadata import DimensionMetadata, PivotReport, find_pivots
 from repro.core.training import TrainingRecord, TrainingSet
@@ -60,12 +62,19 @@ from repro.core.rules import (
     spark_join_algorithms,
 )
 from repro.core.estimator import (
+    BatchEstimate,
     CostingApproach,
+    EstimationRequest,
     HybridEstimator,
     LogicalOpEstimator,
     OperatorEstimate,
     SubOpEstimator,
     normalize_join_stats,
+)
+from repro.core.estimate_cache import (
+    DEFAULT_MAX_ENTRIES,
+    DEFAULT_RESOLUTION,
+    EstimateCache,
 )
 from repro.core.profile import CostingProfile, RemoteSystemProfile
 from repro.core.costing import (
@@ -88,8 +97,10 @@ __all__ = [
     "JOIN_DIMENSIONS",
     "JoinOperatorStats",
     "OperatorKind",
+    "OperatorStats",
     "ScanOperatorStats",
     "dimensions_for",
+    "operator_kind_for",
     "DimensionMetadata",
     "PivotReport",
     "find_pivots",
@@ -126,12 +137,17 @@ __all__ = [
     "SelectionStrategy",
     "hive_join_algorithms",
     "spark_join_algorithms",
+    "BatchEstimate",
     "CostingApproach",
+    "EstimationRequest",
     "HybridEstimator",
     "LogicalOpEstimator",
     "OperatorEstimate",
     "SubOpEstimator",
     "normalize_join_stats",
+    "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_RESOLUTION",
+    "EstimateCache",
     "CostingProfile",
     "RemoteSystemProfile",
     "CostEstimationModule",

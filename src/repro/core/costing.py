@@ -17,11 +17,14 @@ from __future__ import annotations
 import logging
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.core.estimate_cache import EstimateCache
 from repro.core.estimator import (
+    BatchEstimate,
     CostingApproach,
+    EstimationRequest,
     HybridEstimator,
     OperatorEstimate,
 )
@@ -74,11 +77,19 @@ class CostEstimationModule:
     Args:
         ledger: Accuracy ledger fed by :meth:`record_actual`; defaults to
             the process-wide :func:`repro.obs.get_ledger`.
+        cache: Estimate cache fronting the estimators; defaults to a
+            fresh :class:`~repro.core.estimate_cache.EstimateCache`.
+            Pass ``EstimateCache(max_entries=0)`` to disable caching.
     """
 
-    def __init__(self, ledger: Optional[obs.AccuracyLedger] = None) -> None:
+    def __init__(
+        self,
+        ledger: Optional[obs.AccuracyLedger] = None,
+        cache: Optional[EstimateCache] = None,
+    ) -> None:
         self._systems: Dict[str, _RegisteredSystem] = {}
         self.ledger = ledger if ledger is not None else obs.get_ledger()
+        self.cache = cache if cache is not None else EstimateCache()
 
     # ------------------------------------------------------------------
     # Registration
@@ -137,6 +148,7 @@ class CostEstimationModule:
         )
         entry.profile.costing.subop_result = result
         entry.estimator = None  # rebuild with the new CP contents
+        self.invalidate_cache(name)
         return result
 
     def train_logical_op(
@@ -177,6 +189,7 @@ class CostEstimationModule:
         )
         entry.profile.costing.logical_models[kind] = model
         entry.estimator = None
+        self.invalidate_cache(name)
         return report
 
     def attach_logical_model(self, name: str, model: LogicalOpModel) -> None:
@@ -184,6 +197,7 @@ class CostEstimationModule:
         entry = self._entry(name)
         entry.profile.costing.logical_models[model.kind] = model
         entry.estimator = None
+        self.invalidate_cache(name)
 
     # ------------------------------------------------------------------
     # Estimation
@@ -194,6 +208,27 @@ class CostEstimationModule:
         if entry.estimator is None:
             entry.estimator = entry.profile.build_estimator()
         return entry.estimator
+
+    def invalidate_cache(self, name: Optional[str] = None) -> int:
+        """Drop cached estimates for one system (or all of them).
+
+        Called automatically whenever a system's costing artifacts
+        change (training, offline tuning folds, α recalibration); call
+        it manually after mutating an estimator obtained through
+        :meth:`estimator` outside :meth:`switch_approach` / the training
+        entry points.  Returns the number of entries dropped.
+        """
+        return self.cache.invalidate(name)
+
+    def switch_approach(self, name: str, approach: CostingApproach) -> None:
+        """Switch a system's default costing approach (§5 switchover).
+
+        Routing changes bump the estimator's generation, so stale cache
+        entries retire on their own; the profile is updated so a future
+        estimator rebuild preserves the choice.
+        """
+        self.estimator(name).switch_to(approach)
+        self._entry(name).profile.approach = approach
 
     def estimate_plan(
         self, name: str, plan: LogicalPlan, catalog: Catalog
@@ -208,32 +243,106 @@ class CostEstimationModule:
         """
         with obs.get_tracer().span("costing.estimate_plan", system=name) as span:
             stats = derive_operator_stats(plan, catalog)
-            estimator = self.estimator(name)
-            if isinstance(stats, JoinOperatorStats):
-                estimate = estimator.estimate_join(stats)
-            elif isinstance(stats, AggregateOperatorStats):
-                estimate = estimator.estimate_aggregate(stats)
-            else:
-                estimate = estimator.estimate_scan(stats)
-            self._observe_estimate(name, estimate, span)
+            obs.counter(
+                "costing.estimate_plan.calls", help="operator estimates requested"
+            ).inc()
+            estimate = self._estimate_requests(
+                (EstimationRequest(system=name, stats=stats),), span
+            ).estimates[0]
+            if span.enabled:
+                self._set_span_attrs(span, estimate)
         return estimate
+
+    def estimate_batch(
+        self, requests: Sequence[EstimationRequest]
+    ) -> BatchEstimate:
+        """Cost many (system, operator stats) pairs in one batched call.
+
+        Cache hits are served immediately; misses are grouped per system
+        and pushed through the estimators' vectorized ``estimate_batch``
+        (logical-op items collapse into one NN forward pass per operator
+        kind).  Results keep request order and are bit-identical to
+        looping :meth:`estimate_plan` over the items.
+        """
+        requests = tuple(requests)
+        with obs.get_tracer().span(
+            "costing.estimate_batch", items=len(requests)
+        ) as span:
+            obs.counter(
+                "costing.estimate_batch.calls", help="batched estimation calls"
+            ).inc()
+            obs.counter(
+                "costing.estimate_batch.items",
+                help="operator estimates requested through batch calls",
+            ).inc(len(requests))
+            batch = self._estimate_requests(requests, span)
+            span.set(cache_hits=batch.cache_hits, cache_misses=batch.cache_misses)
+            if span.enabled:
+                # Structured per-item record consumed by the profiler's
+                # operator-estimates table (repro profile <sql>).
+                span.set(
+                    _items=tuple(
+                        {
+                            "system": request.system,
+                            "operator": estimate.operator.value,
+                            "approach": estimate.approach.value,
+                            "seconds": estimate.seconds,
+                            "remedy": estimate.used_remedy,
+                            "cache": estimate.cache_hit,
+                        }
+                        for request, estimate in zip(requests, batch.estimates)
+                    )
+                )
+        return batch
+
+    def _estimate_requests(
+        self, requests: Tuple[EstimationRequest, ...], span
+    ) -> BatchEstimate:
+        """Serve a request tuple through the cache + batched estimators."""
+        results: List[Optional[OperatorEstimate]] = [None] * len(requests)
+        keys: List[object] = [None] * len(requests)
+        misses_by_system: Dict[str, List[int]] = {}
+        hits = 0
+        for index, request in enumerate(requests):
+            estimator = self.estimator(request.system)
+            key = self.cache.key_for(
+                request.system, estimator.generation, request.stats
+            )
+            keys[index] = key
+            cached = self.cache.get(key) if self.cache.enabled else None
+            if cached is not None:
+                results[index] = cached
+                hits += 1
+            else:
+                misses_by_system.setdefault(request.system, []).append(index)
+        # Per-item span attributes only make sense for single-item calls
+        # (estimate_plan); batch spans carry aggregate attributes instead.
+        item_span = span if len(requests) == 1 else obs.NOOP_SPAN
+        for system, indexes in misses_by_system.items():
+            estimates = self.estimator(system).estimate_batch(
+                [requests[index].stats for index in indexes]
+            )
+            for index, estimate in zip(indexes, estimates):
+                results[index] = estimate
+                self.cache.put(keys[index], estimate)
+                self._observe_estimate(system, estimate, item_span)
+        return BatchEstimate(
+            estimates=tuple(results),  # type: ignore[arg-type]
+            cache_hits=hits,
+            cache_misses=len(requests) - hits,
+        )
 
     def _observe_estimate(
         self, name: str, estimate: OperatorEstimate, span
     ) -> None:
-        """Telemetry for one produced estimate (metrics + span attributes)."""
-        obs.counter(
-            "costing.estimate_plan.calls", help="operator estimates produced"
-        ).inc()
+        """Telemetry for one freshly produced estimate (cache misses)."""
         obs.counter(f"costing.approach.{estimate.approach.value}").inc()
         obs.histogram(
             "costing.estimate_seconds",
             help="distribution of estimated operator times",
             unit="simulated seconds",
         ).observe(estimate.seconds)
-        remedy_active = bool(
-            isinstance(estimate.detail, CostEstimate) and estimate.detail.used_remedy
-        )
+        remedy_active = estimate.used_remedy
         if remedy_active:
             obs.counter(
                 "costing.estimates_remedied",
@@ -250,25 +359,30 @@ class CostEstimationModule:
                 remedy_active=remedy_active,
             )
         if span.enabled:
-            span.set("operator", estimate.operator.value)
-            span.set("approach", estimate.approach.value)
-            span.set("seconds", estimate.seconds)
-            span.set("remedy", "on" if remedy_active else "off")
-            detail = estimate.detail
-            if isinstance(detail, SelectionResult):
-                span.set("algorithm", detail.predicted_algorithm)
-                span.set(
-                    "candidates",
-                    ",".join(f"{n}:{s:.2f}s" for n, s in detail.candidates),
-                )
+            self._set_span_attrs(span, estimate)
         logger.debug(
-            "estimate_plan %s %s via %s: %.3fs (remedy %s)",
+            "estimate %s %s via %s: %.3fs (remedy %s)",
             name,
             estimate.operator.value,
             estimate.approach.value,
             estimate.seconds,
             "on" if remedy_active else "off",
         )
+
+    @staticmethod
+    def _set_span_attrs(span, estimate: OperatorEstimate) -> None:
+        span.set("operator", estimate.operator.value)
+        span.set("approach", estimate.approach.value)
+        span.set("seconds", estimate.seconds)
+        span.set("remedy", "on" if estimate.used_remedy else "off")
+        span.set("cache", "hit" if estimate.cache_hit else "miss")
+        detail = estimate.detail
+        if isinstance(detail, SelectionResult):
+            span.set("algorithm", detail.predicted_algorithm)
+            span.set(
+                "candidates",
+                ",".join(f"{n}:{s:.2f}s" for n, s in detail.candidates),
+            )
 
     def estimate_full_plan(
         self, name: str, plan: LogicalPlan, catalog: Catalog
@@ -278,7 +392,8 @@ class CostEstimationModule:
         Per-operator costs integrate into bigger plans (§2): each costed
         node (join, aggregation, scan-with-work) is estimated against its
         subtree's cardinalities, and the estimates sum — the same
-        composition the master's optimizer applies.
+        composition the master's optimizer applies.  All costed nodes go
+        through one batched estimation call.
 
         Returns:
             ``(total_seconds, per_operator_estimates)`` bottom-up.
@@ -286,14 +401,25 @@ class CostEstimationModule:
         with obs.get_tracer().span(
             "costing.estimate_full_plan", system=name
         ) as span:
-            estimates = []
-            total = 0.0
-            for node in reversed(plan.walk()):
-                if isinstance(node, Scan) and node.predicate is None and not node.projection:
-                    continue  # a bare table access costs nothing by itself
-                estimate = self.estimate_plan(name, node, catalog)
-                estimates.append(estimate)
-                total += estimate.seconds
+            nodes = [
+                node
+                for node in reversed(plan.walk())
+                if not (
+                    isinstance(node, Scan)
+                    and node.predicate is None
+                    and not node.projection
+                )  # a bare table access costs nothing by itself
+            ]
+            batch = self.estimate_batch(
+                tuple(
+                    EstimationRequest(
+                        system=name, stats=derive_operator_stats(node, catalog)
+                    )
+                    for node in nodes
+                )
+            )
+            estimates = list(batch.estimates)
+            total = batch.total_seconds
             obs.counter("costing.estimate_full_plan.calls").inc()
             span.set("operators", len(estimates))
             span.set("seconds", total)
@@ -394,6 +520,7 @@ class CostEstimationModule:
             f"costing.alpha.{name}.{kind.value}",
             help="current remedy-combination alpha per system/operator",
         ).set(alpha)
+        self.invalidate_cache(name)  # remedied estimates embed the old α
         logger.debug("recalibrated alpha for %s/%s: %.3f", name, kind.value, alpha)
         return alpha
 
@@ -403,6 +530,8 @@ class CostEstimationModule:
         ) as span:
             applied = self._logical_model(name, kind).run_offline_tuning()
             span.set("entries", applied)
+            if applied:
+                self.invalidate_cache(name)  # the network's weights moved
         obs.counter("costing.offline_tuning.runs").inc()
         obs.counter(
             "costing.offline_tuning.entries",
@@ -424,15 +553,21 @@ class CostEstimationModule:
 # ----------------------------------------------------------------------
 # Operator-descriptor derivation (the cardinality module's output)
 # ----------------------------------------------------------------------
-def derive_operator_stats(plan: LogicalPlan, catalog: Catalog):
+def derive_operator_stats(
+    plan: LogicalPlan,
+    catalog: Catalog,
+    estimator: Optional[CardinalityEstimator] = None,
+):
     """Derive the root operator's costing descriptor from a plan.
 
     Returns a :class:`JoinOperatorStats`, :class:`AggregateOperatorStats`,
-    or :class:`ScanOperatorStats` depending on the root node.
+    or :class:`ScanOperatorStats` depending on the root node.  Callers
+    costing many nodes of one plan (the placement optimizer) pass a
+    shared ``estimator`` so subtree shapes are derived once.
     """
-    estimator = CardinalityEstimator(catalog)
+    estimator = estimator or CardinalityEstimator(catalog)
     if isinstance(plan, Join):
-        return derive_join_stats(plan, catalog)
+        return derive_join_stats(plan, catalog, estimator)
     if isinstance(plan, Aggregate):
         child = estimator.estimate(plan.input)
         out = estimator.estimate(plan)
@@ -459,9 +594,13 @@ def derive_operator_stats(plan: LogicalPlan, catalog: Catalog):
     raise PlanningError(f"cannot derive stats for {type(plan).__name__}")
 
 
-def derive_join_stats(plan: Join, catalog: Catalog) -> JoinOperatorStats:
+def derive_join_stats(
+    plan: Join,
+    catalog: Catalog,
+    estimator: Optional[CardinalityEstimator] = None,
+) -> JoinOperatorStats:
     """Build the seven-dimension join descriptor of Fig. 2 from a plan."""
-    estimator = CardinalityEstimator(catalog)
+    estimator = estimator or CardinalityEstimator(catalog)
     left = estimator.estimate(plan.left)
     right = estimator.estimate(plan.right)
     out = estimator.estimate(plan)

@@ -1,0 +1,191 @@
+"""A quantized-key LRU cache in front of the estimation engine.
+
+The placement optimizer asks the cost module for dozens of (operator,
+candidate system) estimates per plan, and production query streams
+repeat operator shapes constantly — the exact N-small-calls pattern that
+prediction-serving systems solve with a cache keyed on a *coarsened*
+input.  Keys here are ``system × estimator generation × operator kind ×
+bucketed stats``: every numeric statistic is quantized onto a
+logarithmic grid (``round(log1p(v) · resolution)``), so two operator
+instances whose statistics differ by less than roughly ``1/resolution``
+relative land on the same key and share an estimate.  Boolean layout
+flags (partitioning, sortedness, skew) stay exact — they flip
+applicability rules, not magnitudes.
+
+Invalidation is event-driven, not TTL-driven: the
+:class:`~repro.core.costing.CostEstimationModule` drops a system's
+entries whenever its models change (sub-op/logical-op training, offline
+tuning folds, α recalibration), and the estimator ``generation`` baked
+into each key retires entries when the hybrid's routing changes.
+
+Cache traffic is observable through the ``costing.estimate_cache.*``
+counters (hits / misses / evictions / invalidations) and the
+``costing.estimate_cache.size`` gauge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro import obs
+from repro.core.estimator import OperatorEstimate
+from repro.core.operators import OperatorStats, operator_kind_for
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DEFAULT_MAX_ENTRIES", "DEFAULT_RESOLUTION", "EstimateCache"]
+
+#: Default LRU capacity; a key is a few small tuples, so this is ~MBs.
+DEFAULT_MAX_ENTRIES = 4096
+
+#: Buckets per ``log1p`` unit.  64 gives ~1.6% relative bucket width —
+#: far below the costing models' own error, so sharing an estimate
+#: within a bucket is lossless in practice.
+DEFAULT_RESOLUTION = 64
+
+
+class EstimateCache:
+    """LRU cache of :class:`OperatorEstimate`s under quantized stat keys.
+
+    Args:
+        max_entries: LRU capacity; ``0`` disables the cache entirely
+            (every lookup misses, nothing is stored).
+        resolution: Buckets per ``log1p`` unit of each numeric statistic;
+            higher = finer buckets = fewer shared estimates.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        resolution: int = DEFAULT_RESOLUTION,
+    ) -> None:
+        if max_entries < 0:
+            raise ConfigurationError("max_entries must be >= 0")
+        if resolution <= 0:
+            raise ConfigurationError("resolution must be positive")
+        self.max_entries = max_entries
+        self.resolution = resolution
+        self._entries: "OrderedDict[Hashable, OperatorEstimate]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def quantize(self, value: float) -> int:
+        """Bucket index of one numeric statistic on the log grid."""
+        return int(round(math.log1p(max(0.0, float(value))) * self.resolution))
+
+    #: Field-name tuples per stats class — ``dataclasses.astuple`` would
+    #: deepcopy every value on each lookup, which shows up hard on the
+    #: optimizer's hot path; the stats dataclasses are flat, so a cached
+    #: ``getattr`` walk is equivalent and far cheaper.
+    _FIELDS_BY_CLASS: Dict[type, Tuple[str, ...]] = {}
+
+    def key_for(
+        self, system: str, generation: int, stats: OperatorStats
+    ) -> Hashable:
+        """The cache key of one (system, stats) estimation request."""
+        kind = operator_kind_for(stats)
+        names = self._FIELDS_BY_CLASS.get(type(stats))
+        if names is None:
+            names = tuple(f.name for f in dataclasses.fields(stats))
+            self._FIELDS_BY_CLASS[type(stats)] = names
+        buckets: Tuple[object, ...] = tuple(
+            value if isinstance(value, bool) else self.quantize(value)
+            for value in (getattr(stats, name) for name in names)
+        )
+        return (system, generation, kind.value, buckets)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def get(self, key: Hashable) -> Optional[OperatorEstimate]:
+        """The cached estimate for ``key``, marked as a cache hit."""
+        estimate = self._entries.get(key)
+        if estimate is None:
+            self.misses += 1
+            obs.counter(
+                "costing.estimate_cache.misses",
+                help="estimate-cache lookups that computed fresh",
+            ).inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        obs.counter(
+            "costing.estimate_cache.hits",
+            help="estimates served from the quantized-key cache",
+        ).inc()
+        return dataclasses.replace(estimate, cache_hit=True)
+
+    def put(self, key: Hashable, estimate: OperatorEstimate) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = estimate
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            obs.counter(
+                "costing.estimate_cache.evictions",
+                help="LRU entries dropped at capacity",
+            ).inc()
+        self._size_gauge()
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, system: Optional[str] = None) -> int:
+        """Drop all entries (``system=None``) or one system's entries.
+
+        Returns the number of entries removed.  Each call counts as one
+        invalidation event regardless of how many entries it dropped.
+        """
+        if system is None:
+            removed = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [key for key in self._entries if key[0] == system]
+            for key in stale:
+                del self._entries[key]
+            removed = len(stale)
+        self.invalidations += 1
+        obs.counter(
+            "costing.estimate_cache.invalidations",
+            help="cache invalidation events (training, tuning, alpha)",
+        ).inc()
+        self._size_gauge()
+        return removed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hit fraction (0.0 when the cache is unexercised)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _size_gauge(self) -> None:
+        obs.gauge(
+            "costing.estimate_cache.size",
+            help="entries currently held by the estimate cache",
+        ).set(float(len(self._entries)))
+
+    def __repr__(self) -> str:
+        return (
+            f"EstimateCache(entries={len(self._entries)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )

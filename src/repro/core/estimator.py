@@ -7,14 +7,22 @@
 * :class:`HybridEstimator` — per-operator routing between the two, with
   the §5 switch-over support (start on approximate sub-op costing, switch
   to logical-op once its long training completes).
+
+All three share one polymorphic entry point, ``estimate(stats)``, which
+dispatches on the stats descriptor type, and a vectorized
+``estimate_batch(stats_seq)`` that costs many operator instances at once
+(logical-op batches collapse into a single NN forward pass).  The old
+per-operator methods (``estimate_join`` / ``estimate_aggregate`` /
+``estimate_scan``) remain as deprecated shims.
 """
 
 from __future__ import annotations
 
 import enum
 import logging
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
 from repro.core.formulas import ScanCostFormula
@@ -23,7 +31,9 @@ from repro.core.operators import (
     AggregateOperatorStats,
     JoinOperatorStats,
     OperatorKind,
+    OperatorStats,
     ScanOperatorStats,
+    operator_kind_for,
 )
 from repro.core.rules import (
     AggregateAlgorithmSelector,
@@ -32,7 +42,11 @@ from repro.core.rules import (
     SelectionResult,
 )
 from repro.core.subop_model import ClusterInfo, SubOpModelSet
-from repro.exceptions import ConfigurationError, ModelNotTrainedError
+from repro.exceptions import (
+    ConfigurationError,
+    EstimatorUnavailableError,
+    ModelNotTrainedError,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -55,15 +69,99 @@ class OperatorEstimate:
         detail: The approach-specific evidence — a
             :class:`~repro.core.logical_op.CostEstimate` for logical-op,
             a :class:`~repro.core.rules.SelectionResult` for sub-op.
+        cache_hit: True when the estimate was served from the estimate
+            cache rather than freshly computed.
     """
 
     seconds: float
     approach: CostingApproach
     operator: OperatorKind
     detail: Union[CostEstimate, SelectionResult]
+    cache_hit: bool = False
+
+    @property
+    def used_remedy(self) -> bool:
+        """True when the logical-op online remedy produced the estimate."""
+        return bool(
+            isinstance(self.detail, CostEstimate) and self.detail.used_remedy
+        )
 
 
-class LogicalOpEstimator:
+@dataclass(frozen=True)
+class EstimationRequest:
+    """One item of a batched estimation call.
+
+    Attributes:
+        system: The registered remote system to cost the operator on.
+        stats: The operator's statistics descriptor (join, aggregate, or
+            scan); its type selects the model.
+    """
+
+    system: str
+    stats: OperatorStats
+
+    def __post_init__(self) -> None:
+        operator_kind_for(self.stats)  # reject unknown descriptor types early
+
+    @property
+    def kind(self) -> OperatorKind:
+        return operator_kind_for(self.stats)
+
+
+@dataclass(frozen=True)
+class BatchEstimate:
+    """The result of one batched estimation call, with provenance.
+
+    Attributes:
+        estimates: Per-request estimates, in request order.
+        cache_hits: How many items were served from the estimate cache.
+        cache_misses: How many items were freshly computed.
+    """
+
+    estimates: Tuple[OperatorEstimate, ...]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(estimate.seconds for estimate in self.estimates)
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    def __iter__(self):
+        return iter(self.estimates)
+
+    def __getitem__(self, index: int) -> OperatorEstimate:
+        return self.estimates[index]
+
+
+def _warn_deprecated_shim(old_name: str) -> None:
+    warnings.warn(
+        f"{old_name}() is deprecated; use the unified estimate(stats) "
+        "entry point (it dispatches on the stats descriptor type)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class _DeprecatedEstimateShims:
+    """The pre-redesign per-operator methods, kept as thin shims."""
+
+    def estimate_join(self, stats: JoinOperatorStats) -> OperatorEstimate:
+        _warn_deprecated_shim("estimate_join")
+        return self.estimate(stats)
+
+    def estimate_aggregate(self, stats: AggregateOperatorStats) -> OperatorEstimate:
+        _warn_deprecated_shim("estimate_aggregate")
+        return self.estimate(stats)
+
+    def estimate_scan(self, stats: ScanOperatorStats) -> OperatorEstimate:
+        _warn_deprecated_shim("estimate_scan")
+        return self.estimate(stats)
+
+
+class LogicalOpEstimator(_DeprecatedEstimateShims):
     """Blackbox costing through per-operator neural models."""
 
     def __init__(self, models: Optional[Dict[OperatorKind, LogicalOpModel]] = None):
@@ -83,35 +181,40 @@ class LogicalOpEstimator:
     def has_model(self, kind: OperatorKind) -> bool:
         return kind in self._models and self._models[kind].is_trained
 
-    def estimate_join(self, stats: JoinOperatorStats) -> OperatorEstimate:
-        estimate = self.model(OperatorKind.JOIN).estimate(stats.features())
+    def estimate(self, stats: OperatorStats) -> OperatorEstimate:
+        """Cost one operator; the stats type selects the model."""
+        kind = operator_kind_for(stats)
+        estimate = self.model(kind).estimate(stats.features())
         return OperatorEstimate(
             seconds=estimate.seconds,
             approach=CostingApproach.LOGICAL_OP,
-            operator=OperatorKind.JOIN,
+            operator=kind,
             detail=estimate,
         )
 
-    def estimate_aggregate(self, stats: AggregateOperatorStats) -> OperatorEstimate:
-        estimate = self.model(OperatorKind.AGGREGATE).estimate(stats.features())
-        return OperatorEstimate(
-            seconds=estimate.seconds,
-            approach=CostingApproach.LOGICAL_OP,
-            operator=OperatorKind.AGGREGATE,
-            detail=estimate,
-        )
+    def estimate_batch(
+        self, stats_seq: Sequence[OperatorStats]
+    ) -> List[OperatorEstimate]:
+        """Cost many operators; one NN forward pass per operator kind."""
+        by_kind: Dict[OperatorKind, List[int]] = {}
+        for index, stats in enumerate(stats_seq):
+            by_kind.setdefault(operator_kind_for(stats), []).append(index)
+        results: List[Optional[OperatorEstimate]] = [None] * len(stats_seq)
+        for kind, indexes in by_kind.items():
+            estimates = self.model(kind).estimate_batch(
+                [stats_seq[i].features() for i in indexes]
+            )
+            for index, estimate in zip(indexes, estimates):
+                results[index] = OperatorEstimate(
+                    seconds=estimate.seconds,
+                    approach=CostingApproach.LOGICAL_OP,
+                    operator=kind,
+                    detail=estimate,
+                )
+        return results  # type: ignore[return-value]
 
-    def estimate_scan(self, stats: ScanOperatorStats) -> OperatorEstimate:
-        estimate = self.model(OperatorKind.SCAN).estimate(stats.features())
-        return OperatorEstimate(
-            seconds=estimate.seconds,
-            approach=CostingApproach.LOGICAL_OP,
-            operator=OperatorKind.SCAN,
-            detail=estimate,
-        )
 
-
-class SubOpEstimator:
+class SubOpEstimator(_DeprecatedEstimateShims):
     """Openbox costing through rules + analytic formulas over sub-ops."""
 
     def __init__(
@@ -137,49 +240,54 @@ class SubOpEstimator:
             cluster=cluster, memory_threshold_bytes=threshold
         )
 
-    def estimate_join(self, stats: JoinOperatorStats) -> OperatorEstimate:
-        stats = normalize_join_stats(stats)
-        selection = self.join_selector.select(stats, self.subops, self.context)
+    def estimate(self, stats: OperatorStats) -> OperatorEstimate:
+        """Cost one operator through the rules + formulas of §4."""
+        kind = operator_kind_for(stats)
+        if kind is OperatorKind.JOIN:
+            join_stats = normalize_join_stats(stats)
+            selection = self.join_selector.select(
+                join_stats, self.subops, self.context
+            )
+        elif kind is OperatorKind.AGGREGATE:
+            selection = self.aggregate_selector.select(
+                stats, self.subops, self.context
+            )
+        else:
+            seconds = self.scan_formula.estimate_seconds(
+                stats, self.subops, self.cluster
+            )
+            selection = SelectionResult(
+                seconds=seconds,
+                predicted_algorithm=self.scan_formula.algorithm,
+                candidates=((self.scan_formula.algorithm, seconds),),
+            )
         return OperatorEstimate(
             seconds=selection.seconds,
             approach=CostingApproach.SUB_OP,
-            operator=OperatorKind.JOIN,
+            operator=kind,
             detail=selection,
         )
 
-    def estimate_aggregate(self, stats: AggregateOperatorStats) -> OperatorEstimate:
-        selection = self.aggregate_selector.select(stats, self.subops, self.context)
-        return OperatorEstimate(
-            seconds=selection.seconds,
-            approach=CostingApproach.SUB_OP,
-            operator=OperatorKind.AGGREGATE,
-            detail=selection,
-        )
-
-    def estimate_scan(self, stats: ScanOperatorStats) -> OperatorEstimate:
-        seconds = self.scan_formula.estimate_seconds(
-            stats, self.subops, self.cluster
-        )
-        selection = SelectionResult(
-            seconds=seconds,
-            predicted_algorithm=self.scan_formula.algorithm,
-            candidates=((self.scan_formula.algorithm, seconds),),
-        )
-        return OperatorEstimate(
-            seconds=seconds,
-            approach=CostingApproach.SUB_OP,
-            operator=OperatorKind.SCAN,
-            detail=selection,
-        )
+    def estimate_batch(
+        self, stats_seq: Sequence[OperatorStats]
+    ) -> List[OperatorEstimate]:
+        """Cost many operators (rule selection is inherently per-item)."""
+        return [self.estimate(stats) for stats in stats_seq]
 
 
-class HybridEstimator:
+class HybridEstimator(_DeprecatedEstimateShims):
     """Per-operator routing between sub-op and logical-op costing (§5).
 
     Both underlying estimators are optional at construction: a system may
     begin with only the fast sub-op models and :meth:`switch_to` the
     logical-op approach once its prolonged training completes (the
     paper's "system C" scenario), or mix approaches per operator kind.
+
+    Attributes:
+        generation: Monotonic routing-change counter.  Every
+            :meth:`route` / :meth:`switch_to` bumps it, so cached
+            estimates keyed on the generation go stale the moment the
+            routing (and therefore the produced estimates) can change.
     """
 
     def __init__(
@@ -196,6 +304,7 @@ class HybridEstimator:
         self.logical_op = logical_op
         self._routes: Dict[OperatorKind, CostingApproach] = {}
         self.default_approach = default_approach
+        self.generation = 0
 
     # ------------------------------------------------------------------
     # Routing control
@@ -204,12 +313,14 @@ class HybridEstimator:
         """Pin one operator kind to an approach (per-operator hybrid, §5)."""
         self._ensure_available(approach)
         self._routes[kind] = approach
+        self.generation += 1
 
     def switch_to(self, approach: CostingApproach) -> None:
         """Switch every operator to ``approach`` (the time-based switchover)."""
         self._ensure_available(approach)
         self.default_approach = approach
         self._routes.clear()
+        self.generation += 1
 
     def approach_for(self, kind: OperatorKind) -> CostingApproach:
         approach = self._routes.get(kind, self.default_approach)
@@ -245,33 +356,49 @@ class HybridEstimator:
 
     def _ensure_available(self, approach: CostingApproach) -> None:
         if approach is CostingApproach.SUB_OP and self.sub_op is None:
-            raise ConfigurationError("no sub-op estimator configured")
+            raise EstimatorUnavailableError("no sub-op estimator configured")
         if approach is CostingApproach.LOGICAL_OP and self.logical_op is None:
-            raise ConfigurationError("no logical-op estimator configured")
+            raise EstimatorUnavailableError("no logical-op estimator configured")
 
     # ------------------------------------------------------------------
     # Estimation
     # ------------------------------------------------------------------
-    def estimate_join(self, stats: JoinOperatorStats) -> OperatorEstimate:
-        if self.approach_for(OperatorKind.JOIN) is CostingApproach.SUB_OP:
+    def estimate(self, stats: OperatorStats) -> OperatorEstimate:
+        """Cost one operator through its routed approach."""
+        kind = operator_kind_for(stats)
+        if self.approach_for(kind) is CostingApproach.SUB_OP:
             assert self.sub_op is not None
-            return self.sub_op.estimate_join(stats)
+            return self.sub_op.estimate(stats)
         assert self.logical_op is not None
-        return self.logical_op.estimate_join(stats)
+        return self.logical_op.estimate(stats)
 
-    def estimate_aggregate(self, stats: AggregateOperatorStats) -> OperatorEstimate:
-        if self.approach_for(OperatorKind.AGGREGATE) is CostingApproach.SUB_OP:
-            assert self.sub_op is not None
-            return self.sub_op.estimate_aggregate(stats)
-        assert self.logical_op is not None
-        return self.logical_op.estimate_aggregate(stats)
+    def estimate_batch(
+        self, stats_seq: Sequence[OperatorStats]
+    ) -> List[OperatorEstimate]:
+        """Cost many operators; logical-op items share one forward pass.
 
-    def estimate_scan(self, stats: ScanOperatorStats) -> OperatorEstimate:
-        if self.approach_for(OperatorKind.SCAN) is CostingApproach.SUB_OP:
-            assert self.sub_op is not None
-            return self.sub_op.estimate_scan(stats)
-        assert self.logical_op is not None
-        return self.logical_op.estimate_scan(stats)
+        Items are partitioned by their routed approach: sub-op items go
+        through the per-item rules, logical-op items are grouped into
+        vectorized NN calls.  Results come back in input order and are
+        bit-identical to the scalar :meth:`estimate` loop.
+        """
+        results: List[Optional[OperatorEstimate]] = [None] * len(stats_seq)
+        logical_indexes: List[int] = []
+        for index, stats in enumerate(stats_seq):
+            kind = operator_kind_for(stats)
+            if self.approach_for(kind) is CostingApproach.SUB_OP:
+                assert self.sub_op is not None
+                results[index] = self.sub_op.estimate(stats)
+            else:
+                logical_indexes.append(index)
+        if logical_indexes:
+            assert self.logical_op is not None
+            estimates = self.logical_op.estimate_batch(
+                [stats_seq[i] for i in logical_indexes]
+            )
+            for index, estimate in zip(logical_indexes, estimates):
+                results[index] = estimate
+        return results  # type: ignore[return-value]
 
 
 def normalize_join_stats(stats: JoinOperatorStats) -> JoinOperatorStats:

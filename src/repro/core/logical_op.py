@@ -20,6 +20,8 @@ import logging
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro import obs
 from repro.core.metadata import DimensionMetadata, find_pivots
 from repro.core.operators import OperatorKind, dimensions_for
@@ -201,14 +203,54 @@ class LogicalOpModel:
         dimensions route through the online remedy.
         """
         network = self._require_network()
+        features = self._check_features(features)
+        with obs.get_tracer().span("nn.inference", operator=self.kind.value) as span:
+            nn_estimate = max(0.0, network.predict_one(features))
+            span.set("seconds", nn_estimate)
+        return self._finish_estimate(features, nn_estimate)
+
+    def estimate_batch(
+        self, feature_rows: Sequence[Sequence[float]]
+    ) -> List[CostEstimate]:
+        """Estimate a batch of operator instances in one forward pass.
+
+        The whole feature matrix goes through the network as a single
+        set of matmuls; every row then takes the same Fig. 3 pivot check
+        and remedy path as :meth:`estimate`, so the returned estimates
+        are bit-identical to the scalar loop (the network's inference
+        path is batch-size invariant by construction).
+        """
+        network = self._require_network()
+        rows = [self._check_features(row) for row in feature_rows]
+        if not rows:
+            return []
+        matrix = np.asarray(rows, dtype=float)
+        with obs.get_tracer().span(
+            "nn.inference", operator=self.kind.value, batch=len(rows)
+        ) as span:
+            predictions = np.maximum(0.0, network.predict(matrix))
+            span.set("seconds", float(predictions.sum()))
+        obs.counter(
+            "logical_op.batched_inferences",
+            help="batched NN forward passes (one per estimate_batch call)",
+        ).inc()
+        return [
+            self._finish_estimate(features, float(nn_estimate))
+            for features, nn_estimate in zip(rows, predictions)
+        ]
+
+    def _check_features(self, features: Sequence[float]) -> Tuple[float, ...]:
         features = tuple(float(v) for v in features)
         if len(features) != len(self.dimension_names):
             raise ConfigurationError(
                 f"expected {len(self.dimension_names)} features, got {len(features)}"
             )
-        with obs.get_tracer().span("nn.inference", operator=self.kind.value) as span:
-            nn_estimate = max(0.0, network.predict_one(features))
-            span.set("seconds", nn_estimate)
+        return features
+
+    def _finish_estimate(
+        self, features: Tuple[float, ...], nn_estimate: float
+    ) -> CostEstimate:
+        """The post-network half of the Fig. 3 flowchart (pivots, remedy)."""
         report = find_pivots(self.metadata, features, beta=self.beta)
         obs.counter("logical_op.estimates").inc()
         if not report.needs_remedy:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Tuple, Union
 
 from repro.exceptions import ConfigurationError
 
@@ -199,3 +199,20 @@ class ScanOperatorStats:
             float(self.num_output_rows),
             float(self.output_row_size),
         )
+
+
+#: Any operator-statistics descriptor the costing approaches accept.
+OperatorStats = Union[JoinOperatorStats, AggregateOperatorStats, ScanOperatorStats]
+
+
+def operator_kind_for(stats: OperatorStats) -> OperatorKind:
+    """The operator kind a stats descriptor describes (type dispatch)."""
+    if isinstance(stats, JoinOperatorStats):
+        return OperatorKind.JOIN
+    if isinstance(stats, AggregateOperatorStats):
+        return OperatorKind.AGGREGATE
+    if isinstance(stats, ScanOperatorStats):
+        return OperatorKind.SCAN
+    raise ConfigurationError(
+        f"not an operator stats descriptor: {type(stats).__name__}"
+    )

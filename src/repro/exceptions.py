@@ -27,6 +27,15 @@ class PlanningError(ReproError):
     """The optimizer could not produce a valid placement plan."""
 
 
+class EstimatorUnavailableError(ConfigurationError):
+    """A costing approach was requested that has no configured estimator.
+
+    Distinct from :class:`ModelNotTrainedError`: this is a wiring problem
+    (the hybrid was never given that estimator), not a lifecycle one (a
+    present model that has not finished training).
+    """
+
+
 class ModelNotTrainedError(ReproError):
     """A cost model was used for estimation before being trained."""
 

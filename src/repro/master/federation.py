@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.core.costing import CostEstimationModule
+from repro.core.estimate_cache import EstimateCache
 from repro.core.profile import RemoteSystemProfile
 from repro.data.catalog import Catalog
 from repro.data.table import TableSpec
@@ -69,9 +70,10 @@ class IntelliSphere:
         teradata_cost_model: Optional[TeradataCostModel] = None,
         teradata_tuning: Optional[RdbmsTuning] = None,
         seed: int = 0,
+        estimate_cache: Optional[EstimateCache] = None,
     ) -> None:
         self.catalog = Catalog()
-        self.costing = CostEstimationModule()
+        self.costing = CostEstimationModule(cache=estimate_cache)
         self.querygrid = querygrid or QueryGrid()
         self.teradata_cost_model = teradata_cost_model or TeradataCostModel()
         # The master's own execution engine, used when an operator is
@@ -119,6 +121,11 @@ class IntelliSphere:
     @property
     def remote_system_names(self) -> Tuple[str, ...]:
         return tuple(self._remote_engines)
+
+    @property
+    def estimate_cache(self) -> EstimateCache:
+        """The estimate cache fronting the costing module."""
+        return self.costing.cache
 
     def calibrate_querygrid(self, channel, shapes=None) -> "QueryGrid":
         """Learn the QueryGrid cost model from probe transfers (§1's

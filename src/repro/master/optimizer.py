@@ -21,11 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.core.costing import CostEstimationModule, derive_operator_stats
-from repro.core.operators import (
-    AggregateOperatorStats,
-    JoinOperatorStats,
-    ScanOperatorStats,
-)
+from repro.core.estimator import EstimationRequest
 from repro.data.catalog import Catalog
 from repro.exceptions import PlanningError
 from repro.master.querygrid import QueryGrid, TERADATA
@@ -115,6 +111,9 @@ class PlacementOptimizer:
     # ------------------------------------------------------------------
     def optimize(self, plan: LogicalPlan) -> PlacementPlan:
         """Choose the cheapest placement delivering the result to the master."""
+        # Shapes are memoized per plan node for the whole DP; catalog
+        # statistics may have changed since the last call, so start fresh.
+        self._estimator.clear_memo()
         with obs.get_tracer().span("optimizer.optimize") as span:
             placement = self._optimize(plan)
             self._observe_placement(placement, span)
@@ -201,9 +200,13 @@ class PlacementOptimizer:
             return self._scan_options(node)
         child_options = [self._node_options(child) for child in node.children]
         candidates = self._candidate_locations(node)
+        exec_costs = self._operator_costs(node, candidates)
         options: Dict[str, PlacementOption] = {}
         for location in candidates:
-            option = self._option_at(node, location, child_options)
+            exec_seconds = exec_costs[location]
+            if exec_seconds is None:
+                continue
+            option = self._option_at(node, location, child_options, exec_seconds)
             if option is not None:
                 options[location] = option
         if not options:
@@ -217,8 +220,13 @@ class PlacementOptimizer:
         if node.predicate is None and not node.projection:
             # The raw table is simply available where it lives.
             return {owner: PlacementOption(location=owner, seconds=0.0, steps=())}
+        locations = self._filter_capable({owner, TERADATA}, node)
+        exec_costs = self._operator_costs(node, locations)
         options: Dict[str, PlacementOption] = {}
-        for location in self._filter_capable({owner, TERADATA}, node):
+        for location in locations:
+            exec_seconds = exec_costs[location]
+            if exec_seconds is None:
+                continue
             seconds = 0.0
             steps: List[PlacementStep] = []
             if location != owner:
@@ -235,7 +243,6 @@ class PlacementOptimizer:
                         seconds=transfer.seconds,
                     )
                 )
-            exec_seconds = self._operator_cost(node, location)
             seconds += exec_seconds
             steps.append(
                 PlacementStep(
@@ -255,6 +262,7 @@ class PlacementOptimizer:
         node: LogicalPlan,
         location: str,
         child_options: List[Dict[str, PlacementOption]],
+        exec_seconds: float,
     ) -> Optional[PlacementOption]:
         seconds = 0.0
         steps: List[PlacementStep] = []
@@ -265,10 +273,6 @@ class PlacementOptimizer:
             delivered_seconds, delivered_steps = delivered
             seconds += delivered_seconds
             steps.extend(delivered_steps)
-        try:
-            exec_seconds = self._operator_cost(node, location)
-        except PlanningError:
-            return None
         seconds += exec_seconds
         steps.append(
             PlacementStep(
@@ -316,17 +320,42 @@ class PlacementOptimizer:
     # ------------------------------------------------------------------
     # Per-operator costs
     # ------------------------------------------------------------------
-    def _operator_cost(self, node: LogicalPlan, location: str) -> float:
-        if location == TERADATA:
-            stats = derive_operator_stats(node, self.catalog)
-            if isinstance(stats, JoinOperatorStats):
-                return self.teradata.estimate_join(stats)
-            if isinstance(stats, AggregateOperatorStats):
-                return self.teradata.estimate_aggregate(stats)
-            assert isinstance(stats, ScanOperatorStats)
-            return self.teradata.estimate_scan(stats)
-        estimate = self.costing.estimate_plan(location, node, self.catalog)
-        return estimate.seconds
+    def _operator_costs(
+        self, node: LogicalPlan, locations: List[str]
+    ) -> Dict[str, Optional[float]]:
+        """Execution cost of ``node`` at every candidate location at once.
+
+        The operator's stats descriptor is derived once, the master's
+        cost comes from the in-house model, and all remote candidates go
+        to the cost-estimation module in a single batched call (cache
+        hits short-circuit; logical-op misses share one NN forward
+        pass).  A location maps to ``None`` when the node cannot be
+        costed there.
+        """
+        if not locations:
+            return {}
+        try:
+            stats = derive_operator_stats(node, self.catalog, self._estimator)
+        except PlanningError:
+            return {location: None for location in locations}
+        costs: Dict[str, Optional[float]] = {}
+        remote = [location for location in locations if location != TERADATA]
+        if TERADATA in locations:
+            costs[TERADATA] = self.teradata.estimate(stats)
+        if remote:
+            batch = self.costing.estimate_batch(
+                tuple(
+                    EstimationRequest(system=location, stats=stats)
+                    for location in remote
+                )
+            )
+            obs.counter(
+                "optimizer.batched_estimates",
+                help="batched remote-costing calls issued by the optimizer",
+            ).inc()
+            for location, estimate in zip(remote, batch):
+                costs[location] = estimate.seconds
+        return costs
 
     # ------------------------------------------------------------------
     # Candidate locations

@@ -19,7 +19,10 @@ from dataclasses import dataclass
 from repro.core.operators import (
     AggregateOperatorStats,
     JoinOperatorStats,
+    OperatorKind,
+    OperatorStats,
     ScanOperatorStats,
+    operator_kind_for,
 )
 from repro.exceptions import ConfigurationError
 
@@ -62,6 +65,20 @@ class TeradataCostModel:
     # ------------------------------------------------------------------
     # Per-operator estimates
     # ------------------------------------------------------------------
+    def estimate(self, stats: OperatorStats) -> float:
+        """Cost one operator; the stats descriptor type selects the model.
+
+        The same polymorphic entry point the remote estimators expose,
+        so callers can cost an operator anywhere in the federation
+        without dispatching on the descriptor type themselves.
+        """
+        kind = operator_kind_for(stats)
+        if kind is OperatorKind.JOIN:
+            return self.estimate_join(stats)
+        if kind is OperatorKind.AGGREGATE:
+            return self.estimate_aggregate(stats)
+        return self.estimate_scan(stats)
+
     def estimate_join(self, stats: JoinOperatorStats) -> float:
         """Redistribution hash join (Teradata's common plan)."""
         t = self.tuning

@@ -183,14 +183,20 @@ class NeuralNetwork:
     # Inference
     # ------------------------------------------------------------------
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Predict raw-scale targets for raw-scale features."""
+        """Predict raw-scale targets for raw-scale features.
+
+        A matrix of feature rows is costed in one vectorized forward
+        pass; prediction i is bit-identical to predicting row i alone
+        (see :meth:`_forward_inference`), so batched serving can replace
+        scalar loops without changing a single estimate.
+        """
         if not self._weights:
             raise ModelNotTrainedError("NeuralNetwork.predict before fit")
         x = np.asarray(x, dtype=float)
         if x.ndim == 1:
             x = x.reshape(1, -1)
         xs = self._x_scaler.transform(x)
-        out = self._forward(xs)[-1].ravel()
+        out = self._forward_inference(xs).ravel()
         raw = self._y_scaler.inverse_transform(out.reshape(-1, 1)).ravel()
         return self._target_inverse(raw)
 
@@ -216,6 +222,29 @@ class NeuralNetwork:
         ]
         self._adam_v = [np.zeros_like(m) for m in self._adam_m]
         self._adam_t = 0
+
+    @staticmethod
+    def _matmul_rowwise(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """``x @ w`` with a summation order independent of the batch size.
+
+        BLAS matmuls pick different accumulation orders for different
+        matrix shapes, so ``(X @ W)[i]`` and ``X[i:i+1] @ W`` can differ
+        in the last bits — enough to break the batched-equals-scalar
+        contract of the estimation engine.  Broadcasting and reducing
+        over the shared axis keeps every output row's summation tree a
+        function of the layer width only.  The layers here are tiny
+        (<= ~16 units), so the explicit temporaries cost microseconds.
+        """
+        return (x[:, :, None] * w[None, :, :]).sum(axis=1)
+
+    def _forward_inference(self, xs: np.ndarray) -> np.ndarray:
+        """Output activations only, on the deterministic rowwise path."""
+        current = xs
+        last = len(self._weights) - 1
+        for i, (w, b) in enumerate(zip(self._weights, self._biases)):
+            z = self._matmul_rowwise(current, w) + b
+            current = z if i == last else np.tanh(z)
+        return current
 
     def _forward(self, xs: np.ndarray) -> List[np.ndarray]:
         activations = [xs]

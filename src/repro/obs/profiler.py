@@ -155,6 +155,23 @@ def build_profile(root, query: str = "") -> QueryProfile:
                 wall_seconds=span.wall_seconds,
             )
         )
+    # Batched estimation calls carry their per-item records as a
+    # structured attribute; the span's wall clock is shared evenly.
+    for span in _spans_named(root, "costing.estimate_batch"):
+        estimation_wall += span.wall_seconds
+        items = span.attributes.get("_items") or ()
+        per_item_wall = span.wall_seconds / len(items) if items else 0.0
+        for item in items:
+            operators.append(
+                OperatorProfile(
+                    system=str(item.get("system", "")),
+                    operator=str(item.get("operator", "")),
+                    approach=str(item.get("approach", "")),
+                    estimated_seconds=float(item.get("seconds", 0.0) or 0.0),
+                    remedy_active=bool(item.get("remedy")),
+                    wall_seconds=per_item_wall,
+                )
+            )
 
     nn_wall = sum(s.wall_seconds for s in _spans_named(root, "nn.inference"))
     remedy_wall = sum(

@@ -75,27 +75,51 @@ class RelationEstimate:
 
 
 class CardinalityEstimator:
-    """Estimates output shapes for every node of a logical plan."""
+    """Estimates output shapes for every node of a logical plan.
+
+    Estimates are memoized per plan-node identity: the placement
+    optimizer asks for the same subtree's shape once per candidate
+    location, and the join/aggregate descriptor derivations revisit
+    child subtrees the recursive estimate already covered.  Call
+    :meth:`clear_memo` whenever the underlying catalog statistics may
+    have changed (the optimizer does so at the start of every
+    ``optimize()``).
+    """
 
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
+        # id() keys are only stable while the node is alive, so the memo
+        # holds a strong reference to the node alongside its estimate.
+        self._memo: Dict[int, Tuple[LogicalPlan, RelationEstimate]] = {}
+
+    def clear_memo(self) -> None:
+        """Drop memoized shapes (after catalog statistics change)."""
+        self._memo.clear()
 
     # ------------------------------------------------------------------
     # Plan-level estimation
     # ------------------------------------------------------------------
     def estimate(self, plan: LogicalPlan) -> RelationEstimate:
         """Estimate the output shape of ``plan``'s root operator."""
+        cached = self._memo.get(id(plan))
+        if cached is not None and cached[0] is plan:
+            return cached[1]
         if isinstance(plan, Scan):
-            return self._estimate_scan(plan)
-        if isinstance(plan, Filter):
-            return self._estimate_filter(plan)
-        if isinstance(plan, Project):
-            return self._estimate_project(plan)
-        if isinstance(plan, Join):
-            return self._estimate_join(plan)
-        if isinstance(plan, Aggregate):
-            return self._estimate_aggregate(plan)
-        raise PlanningError(f"cannot estimate plan node {type(plan).__name__}")
+            result = self._estimate_scan(plan)
+        elif isinstance(plan, Filter):
+            result = self._estimate_filter(plan)
+        elif isinstance(plan, Project):
+            result = self._estimate_project(plan)
+        elif isinstance(plan, Join):
+            result = self._estimate_join(plan)
+        elif isinstance(plan, Aggregate):
+            result = self._estimate_aggregate(plan)
+        else:
+            raise PlanningError(
+                f"cannot estimate plan node {type(plan).__name__}"
+            )
+        self._memo[id(plan)] = (plan, result)
+        return result
 
     def _estimate_scan(self, scan: Scan) -> RelationEstimate:
         spec = self.catalog.table(scan.table)

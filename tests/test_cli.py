@@ -123,7 +123,7 @@ class TestObservabilityCommands:
         out = capsys.readouterr().out
         assert "repro.trace" in out
         assert "federation.run" in out
-        assert "costing.estimate_plan" in out
+        assert "costing.estimate_batch" in out
         assert "approach=sub_op" in out
         assert "remedy=off" in out
         assert "subop_shares=" in out

@@ -1,0 +1,264 @@
+"""Property tests for the batched estimation path.
+
+The redesign's core contract: ``estimate_batch`` over any mix of
+operators returns estimates **bit-identical** to looping ``estimate``
+over the same items, for every estimator class and approach — including
+out-of-range rows that take the remedy path.
+"""
+
+import pytest
+
+from repro.core.estimator import (
+    BatchEstimate,
+    CostingApproach,
+    EstimationRequest,
+    HybridEstimator,
+    LogicalOpEstimator,
+    OperatorEstimate,
+    SubOpEstimator,
+)
+from repro.core.logical_op import LogicalOpModel
+from repro.core.operators import (
+    AggregateOperatorStats,
+    JoinOperatorStats,
+    OperatorKind,
+    ScanOperatorStats,
+    operator_kind_for,
+)
+from repro.core.rules import JoinAlgorithmSelector, hive_join_algorithms
+from repro.core.subop_model import ClusterInfo, SubOpTrainer
+from repro.core.training import TrainingSet
+from repro.data import build_paper_corpus
+from repro.engines import HiveEngine
+from repro.exceptions import ConfigurationError, EstimatorUnavailableError
+
+
+@pytest.fixture(scope="module")
+def subop_estimator():
+    engine = HiveEngine(seed=0, noise_sigma=0.0)
+    for spec in build_paper_corpus(row_counts=(10_000,), row_sizes=(40,)):
+        engine.load_table(spec)
+    cluster = ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+    model_set = SubOpTrainer().train(engine, cluster).model_set
+    return SubOpEstimator(
+        subops=model_set,
+        cluster=cluster,
+        join_selector=JoinAlgorithmSelector(hive_join_algorithms()),
+    )
+
+
+def _trained_model(kind, make_features, nn_iterations=600):
+    model = LogicalOpModel(
+        kind, search_topology=False, nn_iterations=nn_iterations, seed=0
+    )
+    ts = TrainingSet(model.dimension_names)
+    for features, label in make_features():
+        ts.add(features, label)
+    model.train(ts)
+    return model
+
+
+def _agg_rows():
+    for rows in (1e5, 1e6, 4e6, 8e6):
+        for size in (40, 100, 1000):
+            for groups in (rows, rows / 10, rows / 100):
+                yield (rows, size, groups, 12), 1 + rows * 2e-6 * (size / 100)
+
+
+def _scan_rows():
+    for rows in (1e5, 1e6, 8e6):
+        for size in (40, 100, 1000):
+            for sel in (1.0, 0.1):
+                yield (rows, size, rows * sel, size), 0.5 + rows * size * 1e-9
+
+
+@pytest.fixture(scope="module")
+def logical_estimator():
+    estimator = LogicalOpEstimator()
+    estimator.add_model(_trained_model(OperatorKind.AGGREGATE, _agg_rows))
+    estimator.add_model(_trained_model(OperatorKind.SCAN, _scan_rows))
+    return estimator
+
+
+@pytest.fixture(scope="module")
+def hybrid(subop_estimator, logical_estimator):
+    hybrid = HybridEstimator(
+        sub_op=subop_estimator, logical_op=logical_estimator
+    )
+    hybrid.route(OperatorKind.AGGREGATE, CostingApproach.LOGICAL_OP)
+    return hybrid
+
+
+def join_stats(**kw):
+    defaults = dict(
+        row_size_r=100,
+        num_rows_r=1_000_000,
+        row_size_s=100,
+        num_rows_s=10_000,
+        projected_size_r=100,
+        projected_size_s=100,
+        num_output_rows=10_000,
+    )
+    defaults.update(kw)
+    return JoinOperatorStats(**defaults)
+
+
+def agg_stats(rows=1_000_000):
+    return AggregateOperatorStats(
+        num_input_rows=rows,
+        input_row_size=100,
+        num_output_rows=max(1, rows // 100),
+        output_row_size=12,
+    )
+
+
+def scan_stats(rows=1_000_000):
+    return ScanOperatorStats(
+        num_input_rows=rows,
+        input_row_size=100,
+        num_output_rows=max(1, rows // 10),
+        output_row_size=100,
+    )
+
+
+MIXED = (
+    join_stats(),
+    agg_stats(),
+    scan_stats(),
+    join_stats(num_rows_r=8_000_000, num_output_rows=500_000),
+    agg_stats(rows=4_000_000),
+    scan_stats(rows=100_000),
+    agg_stats(rows=250_000),
+)
+
+
+def assert_identical(batch, scalar):
+    assert len(batch) == len(scalar)
+    for batched, single in zip(batch, scalar):
+        assert batched.seconds == single.seconds  # bit-identical, no approx
+        assert batched.approach is single.approach
+        assert batched.operator is single.operator
+        assert batched.used_remedy == single.used_remedy
+
+
+class TestBitIdenticalBatches:
+    def test_subop_batch_matches_scalar(self, subop_estimator):
+        batch = subop_estimator.estimate_batch(MIXED)
+        scalar = [subop_estimator.estimate(s) for s in MIXED]
+        assert_identical(batch, scalar)
+
+    def test_logical_batch_matches_scalar(self, logical_estimator):
+        items = tuple(s for s in MIXED if not isinstance(s, JoinOperatorStats))
+        batch = logical_estimator.estimate_batch(items)
+        scalar = [logical_estimator.estimate(s) for s in items]
+        assert_identical(batch, scalar)
+
+    def test_hybrid_mixed_batch_matches_scalar(self, hybrid):
+        """Sub-op joins/scans interleaved with logical-op aggregates."""
+        batch = hybrid.estimate_batch(MIXED)
+        scalar = [hybrid.estimate(s) for s in MIXED]
+        assert_identical(batch, scalar)
+        approaches = {e.approach for e in batch}
+        assert approaches == {CostingApproach.SUB_OP, CostingApproach.LOGICAL_OP}
+
+    def test_out_of_range_rows_take_remedy_in_batch(self, logical_estimator):
+        """Rows far beyond the trained grid remedy identically in batch."""
+        items = (agg_stats(), agg_stats(rows=500_000_000), agg_stats(rows=80_000))
+        batch = logical_estimator.estimate_batch(items)
+        scalar = [logical_estimator.estimate(s) for s in items]
+        assert_identical(batch, scalar)
+        assert batch[1].used_remedy
+        assert not batch[0].used_remedy
+
+    def test_single_item_and_empty_batches(self, hybrid):
+        assert hybrid.estimate_batch([]) == []
+        only = hybrid.estimate_batch([agg_stats()])
+        assert len(only) == 1
+        assert only[0].seconds == hybrid.estimate(agg_stats()).seconds
+
+    def test_batch_order_preserved(self, hybrid):
+        batch = hybrid.estimate_batch(MIXED)
+        for stats, estimate in zip(MIXED, batch):
+            assert estimate.operator is operator_kind_for(stats)
+
+
+class TestUnifiedDispatch:
+    def test_estimate_dispatches_on_type(self, subop_estimator):
+        assert (
+            subop_estimator.estimate(join_stats()).operator is OperatorKind.JOIN
+        )
+        assert (
+            subop_estimator.estimate(agg_stats()).operator
+            is OperatorKind.AGGREGATE
+        )
+        assert (
+            subop_estimator.estimate(scan_stats()).operator is OperatorKind.SCAN
+        )
+
+    def test_unknown_descriptor_rejected(self, subop_estimator):
+        with pytest.raises(ConfigurationError):
+            subop_estimator.estimate("not stats")
+
+    def test_denormalized_join_normalized_internally(self, subop_estimator):
+        straight = subop_estimator.estimate(join_stats()).seconds
+        inverted = subop_estimator.estimate(
+            join_stats(num_rows_r=10_000, num_rows_s=1_000_000)
+        ).seconds
+        assert straight == pytest.approx(inverted)
+
+
+class TestDeprecatedShims:
+    def test_shims_warn_and_match(self, subop_estimator):
+        for old_name, stats in (
+            ("estimate_join", join_stats()),
+            ("estimate_aggregate", agg_stats()),
+            ("estimate_scan", scan_stats()),
+        ):
+            with pytest.warns(DeprecationWarning, match=old_name):
+                shimmed = getattr(subop_estimator, old_name)(stats)
+            assert shimmed.seconds == subop_estimator.estimate(stats).seconds
+
+    def test_hybrid_shim_warns(self, hybrid):
+        with pytest.warns(DeprecationWarning):
+            hybrid.estimate_aggregate(agg_stats())
+
+
+class TestTypedUnavailableError:
+    def test_route_to_absent_estimator_typed(self, logical_estimator):
+        hybrid = HybridEstimator(logical_op=logical_estimator)
+        with pytest.raises(EstimatorUnavailableError):
+            hybrid.route(OperatorKind.JOIN, CostingApproach.SUB_OP)
+
+    def test_subclass_of_configuration_error(self):
+        assert issubclass(EstimatorUnavailableError, ConfigurationError)
+
+
+class TestRequestAndBatchTypes:
+    def test_request_validates_stats(self):
+        with pytest.raises(ConfigurationError):
+            EstimationRequest(system="hive", stats=(1, 2, 3))
+
+    def test_request_kind(self):
+        request = EstimationRequest(system="hive", stats=agg_stats())
+        assert request.kind is OperatorKind.AGGREGATE
+
+    def test_batch_estimate_semantics(self, subop_estimator):
+        estimates = tuple(subop_estimator.estimate_batch(MIXED))
+        batch = BatchEstimate(
+            estimates=estimates, cache_hits=2, cache_misses=len(estimates) - 2
+        )
+        assert len(batch) == len(MIXED)
+        assert batch[0] is estimates[0]
+        assert list(batch) == list(estimates)
+        assert batch.total_seconds == pytest.approx(
+            sum(e.seconds for e in estimates)
+        )
+
+    def test_operator_estimate_frozen_with_cache_flag(self, subop_estimator):
+        estimate = subop_estimator.estimate(agg_stats())
+        assert isinstance(estimate, OperatorEstimate)
+        assert estimate.cache_hit is False
+        with pytest.raises(AttributeError):
+            estimate.cache_hit = True

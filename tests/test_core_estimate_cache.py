@@ -1,0 +1,296 @@
+"""Tests for the quantized-key estimate cache and its invalidation."""
+
+import pytest
+
+from repro.core import (
+    CostEstimationModule,
+    CostingApproach,
+    EstimateCache,
+    EstimationRequest,
+    LogicalOpModel,
+    OperatorKind,
+    RemoteSystemProfile,
+    SubOpTrainer,
+    TrainingSet,
+)
+from repro.core.operators import JoinOperatorStats, ScanOperatorStats
+from repro.data import Catalog, build_paper_corpus
+from repro.engines import HiveEngine
+from repro.exceptions import ConfigurationError
+from repro.sql.parser import parse_select
+
+
+def scan_stats(rows=1_000_000, out=100_000):
+    return ScanOperatorStats(
+        num_input_rows=rows,
+        input_row_size=100,
+        num_output_rows=out,
+        output_row_size=100,
+    )
+
+
+def join_stats(**kw):
+    defaults = dict(
+        row_size_r=100,
+        num_rows_r=1_000_000,
+        row_size_s=100,
+        num_rows_s=10_000,
+        projected_size_r=100,
+        projected_size_s=100,
+        num_output_rows=10_000,
+    )
+    defaults.update(kw)
+    return JoinOperatorStats(**defaults)
+
+
+class TestQuantizedKeys:
+    def test_nearby_values_share_a_bucket(self):
+        cache = EstimateCache()
+        a = cache.key_for("hive", 0, scan_stats(rows=1_000_000))
+        b = cache.key_for("hive", 0, scan_stats(rows=1_000_001))
+        assert a == b
+
+    def test_distinct_magnitudes_split_buckets(self):
+        cache = EstimateCache()
+        a = cache.key_for("hive", 0, scan_stats(rows=1_000_000))
+        b = cache.key_for("hive", 0, scan_stats(rows=2_000_000))
+        assert a != b
+
+    def test_boolean_flags_stay_exact(self):
+        cache = EstimateCache()
+        a = cache.key_for("hive", 0, join_stats())
+        b = cache.key_for("hive", 0, join_stats(r_partitioned_on_key=True))
+        assert a != b
+
+    def test_system_and_generation_partition_keys(self):
+        cache = EstimateCache()
+        stats = scan_stats()
+        assert cache.key_for("hive", 0, stats) != cache.key_for(
+            "spark", 0, stats
+        )
+        assert cache.key_for("hive", 0, stats) != cache.key_for(
+            "hive", 1, stats
+        )
+
+    def test_quantize_is_monotone(self):
+        cache = EstimateCache()
+        values = [0.0, 1.0, 10.0, 1e3, 1e6, 1e9]
+        buckets = [cache.quantize(v) for v in values]
+        assert buckets == sorted(buckets)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EstimateCache(max_entries=-1)
+        with pytest.raises(ConfigurationError):
+            EstimateCache(resolution=0)
+
+
+class TestLruBehaviour:
+    def _estimate(self, seconds):
+        from repro.core.estimator import OperatorEstimate
+        from repro.core.logical_op import CostEstimate
+
+        return OperatorEstimate(
+            seconds=seconds,
+            approach=CostingApproach.SUB_OP,
+            operator=OperatorKind.SCAN,
+            detail=CostEstimate(seconds=seconds, features=(1.0,)),
+        )
+
+    def test_eviction_at_capacity(self):
+        cache = EstimateCache(max_entries=2)
+        for i, rows in enumerate((1_000, 1_000_000, 1_000_000_000)):
+            cache.put(cache.key_for("hive", 0, scan_stats(rows=rows)), self._estimate(float(i)))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(cache.key_for("hive", 0, scan_stats(rows=1_000))) is None
+
+    def test_get_marks_cache_hit(self):
+        cache = EstimateCache()
+        key = cache.key_for("hive", 0, scan_stats())
+        cache.put(key, self._estimate(2.5))
+        cached = cache.get(key)
+        assert cached.cache_hit
+        assert cached.seconds == 2.5
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = EstimateCache(max_entries=0)
+        assert not cache.enabled
+        key = cache.key_for("hive", 0, scan_stats())
+        cache.put(key, self._estimate(1.0))
+        assert len(cache) == 0
+        assert cache.get(key) is None
+
+    def test_invalidate_by_system(self):
+        cache = EstimateCache()
+        cache.put(cache.key_for("hive", 0, scan_stats()), self._estimate(1.0))
+        cache.put(cache.key_for("spark", 0, scan_stats()), self._estimate(2.0))
+        assert cache.invalidate("hive") == 1
+        assert len(cache) == 1
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+        assert cache.invalidations == 2
+
+    def test_hit_rate(self):
+        cache = EstimateCache()
+        key = cache.key_for("hive", 0, scan_stats())
+        assert cache.hit_rate == 0.0
+        cache.get(key)  # miss
+        cache.put(key, self._estimate(1.0))
+        cache.get(key)  # hit
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# Module-level wiring
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def trained_setup():
+    """One sub-op-trained hive profile, shared; modules are per-test."""
+    from repro.core import ClusterInfo
+
+    corpus = build_paper_corpus(
+        row_counts=(10_000, 1_000_000, 8_000_000), row_sizes=(40, 100)
+    )
+    engine = HiveEngine(seed=0, noise_sigma=0.0)
+    catalog = Catalog()
+    for spec in corpus:
+        engine.load_table(spec)
+        catalog.register(spec)
+    cluster = ClusterInfo(
+        num_data_nodes=3, cores_per_node=2, dfs_block_size=128 * 1024 * 1024
+    )
+    profile = RemoteSystemProfile(name="hive", cluster=cluster)
+    module = CostEstimationModule()
+    module.register_system(engine, profile)
+    module.train_sub_op(
+        "hive", SubOpTrainer(record_counts=(1_000_000, 2_000_000))
+    )
+    return engine, profile, catalog
+
+
+@pytest.fixture()
+def module(trained_setup):
+    engine, profile, _ = trained_setup
+    fresh = CostEstimationModule()
+    fresh.register_system(engine, profile)
+    return fresh
+
+
+@pytest.fixture()
+def catalog(trained_setup):
+    return trained_setup[2]
+
+
+PLAN = "SELECT a1 FROM t1000000_100 WHERE a1 < 500"
+
+
+class TestModuleCaching:
+    def test_repeat_estimate_hits(self, module, catalog):
+        plan = parse_select(PLAN)
+        first = module.estimate_plan("hive", plan, catalog)
+        second = module.estimate_plan("hive", plan, catalog)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.seconds == first.seconds
+        assert module.cache.hits == 1 and module.cache.misses == 1
+
+    def test_batch_reports_hits_and_misses(self, module, catalog):
+        requests = tuple(
+            EstimationRequest(system="hive", stats=scan_stats(rows=rows))
+            for rows in (10_000, 1_000_000, 8_000_000)
+        )
+        cold = module.estimate_batch(requests)
+        warm = module.estimate_batch(requests)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 3)
+        assert (warm.cache_hits, warm.cache_misses) == (3, 0)
+        for a, b in zip(cold, warm):
+            assert a.seconds == b.seconds
+            assert b.cache_hit
+
+    def test_disabled_cache_never_hits(self, trained_setup, catalog):
+        engine, profile, _ = trained_setup
+        module = CostEstimationModule(cache=EstimateCache(max_entries=0))
+        module.register_system(engine, profile)
+        plan = parse_select(PLAN)
+        module.estimate_plan("hive", plan, catalog)
+        estimate = module.estimate_plan("hive", plan, catalog)
+        assert not estimate.cache_hit
+
+    def test_invalidate_cache_forces_recompute(self, module, catalog):
+        plan = parse_select(PLAN)
+        module.estimate_plan("hive", plan, catalog)
+        removed = module.invalidate_cache("hive")
+        assert removed == 1
+        assert not module.estimate_plan("hive", plan, catalog).cache_hit
+
+    def test_train_sub_op_invalidates(self, module, catalog):
+        plan = parse_select(PLAN)
+        module.estimate_plan("hive", plan, catalog)
+        module.train_sub_op(
+            "hive", SubOpTrainer(record_counts=(1_000_000, 2_000_000))
+        )
+        assert len(module.cache) == 0
+        assert not module.estimate_plan("hive", plan, catalog).cache_hit
+
+    def test_recalibrate_alpha_invalidates(self, module, catalog):
+        model = LogicalOpModel(
+            OperatorKind.AGGREGATE,
+            search_topology=False,
+            nn_iterations=300,
+            seed=0,
+        )
+        ts = TrainingSet(model.dimension_names)
+        for rows in (1e5, 1e6, 4e6, 8e6):
+            for size in (40, 100, 1000):
+                ts.add((rows, size, rows / 10, 12), 1 + rows * 2e-6)
+        model.train(ts)
+        module.attach_logical_model("hive", model)
+        plan = parse_select(PLAN)
+        module.estimate_plan("hive", plan, catalog)
+        assert len(module.cache) == 1
+        module.recalibrate_alpha("hive", OperatorKind.AGGREGATE)
+        assert len(module.cache) == 0
+
+    def test_offline_tuning_invalidates(self, module, catalog):
+        model = LogicalOpModel(
+            OperatorKind.AGGREGATE,
+            search_topology=False,
+            nn_iterations=300,
+            seed=0,
+        )
+        ts = TrainingSet(model.dimension_names)
+        for rows in (1e5, 1e6, 4e6, 8e6):
+            for size in (40, 100, 1000):
+                ts.add((rows, size, rows / 10, 12), 1 + rows * 2e-6)
+        model.train(ts)
+        module.attach_logical_model("hive", model)
+        plan = parse_select(PLAN)
+        module.estimate_plan("hive", plan, catalog)
+        assert len(module.cache) == 1
+        model.execution_log.record((1e6, 100, 1e5, 12), 3.0)
+        applied = module.run_offline_tuning("hive", OperatorKind.AGGREGATE)
+        assert applied > 0
+        assert len(module.cache) == 0
+
+    def test_routing_change_retires_entries(self, module, catalog):
+        """route()/switch_to() bump the generation, so old keys go cold."""
+        plan = parse_select(PLAN)
+        module.estimate_plan("hive", plan, catalog)
+        estimator = module.estimator("hive")
+        generation = estimator.generation
+        estimator.route(OperatorKind.SCAN, CostingApproach.SUB_OP)
+        assert estimator.generation == generation + 1
+        assert not module.estimate_plan("hive", plan, catalog).cache_hit
+
+    def test_estimate_full_plan_warm_run_all_hits(self, module, catalog):
+        plan = parse_select(
+            "SELECT SUM(a1) FROM t8000000_100 r JOIN t1000000_100 s "
+            "ON r.a1 = s.a1 GROUP BY a5"
+        )
+        cold_total, cold = module.estimate_full_plan("hive", plan, catalog)
+        warm_total, warm = module.estimate_full_plan("hive", plan, catalog)
+        assert warm_total == cold_total
+        assert all(e.cache_hit for e in warm)
+        assert not any(e.cache_hit for e in cold)

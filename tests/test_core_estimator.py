@@ -103,21 +103,21 @@ class TestNormalization:
 
 class TestSubOpEstimator:
     def test_join_estimate(self, subop_estimator):
-        estimate = subop_estimator.estimate_join(join_stats())
+        estimate = subop_estimator.estimate(join_stats())
         assert estimate.approach is CostingApproach.SUB_OP
         assert estimate.operator is OperatorKind.JOIN
         assert estimate.seconds > 0
         assert estimate.detail.predicted_algorithm == "broadcast_join"
 
     def test_denormalized_input_handled(self, subop_estimator):
-        straight = subop_estimator.estimate_join(join_stats()).seconds
-        inverted = subop_estimator.estimate_join(
+        straight = subop_estimator.estimate(join_stats()).seconds
+        inverted = subop_estimator.estimate(
             join_stats(num_rows_r=10_000, num_rows_s=1_000_000)
         ).seconds
         assert straight == pytest.approx(inverted)
 
     def test_aggregate_estimate(self, subop_estimator):
-        estimate = subop_estimator.estimate_aggregate(agg_stats())
+        estimate = subop_estimator.estimate(agg_stats())
         assert estimate.seconds > 0
         assert estimate.detail.predicted_algorithm == "hash_aggregate"
 
@@ -128,7 +128,7 @@ class TestSubOpEstimator:
             num_output_rows=1000,
             output_row_size=8,
         )
-        estimate = subop_estimator.estimate_scan(stats)
+        estimate = subop_estimator.estimate(stats)
         assert estimate.seconds > 0
         assert estimate.detail.predicted_algorithm == "scan"
 
@@ -141,13 +141,13 @@ class TestSubOpEstimator:
 
 class TestLogicalOpEstimator:
     def test_aggregate_estimate(self, logical_estimator):
-        estimate = logical_estimator.estimate_aggregate(agg_stats())
+        estimate = logical_estimator.estimate(agg_stats())
         assert estimate.approach is CostingApproach.LOGICAL_OP
         assert estimate.seconds > 0
 
     def test_missing_model_raises(self, logical_estimator):
         with pytest.raises(ModelNotTrainedError):
-            logical_estimator.estimate_join(join_stats())
+            logical_estimator.estimate(join_stats())
 
     def test_has_model(self, logical_estimator):
         assert logical_estimator.has_model(OperatorKind.AGGREGATE)
@@ -163,7 +163,7 @@ class TestHybridEstimator:
         hybrid = HybridEstimator(
             sub_op=subop_estimator, logical_op=logical_estimator
         )
-        estimate = hybrid.estimate_aggregate(agg_stats())
+        estimate = hybrid.estimate(agg_stats())
         assert estimate.approach is CostingApproach.SUB_OP
 
     def test_switch_to_logical(self, subop_estimator, logical_estimator):
@@ -172,7 +172,7 @@ class TestHybridEstimator:
             sub_op=subop_estimator, logical_op=logical_estimator
         )
         hybrid.switch_to(CostingApproach.LOGICAL_OP)
-        estimate = hybrid.estimate_aggregate(agg_stats())
+        estimate = hybrid.estimate(agg_stats())
         assert estimate.approach is CostingApproach.LOGICAL_OP
 
     def test_per_operator_routing(self, subop_estimator, logical_estimator):
@@ -181,8 +181,8 @@ class TestHybridEstimator:
             sub_op=subop_estimator, logical_op=logical_estimator
         )
         hybrid.route(OperatorKind.AGGREGATE, CostingApproach.LOGICAL_OP)
-        agg = hybrid.estimate_aggregate(agg_stats())
-        join = hybrid.estimate_join(join_stats())
+        agg = hybrid.estimate(agg_stats())
+        join = hybrid.estimate(join_stats())
         assert agg.approach is CostingApproach.LOGICAL_OP
         assert join.approach is CostingApproach.SUB_OP
 
@@ -194,7 +194,7 @@ class TestHybridEstimator:
         )
         hybrid.switch_to(CostingApproach.LOGICAL_OP)
         # No join model is trained -> falls back to sub-op.
-        estimate = hybrid.estimate_join(join_stats())
+        estimate = hybrid.estimate(join_stats())
         assert estimate.approach is CostingApproach.SUB_OP
 
     def test_route_to_absent_estimator_rejected(self, logical_estimator):
@@ -225,7 +225,7 @@ class TestScanRouting:
             num_output_rows=100_000,
             output_row_size=100,
         )
-        estimate = estimator.estimate_scan(stats)
+        estimate = estimator.estimate(stats)
         assert estimate.approach is CostingApproach.LOGICAL_OP
         assert estimate.operator is OperatorKind.SCAN
         assert estimate.seconds > 0
@@ -248,8 +248,8 @@ class TestScanRouting:
             num_output_rows=1_000,
             output_row_size=8,
         )
-        assert hybrid.estimate_scan(stats).approach is CostingApproach.SUB_OP
+        assert hybrid.estimate(stats).approach is CostingApproach.SUB_OP
         hybrid.route(OperatorKind.SCAN, CostingApproach.LOGICAL_OP)
         assert (
-            hybrid.estimate_scan(stats).approach is CostingApproach.LOGICAL_OP
+            hybrid.estimate(stats).approach is CostingApproach.LOGICAL_OP
         )

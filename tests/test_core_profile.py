@@ -144,7 +144,7 @@ class TestOperatorRoutes:
         hybrid = profile.build_estimator()
         from repro.core.operators import AggregateOperatorStats, JoinOperatorStats
 
-        agg = hybrid.estimate_aggregate(
+        agg = hybrid.estimate(
             AggregateOperatorStats(
                 num_input_rows=1_000_000,
                 input_row_size=100,
@@ -152,7 +152,7 @@ class TestOperatorRoutes:
                 output_row_size=12,
             )
         )
-        join = hybrid.estimate_join(
+        join = hybrid.estimate(
             JoinOperatorStats(
                 row_size_r=100,
                 num_rows_r=1_000_000,

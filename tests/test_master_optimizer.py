@@ -114,6 +114,39 @@ class TestPlacementChoices:
         assert "execute" in text
 
 
+class TestBatchedCostingCache:
+    def test_warm_cache_plan_identical_to_cold(self, setup):
+        """A cache-served optimize() must choose the same placement with
+        the same costs as the cold run (batched path is bit-identical)."""
+        optimizer, _ = setup
+        optimizer.costing.invalidate_cache()
+        plan = parse_select(
+            "SELECT SUM(a1) FROM t8000000_100 r JOIN t1000000_100 s "
+            "ON r.a1 = s.a1 GROUP BY a5"
+        )
+        cold = optimizer.optimize(plan)
+        warm = optimizer.optimize(plan)
+        assert warm.best.location == cold.best.location
+        assert warm.best.seconds == cold.best.seconds
+        assert [s.seconds for s in warm.best.steps] == [
+            s.seconds for s in cold.best.steps
+        ]
+
+    def test_repeat_optimize_serves_from_cache(self, setup):
+        optimizer, _ = setup
+        cache = optimizer.costing.cache
+        optimizer.costing.invalidate_cache()
+        plan = parse_select(
+            "SELECT SUM(a1) FROM t8000000_100 GROUP BY a100"
+        )
+        optimizer.optimize(plan)
+        misses_after_cold = cache.misses
+        hits_after_cold = cache.hits
+        optimizer.optimize(plan)
+        assert cache.misses == misses_after_cold  # nothing recomputed
+        assert cache.hits > hits_after_cold
+
+
 class TestTransfersAccounting:
     def test_remote_data_to_master_includes_transfer(self, setup):
         optimizer, _ = setup
