@@ -6,6 +6,16 @@ allocation) plus a few registry counter increments.  This bench measures
 those primitive costs against the per-call time of
 ``CostEstimationModule.estimate_plan`` and enforces the <5% budget; it
 also reports the (unbudgeted) cost of running with tracing enabled.
+
+The query-context satellite adds three more measurements: opening one
+query-scoped trace context (the federation layer does this once per
+query), producing spans under an *unsampled* context with tracing
+enabled (the head sampler's short-circuit), and one alert-engine
+evaluation over a realistic observation.  The per-query context cost is
+held to the same <5% budget against the estimation work one query
+triggers: the optimizer prices every candidate placement, so each
+query pays for at least two estimate_plan calls (remote and master)
+while opening exactly one context.
 """
 
 import time
@@ -14,6 +24,7 @@ import pytest
 
 from benchmarks.conftest import write_series
 from repro import obs
+from repro.obs.alerts import AlertEngine
 from repro.sql.parser import parse_select
 
 #: Instrumented sites executed by one sub-op join estimate_plan call:
@@ -23,6 +34,10 @@ COUNTERS_PER_CALL = 6
 HISTOGRAMS_PER_CALL = 1
 
 OVERHEAD_BUDGET = 0.05
+
+#: Minimum estimate_plan calls one federated query triggers: the
+#: optimizer prices at least the remote and the master placement.
+ESTIMATES_PER_QUERY = 2
 
 JOIN_SQL = "SELECT r.a1 FROM t8000000_100 r JOIN t100000_100 s ON r.a1 = s.a1"
 
@@ -67,21 +82,76 @@ def experiment(module, catalog, results_dir):
     )
     overhead_disabled = instrumented_cost / t_estimate_off
 
+    # Query-context cost: what the federation layer pays once per query
+    # to mint an id and take the head-sampling decision (sampling "on"
+    # means the sampler runs; rate 1.0 keeps every query).
+    previous_sampler = obs.set_sampler(obs.HeadSampler(rate=1.0))
+
+    def _open_context():
+        with obs.query_context(query=JOIN_SQL):
+            pass
+
+    t_context = _per_call_seconds(_open_context, inner=10_000)
+    obs.set_sampler(obs.HeadSampler(rate=0.0))
+    t_context_unsampled = _per_call_seconds(_open_context, inner=10_000)
+    obs.set_sampler(previous_sampler)
+    overhead_context = t_context / (t_estimate_off * ESTIMATES_PER_QUERY)
+
     tracer.enable()
     t_estimate_on = _per_call_seconds(estimate, inner=50)
+    # Unsampled queries must collapse enabled tracing back to the shared
+    # no-op span: the per-span price is a context read, not a recording.
+    with obs.query_context(sampled=False):
+        t_estimate_unsampled = _per_call_seconds(estimate, inner=50)
+        t_span_unsampled = _per_call_seconds(
+            lambda: tracer.span("costing.estimate_plan", system="hive"),
+            inner=20_000,
+        )
     tracer.clear()
     if not was_enabled:
         tracer.disable()
     overhead_enabled = (t_estimate_on - t_estimate_off) / t_estimate_off
 
+    # One alert-engine evaluation over a realistic observation (five
+    # default rules, three ledger keys).  Alerting is periodic, not
+    # per-query, so it is recorded but not held to the per-query budget.
+    observation = {
+        "version": 1,
+        "metrics": {},
+        "ledger": {
+            f"hive/{op}": {
+                "count": 32,
+                "mean_q_error": 1.5,
+                "rmse_percent": 20.0,
+                "slope": 1.0,
+                "remedy_fraction": 0.1,
+            }
+            for op in ("scan", "join", "aggregate")
+        },
+        "drift": {"hive": {"drifted": False, "statistic": 0.1}},
+        "cache": {"hits": 10, "misses": 10, "lookups": 20, "hit_rate": 0.5,
+                  "size": 5, "evictions": 0, "invalidations": 0},
+        "exemplars": {"hive": ["q-000001"]},
+    }
+    alert_engine = AlertEngine()
+    t_alert_eval = _per_call_seconds(
+        lambda: alert_engine.evaluate(observation, emit=False), inner=500
+    )
+
     rows = [
         ("estimate_plan_disabled_us", t_estimate_off * 1e6),
         ("estimate_plan_enabled_us", t_estimate_on * 1e6),
+        ("estimate_plan_enabled_unsampled_us", t_estimate_unsampled * 1e6),
         ("noop_span_ns", t_noop_span * 1e9),
+        ("unsampled_span_ns", t_span_unsampled * 1e9),
         ("counter_inc_ns", t_counter * 1e9),
         ("histogram_observe_ns", t_histogram * 1e9),
+        ("query_context_us", t_context * 1e6),
+        ("query_context_unsampled_us", t_context_unsampled * 1e6),
+        ("alert_evaluate_us", t_alert_eval * 1e6),
         ("overhead_fraction_disabled", overhead_disabled),
         ("overhead_fraction_enabled", overhead_enabled),
+        ("overhead_fraction_context", overhead_context),
     ]
     write_series(
         results_dir / "obs_overhead.txt",
@@ -92,8 +162,12 @@ def experiment(module, catalog, results_dir):
     return {
         "overhead_disabled": overhead_disabled,
         "overhead_enabled": overhead_enabled,
+        "overhead_context": overhead_context,
         "t_estimate_off": t_estimate_off,
         "t_noop_span": t_noop_span,
+        "t_span_unsampled": t_span_unsampled,
+        "t_context": t_context,
+        "t_alert_eval": t_alert_eval,
     }
 
 
@@ -104,6 +178,18 @@ def test_disabled_overhead_within_budget(experiment):
 def test_noop_span_is_cheap(experiment):
     # The shared no-op span must cost well under a microsecond.
     assert experiment["t_noop_span"] < 1e-6
+
+
+def test_context_overhead_within_budget(experiment):
+    # One query context per query (with the sampler running) must stay
+    # under the <5% budget against the query's minimum estimation work.
+    assert experiment["overhead_context"] < OVERHEAD_BUDGET
+
+
+def test_unsampled_span_is_cheap(experiment):
+    # With tracing enabled but the query unsampled, span() must collapse
+    # to the shared no-op span: a context read, not a recording.
+    assert experiment["t_span_unsampled"] < 1e-6
 
 
 def test_benchmark_estimate_plan_instrumented(experiment, module, catalog, benchmark):

@@ -45,6 +45,7 @@ from repro.engines import HiveEngine, SparkEngine
 from repro.master.optimizer import PlacementOptimizer
 from repro.master.querygrid import QueryGrid
 from repro.obs import regress
+from repro.obs.alerts import AlertEngine
 from repro.obs.journal import EventJournal
 from repro.sql.parser import parse_select
 
@@ -86,6 +87,8 @@ THRESHOLDS: Dict[str, float] = {
     "noop_span": 0.60,
     "counter_inc": 0.50,
     "histogram_observe": 0.50,
+    "query_context": 0.50,
+    "alert_evaluate": 0.50,
 }
 
 
@@ -255,6 +258,55 @@ def measure_latencies(
         )
         timings["histogram_observe"] = _per_call_seconds(
             lambda: histogram.observe(1.0), inner=5_000 * scale, repeats=repeats
+        )
+
+        # Per-query trace context (id mint + head-sampling decision),
+        # measured with the sampler keeping every query.
+        previous_sampler = obs.set_sampler(obs.HeadSampler(rate=1.0))
+        previous_registry = obs.set_registry(obs.MetricsRegistry())
+
+        def _open_context():
+            with obs.query_context(query=JOIN_SQL):
+                pass
+
+        timings["query_context"] = _per_call_seconds(
+            _open_context, inner=2_000 * scale, repeats=repeats
+        )
+        obs.set_registry(previous_registry)
+        obs.set_sampler(previous_sampler)
+
+        # One alert-engine pass over a realistic observation (default
+        # rule set, three ledger keys); runs periodically, not per query.
+        observation = {
+            "version": 1,
+            "metrics": {},
+            "ledger": {
+                f"hive/{op}": {
+                    "count": 32,
+                    "mean_q_error": 1.5,
+                    "rmse_percent": 20.0,
+                    "slope": 1.0,
+                    "remedy_fraction": 0.1,
+                }
+                for op in ("scan", "join", "aggregate")
+            },
+            "drift": {"hive": {"drifted": False, "statistic": 0.1}},
+            "cache": {
+                "hits": 10,
+                "misses": 10,
+                "lookups": 20,
+                "hit_rate": 0.5,
+                "size": 5,
+                "evictions": 0,
+                "invalidations": 0,
+            },
+            "exemplars": {"hive": ["q-000001"]},
+        }
+        alert_engine = AlertEngine()
+        timings["alert_evaluate"] = _per_call_seconds(
+            lambda: alert_engine.evaluate(observation, emit=False),
+            inner=200 * scale,
+            repeats=repeats,
         )
     finally:
         if was_enabled:

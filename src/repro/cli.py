@@ -10,6 +10,9 @@ A small operational surface over the library::
     python -m repro profile "SELECT ..."   # per-query cost-breakdown report
     python -m repro report                 # replay the event journal
     python -m repro stats                  # telemetry counters and accuracy
+    python -m repro alerts                 # evaluate SLO rules (exit 1 on breach)
+    python -m repro health                 # per-system health verdict
+    python -m repro dashboard              # self-contained HTML dashboard
     python -m repro experiments            # list the paper's benchmarks
 
 ``explain``/``run``/``demo`` operate on a self-contained sandbox
@@ -92,6 +95,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
         plan = parse_select(sql)
         estimate = sphere.costing.estimate_plan("hive", plan, sphere.catalog)
         actual = hive.execute(plan)
+        # Close the loop: feed the observation back so the accuracy
+        # ledger (and hence `repro health` on the journal) has signal.
+        sphere.costing.record_actual("hive", estimate, actual.elapsed_seconds)
         print(
             f"{estimate.seconds:9.1f}s {actual.elapsed_seconds:9.1f}s  {sql}"
         )
@@ -236,6 +242,171 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_observation(args: argparse.Namespace):
+    """The (observation, journal_path) a health/alerts command works on.
+
+    Source resolution, most explicit first: ``--from`` snapshot file →
+    ``--journal`` file → the ``REPRO_OBS_JOURNAL`` environment journal →
+    the live in-process registry/ledger.  Raises ``SystemExit``-style by
+    returning ``(None, error_message)`` on operator input errors.
+    """
+    import os
+
+    from repro.obs import exporters, health
+
+    if getattr(args, "from_file", None):
+        try:
+            snapshot = exporters.load_json_snapshot(args.from_file)
+        except (OSError, ValueError) as exc:
+            return None, f"--from: {exc}"
+        return health.observation_from_snapshot(snapshot), None
+
+    path = args.journal or os.environ.get(obs.JOURNAL_ENV_VAR, "").strip()
+    if path:
+        if not os.path.exists(path):
+            return None, f"journal file not found: {path}"
+        observation = health.observation_from_journal(path)
+        observation["journal"] = path
+        return observation, None
+    return health.build_observation(), None
+
+
+def _load_rule_set(args: argparse.Namespace):
+    from repro.obs import alerts as alerts_mod
+
+    if getattr(args, "rules", None):
+        return alerts_mod.load_rules(args.rules)
+    return alerts_mod.default_rules()
+
+
+def cmd_alerts(args: argparse.Namespace) -> int:
+    """Evaluate SLO rules; exit 1 while any alert is firing."""
+    from repro.obs import alerts as alerts_mod, journal as journal_mod
+
+    observation, error = _resolve_observation(args)
+    if observation is None:
+        print(f"error: alerts: {error}", file=sys.stderr)
+        return 2
+    try:
+        rules = _load_rule_set(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: alerts --rules: {exc}", file=sys.stderr)
+        return 2
+    engine = alerts_mod.AlertEngine(rules)
+    journal_path = observation.get("journal")
+    if args.no_emit or not journal_path:
+        report = engine.evaluate(observation, emit=False)
+    else:
+        # Firing/resolved transitions become part of the journaled
+        # history of the very journal that evidenced them.
+        journal = journal_mod.EventJournal(str(journal_path))
+        try:
+            report = engine.evaluate(observation, journal=journal)
+        finally:
+            journal.close()
+    if args.json:
+        print(report.to_json())
+    else:
+        firing = report.firing
+        if not firing:
+            print(f"all {len(report.alerts)} alert evaluations quiet")
+        for alert in firing:
+            exemplars = f"  e.g. {', '.join(alert.exemplars)}" if alert.exemplars else ""
+            print(
+                f"FIRING [{alert.severity}] {alert.rule}"
+                f"{' ' + alert.instance if alert.instance else ''}: "
+                f"{alert.value:.3f} {alert.op} {alert.threshold:g}{exemplars}"
+            )
+    return 1 if report.firing else 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Per-system health verdict; exit 1 on breached SLOs or critical."""
+    import json
+
+    from repro.obs import alerts as alerts_mod, health
+
+    observation, error = _resolve_observation(args)
+    if observation is None:
+        print(f"error: health: {error}", file=sys.stderr)
+        return 2
+    try:
+        rules = _load_rule_set(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: health --rules: {exc}", file=sys.stderr)
+        return 2
+    healths = health.evaluate_health(observation)
+    report = alerts_mod.AlertEngine(rules).evaluate(observation, emit=False)
+    breached = bool(report.firing) or any(
+        h.grade == "critical" for h in healths
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "systems": [h.to_dict() for h in healths],
+                    "alerts": report.to_dict(),
+                    "breached": breached,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 1 if breached else 0
+    if healths:
+        print(
+            f"{'system':<12} {'grade':<9} {'score':>6} "
+            f"{'accuracy':>9} {'drift':>6} {'remedy':>7} {'cache':>6} {'obs':>5}"
+        )
+        for h in healths:
+            print(
+                f"{h.system:<12} {h.grade:<9} {h.score:>6.2f} "
+                f"{h.components['accuracy']:>9.2f} {h.components['drift']:>6.2f} "
+                f"{h.components['remedy']:>7.2f} {h.components['cache']:>6.2f} "
+                f"{h.observations:>5d}"
+            )
+    else:
+        print("no remote-system signals yet")
+    for alert in report.firing:
+        exemplars = f"  e.g. {', '.join(alert.exemplars)}" if alert.exemplars else ""
+        print(
+            f"FIRING [{alert.severity}] {alert.rule}"
+            f"{' ' + alert.instance if alert.instance else ''}: "
+            f"{alert.value:.3f} {alert.op} {alert.threshold:g}{exemplars}"
+        )
+    if breached:
+        print("health: BREACHED")
+    return 1 if breached else 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render the self-contained HTML health dashboard."""
+    import os
+
+    from repro.obs import alerts as alerts_mod, dashboard, health, journal as journal_mod
+
+    path = args.journal or os.environ.get(obs.JOURNAL_ENV_VAR, "").strip()
+    history = {}
+    if path:
+        if not os.path.exists(path):
+            print(f"error: dashboard: journal file not found: {path}", file=sys.stderr)
+            return 2
+        read_result = journal_mod.read_journal(path)
+        observation = health.observation_from_events(read_result)
+        history = dashboard.build_history(read_result.events)
+    else:
+        observation = health.build_observation()
+    healths = health.evaluate_health(observation)
+    report = alerts_mod.AlertEngine(alerts_mod.default_rules()).evaluate(
+        observation, emit=False
+    )
+    html = dashboard.render_dashboard(healths, report=report, history=history)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(html)
+    print(f"dashboard written to {args.out}")
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     rows = (
         ("bench_fig07_readdfs.py", "Fig. 7: ReadDFS sub-op model"),
@@ -353,6 +524,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     stats.set_defaults(func=cmd_stats)
+
+    for name, func, help_text in (
+        ("alerts", cmd_alerts, "evaluate SLO alert rules (exit 1 on breach)"),
+        ("health", cmd_health, "per-remote-system health verdict"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "--journal",
+            metavar="FILE",
+            help=f"evaluate a journal file (default: ${obs.JOURNAL_ENV_VAR}, "
+            "else the live registry)",
+        )
+        cmd.add_argument(
+            "--from",
+            dest="from_file",
+            metavar="FILE",
+            help="evaluate a dumped *.metrics.json snapshot instead",
+        )
+        cmd.add_argument(
+            "--rules",
+            metavar="FILE",
+            help="JSON rule set overriding the built-in SLO rules",
+        )
+        cmd.add_argument(
+            "--json", action="store_true", help="machine-readable output"
+        )
+        if name == "alerts":
+            cmd.add_argument(
+                "--no-emit",
+                action="store_true",
+                help="do not append alert events to the evaluated journal",
+            )
+        cmd.set_defaults(func=func)
+
+    dash = sub.add_parser(
+        "dashboard", help="write the self-contained HTML health dashboard"
+    )
+    dash.add_argument(
+        "--journal",
+        metavar="FILE",
+        help=f"journal to visualize (default: ${obs.JOURNAL_ENV_VAR}, "
+        "else the live registry)",
+    )
+    dash.add_argument(
+        "--out",
+        metavar="FILE",
+        default="dashboard.html",
+        help="output path (default: dashboard.html)",
+    )
+    dash.set_defaults(func=cmd_dashboard)
 
     sub.add_parser(
         "experiments", help="list the paper-reproduction benchmarks"

@@ -313,6 +313,9 @@ class CostEstimationModule:
             if cached is not None:
                 results[index] = cached
                 hits += 1
+                # Cache hits skip _observe_estimate, but the query still
+                # touched the system — keep it nameable by alert exemplars.
+                obs.record_exemplar(request.system)
             else:
                 misses_by_system.setdefault(request.system, []).append(index)
         # Per-item span attributes only make sense for single-item calls
@@ -348,16 +351,21 @@ class CostEstimationModule:
                 "costing.estimates_remedied",
                 help="estimates produced through the online remedy path",
             ).inc()
+        query_id = obs.current_query_id()
+        if query_id is not None:
+            obs.record_exemplar(name, query_id)
         journal = obs.get_journal()
         if journal.enabled:
-            journal.append(
-                "estimate",
-                system=name,
-                operator=estimate.operator.value,
-                approach=estimate.approach.value,
-                seconds=estimate.seconds,
-                remedy_active=remedy_active,
-            )
+            payload = {
+                "system": name,
+                "operator": estimate.operator.value,
+                "approach": estimate.approach.value,
+                "seconds": estimate.seconds,
+                "remedy_active": remedy_active,
+            }
+            if query_id is not None:
+                payload["query_id"] = query_id
+            journal.append("estimate", **payload)
         if span.enabled:
             self._set_span_attrs(span, estimate)
         logger.debug(
@@ -470,7 +478,7 @@ class CostEstimationModule:
                 remedy_active=remedy_active,
             )
             if entry.drift is None:
-                entry.drift = DriftMonitor()
+                entry.drift = DriftMonitor(name=name)
             entry.drift.observe(estimate.seconds, actual_seconds)
             if entry.drift.drifted:
                 drift_flagged = True
@@ -478,18 +486,23 @@ class CostEstimationModule:
                     "costing.drift_flags",
                     help="observations made while a system was flagged drifted",
                 ).inc()
+        query_id = obs.current_query_id()
+        if query_id is not None:
+            obs.record_exemplar(name, query_id)
         journal = obs.get_journal()
         if journal.enabled:
-            journal.append(
-                "actual",
-                system=name,
-                operator=estimate.operator.value,
-                approach=estimate.approach.value,
-                estimated_seconds=estimate.seconds,
-                actual_seconds=actual_seconds,
-                remedy_active=remedy_active,
-                drift_flagged=drift_flagged,
-            )
+            payload = {
+                "system": name,
+                "operator": estimate.operator.value,
+                "approach": estimate.approach.value,
+                "estimated_seconds": estimate.seconds,
+                "actual_seconds": actual_seconds,
+                "remedy_active": remedy_active,
+                "drift_flagged": drift_flagged,
+            }
+            if query_id is not None:
+                payload["query_id"] = query_id
+            journal.append("actual", **payload)
         if estimate.approach is not CostingApproach.LOGICAL_OP:
             return  # sub-op models need no per-query model feedback
         model = entry.profile.costing.logical_models.get(estimate.operator)
@@ -504,8 +517,31 @@ class CostEstimationModule:
         """Current drift state of a system (empty monitor if unfed)."""
         entry = self._entry(name)
         if entry.drift is None:
-            entry.drift = DriftMonitor()
+            entry.drift = DriftMonitor(name=name)
         return entry.drift.report()
+
+    def drift_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every *fed* system's drift state as plain dicts.
+
+        This is the ``drift`` slice of an observability observation
+        (:func:`repro.obs.build_observation`); systems whose monitor has
+        seen no observations are omitted.
+        """
+        result: Dict[str, Dict[str, object]] = {}
+        for name, entry in self._systems.items():
+            if entry.drift is None:
+                continue
+            report = entry.drift.report()
+            if report.num_observations == 0:
+                continue
+            result[name] = {
+                "drifted": report.drifted,
+                "statistic": report.statistic,
+                "direction": report.direction,
+                "observations": report.num_observations,
+                "baseline_ready": report.baseline_ready,
+            }
+        return result
 
     def reset_drift(self, name: str) -> None:
         """Clear a system's drift state (after retraining its models)."""

@@ -56,6 +56,9 @@ class DriftMonitor:
     """Sequential CUSUM detector over estimate/actual log-ratios.
 
     Args:
+        name: The monitored remote system's name; carried on the
+            journaled ``drift`` event so offline readers (health
+            evaluation, the dashboard) can attribute the alarm.
         baseline_window: Observations used to learn the healthy bias and
             spread before detection starts.
         threshold: Detection threshold in baseline standard deviations
@@ -76,6 +79,7 @@ class DriftMonitor:
         slack: float = 0.75,
         min_std: float = 0.02,
         z_cap: float = 4.0,
+        name: str = "",
     ) -> None:
         if baseline_window < 5:
             raise ConfigurationError("baseline_window must be >= 5")
@@ -83,6 +87,7 @@ class DriftMonitor:
             raise ConfigurationError("threshold must be > 0 and slack >= 0")
         if z_cap <= slack:
             raise ConfigurationError("z_cap must exceed slack")
+        self.name = name
         self.baseline_window = baseline_window
         self.threshold = threshold
         self.slack = slack
@@ -131,12 +136,16 @@ class DriftMonitor:
                 ).inc()
                 journal = obs.get_journal()
                 if journal.enabled:
-                    journal.append(
-                        "drift",
-                        direction=self._direction,
-                        statistic=max(self._cusum_high, self._cusum_low),
-                        observations=self._count,
-                    )
+                    payload = {
+                        "direction": self._direction,
+                        "statistic": max(self._cusum_high, self._cusum_low),
+                        "observations": self._count,
+                        "system": self.name,
+                    }
+                    query_id = obs.current_query_id()
+                    if query_id is not None:
+                        payload["query_id"] = query_id
+                    journal.append("drift", **payload)
                 logger.warning(
                     "drift detected after %d observations: remote runs %s "
                     "than modeled (statistic %.2f)",

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
@@ -67,6 +68,11 @@ class EstimateCache:
             raise ConfigurationError("resolution must be positive")
         self.max_entries = max_entries
         self.resolution = resolution
+        # One lock covers the LRU dict and every statistic: a concurrent
+        # optimizer (thread-pooled candidate costing) hits get/put from
+        # several threads, and OrderedDict.move_to_end during iteration
+        # elsewhere is a genuine corruption, not just a lost count.
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Hashable, OperatorEstimate]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -110,16 +116,19 @@ class EstimateCache:
 
     def get(self, key: Hashable) -> Optional[OperatorEstimate]:
         """The cached estimate for ``key``, marked as a cache hit."""
-        estimate = self._entries.get(key)
+        with self._lock:
+            estimate = self._entries.get(key)
+            if estimate is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
         if estimate is None:
-            self.misses += 1
             obs.counter(
                 "costing.estimate_cache.misses",
                 help="estimate-cache lookups that computed fresh",
             ).inc()
             return None
-        self._entries.move_to_end(key)
-        self.hits += 1
         obs.counter(
             "costing.estimate_cache.hits",
             help="estimates served from the quantized-key cache",
@@ -129,15 +138,19 @@ class EstimateCache:
     def put(self, key: Hashable, estimate: OperatorEstimate) -> None:
         if not self.enabled:
             return
-        self._entries[key] = estimate
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        evicted = 0
+        with self._lock:
+            self._entries[key] = estimate
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted:
             obs.counter(
                 "costing.estimate_cache.evictions",
                 help="LRU entries dropped at capacity",
-            ).inc()
+            ).inc(evicted)
         self._size_gauge()
 
     # ------------------------------------------------------------------
@@ -149,15 +162,16 @@ class EstimateCache:
         Returns the number of entries removed.  Each call counts as one
         invalidation event regardless of how many entries it dropped.
         """
-        if system is None:
-            removed = len(self._entries)
-            self._entries.clear()
-        else:
-            stale = [key for key in self._entries if key[0] == system]
-            for key in stale:
-                del self._entries[key]
-            removed = len(stale)
-        self.invalidations += 1
+        with self._lock:
+            if system is None:
+                removed = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [key for key in self._entries if key[0] == system]
+                for key in stale:
+                    del self._entries[key]
+                removed = len(stale)
+            self.invalidations += 1
         obs.counter(
             "costing.estimate_cache.invalidations",
             help="cache invalidation events (training, tuning, alpha)",
@@ -169,13 +183,34 @@ class EstimateCache:
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def hit_rate(self) -> float:
         """Lifetime hit fraction (0.0 when the cache is unexercised)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """A consistent point-in-time statistics view.
+
+        This is the ``cache`` slice of an observability observation
+        (:func:`repro.obs.health.build_observation`); every field is
+        read under one lock acquisition so hits/misses/hit_rate agree.
+        """
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "lookups": lookups,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "size": len(self._entries),
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
 
     def _size_gauge(self) -> None:
         obs.gauge(

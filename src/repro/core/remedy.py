@@ -105,12 +105,15 @@ class AlphaCalibrator:
         ).set(self.alpha)
         journal = obs.get_journal()
         if journal.enabled:
-            journal.append(
-                "remedy",
-                phase="recalibration",
-                alpha=self.alpha,
-                observations=len(self._nn),
-            )
+            payload = {
+                "phase": "recalibration",
+                "alpha": self.alpha,
+                "observations": len(self._nn),
+            }
+            query_id = obs.current_query_id()
+            if query_id is not None:
+                payload["query_id"] = query_id
+            journal.append("remedy", **payload)
         logger.debug(
             "alpha recalibrated to %.3f over %d observations",
             self.alpha,
@@ -186,16 +189,19 @@ class OnlineRemedy:
         combined = alpha * nn_estimate + (1.0 - alpha) * regression_estimate
         journal = obs.get_journal()
         if journal.enabled:
-            journal.append(
-                "remedy",
-                phase="activation",
-                alpha=alpha,
-                nn_estimate=nn_estimate,
-                regression_estimate=regression_estimate,
-                combined=max(0.0, combined),
-                pivots=list(int(p) for p in pivots),
-                fallback=fallback,
-            )
+            payload = {
+                "phase": "activation",
+                "alpha": alpha,
+                "nn_estimate": nn_estimate,
+                "regression_estimate": regression_estimate,
+                "combined": max(0.0, combined),
+                "pivots": list(int(p) for p in pivots),
+                "fallback": fallback,
+            }
+            query_id = obs.current_query_id()
+            if query_id is not None:
+                payload["query_id"] = query_id
+            journal.append("remedy", **payload)
         return RemedyEstimate(
             combined=max(0.0, combined),
             nn_estimate=nn_estimate,

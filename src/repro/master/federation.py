@@ -166,9 +166,11 @@ class IntelliSphere:
 
     def explain(self, query: Union[str, LogicalPlan]) -> PlacementPlan:
         """Parse (if needed) and place a query; returns the placement."""
-        plan = parse_select(query) if isinstance(query, str) else query
-        obs.counter("federation.explains").inc()
-        return self.optimizer().optimize(plan)
+        sql = query if isinstance(query, str) else ""
+        with obs.ensure_query_context(query=sql):
+            plan = parse_select(query) if isinstance(query, str) else query
+            obs.counter("federation.explains").inc()
+            return self.optimizer().optimize(plan)
 
     def run(self, query: Union[str, LogicalPlan]) -> FederatedResult:
         """Place and simulate-execute a query end to end.
@@ -178,8 +180,11 @@ class IntelliSphere:
         as their observed time (the paper treats transfer costs as
         learned by a separate mechanism).
         """
-        plan = parse_select(query) if isinstance(query, str) else query
-        with obs.get_tracer().span("federation.run") as span:
+        sql = query if isinstance(query, str) else ""
+        with obs.ensure_query_context(query=sql), obs.get_tracer().span(
+            "federation.run"
+        ) as span:
+            plan = parse_select(query) if isinstance(query, str) else query
             placement = self.optimizer().optimize(plan)
             execute_steps = [
                 s for s in placement.best.steps if s.kind == "execute"

@@ -114,9 +114,13 @@ class PlacementOptimizer:
         # Shapes are memoized per plan node for the whole DP; catalog
         # statistics may have changed since the last call, so start fresh.
         self._estimator.clear_memo()
-        with obs.get_tracer().span("optimizer.optimize") as span:
-            placement = self._optimize(plan)
-            self._observe_placement(placement, span)
+        # Joins the federation layer's query scope when one is active;
+        # direct library callers get their own id so downstream journal
+        # events and exemplars stay attributable either way.
+        with obs.ensure_query_context():
+            with obs.get_tracer().span("optimizer.optimize") as span:
+                placement = self._optimize(plan)
+                self._observe_placement(placement, span)
         return placement
 
     def _optimize(self, plan: LogicalPlan) -> PlacementPlan:

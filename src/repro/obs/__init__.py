@@ -25,6 +25,17 @@ around that loop:
   baseline schema and comparison logic (driven by
   ``benchmarks/regress.py``);
 * :mod:`repro.obs.exporters` — JSON-file and Prometheus-text exports;
+* :mod:`repro.obs.context` — the query-scoped trace context: a
+  ``contextvars`` query id propagated end-to-end, head-based trace
+  sampling (env ``REPRO_OBS_SAMPLE``), and the per-system exemplar
+  store that lets alerts name concrete queries;
+* :mod:`repro.obs.alerts` — the declarative SLO rule engine: evaluates
+  thresholds over metrics/ledger/drift/cache observations, journals
+  schema-versioned ``alert`` events on firing/resolved transitions;
+* :mod:`repro.obs.health` — observation snapshots (live or replayed
+  from a journal) and the per-remote-system composite health score;
+* :mod:`repro.obs.dashboard` — the self-contained HTML health
+  dashboard with journal-derived q-error sparklines;
 * :mod:`repro.obs.logconf` — stdlib-logging configuration for the
   ``repro`` logger hierarchy.
 
@@ -80,10 +91,52 @@ from repro.obs.profiler import (
 )
 from repro.obs.exporters import (
     build_snapshot,
+    derive_gauges,
     format_snapshot_text,
     load_json_snapshot,
     to_prometheus_text,
     write_json_snapshot,
+)
+from repro.obs.context import (
+    SAMPLE_ENV_VAR,
+    ExemplarStore,
+    HeadSampler,
+    QueryContext,
+    current_context,
+    current_query_id,
+    current_sampled,
+    ensure_query_context,
+    get_exemplar_store,
+    get_sampler,
+    query_context,
+    record_exemplar,
+    reset_query_ids,
+    set_exemplar_store,
+    set_sampler,
+)
+from repro.obs.alerts import (
+    ALERT_SCHEMA_VERSION,
+    Alert,
+    AlertEngine,
+    AlertReport,
+    AlertRule,
+    default_rules,
+    load_rules,
+    rules_from_json,
+)
+from repro.obs.health import (
+    OBSERVATION_VERSION,
+    SystemHealth,
+    build_observation,
+    evaluate_health,
+    observation_from_events,
+    observation_from_journal,
+    observation_from_snapshot,
+    worst_grade,
+)
+from repro.obs.dashboard import (
+    build_history,
+    render_dashboard,
 )
 from repro.obs.logconf import configure as configure_logging
 
@@ -125,9 +178,43 @@ __all__ = [
     "render_html",
     "render_text",
     "build_snapshot",
+    "derive_gauges",
     "format_snapshot_text",
     "load_json_snapshot",
     "to_prometheus_text",
     "write_json_snapshot",
+    "SAMPLE_ENV_VAR",
+    "ExemplarStore",
+    "HeadSampler",
+    "QueryContext",
+    "current_context",
+    "current_query_id",
+    "current_sampled",
+    "ensure_query_context",
+    "get_exemplar_store",
+    "get_sampler",
+    "query_context",
+    "record_exemplar",
+    "reset_query_ids",
+    "set_exemplar_store",
+    "set_sampler",
+    "ALERT_SCHEMA_VERSION",
+    "Alert",
+    "AlertEngine",
+    "AlertReport",
+    "AlertRule",
+    "default_rules",
+    "load_rules",
+    "rules_from_json",
+    "OBSERVATION_VERSION",
+    "SystemHealth",
+    "build_observation",
+    "evaluate_health",
+    "observation_from_events",
+    "observation_from_journal",
+    "observation_from_snapshot",
+    "worst_grade",
+    "build_history",
+    "render_dashboard",
     "configure_logging",
 ]

@@ -1,0 +1,215 @@
+"""The self-contained HTML health dashboard (``repro dashboard``).
+
+One static HTML page — inline CSS, inline SVG sparklines, zero external
+assets — that an operator can open from a CI artifact or scp off a box
+with no serving infrastructure.  It renders three things from the same
+inputs the CLI's ``health``/``alerts`` commands use:
+
+* a **health tile** per remote system (grade, composite score, and the
+  component breakdown from :mod:`repro.obs.health`);
+* the **alert table** from the latest :class:`~repro.obs.alerts.AlertReport`,
+  firing rows first, with exemplar query ids attached;
+* a **q-error sparkline** per system, built from the journal's
+  ``actual`` events (:func:`build_history`), so the page shows the
+  accuracy *trajectory*, not just the final number.
+
+Like the rest of :mod:`repro.obs`, this module depends only on the
+standard library and must never import from the instrumented packages.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.obs.alerts import AlertReport
+from repro.obs.health import SystemHealth
+from repro.obs.journal import JournalEvent
+
+__all__ = ["build_history", "render_dashboard"]
+
+#: Points kept per system sparkline (newest win; enough for a trend).
+HISTORY_POINTS = 120
+
+
+def build_history(
+    events: Iterable[JournalEvent],
+    max_points: int = HISTORY_POINTS,
+) -> Dict[str, List[float]]:
+    """Per-system q-error series from a journal's ``actual`` events.
+
+    The q-error of one observation is ``max(est/act, act/est)`` — the
+    paper's headline accuracy measure; the series is the raw
+    per-observation sequence (oldest first), truncated to the newest
+    ``max_points``.
+    """
+    history: Dict[str, List[float]] = {}
+    for event in events:
+        if event.type != "actual":
+            continue
+        payload = event.payload
+        system = str(payload.get("system", ""))
+        if not system:
+            continue
+        try:
+            estimated = float(payload.get("estimated_seconds", 0.0))  # type: ignore[arg-type]
+            actual = float(payload.get("actual_seconds", 0.0))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            continue
+        if estimated <= 0 or actual <= 0:
+            continue
+        q_error = max(estimated / actual, actual / estimated)
+        series = history.setdefault(system, [])
+        series.append(q_error)
+        if len(series) > max_points:
+            del series[: len(series) - max_points]
+    return history
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+_STYLE = """
+body { font: 14px/1.45 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 64rem; color: #1a2433; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+code { background: #f2f4f8; padding: .1rem .3rem; border-radius: 3px; }
+table { border-collapse: collapse; width: 100%; margin: .5rem 0; }
+th, td { text-align: left; padding: .25rem .6rem; border-bottom: 1px solid #e3e7ee; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.muted { color: #68748a; }
+.tiles { display: flex; flex-wrap: wrap; gap: .8rem; margin: .8rem 0; }
+.tile { border: 1px solid #e3e7ee; border-radius: 6px; padding: .7rem .9rem;
+        min-width: 13rem; }
+.tile h3 { margin: 0 0 .3rem; font-size: 1rem; }
+.grade { display: inline-block; padding: .05rem .5rem; border-radius: 9px;
+         font-size: .8rem; color: #fff; }
+.grade-healthy { background: #2a7a46; }
+.grade-degraded { background: #b07818; }
+.grade-critical { background: #9d3030; }
+.sev-info { color: #4973b8; } .sev-warning { color: #b07818; }
+.sev-critical { color: #9d3030; font-weight: 600; }
+.spark { vertical-align: middle; }
+""".strip()
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _page(title: str, body: List[str]) -> str:
+    return (
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_STYLE}</style></head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )
+
+
+def _sparkline(
+    series: Sequence[float], width: int = 160, height: int = 36
+) -> str:
+    """An inline SVG polyline of one series (log-free, clipped at p100)."""
+    if len(series) < 2:
+        return '<span class="muted">no history</span>'
+    lo = min(series)
+    hi = max(series)
+    span = (hi - lo) or 1.0
+    step = (width - 4) / (len(series) - 1)
+    points = " ".join(
+        f"{2 + index * step:.1f},"
+        f"{height - 2 - (value - lo) / span * (height - 4):.1f}"
+        for index, value in enumerate(series)
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polyline fill="none" stroke="#4973b8" stroke-width="1.5" '
+        f'points="{points}" /></svg>'
+    )
+
+
+def _health_tile(health: SystemHealth) -> str:
+    components = " · ".join(
+        f"{name} {value:.2f}" for name, value in sorted(health.components.items())
+    )
+    return (
+        '<div class="tile">'
+        f"<h3>{_esc(health.system)}</h3>"
+        f'<span class="grade grade-{_esc(health.grade)}">{_esc(health.grade)}</span> '
+        f'<strong>{health.score:.2f}</strong>'
+        f'<div class="muted">{_esc(components)}</div>'
+        f'<div class="muted">{health.observations} ledger observations</div>'
+        "</div>"
+    )
+
+
+def render_dashboard(
+    healths: Sequence[SystemHealth],
+    report: Optional[AlertReport] = None,
+    history: Optional[Mapping[str, Sequence[float]]] = None,
+    title: str = "Cost estimation health",
+) -> str:
+    """The dashboard page as a self-contained HTML string."""
+    body: List[str] = [f"<h1>{_esc(title)}</h1>"]
+
+    body.append("<h2>Remote systems</h2>")
+    if healths:
+        body.append('<div class="tiles">')
+        body.extend(_health_tile(health) for health in healths)
+        body.append("</div>")
+    else:
+        body.append('<p class="muted">no remote-system signals yet</p>')
+
+    body.append("<h2>Alerts</h2>")
+    alerts = list(report.alerts) if report is not None else []
+    if alerts:
+        alerts.sort(key=lambda a: (not a.firing, a.key))
+        body.append(
+            "<table><tr><th>rule</th><th>instance</th><th>severity</th>"
+            "<th>state</th><th class=num>value</th><th class=num>threshold</th>"
+            "<th>exemplar queries</th></tr>"
+        )
+        for alert in alerts:
+            state = "firing" if alert.firing else "ok"
+            exemplars = ", ".join(alert.exemplars) or "—"
+            body.append(
+                f"<tr><td>{_esc(alert.rule)}</td>"
+                f"<td>{_esc(alert.instance) or '—'}</td>"
+                f'<td class="sev-{_esc(alert.severity)}">{_esc(alert.severity)}</td>'
+                f"<td>{state}</td>"
+                f'<td class="num">{alert.value:.3f}</td>'
+                f'<td class="num">{alert.op} {alert.threshold:g}</td>'
+                f"<td><code>{_esc(exemplars)}</code></td></tr>"
+            )
+        body.append("</table>")
+    else:
+        body.append('<p class="muted">no alert evaluation available</p>')
+
+    body.append("<h2>Accuracy history</h2>")
+    if history:
+        body.append(
+            "<table><tr><th>system</th><th>q-error trend</th>"
+            "<th class=num>last</th><th class=num>worst</th>"
+            "<th class=num>points</th></tr>"
+        )
+        for system in sorted(history):
+            series = list(history[system])
+            if not series:
+                continue
+            body.append(
+                f"<tr><td>{_esc(system)}</td>"
+                f"<td>{_sparkline(series)}</td>"
+                f'<td class="num">{series[-1]:.2f}</td>'
+                f'<td class="num">{max(series):.2f}</td>'
+                f'<td class="num">{len(series)}</td></tr>'
+            )
+        body.append("</table>")
+    else:
+        body.append(
+            '<p class="muted">no journaled actuals to chart '
+            "(set <code>REPRO_OBS_JOURNAL</code>)</p>"
+        )
+
+    return _page(title, body)

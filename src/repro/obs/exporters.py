@@ -19,6 +19,7 @@ from repro.obs.metrics import MetricsRegistry, get_registry
 
 __all__ = [
     "build_snapshot",
+    "derive_gauges",
     "write_json_snapshot",
     "load_json_snapshot",
     "to_prometheus_text",
@@ -26,6 +27,54 @@ __all__ = [
 ]
 
 SNAPSHOT_VERSION = 1
+
+
+def _counter_value(metrics: Dict[str, dict], name: str) -> Optional[float]:
+    data = metrics.get(name)
+    if isinstance(data, dict) and data.get("type") in ("counter", "gauge"):
+        value = data.get("value")
+        if isinstance(value, (int, float)):
+            return float(value)
+    return None
+
+
+def _gauge_entry(value: float, help: str) -> Dict[str, object]:
+    return {"type": "gauge", "value": value, "help": help, "unit": "ratio"}
+
+
+def derive_gauges(metrics: Dict[str, dict]) -> Dict[str, dict]:
+    """Derived ratio gauges computed from a metrics snapshot, in place.
+
+    Ratios every dashboard wants but no single instrument records:
+
+    * ``costing.estimate_cache.hit_rate`` — hits / (hits + misses);
+    * ``remedy.activation_rate`` — remedy activations per issued
+      estimate (the ``costing.estimate_seconds`` histogram's count).
+
+    Each gauge is added only when its source instruments are present
+    with traffic, so exporting an empty (or unrelated) registry stays
+    byte-identical to before — the derived entries are pure functions
+    of the snapshot, never new state.
+    """
+    hits = _counter_value(metrics, "costing.estimate_cache.hits")
+    misses = _counter_value(metrics, "costing.estimate_cache.misses")
+    if hits is not None or misses is not None:
+        lookups = (hits or 0.0) + (misses or 0.0)
+        if lookups > 0:
+            metrics["costing.estimate_cache.hit_rate"] = _gauge_entry(
+                (hits or 0.0) / lookups,
+                help="derived: estimate-cache hits / lookups",
+            )
+    activations = _counter_value(metrics, "remedy.activations")
+    estimates = metrics.get("costing.estimate_seconds")
+    if activations is not None and isinstance(estimates, dict):
+        count = estimates.get("count")
+        if isinstance(count, (int, float)) and count > 0:
+            metrics["remedy.activation_rate"] = _gauge_entry(
+                activations / float(count),
+                help="derived: remedy activations per issued estimate",
+            )
+    return metrics
 
 
 def build_snapshot(
@@ -37,7 +86,7 @@ def build_snapshot(
     ledger = ledger if ledger is not None else get_ledger()
     return {
         "version": SNAPSHOT_VERSION,
-        "metrics": registry.snapshot(),
+        "metrics": derive_gauges(registry.snapshot()),
         "ledger": ledger.snapshot(),
     }
 
@@ -87,10 +136,15 @@ def to_prometheus_text(
     registry: Optional[MetricsRegistry] = None,
     metrics: Optional[Dict[str, dict]] = None,
 ) -> str:
-    """Prometheus text-format exposition of a registry (or snapshot dict)."""
+    """Prometheus text-format exposition of a registry (or snapshot dict).
+
+    Registry expositions include the derived ratio gauges
+    (:func:`derive_gauges`); an explicit ``metrics`` dict is rendered
+    as-is, since snapshot files already carry them.
+    """
     if metrics is None:
         registry = registry if registry is not None else get_registry()
-        metrics = registry.snapshot()
+        metrics = derive_gauges(registry.snapshot())
     lines = []
     for name, data in sorted(metrics.items()):
         prom = _prom_name(name)

@@ -76,6 +76,7 @@ EVENT_TYPES: Tuple[str, ...] = (
     "remedy",     # the online remedy fired / alpha recalibrated
     "tuning",     # an offline-tuning batch was folded into a model
     "drift",      # a drift monitor raised its alarm
+    "alert",      # an SLO alert transitioned firing/resolved
 )
 
 JOURNAL_ENV_VAR = "REPRO_OBS_JOURNAL"
@@ -434,7 +435,15 @@ def replay(
       ``remedy.recalibrations`` + the ``remedy.alpha`` gauge
       (recalibration phase);
     * ``tuning`` — ``tuning.folds`` and ``tuning.entries_folded``;
-    * ``drift`` — ``drift.alarms``.
+    * ``drift`` — ``drift.alarms``;
+    * ``alert`` — ``alerts.replayed`` (the live engine's
+      evaluation/firing counters are not reconstructed: alert *state*
+      belongs to the engine that evaluated, the journal only witnesses
+      the transitions).
+
+    Events of unknown type are skipped and counted (``ignored`` plus
+    the ``journal.replay.skipped_events`` counter) so journals written
+    by newer code never break an older reader.
 
     Args:
         source: A journal path, a :class:`ReadResult`, or an iterable
@@ -502,11 +511,23 @@ def replay(
             )
         elif event.type == "drift":
             registry.counter("drift.alarms").inc()
+        elif event.type == "alert":
+            registry.counter("alerts.replayed").inc()
         else:
             ignored += 1
             continue
         applied += 1
         counts[event.type] = counts.get(event.type, 0) + 1
+    if ignored:
+        # Forward compatibility is observable: an old reader walking a
+        # journal with event types it does not know counts them instead
+        # of failing.  The counter is only created when something was
+        # actually skipped, so replaying a fully-understood journal into
+        # a fresh registry stays bit-identical to the live run.
+        registry.counter(
+            "journal.replay.skipped_events",
+            help="journal events of unknown type skipped during replay",
+        ).inc(ignored)
     return ReplayResult(
         applied=applied,
         ignored=ignored,

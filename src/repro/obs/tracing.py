@@ -29,6 +29,8 @@ import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.context import current_context
+
 __all__ = [
     "Span",
     "Tracer",
@@ -177,9 +179,21 @@ class Tracer:
     # Span production
     # ------------------------------------------------------------------
     def span(self, name: str, **attributes: Any):
-        """A context-manager span; the shared no-op when disabled."""
+        """A context-manager span; the shared no-op when disabled.
+
+        Inside a query scope (:func:`repro.obs.context.query_context`)
+        the head-sampling decision applies — an unsampled query's spans
+        collapse to the shared no-op — and sampled spans are stamped
+        with the query id.  The disabled path stays context-free: it is
+        the hot path the overhead budget pins.
+        """
         if not self.enabled:
             return NOOP_SPAN
+        context = current_context()
+        if context is not None:
+            if not context.sampled:
+                return NOOP_SPAN
+            attributes.setdefault("query_id", context.query_id)
         return Span(self, name, attributes)
 
     def current(self):

@@ -231,3 +231,208 @@ class TestObservabilityCommands:
         # A later non-verbose invocation retunes the level back down.
         assert main(["corpus"]) == 0
         assert logging.getLogger("repro").level == logging.WARNING
+
+
+class TestHealthAndAlertCommands:
+    """The SLO surface: `repro alerts`, `repro health`, `repro dashboard`."""
+
+    def _write_journal(self, path, q_error=10.0, count=20, drift=False):
+        """A journal of `count` hive actuals at the given q-error, each
+        carrying a federation-minted query id."""
+        from repro.obs import EventJournal
+
+        journal = EventJournal(path)
+        for index in range(count):
+            journal.append(
+                "actual",
+                system="hive",
+                operator="join",
+                approach="sub_op",
+                estimated_seconds=1.0,
+                actual_seconds=q_error,
+                remedy_active=False,
+                drift_flagged=False,
+                query_id=f"q-{index + 1:06d}",
+            )
+        if drift:
+            journal.append(
+                "drift",
+                system="hive",
+                direction="slower",
+                statistic=12.0,
+                observations=count,
+            )
+        journal.close()
+        return path
+
+    def test_alerts_fire_and_exit_nonzero_on_degraded_accuracy(
+        self, capsys, tmp_path
+    ):
+        path = self._write_journal(tmp_path / "bad.jsonl")
+        code = main(["alerts", "--journal", str(path), "--no-emit"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FIRING [critical] slo-q-error hive/join" in out
+        # The fired line names exemplar queries from the federation layer.
+        assert "q-0000" in out
+
+    def test_alerts_quiet_on_accurate_journal(self, capsys, tmp_path):
+        path = self._write_journal(tmp_path / "ok.jsonl", q_error=1.05)
+        code = main(["alerts", "--journal", str(path), "--no-emit"])
+        assert code == 0
+        assert "quiet" in capsys.readouterr().out
+
+    def test_alerts_emit_appends_alert_events_with_exemplars(
+        self, capsys, tmp_path
+    ):
+        from repro import obs
+
+        path = self._write_journal(tmp_path / "bad.jsonl")
+        assert main(["alerts", "--journal", str(path)]) == 1
+        events = obs.read_journal(path).events
+        alert_events = [e for e in events if e.type == "alert"]
+        assert alert_events
+        payload = alert_events[0].payload
+        assert payload["state"] == "firing"
+        assert payload["alert_version"] == 1
+        # Acceptance: the journaled alert carries >= 1 exemplar query id
+        # that was propagated down from the federation layer.
+        assert len(payload["exemplars"]) >= 1
+        assert payload["exemplars"][0].startswith("q-")
+
+    def test_alerts_json_is_deterministic(self, capsys, tmp_path):
+        path = self._write_journal(tmp_path / "bad.jsonl", drift=True)
+        argv = ["alerts", "--journal", str(path), "--no-emit", "--json"]
+        assert main(argv) == 1
+        first = capsys.readouterr().out
+        assert main(argv) == 1
+        second = capsys.readouterr().out
+        assert first == second
+        import json
+
+        report = json.loads(first)
+        assert report["version"] == 1
+        assert report["worst_severity"] == "critical"
+        assert {a["rule"] for a in report["alerts"] if a["firing"]} >= {
+            "slo-q-error", "drift-alarm",
+        }
+
+    def test_alerts_missing_journal_exits_2(self, capsys, tmp_path):
+        code = main(["alerts", "--journal", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_alerts_bad_rules_file_exits_2(self, capsys, tmp_path):
+        path = self._write_journal(tmp_path / "ok.jsonl", q_error=1.0)
+        rules = tmp_path / "rules.json"
+        rules.write_text('{"not": "a list"}')
+        code = main(
+            ["alerts", "--journal", str(path), "--rules", str(rules)]
+        )
+        assert code == 2
+        assert "--rules" in capsys.readouterr().err
+
+    def test_alerts_custom_rules_file(self, capsys, tmp_path):
+        import json
+
+        path = self._write_journal(tmp_path / "mild.jsonl", q_error=1.5)
+        rules = tmp_path / "rules.json"
+        rules.write_text(
+            json.dumps(
+                [{
+                    "name": "strict-q",
+                    "signal": "ledger:*:mean_q_error",
+                    "op": ">",
+                    "threshold": 1.2,
+                    "severity": "warning",
+                }]
+            )
+        )
+        code = main(
+            ["alerts", "--journal", str(path), "--no-emit",
+             "--rules", str(rules)]
+        )
+        assert code == 1
+        assert "strict-q" in capsys.readouterr().out
+
+    def test_health_breached_on_degraded_accuracy(self, capsys, tmp_path):
+        path = self._write_journal(tmp_path / "bad.jsonl")
+        code = main(["health", "--journal", str(path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "hive" in out
+        assert "critical" in out
+        assert "health: BREACHED" in out
+
+    def test_health_ok_on_accurate_journal(self, capsys, tmp_path):
+        path = self._write_journal(tmp_path / "ok.jsonl", q_error=1.05)
+        code = main(["health", "--journal", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "healthy" in out
+        assert "BREACHED" not in out
+
+    def test_health_json_payload(self, capsys, tmp_path):
+        import json
+
+        path = self._write_journal(tmp_path / "bad.jsonl")
+        code = main(["health", "--journal", str(path), "--json"])
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["breached"] is True
+        assert data["systems"][0]["system"] == "hive"
+        assert data["systems"][0]["grade"] == "critical"
+        assert data["alerts"]["worst_severity"] == "critical"
+
+    def test_health_from_snapshot_file(self, capsys, tmp_path):
+        from repro import obs
+        from repro.obs import exporters
+
+        registry = obs.MetricsRegistry()
+        ledger = obs.AccuracyLedger()
+        for _ in range(20):
+            ledger.record(
+                system="hive",
+                operator="join",
+                estimated_seconds=1.0,
+                actual_seconds=1.1,
+            )
+        snap = tmp_path / "run.metrics.json"
+        exporters.write_json_snapshot(snap, registry=registry, ledger=ledger)
+        code = main(["health", "--from", str(snap)])
+        assert code == 0
+        assert "healthy" in capsys.readouterr().out
+
+    def test_health_live_with_no_signals(self, capsys, monkeypatch):
+        from repro import obs
+
+        monkeypatch.delenv(obs.JOURNAL_ENV_VAR, raising=False)
+        previous = obs.set_ledger(obs.AccuracyLedger())
+        try:
+            code = main(["health"])
+        finally:
+            obs.set_ledger(previous)
+        assert code == 0
+        assert "no remote-system signals yet" in capsys.readouterr().out
+
+    def test_dashboard_writes_self_contained_html(self, capsys, tmp_path):
+        path = self._write_journal(tmp_path / "bad.jsonl", drift=True)
+        out_file = tmp_path / "dash.html"
+        code = main(
+            ["dashboard", "--journal", str(path), "--out", str(out_file)]
+        )
+        assert code == 0
+        page = out_file.read_text()
+        assert page.startswith("<!doctype html>")
+        assert "hive" in page
+        assert "grade-critical" in page
+        assert "<svg" in page  # journal history sparkline
+        assert "q-0000" in page  # exemplars on the alert table
+
+    def test_dashboard_missing_journal_exits_2(self, capsys, tmp_path):
+        code = main(
+            ["dashboard", "--journal", str(tmp_path / "nope.jsonl"),
+             "--out", str(tmp_path / "dash.html")]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err

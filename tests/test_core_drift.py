@@ -98,6 +98,99 @@ class TestMonitorMechanics:
         with pytest.raises(ConfigurationError):
             DriftMonitor().observe(0.0, 1.0)
 
+    def test_reset_reenters_baseline_phase(self):
+        monitor = DriftMonitor(baseline_window=5)
+        for _ in range(5):
+            monitor.observe(10.0, 10.0)
+        assert monitor.report().baseline_ready
+        monitor.reset()
+        report = monitor.report()
+        assert not report.baseline_ready
+        assert report.num_observations == 0
+        assert report.statistic == 0.0
+        assert report.direction is None
+        # The monitor is fully reusable: a fresh baseline fits and a new
+        # sustained shift is detected again.
+        for _ in range(5):
+            monitor.observe(10.0, 10.0)
+        assert monitor.report().baseline_ready
+        for _ in range(50):
+            report = monitor.observe(10.0, 25.0)
+            if report.drifted:
+                break
+        assert report.drifted
+
+    def test_zero_variance_baseline_floors_at_min_std(self):
+        """Identical actuals give variance 0; min_std must keep the
+        standardization finite instead of dividing by zero."""
+        monitor = DriftMonitor(baseline_window=5, min_std=0.02)
+        for _ in range(5):
+            monitor.observe(10.0, 10.0)
+        assert monitor._std == monitor.min_std
+        # Detection still works on the degenerate baseline.
+        report = monitor.report()
+        for _ in range(20):
+            report = monitor.observe(10.0, 12.0)
+            if report.drifted:
+                break
+        assert report.drifted
+        assert report.direction == "slower"
+
+    def test_zero_variance_baseline_ignores_sub_slack_noise(self):
+        """With the floored std, shifts below the slack allowance must
+        still be absorbed — the floor must not make the monitor jumpy."""
+        monitor = DriftMonitor(baseline_window=5, min_std=0.02, slack=0.75)
+        for _ in range(5):
+            monitor.observe(10.0, 10.0)
+        # log(10.1/10) ~ 0.00995 -> z ~ 0.5, below slack: never accumulates.
+        for _ in range(200):
+            report = monitor.observe(10.0, 10.1)
+        assert not report.drifted
+
+
+class TestJournalAttribution:
+    def test_drift_event_carries_system_and_query_id(self, tmp_path):
+        from repro import obs
+
+        journal = obs.EventJournal(tmp_path / "j.jsonl")
+        previous = obs.set_journal(journal)
+        try:
+            monitor = DriftMonitor(baseline_window=5, name="hive")
+            for _ in range(5):
+                monitor.observe(10.0, 10.0)
+            with obs.query_context(query_id="q-000099"):
+                for _ in range(50):
+                    if monitor.observe(10.0, 25.0).drifted:
+                        break
+            journal.close()
+        finally:
+            obs.set_journal(previous)
+        events = obs.read_journal(tmp_path / "j.jsonl").events
+        drift_events = [e for e in events if e.type == "drift"]
+        assert len(drift_events) == 1
+        assert drift_events[0].payload["system"] == "hive"
+        assert drift_events[0].payload["query_id"] == "q-000099"
+
+    def test_unnamed_monitor_outside_context_omits_query_id(self, tmp_path):
+        from repro import obs
+
+        journal = obs.EventJournal(tmp_path / "j.jsonl")
+        previous = obs.set_journal(journal)
+        try:
+            monitor = DriftMonitor(baseline_window=5)
+            for _ in range(5):
+                monitor.observe(10.0, 10.0)
+            for _ in range(50):
+                if monitor.observe(10.0, 25.0).drifted:
+                    break
+            journal.close()
+        finally:
+            obs.set_journal(previous)
+        events = obs.read_journal(tmp_path / "j.jsonl").events
+        drift_events = [e for e in events if e.type == "drift"]
+        assert drift_events[0].payload["system"] == ""
+        assert "query_id" not in drift_events[0].payload
+
 
 class TestModuleIntegration:
     def test_cluster_change_detected_end_to_end(self, cluster_info):

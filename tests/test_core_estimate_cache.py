@@ -141,6 +141,158 @@ class TestLruBehaviour:
         cache.get(key)  # hit
         assert cache.hit_rate == pytest.approx(0.5)
 
+    def test_stats_snapshot(self):
+        cache = EstimateCache(max_entries=1)
+        key_a = cache.key_for("hive", 0, scan_stats(rows=1_000))
+        key_b = cache.key_for("hive", 0, scan_stats(rows=1_000_000))
+        cache.get(key_a)  # miss
+        cache.put(key_a, self._estimate(1.0))
+        cache.get(key_a)  # hit
+        cache.put(key_b, self._estimate(2.0))  # evicts key_a
+        cache.invalidate("hive")
+        stats = cache.stats()
+        assert stats == {
+            "hits": 1,
+            "misses": 1,
+            "lookups": 2,
+            "hit_rate": 0.5,
+            "size": 0,
+            "evictions": 1,
+            "invalidations": 1,
+        }
+
+
+class TestThreadSafety:
+    """Concurrent optimizer threads share one module-level cache; the
+    lock must keep the LRU dict and the hit/miss/eviction accounting
+    coherent under simultaneous get/put/invalidate traffic."""
+
+    def _estimate(self, seconds):
+        from repro.core.estimator import OperatorEstimate
+        from repro.core.logical_op import CostEstimate
+
+        return OperatorEstimate(
+            seconds=seconds,
+            approach=CostingApproach.SUB_OP,
+            operator=OperatorKind.SCAN,
+            detail=CostEstimate(seconds=seconds, features=(1.0,)),
+        )
+
+    def test_concurrent_hits_and_evictions(self):
+        import threading
+
+        cache = EstimateCache(max_entries=32)
+        # Widely spread row counts -> distinct quantized keys.
+        keys = [
+            cache.key_for("hive", 0, scan_stats(rows=1000 * 4**i))
+            for i in range(12)
+        ]
+        estimate = self._estimate(1.0)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed):
+            try:
+                barrier.wait()
+                for step in range(500):
+                    key = keys[(seed * 7 + step) % len(keys)]
+                    if cache.get(key) is None:
+                        cache.put(key, estimate)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = cache.stats()
+        assert stats["lookups"] == 8 * 500
+        assert stats["hits"] + stats["misses"] == stats["lookups"]
+        assert stats["size"] <= 32
+        assert len(cache) == stats["size"]
+
+    def test_concurrent_eviction_pressure_respects_capacity(self):
+        import threading
+
+        cache = EstimateCache(max_entries=4)
+        keys = [
+            cache.key_for("hive", 0, scan_stats(rows=1000 * 4**i))
+            for i in range(16)
+        ]
+        estimate = self._estimate(1.0)
+        errors = []
+
+        def writer(seed):
+            try:
+                for step in range(400):
+                    cache.put(keys[(seed + step) % len(keys)], estimate)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= 4
+        # Every insert beyond capacity evicted exactly one entry.
+        stats = cache.stats()
+        assert stats["evictions"] >= len(keys) - 4
+
+    def test_concurrent_invalidation_races_with_lookups(self):
+        import threading
+
+        cache = EstimateCache(max_entries=256)
+        hive_keys = [
+            cache.key_for("hive", 0, scan_stats(rows=1000 * 4**i))
+            for i in range(8)
+        ]
+        spark_keys = [
+            cache.key_for("spark", 0, scan_stats(rows=1000 * 4**i))
+            for i in range(8)
+        ]
+        estimate = self._estimate(1.0)
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    for key in hive_keys + spark_keys:
+                        found = cache.get(key)
+                        if found is None:
+                            cache.put(key, estimate)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def invalidator():
+            try:
+                for _ in range(200):
+                    cache.invalidate("hive")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        killer = threading.Thread(target=invalidator)
+        killer.start()
+        killer.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert errors == []
+        assert cache.invalidations == 200
+        # Spark entries survived the hive-scoped invalidations.
+        assert any(cache.get(key) is not None for key in spark_keys)
+
 
 # ----------------------------------------------------------------------
 # Module-level wiring

@@ -105,6 +105,72 @@ class TestExplainAndRun:
         assert execute_steps[0].system == TERADATA
 
 
+class TestQueryContextPropagation:
+    """The federation layer mints a query-scoped trace context; every
+    journal event and exemplar the estimate path emits must carry it."""
+
+    def test_run_opens_one_context_per_query(self, sphere):
+        from repro import obs
+
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        obs.reset_query_ids()
+        try:
+            sphere.run("SELECT a1 FROM t10000_40 WHERE a1 < 100")
+            sphere.run("SELECT a1 FROM t10000_40 WHERE a1 < 200")
+            assert registry.counter("context.queries").value == 2.0
+        finally:
+            obs.set_registry(previous)
+
+    def test_journal_events_carry_federation_query_id(self, sphere, tmp_path):
+        from repro import obs
+
+        journal = obs.EventJournal(tmp_path / "fed.jsonl")
+        previous_journal = obs.set_journal(journal)
+        obs.reset_query_ids()
+        try:
+            sphere.run(
+                "SELECT r.a1 FROM t1000000_100 r JOIN t10000_40 s "
+                "ON r.a1 = s.a1"
+            )
+            journal.close()
+        finally:
+            obs.set_journal(previous_journal)
+        events = obs.read_journal(tmp_path / "fed.jsonl").events
+        estimates = [e for e in events if e.type == "estimate"]
+        assert estimates
+        query_ids = {e.payload.get("query_id") for e in estimates}
+        # Every estimate of the query shares the single federation id.
+        assert query_ids == {"q-000001"}
+
+    def test_estimates_feed_the_exemplar_store(self, sphere):
+        from repro import obs
+        from repro.obs.context import ExemplarStore
+
+        previous_store = obs.set_exemplar_store(ExemplarStore())
+        obs.reset_query_ids()
+        try:
+            sphere.run("SELECT a1 FROM t10000_40 WHERE a1 < 100")
+            recent = obs.get_exemplar_store().recent("hive")
+            assert "q-000001" in recent
+        finally:
+            obs.set_exemplar_store(previous_store)
+
+    def test_explain_and_run_mint_distinct_ids(self, sphere):
+        from repro import obs
+        from repro.obs.context import ExemplarStore
+
+        previous_store = obs.set_exemplar_store(ExemplarStore())
+        obs.reset_query_ids()
+        try:
+            sphere.explain("SELECT a1 FROM t10000_40 WHERE a1 < 100")
+            sphere.run("SELECT a1 FROM t10000_40 WHERE a1 < 100")
+            recent = obs.get_exemplar_store().recent("hive")
+            assert {"q-000001", "q-000002"} <= set(recent)
+        finally:
+            obs.set_exemplar_store(previous_store)
+
+
 class TestCapabilityRestrictedSystems:
     def test_no_join_system_forces_master_placement(self):
         """§2: a remote system may not support joins; the optimizer must

@@ -1,0 +1,421 @@
+"""The declarative SLO alert engine: rule validation, signal paths,
+wildcards, guards, delta mode, state transitions, and journal emission."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.alerts import AlertEngine, AlertRule, default_rules
+
+
+def make_observation(
+    metrics=None, ledger=None, drift=None, cache=None, exemplars=None
+):
+    base_cache = {
+        "hits": 0,
+        "misses": 0,
+        "lookups": 0,
+        "hit_rate": 0.0,
+        "size": 0,
+        "evictions": 0,
+        "invalidations": 0,
+    }
+    if cache:
+        base_cache.update(cache)
+    return {
+        "version": 1,
+        "metrics": metrics or {},
+        "ledger": ledger or {},
+        "drift": drift or {},
+        "cache": base_cache,
+        "exemplars": exemplars or {},
+    }
+
+
+def ledger_entry(mean_q=1.0, rmse=10.0, count=32, remedy=0.0):
+    return {
+        "count": count,
+        "mean_q_error": mean_q,
+        "rmse_percent": rmse,
+        "slope": 1.0,
+        "remedy_fraction": remedy,
+    }
+
+
+class TestAlertRule:
+    def test_rejects_bad_operator(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="r", signal="cache:hit_rate", op="!=", threshold=1)
+
+    def test_rejects_bad_severity(self):
+        with pytest.raises(ValueError):
+            AlertRule(
+                name="r", signal="cache:hit_rate", op=">", threshold=1,
+                severity="page-me",
+            )
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            AlertRule(
+                name="r", signal="cache:hit_rate", op=">", threshold=1,
+                mode="rate",
+            )
+
+    def test_rejects_unknown_signal_root(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="r", signal="weather:rain", op=">", threshold=1)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="", signal="cache:hit_rate", op=">", threshold=1)
+
+    def test_compare_covers_all_operators(self):
+        mk = lambda op: AlertRule(
+            name="r", signal="cache:hit_rate", op=op, threshold=1.0
+        )
+        assert mk(">").compare(1.5) and not mk(">").compare(1.0)
+        assert mk(">=").compare(1.0) and not mk(">=").compare(0.9)
+        assert mk("<").compare(0.5) and not mk("<").compare(1.0)
+        assert mk("<=").compare(1.0) and not mk("<=").compare(1.1)
+
+
+class TestSignalResolution:
+    def test_scalar_cache_signal(self):
+        rule = AlertRule(
+            name="lowhit", signal="cache:hit_rate", op="<", threshold=0.5
+        )
+        engine = AlertEngine(rules=[rule])
+        report = engine.evaluate(
+            make_observation(cache={"hit_rate": 0.2}), emit=False
+        )
+        assert len(report.alerts) == 1
+        assert report.alerts[0].firing
+        assert report.alerts[0].value == 0.2
+
+    def test_metric_counter_signal(self):
+        rule = AlertRule(
+            name="busy", signal="metric:context.queries", op=">", threshold=5
+        )
+        engine = AlertEngine(rules=[rule])
+        metrics = {
+            "context.queries": {"type": "counter", "value": 9.0, "help": ""}
+        }
+        report = engine.evaluate(make_observation(metrics=metrics), emit=False)
+        assert report.alerts[0].firing
+        assert report.alerts[0].value == 9.0
+
+    def test_metric_histogram_fields(self):
+        metrics = {
+            "lat": {"type": "histogram", "count": 4, "sum": 8.0, "buckets": []}
+        }
+        for field, expected in (("count", 4.0), ("sum", 8.0), ("mean", 2.0)):
+            rule = AlertRule(
+                name="h", signal=f"metric:lat:{field}", op=">=", threshold=0
+            )
+            report = AlertEngine(rules=[rule]).evaluate(
+                make_observation(metrics=metrics), emit=False
+            )
+            assert report.alerts[0].value == expected
+
+    def test_missing_signal_produces_no_alert(self):
+        rule = AlertRule(
+            name="ghost", signal="ledger:hive/scan:mean_q_error", op=">",
+            threshold=1,
+        )
+        report = AlertEngine(rules=[rule]).evaluate(
+            make_observation(), emit=False
+        )
+        assert report.alerts == ()
+
+    def test_wildcard_fans_out_over_ledger_keys(self):
+        rule = AlertRule(
+            name="q", signal="ledger:*:mean_q_error", op=">", threshold=2.0
+        )
+        ledger = {
+            "hive/scan": ledger_entry(mean_q=5.0),
+            "spark/join": ledger_entry(mean_q=1.1),
+        }
+        report = AlertEngine(rules=[rule]).evaluate(
+            make_observation(ledger=ledger), emit=False
+        )
+        by_instance = {a.instance: a for a in report.alerts}
+        assert set(by_instance) == {"hive/scan", "spark/join"}
+        assert by_instance["hive/scan"].firing
+        assert not by_instance["spark/join"].firing
+
+    def test_wildcard_fans_out_over_drift_systems(self):
+        rule = AlertRule(
+            name="d", signal="drift:*:drifted", op=">=", threshold=1.0
+        )
+        drift = {
+            "hive": {"drifted": True, "statistic": 9.0},
+            "spark": {"drifted": False, "statistic": 0.1},
+        }
+        report = AlertEngine(rules=[rule]).evaluate(
+            make_observation(drift=drift), emit=False
+        )
+        by_instance = {a.instance: a for a in report.alerts}
+        assert by_instance["hive"].firing
+        assert not by_instance["spark"].firing
+
+
+class TestGuards:
+    def test_guard_suppresses_until_sample_size(self):
+        rule = AlertRule(
+            name="q", signal="ledger:*:mean_q_error", op=">", threshold=2.0,
+            guard=("ledger:*:count", 16.0),
+        )
+        engine = AlertEngine(rules=[rule])
+        small = make_observation(
+            ledger={"hive/scan": ledger_entry(mean_q=9.0, count=4)}
+        )
+        report = engine.evaluate(small, emit=False)
+        assert not report.alerts[0].firing
+        big = make_observation(
+            ledger={"hive/scan": ledger_entry(mean_q=9.0, count=64)}
+        )
+        report = engine.evaluate(big, emit=False)
+        assert report.alerts[0].firing
+
+    def test_guard_with_missing_signal_suppresses(self):
+        rule = AlertRule(
+            name="lowhit", signal="cache:hit_rate", op="<", threshold=0.5,
+            guard=("cache:nonexistent", 1.0),
+        )
+        report = AlertEngine(rules=[rule]).evaluate(
+            make_observation(cache={"hit_rate": 0.0}), emit=False
+        )
+        assert not report.alerts[0].firing
+
+
+class TestDeltaMode:
+    def test_first_evaluation_establishes_baseline(self):
+        rule = AlertRule(
+            name="spike", signal="metric:errors", op=">", threshold=5.0,
+            mode="delta",
+        )
+        engine = AlertEngine(rules=[rule])
+
+        def observe(total):
+            return make_observation(
+                metrics={"errors": {"type": "counter", "value": total}}
+            )
+
+        first = engine.evaluate(observe(100.0), emit=False)
+        assert first.alerts[0].value == 0.0
+        assert not first.alerts[0].firing
+        second = engine.evaluate(observe(110.0), emit=False)
+        assert second.alerts[0].value == 10.0
+        assert second.alerts[0].firing
+        third = engine.evaluate(observe(112.0), emit=False)
+        assert third.alerts[0].value == 2.0
+        assert not third.alerts[0].firing
+
+
+class TestStateTransitions:
+    def _engine(self):
+        return AlertEngine(rules=[
+            AlertRule(
+                name="q", signal="ledger:*:mean_q_error", op=">", threshold=2.0
+            )
+        ])
+
+    def test_fire_then_hold_then_resolve(self):
+        engine = self._engine()
+        bad = make_observation(ledger={"hive/scan": ledger_entry(mean_q=9.0)})
+        good = make_observation(ledger={"hive/scan": ledger_entry(mean_q=1.1)})
+
+        first = engine.evaluate(bad, emit=False)
+        assert first.fired == ("q|hive/scan",)
+        assert first.resolved == ()
+
+        held = engine.evaluate(bad, emit=False)
+        assert held.fired == ()
+        assert held.resolved == ()
+        assert held.firing[0].rule == "q"
+        assert engine.firing_keys == ("q|hive/scan",)
+
+        third = engine.evaluate(good, emit=False)
+        assert third.fired == ()
+        assert third.resolved == ("q|hive/scan",)
+        assert engine.firing_keys == ()
+
+    def test_counters_track_transitions(self):
+        registry = obs.MetricsRegistry()
+        previous = obs.set_registry(registry)
+        try:
+            engine = self._engine()
+            bad = make_observation(
+                ledger={"hive/scan": ledger_entry(mean_q=9.0)}
+            )
+            good = make_observation(
+                ledger={"hive/scan": ledger_entry(mean_q=1.1)}
+            )
+            engine.evaluate(bad, emit=False)
+            engine.evaluate(good, emit=False)
+            assert registry.counter("alerts.evaluations").value == 2.0
+            assert registry.counter("alerts.fired").value == 1.0
+            assert registry.counter("alerts.resolved").value == 1.0
+        finally:
+            obs.set_registry(previous)
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = AlertRule(
+            name="dup", signal="cache:hit_rate", op=">", threshold=1
+        )
+        with pytest.raises(ValueError):
+            AlertEngine(rules=[rule, rule])
+
+
+class TestExemplars:
+    def test_firing_alert_carries_system_exemplars(self):
+        rule = AlertRule(
+            name="q", signal="ledger:*:mean_q_error", op=">", threshold=2.0
+        )
+        observation = make_observation(
+            ledger={"hive/scan": ledger_entry(mean_q=9.0)},
+            exemplars={"hive": ["q-000003", "q-000007"]},
+        )
+        report = AlertEngine(rules=[rule]).evaluate(observation, emit=False)
+        assert report.alerts[0].exemplars == ("q-000003", "q-000007")
+
+    def test_quiet_alert_has_no_exemplars(self):
+        rule = AlertRule(
+            name="q", signal="ledger:*:mean_q_error", op=">", threshold=2.0
+        )
+        observation = make_observation(
+            ledger={"hive/scan": ledger_entry(mean_q=1.1)},
+            exemplars={"hive": ["q-000003"]},
+        )
+        report = AlertEngine(rules=[rule]).evaluate(observation, emit=False)
+        assert report.alerts[0].exemplars == ()
+
+
+class TestJournalEmission:
+    def test_transitions_append_schema_versioned_events(self, tmp_path):
+        journal = obs.EventJournal(tmp_path / "j.jsonl")
+        rule = AlertRule(
+            name="q", signal="ledger:*:mean_q_error", op=">", threshold=2.0
+        )
+        engine = AlertEngine(rules=[rule])
+        bad = make_observation(
+            ledger={"hive/scan": ledger_entry(mean_q=9.0)},
+            exemplars={"hive": ["q-000005"]},
+        )
+        good = make_observation(ledger={"hive/scan": ledger_entry(mean_q=1.1)})
+        engine.evaluate(bad, journal=journal)
+        engine.evaluate(bad, journal=journal)  # held state: no new event
+        engine.evaluate(good, journal=journal)
+        journal.close()
+
+        events = obs.read_journal(tmp_path / "j.jsonl").events
+        alert_events = [e for e in events if e.type == "alert"]
+        assert [e.payload["state"] for e in alert_events] == [
+            "firing", "resolved",
+        ]
+        firing = alert_events[0].payload
+        assert firing["alert_version"] == 1
+        assert firing["rule"] == "q"
+        assert firing["instance"] == "hive/scan"
+        assert firing["exemplars"] == ["q-000005"]
+        assert firing["value"] == 9.0
+
+    def test_emit_false_leaves_journal_untouched(self, tmp_path):
+        journal = obs.EventJournal(tmp_path / "j.jsonl")
+        rule = AlertRule(
+            name="q", signal="ledger:*:mean_q_error", op=">", threshold=2.0
+        )
+        bad = make_observation(ledger={"hive/scan": ledger_entry(mean_q=9.0)})
+        AlertEngine(rules=[rule]).evaluate(bad, journal=journal, emit=False)
+        journal.close()
+        events = obs.read_journal(tmp_path / "j.jsonl").events
+        assert [e for e in events if e.type == "alert"] == []
+
+
+class TestDeterminism:
+    def test_same_observation_yields_byte_identical_reports(self):
+        observation = make_observation(
+            ledger={
+                "hive/scan": ledger_entry(mean_q=9.0),
+                "spark/join": ledger_entry(mean_q=1.2, rmse=90.0),
+            },
+            drift={"hive": {"drifted": True, "statistic": 7.5}},
+            exemplars={"hive": ["q-000001", "q-000002"]},
+        )
+        first = AlertEngine().evaluate(observation, emit=False).to_json()
+        second = AlertEngine().evaluate(observation, emit=False).to_json()
+        assert first == second
+        parsed = json.loads(first)
+        assert parsed["version"] == 1
+        assert parsed["worst_severity"] == "critical"
+
+    def test_report_alerts_sorted_by_key(self):
+        observation = make_observation(
+            ledger={
+                "spark/join": ledger_entry(),
+                "hive/scan": ledger_entry(),
+                "presto/agg": ledger_entry(),
+            }
+        )
+        rule = AlertRule(
+            name="q", signal="ledger:*:mean_q_error", op=">", threshold=2.0
+        )
+        report = AlertEngine(rules=[rule]).evaluate(observation, emit=False)
+        keys = [a.key for a in report.alerts]
+        assert keys == sorted(keys)
+
+
+class TestRuleSets:
+    def test_default_rules_validate_and_cover_the_slos(self):
+        rules = default_rules()
+        names = {rule.name for rule in rules}
+        assert {
+            "slo-q-error", "slo-rmse", "drift-alarm",
+            "remedy-saturation", "cache-hit-rate",
+        } <= names
+
+    def test_default_rules_fire_on_degraded_accuracy(self):
+        observation = make_observation(
+            ledger={"hive/scan": ledger_entry(mean_q=10.0, rmse=200.0)},
+            exemplars={"hive": ["q-000009"]},
+        )
+        report = AlertEngine().evaluate(observation, emit=False)
+        firing = {a.rule for a in report.firing}
+        assert "slo-q-error" in firing
+        assert "slo-rmse" in firing
+        assert report.worst_severity == "critical"
+
+    def test_rules_from_json_round_trip(self, tmp_path):
+        data = [
+            {
+                "name": "custom-q",
+                "signal": "ledger:*:mean_q_error",
+                "op": ">",
+                "threshold": 3.0,
+                "severity": "critical",
+                "guard": ["ledger:*:count", 8],
+                "description": "custom accuracy SLO",
+            }
+        ]
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps(data))
+        rules = obs.load_rules(path)
+        assert len(rules) == 1
+        assert rules[0].name == "custom-q"
+        assert rules[0].guard == ("ledger:*:count", 8.0)
+
+    def test_rules_from_json_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            obs.rules_from_json({"not": "a list"})
+        with pytest.raises(ValueError):
+            obs.rules_from_json(["not an object"])
+        with pytest.raises(ValueError):
+            obs.rules_from_json([{"name": "x"}])  # missing fields
+        with pytest.raises(ValueError):
+            obs.rules_from_json(
+                [{
+                    "name": "x", "signal": "cache:hit_rate", "op": ">",
+                    "threshold": 1, "guard": "not-a-pair",
+                }]
+            )

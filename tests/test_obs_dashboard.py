@@ -1,0 +1,145 @@
+"""The HTML health dashboard: history extraction and page rendering."""
+
+from repro import obs
+from repro.obs.alerts import Alert, AlertReport
+from repro.obs.dashboard import HISTORY_POINTS, _sparkline, build_history
+from repro.obs.health import SystemHealth
+from repro.obs.journal import JournalEvent
+
+
+def actual_event(seq, system="hive", estimated=10.0, actual=20.0):
+    return JournalEvent(
+        seq=seq,
+        type="actual",
+        payload={
+            "system": system,
+            "estimated_seconds": estimated,
+            "actual_seconds": actual,
+        },
+    )
+
+
+def make_health(system="hive", grade="healthy", score=0.9):
+    return SystemHealth(
+        system=system,
+        score=score,
+        grade=grade,
+        components={
+            "accuracy": 0.9, "drift": 1.0, "remedy": 1.0, "cache": 1.0,
+        },
+        observations=32,
+    )
+
+
+class TestBuildHistory:
+    def test_q_error_series_per_system(self):
+        events = [
+            actual_event(1, estimated=10.0, actual=20.0),   # q = 2
+            actual_event(2, estimated=30.0, actual=10.0),   # q = 3
+            actual_event(3, system="spark", estimated=5.0, actual=5.0),
+        ]
+        history = build_history(events)
+        assert history["hive"] == [2.0, 3.0]
+        assert history["spark"] == [1.0]
+
+    def test_ignores_non_actual_and_malformed_events(self):
+        events = [
+            JournalEvent(seq=1, type="estimate", payload={"system": "hive"}),
+            actual_event(2, estimated=0.0),               # non-positive
+            actual_event(3, estimated="nan?", actual=1),  # unparseable
+            JournalEvent(
+                seq=4,
+                type="actual",
+                payload={"estimated_seconds": 1.0, "actual_seconds": 1.0},
+            ),                                            # no system
+            actual_event(5),
+        ]
+        history = build_history(events)
+        assert history == {"hive": [2.0]}
+
+    def test_series_truncates_to_newest_points(self):
+        events = [
+            actual_event(i, estimated=float(i), actual=1.0)
+            for i in range(1, HISTORY_POINTS + 11)
+        ]
+        history = build_history(events)
+        series = history["hive"]
+        assert len(series) == HISTORY_POINTS
+        assert series[-1] == float(HISTORY_POINTS + 10)
+
+    def test_custom_max_points(self):
+        events = [actual_event(i, actual=10.0 * i) for i in range(1, 10)]
+        history = build_history(events, max_points=3)
+        assert len(history["hive"]) == 3
+
+
+class TestSparkline:
+    def test_short_series_renders_placeholder(self):
+        assert "no history" in _sparkline([1.0])
+
+    def test_series_renders_svg_polyline(self):
+        svg = _sparkline([1.0, 2.0, 3.0])
+        assert svg.startswith("<svg")
+        assert "polyline" in svg
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        svg = _sparkline([2.0, 2.0, 2.0])
+        assert "<svg" in svg
+
+
+class TestRenderDashboard:
+    def test_page_is_self_contained(self):
+        page = obs.render_dashboard([make_health()])
+        assert page.startswith("<!doctype html>")
+        assert "<style>" in page
+        # No external assets whatsoever.
+        assert "http://" not in page
+        assert "https://" not in page
+        assert 'src="' not in page
+
+    def test_health_tiles_render_grade_and_score(self):
+        page = obs.render_dashboard(
+            [make_health(grade="critical", score=0.12)]
+        )
+        assert "grade-critical" in page
+        assert "0.12" in page
+        assert "hive" in page
+
+    def test_alert_table_puts_firing_rows_first(self):
+        quiet = Alert(
+            rule="a-quiet", instance="hive/scan", severity="warning",
+            signal="ledger:*:rmse_percent", op=">", threshold=75.0,
+            value=10.0, firing=False,
+        )
+        firing = Alert(
+            rule="z-firing", instance="hive/scan", severity="critical",
+            signal="ledger:*:mean_q_error", op=">", threshold=2.5,
+            value=9.0, firing=True, exemplars=("q-000042",),
+        )
+        page = obs.render_dashboard(
+            [make_health()], report=AlertReport(alerts=(quiet, firing))
+        )
+        assert page.index("z-firing") < page.index("a-quiet")
+        assert "q-000042" in page
+        assert "sev-critical" in page
+
+    def test_history_table_and_sparklines(self):
+        page = obs.render_dashboard(
+            [make_health()], history={"hive": [1.0, 2.0, 1.5]}
+        )
+        assert "Accuracy history" in page
+        assert "<svg" in page
+        assert "2.00" in page  # worst q-error column
+
+    def test_empty_sections_render_placeholders(self):
+        page = obs.render_dashboard([])
+        assert "no remote-system signals yet" in page
+        assert "no alert evaluation available" in page
+        assert "REPRO_OBS_JOURNAL" in page
+
+    def test_html_escapes_untrusted_names(self):
+        health = make_health(system="<script>alert(1)</script>")
+        page = obs.render_dashboard([health], title="<b>t</b>")
+        assert "<script>alert(1)</script>" not in page
+        assert "&lt;script&gt;" in page
+        assert "<b>t</b>" not in page

@@ -124,3 +124,86 @@ class TestDeterministicSnapshots:
         path.write_text(json.dumps({"foo": 1}))
         with pytest.raises(ValueError):
             exporters.load_json_snapshot(path)
+
+
+class TestDerivedGauges:
+    def _cache_traffic(self, registry, hits=3, misses=1):
+        registry.counter("costing.estimate_cache.hits").inc(hits)
+        registry.counter("costing.estimate_cache.misses").inc(misses)
+
+    def test_hit_rate_gauge_from_cache_counters(self, registry):
+        self._cache_traffic(registry, hits=3, misses=1)
+        metrics = exporters.derive_gauges(registry.snapshot())
+        entry = metrics["costing.estimate_cache.hit_rate"]
+        assert entry["type"] == "gauge"
+        assert entry["value"] == 0.75
+        assert entry["unit"] == "ratio"
+
+    def test_activation_rate_gauge(self, registry):
+        registry.counter("remedy.activations").inc(2)
+        histogram = registry.histogram("costing.estimate_seconds")
+        for _ in range(8):
+            histogram.observe(1.0)
+        metrics = exporters.derive_gauges(registry.snapshot())
+        assert metrics["remedy.activation_rate"]["value"] == 0.25
+
+    def test_no_gauges_without_source_instruments(self, registry):
+        registry.counter("federation.runs").inc()
+        metrics = exporters.derive_gauges(registry.snapshot())
+        assert "costing.estimate_cache.hit_rate" not in metrics
+        assert "remedy.activation_rate" not in metrics
+
+    def test_no_hit_rate_with_zero_lookups(self, registry):
+        registry.counter("costing.estimate_cache.hits")  # exists, value 0
+        registry.counter("costing.estimate_cache.misses")
+        metrics = exporters.derive_gauges(registry.snapshot())
+        assert "costing.estimate_cache.hit_rate" not in metrics
+
+    def test_empty_registry_exports_stay_empty(self, registry):
+        # The derived gauges are pure functions of existing traffic, so
+        # both export paths stay byte-identical for an empty registry.
+        assert exporters.to_prometheus_text(registry=registry) == ""
+        snapshot = exporters.build_snapshot(
+            registry=registry, ledger=obs.AccuracyLedger()
+        )
+        assert snapshot["metrics"] == {}
+
+    def test_gauges_present_in_both_exports(self, registry):
+        self._cache_traffic(registry)
+        snapshot = exporters.build_snapshot(
+            registry=registry, ledger=obs.AccuracyLedger()
+        )
+        assert "costing.estimate_cache.hit_rate" in snapshot["metrics"]
+        text = exporters.to_prometheus_text(registry=registry)
+        assert "repro_costing_estimate_cache_hit_rate 0.75" in text
+        assert "# TYPE repro_costing_estimate_cache_hit_rate gauge" in text
+
+    def test_snapshot_files_with_gauges_stay_byte_deterministic(
+        self, tmp_path
+    ):
+        paths = []
+        for index in range(2):
+            registry = obs.MetricsRegistry()
+            # Opposite insertion orders must not change the file.
+            if index == 0:
+                self._cache_traffic(registry)
+                registry.counter("remedy.activations").inc(1)
+            else:
+                registry.counter("remedy.activations").inc(1)
+                self._cache_traffic(registry)
+            registry.histogram("costing.estimate_seconds").observe(1.0)
+            path = tmp_path / f"derived{index}.metrics.json"
+            exporters.write_json_snapshot(
+                path, registry=registry, ledger=obs.AccuracyLedger()
+            )
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        data = json.loads(paths[0].read_text())
+        assert "costing.estimate_cache.hit_rate" in data["metrics"]
+        assert "remedy.activation_rate" in data["metrics"]
+
+    def test_explicit_metrics_dict_rendered_as_is(self, registry):
+        self._cache_traffic(registry)
+        raw = registry.snapshot()  # no derive_gauges applied
+        text = exporters.to_prometheus_text(metrics=raw)
+        assert "hit_rate" not in text

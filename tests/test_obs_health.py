@@ -1,0 +1,299 @@
+"""Observation building (live / journal / snapshot) and the per-system
+composite health score."""
+
+import pytest
+
+from repro import obs
+from repro.obs.health import (
+    _CACHE_WARMUP_LOOKUPS,
+    evaluate_health,
+    worst_grade,
+)
+from repro.obs.journal import JournalEvent
+
+
+def ledger_entry(mean_q=1.0, rmse=10.0, count=32, remedy=0.0):
+    return {
+        "count": count,
+        "mean_q_error": mean_q,
+        "rmse_percent": rmse,
+        "slope": 1.0,
+        "remedy_fraction": remedy,
+    }
+
+
+def make_observation(ledger=None, drift=None, cache=None):
+    observation = {
+        "version": obs.OBSERVATION_VERSION,
+        "metrics": {},
+        "ledger": ledger or {},
+        "drift": drift or {},
+        "cache": {
+            "hits": 0,
+            "misses": 0,
+            "lookups": 0,
+            "hit_rate": 0.0,
+            "size": 0,
+            "evictions": 0,
+            "invalidations": 0,
+        },
+        "exemplars": {},
+    }
+    if cache:
+        observation["cache"].update(cache)
+    return observation
+
+
+class TestBuildObservation:
+    def test_live_observation_shape(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("context.queries").inc(3)
+        ledger = obs.AccuracyLedger()
+        observation = obs.build_observation(
+            registry=registry,
+            ledger=ledger,
+            drift={"hive": {"drifted": False, "statistic": 0.0}},
+            cache={"hits": 5, "misses": 5, "lookups": 10, "hit_rate": 0.5},
+            exemplars={"hive": ["q-000001"]},
+        )
+        assert observation["version"] == obs.OBSERVATION_VERSION
+        assert observation["metrics"]["context.queries"]["value"] == 3.0
+        assert observation["drift"]["hive"]["drifted"] is False
+        assert observation["cache"]["hit_rate"] == 0.5
+        # Missing cache fields are defaulted, not dropped.
+        assert observation["cache"]["evictions"] == 0
+        assert observation["exemplars"]["hive"] == ["q-000001"]
+
+    def test_defaults_to_process_wide_sources(self):
+        observation = obs.build_observation()
+        assert observation["version"] == obs.OBSERVATION_VERSION
+        assert isinstance(observation["metrics"], dict)
+        assert observation["drift"] == {}
+
+
+class TestObservationFromJournal:
+    def _events(self):
+        return [
+            JournalEvent(
+                seq=1,
+                type="actual",
+                payload={
+                    "system": "hive",
+                    "operator": "join",
+                    "approach": "sub_op",
+                    "estimated_seconds": 10.0,
+                    "actual_seconds": 20.0,
+                    "remedy_active": False,
+                    "drift_flagged": False,
+                    "query_id": "q-000001",
+                },
+            ),
+            JournalEvent(
+                seq=2,
+                type="estimate",
+                payload={
+                    "system": "hive",
+                    "approach": "sub_op",
+                    "seconds": 5.0,
+                    "remedy_active": False,
+                    "query_id": "q-000002",
+                },
+            ),
+            JournalEvent(
+                seq=3,
+                type="drift",
+                payload={
+                    "system": "hive",
+                    "direction": "slower",
+                    "statistic": 7.5,
+                    "observations": 40,
+                },
+            ),
+        ]
+
+    def test_rebuilds_ledger_drift_and_exemplars(self, tmp_path):
+        journal = obs.EventJournal(tmp_path / "j.jsonl")
+        for event in self._events():
+            journal.append(event.type, **event.payload)
+        journal.close()
+
+        observation = obs.observation_from_journal(tmp_path / "j.jsonl")
+        assert observation["ledger"]["hive/join"]["count"] == 1
+        assert observation["ledger"]["hive/join"]["mean_q_error"] == 2.0
+        assert observation["drift"]["hive"]["drifted"] is True
+        assert observation["drift"]["hive"]["statistic"] == 7.5
+        assert observation["exemplars"]["hive"] == ["q-000001", "q-000002"]
+        # Cache stats are process-local, never journaled: all-zero.
+        assert observation["cache"]["lookups"] == 0
+
+    def test_does_not_touch_live_state(self, tmp_path):
+        journal = obs.EventJournal(tmp_path / "j.jsonl")
+        for event in self._events():
+            journal.append(event.type, **event.payload)
+        journal.close()
+        live_before = obs.get_registry().snapshot()
+        obs.observation_from_journal(tmp_path / "j.jsonl")
+        assert obs.get_registry().snapshot() == live_before
+
+    def test_exemplar_buffer_is_bounded_and_distinct(self):
+        events = [
+            JournalEvent(
+                seq=index + 1,
+                type="estimate",
+                payload={
+                    "system": "hive",
+                    "seconds": 1.0,
+                    "query_id": f"q-{index % 10:06d}",
+                },
+            )
+            for index in range(30)
+        ]
+        from repro.obs.journal import ReadResult
+
+        observation = obs.observation_from_events(
+            ReadResult(events=tuple(events), corrupt_lines=0, skipped_versions=0)
+        )
+        exemplars = observation["exemplars"]["hive"]
+        assert len(exemplars) == 8
+        assert len(set(exemplars)) == 8
+
+
+class TestObservationFromSnapshot:
+    def test_adapts_metrics_and_ledger_only(self):
+        snapshot = {
+            "version": 1,
+            "metrics": {"context.queries": {"type": "counter", "value": 2.0}},
+            "ledger": {"hive/scan": ledger_entry(mean_q=3.0)},
+        }
+        observation = obs.observation_from_snapshot(snapshot)
+        assert observation["metrics"]["context.queries"]["value"] == 2.0
+        assert observation["ledger"]["hive/scan"]["mean_q_error"] == 3.0
+        assert observation["drift"] == {}
+        assert observation["exemplars"] == {}
+        assert observation["cache"]["lookups"] == 0
+
+    def test_tolerates_malformed_input(self):
+        observation = obs.observation_from_snapshot({"metrics": "garbage"})
+        assert observation["metrics"] == {}
+        assert observation["ledger"] == {}
+
+
+class TestHealthScore:
+    def test_accurate_system_is_healthy(self):
+        healths = evaluate_health(
+            make_observation(ledger={"hive/scan": ledger_entry(mean_q=1.2)})
+        )
+        assert len(healths) == 1
+        health = healths[0]
+        assert health.system == "hive"
+        assert health.grade == "healthy"
+        assert health.components["accuracy"] == round(1 / 1.2, 4)
+        assert health.observations == 32
+
+    def test_degraded_accuracy_tanks_the_score(self):
+        healths = evaluate_health(
+            make_observation(ledger={"hive/scan": ledger_entry(mean_q=10.0)})
+        )
+        assert healths[0].grade == "critical"
+        assert healths[0].components["accuracy"] == 0.1
+
+    def test_drift_alarm_collapses_drift_component(self):
+        healths = evaluate_health(
+            make_observation(
+                ledger={"hive/scan": ledger_entry(mean_q=1.0)},
+                drift={"hive": {"drifted": True, "statistic": 9.0}},
+            )
+        )
+        assert healths[0].components["drift"] == 0.25
+        assert healths[0].grade == "critical"
+
+    def test_remedy_saturation_degrades(self):
+        healths = evaluate_health(
+            make_observation(
+                ledger={"hive/scan": ledger_entry(mean_q=1.0, remedy=1.0)}
+            )
+        )
+        assert healths[0].components["remedy"] == 0.5
+        assert healths[0].grade == "degraded"
+
+    def test_cold_cache_does_not_penalize(self):
+        healths = evaluate_health(
+            make_observation(
+                ledger={"hive/scan": ledger_entry()},
+                cache={"lookups": _CACHE_WARMUP_LOOKUPS - 1, "hit_rate": 0.0},
+            )
+        )
+        assert healths[0].components["cache"] == 1.0
+
+    def test_warm_cache_with_no_hits_halves_component(self):
+        healths = evaluate_health(
+            make_observation(
+                ledger={"hive/scan": ledger_entry()},
+                cache={"lookups": _CACHE_WARMUP_LOOKUPS, "hit_rate": 0.0},
+            )
+        )
+        assert healths[0].components["cache"] == 0.5
+
+    def test_accuracy_is_count_weighted_across_operators(self):
+        healths = evaluate_health(
+            make_observation(
+                ledger={
+                    "hive/scan": ledger_entry(mean_q=1.0, count=30),
+                    "hive/join": ledger_entry(mean_q=4.0, count=10),
+                }
+            )
+        )
+        # (30*1 + 10*4) / 40 = 1.75 -> accuracy 1/1.75
+        assert healths[0].components["accuracy"] == round(1 / 1.75, 4)
+        assert healths[0].observations == 40
+
+    def test_drift_only_system_is_discovered(self):
+        healths = evaluate_health(
+            make_observation(drift={"spark": {"drifted": True}})
+        )
+        assert [h.system for h in healths] == ["spark"]
+        assert healths[0].observations == 0
+        assert healths[0].components["accuracy"] == 1.0
+        assert healths[0].components["drift"] == 0.25
+
+    def test_systems_sorted_by_name(self):
+        healths = evaluate_health(
+            make_observation(
+                ledger={
+                    "spark/scan": ledger_entry(),
+                    "hive/scan": ledger_entry(),
+                    "presto/scan": ledger_entry(),
+                }
+            )
+        )
+        assert [h.system for h in healths] == ["hive", "presto", "spark"]
+
+    def test_empty_observation_yields_no_systems(self):
+        assert evaluate_health(make_observation()) == []
+
+    def test_to_dict_round_trips(self):
+        health = evaluate_health(
+            make_observation(ledger={"hive/scan": ledger_entry()})
+        )[0]
+        data = health.to_dict()
+        assert data["system"] == "hive"
+        assert data["grade"] == "healthy"
+        assert set(data["components"]) == {
+            "accuracy", "drift", "remedy", "cache",
+        }
+
+
+class TestWorstGrade:
+    def test_none_with_no_systems(self):
+        assert worst_grade([]) is None
+
+    def test_picks_the_worst(self):
+        healths = evaluate_health(
+            make_observation(
+                ledger={
+                    "hive/scan": ledger_entry(mean_q=1.0),
+                    "spark/scan": ledger_entry(mean_q=10.0),
+                }
+            )
+        )
+        assert worst_grade(healths) == "critical"

@@ -270,6 +270,61 @@ class TestReplayUnits:
         assert result.applied == 0
         assert result.ignored == 1
 
+    def test_unknown_event_types_counted_in_registry(self):
+        """Forward compatibility: a journal written by a newer minor
+        version replays with its unknown types skipped *and counted*."""
+        registry = obs.MetricsRegistry()
+        events = [
+            JournalEvent(seq=1, type="estimate", payload={"seconds": 1.0}),
+            JournalEvent(seq=2, type="mystery", payload={}),
+            JournalEvent(seq=3, type="hologram", payload={"x": 1}),
+            JournalEvent(seq=4, type="mystery", payload={}),
+        ]
+        result = replay(events, registry=registry, ledger=obs.AccuracyLedger())
+        assert result.applied == 1
+        assert result.ignored == 3
+        assert (
+            registry.counter("journal.replay.skipped_events").value == 3.0
+        )
+
+    def test_no_skip_counter_when_all_events_known(self):
+        """An all-known replay must not materialize the skip counter —
+        replayed registries stay bit-identical to the live ones."""
+        registry = obs.MetricsRegistry()
+        events = [
+            JournalEvent(seq=1, type="estimate", payload={"seconds": 1.0})
+        ]
+        replay(events, registry=registry, ledger=obs.AccuracyLedger())
+        assert "journal.replay.skipped_events" not in registry.snapshot()
+
+    def test_alert_events_replay_into_counter(self):
+        registry = obs.MetricsRegistry()
+        events = [
+            JournalEvent(
+                seq=1,
+                type="alert",
+                payload={
+                    "alert_version": 1,
+                    "rule": "slo-q-error",
+                    "instance": "hive/scan",
+                    "state": "firing",
+                    "severity": "critical",
+                    "value": 9.0,
+                    "exemplars": ["q-000001"],
+                },
+            ),
+            JournalEvent(
+                seq=2,
+                type="alert",
+                payload={"rule": "slo-q-error", "state": "resolved"},
+            ),
+        ]
+        result = replay(events, registry=registry, ledger=obs.AccuracyLedger())
+        assert result.applied == 2
+        assert result.ignored == 0
+        assert result.counts["alert"] == 2
+        assert registry.counter("alerts.replayed").value == 2.0
+
 
 # ----------------------------------------------------------------------
 # Live-vs-replay parity (the tentpole acceptance test)

@@ -150,10 +150,32 @@ def _run_gate(*args):
     )
 
 
+def _run_gate_retrying(*args, attempts=3):
+    """Re-run a gate that failed on timing only.
+
+    The --fast gate times with few repeats, so a scheduler hiccup while
+    the test suite loads the machine can push one latency past its
+    budget.  A genuine regression fails every attempt; pure noise does
+    not, so retrying SLOWER-only failures keeps the test meaningful
+    without loosening any threshold.
+    """
+    for _ in range(attempts):
+        proc = _run_gate(*args)
+        timing_only = (
+            proc.returncode == 1
+            and "SLOWER" in proc.stdout
+            and "CHANGED" not in proc.stdout
+            and "MISSING" not in proc.stdout
+        )
+        if not timing_only:
+            return proc
+    return proc
+
+
 @pytest.mark.slow
 class TestGateScript:
     def test_passes_against_committed_baseline(self):
-        proc = _run_gate("--fast")
+        proc = _run_gate_retrying("--fast")
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "regression gate OK" in proc.stdout
 
@@ -172,7 +194,7 @@ class TestGateScript:
         update = _run_gate("--fast", "--update", "--baseline", str(baseline))
         assert update.returncode == 0, update.stdout + update.stderr
         assert baseline.exists()
-        gate = _run_gate(
+        gate = _run_gate_retrying(
             "--fast",
             "--baseline",
             str(baseline),
