@@ -13,6 +13,7 @@ A small operational surface over the library::
     python -m repro alerts                 # evaluate SLO rules (exit 1 on breach)
     python -m repro health                 # per-system health verdict
     python -m repro dashboard              # self-contained HTML dashboard
+    python -m repro serve-obs              # live HTTP observability server
     python -m repro experiments            # list the paper's benchmarks
 
 ``explain``/``run``/``demo`` operate on a self-contained sandbox
@@ -394,16 +395,94 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
         read_result = journal_mod.read_journal(path)
         observation = health.observation_from_events(read_result)
         history = dashboard.build_history(read_result.events)
+        windows = obs.windows_from_events(read_result.events)
     else:
         observation = health.build_observation()
+        aggregator = obs.get_timeseries()
+        windows = aggregator.windows() if aggregator is not None else ()
     healths = health.evaluate_health(observation)
     report = alerts_mod.AlertEngine(alerts_mod.default_rules()).evaluate(
         observation, emit=False
     )
-    html = dashboard.render_dashboard(healths, report=report, history=history)
+    html = dashboard.render_dashboard(
+        healths, report=report, history=history, windows=windows
+    )
     with open(args.out, "w", encoding="utf-8") as fh:
         fh.write(html)
     print(f"dashboard written to {args.out}")
+    return 0
+
+
+#: Queries the serve-obs demo workload cycles through.
+SERVE_DEMO_QUERIES = (
+    "SELECT r.a1 FROM t8000000_100 r JOIN t100000_100 s ON r.a1 = s.a1",
+    "SELECT SUM(a1) FROM t1000000_100 GROUP BY a20",
+    "SELECT a1 FROM t100000_100 WHERE a1 = 7",
+)
+
+
+def cmd_serve_obs(args: argparse.Namespace) -> int:
+    """Serve the live observability plane over HTTP."""
+    import time as time_mod
+
+    try:
+        rules = _load_rule_set(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: serve-obs --rules: {exc}", file=sys.stderr)
+        return 2
+    if obs.get_timeseries() is None:
+        # Window width/retention come from --window or the
+        # REPRO_OBS_WINDOW / REPRO_OBS_RETENTION environment variables.
+        obs.enable_timeseries(width=args.window)
+
+    sphere = None
+    if args.demo:
+        sphere = build_sandbox(seed=args.seed)
+
+        def observe():
+            return obs.build_observation(
+                drift=sphere.costing.drift_snapshot(),
+                cache=sphere.costing.cache.stats(),
+            )
+    else:
+        observe = obs.build_observation
+
+    server = obs.ObsServer(
+        host=args.host, port=args.port, rules=rules, observe=observe
+    )
+    server.start()
+    print(
+        f"serving observability on {server.url} "
+        "(/metrics /metrics.json /health /alerts /timeseries /dashboard)"
+    )
+    if sphere is not None:
+        print("demo workload: cycling sandbox queries until stopped")
+    deadline = (
+        time_mod.monotonic() + args.for_seconds if args.for_seconds else None
+    )
+    try:
+        from repro.sql.parser import parse_select
+
+        index = 0
+        while deadline is None or time_mod.monotonic() < deadline:
+            if sphere is not None:
+                sql = SERVE_DEMO_QUERIES[index % len(SERVE_DEMO_QUERIES)]
+                index += 1
+                plan = parse_select(sql)
+                estimate = sphere.costing.estimate_plan(
+                    "hive", plan, sphere.catalog
+                )
+                actual = sphere.costing.system("hive").execute(plan)
+                sphere.costing.record_actual(
+                    "hive", estimate, actual.elapsed_seconds
+                )
+                obs.maybe_roll_timeseries()
+            time_mod.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        print("observability server stopped")
     return 0
 
 
@@ -574,6 +653,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="output path (default: dashboard.html)",
     )
     dash.set_defaults(func=cmd_dashboard)
+
+    serve = sub.add_parser(
+        "serve-obs", help="serve live observability endpoints over HTTP"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="TCP port; 0 binds an ephemeral port (default: 8321)",
+    )
+    serve.add_argument(
+        "--rules",
+        metavar="FILE",
+        help="JSON rule set overriding the built-in SLO + trend rules",
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=f"telemetry window width (default: ${obs.WINDOW_WIDTH_ENV_VAR} "
+        "or 60)",
+    )
+    serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="drive a sandbox demo workload while serving",
+    )
+    serve.add_argument(
+        "--interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="pause between demo queries / idle polls (default: 0.25)",
+    )
+    serve.add_argument(
+        "--for",
+        dest="for_seconds",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="serve for a fixed duration then exit (default: until Ctrl-C)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=cmd_serve_obs)
 
     sub.add_parser(
         "experiments", help="list the paper-reproduction benchmarks"

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import logging
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -299,6 +300,7 @@ class CostEstimationModule:
         self, requests: Tuple[EstimationRequest, ...], span
     ) -> BatchEstimate:
         """Serve a request tuple through the cache + batched estimators."""
+        started = time.perf_counter()
         results: List[Optional[OperatorEstimate]] = [None] * len(requests)
         keys: List[object] = [None] * len(requests)
         misses_by_system: Dict[str, List[int]] = {}
@@ -329,6 +331,15 @@ class CostEstimationModule:
                 results[index] = estimate
                 self.cache.put(keys[index], estimate)
                 self._observe_estimate(system, estimate, item_span)
+        # Wall-clock cost of the estimation work itself — the p99 the
+        # trend-estimate-latency SLO watches.  Live-only (timing is
+        # nondeterministic), so it is never journaled or replayed.
+        obs.histogram(
+            "costing.estimate_wall_seconds",
+            buckets=obs.WALL_SECONDS_BUCKETS,
+            help="wall-clock latency of estimation calls",
+            unit="wall seconds",
+        ).observe(time.perf_counter() - started)
         return BatchEstimate(
             estimates=tuple(results),  # type: ignore[arg-type]
             cache_hits=hits,
@@ -476,6 +487,22 @@ class CostEstimationModule:
                 actual_seconds=actual_seconds,
                 approach=estimate.approach.value,
                 remedy_active=remedy_active,
+            )
+            # Per-system q-error distribution: the windowed telemetry
+            # plane turns this into per-window means/quantiles that the
+            # trend-q-error rule watches for sustained regressions.
+            # Replay drives the same histogram from the journaled floats
+            # (bit-identical: the division inputs round-trip exactly).
+            obs.histogram(
+                f"accuracy.q_error.{name}",
+                buckets=obs.Q_ERROR_BUCKETS,
+                help="per-system q-error distribution",
+                unit="ratio",
+            ).observe(
+                max(
+                    estimate.seconds / actual_seconds,
+                    actual_seconds / estimate.seconds,
+                )
             )
             if entry.drift is None:
                 entry.drift = DriftMonitor(name=name)

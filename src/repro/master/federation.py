@@ -246,6 +246,10 @@ class IntelliSphere:
                 placement.best.seconds,
                 observed_total,
             )
+        # Flush the live telemetry plane: closing any boundary-crossed
+        # window here means the ring is current after every query even
+        # if no instrument fires again (one None-check when disabled).
+        obs.maybe_roll_timeseries()
         return FederatedResult(
             plan=plan,
             placement=placement,

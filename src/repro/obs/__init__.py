@@ -36,6 +36,14 @@ around that loop:
   from a journal) and the per-remote-system composite health score;
 * :mod:`repro.obs.dashboard` — the self-contained HTML health
   dashboard with journal-derived q-error sparklines;
+* :mod:`repro.obs.timeseries` — the live telemetry plane: a windowed
+  aggregator (quantile histograms, counter deltas, gauge last-values)
+  fed by a registry observer hook, with a bounded ring of closed
+  windows journaled as ``window`` events;
+* :mod:`repro.obs.server` — the stdlib HTTP observability server
+  (``/metrics``, ``/metrics.json``, ``/health``, ``/alerts``,
+  ``/timeseries``, ``/dashboard``) behind ``repro serve-obs`` or
+  embedded via :class:`~repro.obs.server.ObsServer`;
 * :mod:`repro.obs.logconf` — stdlib-logging configuration for the
   ``repro`` logger hierarchy.
 
@@ -47,9 +55,11 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricsObserver,
     MetricsRegistry,
     DEFAULT_SECONDS_BUCKETS,
     WALL_SECONDS_BUCKETS,
+    Q_ERROR_BUCKETS,
     counter,
     gauge,
     get_registry,
@@ -136,17 +146,37 @@ from repro.obs.health import (
 )
 from repro.obs.dashboard import (
     build_history,
+    history_from_windows,
     render_dashboard,
 )
+from repro.obs.timeseries import (
+    WINDOW_RETENTION_ENV_VAR,
+    WINDOW_SCHEMA_VERSION,
+    WINDOW_WIDTH_ENV_VAR,
+    HistogramWindow,
+    ManualClock,
+    TimeSeriesAggregator,
+    WindowSummary,
+    disable_timeseries,
+    enable_timeseries,
+    get_timeseries,
+    log_buckets,
+    maybe_roll_timeseries,
+    set_timeseries,
+    windows_from_events,
+)
+from repro.obs.server import ObsServer
 from repro.obs.logconf import configure as configure_logging
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricsObserver",
     "MetricsRegistry",
     "DEFAULT_SECONDS_BUCKETS",
     "WALL_SECONDS_BUCKETS",
+    "Q_ERROR_BUCKETS",
     "counter",
     "gauge",
     "histogram",
@@ -215,6 +245,22 @@ __all__ = [
     "observation_from_snapshot",
     "worst_grade",
     "build_history",
+    "history_from_windows",
     "render_dashboard",
+    "WINDOW_RETENTION_ENV_VAR",
+    "WINDOW_SCHEMA_VERSION",
+    "WINDOW_WIDTH_ENV_VAR",
+    "HistogramWindow",
+    "ManualClock",
+    "TimeSeriesAggregator",
+    "WindowSummary",
+    "disable_timeseries",
+    "enable_timeseries",
+    "get_timeseries",
+    "log_buckets",
+    "maybe_roll_timeseries",
+    "set_timeseries",
+    "windows_from_events",
+    "ObsServer",
     "configure_logging",
 ]

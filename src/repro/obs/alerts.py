@@ -31,6 +31,19 @@ Design points:
                              ``*`` fans out over systems
   ``cache:<field>``          estimate-cache statistic (``hit_rate``,
                              ``lookups``, ``evictions``, ...)
+  ``window:<m>:<stat>``      the named stat of metric ``<m>`` in the
+                             newest closed telemetry window (histogram
+                             stats ``p50``/``p95``/``p99``/``count``/
+                             ``sum``/``mean``/``min``/``max``, counter
+                             ``delta``, gauge ``last``)
+  ``window:<m>:<stat>``      …``:<agg>:<n>`` aggregates the stat over
+                             the last ``n`` windows with ``avg``/
+                             ``min``/``max``/``sum``/``slope`` —
+                             **trend rules** that fire on sustained
+                             regressions, not instant values.  An
+                             embedded ``*`` in ``<m>`` fans out over
+                             matching metric names (the matched portion
+                             becomes the instance).
   ========================== ==========================================
 
 * **guarded** — a rule may require a minimum sample size (e.g. ledger
@@ -53,11 +66,14 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.obs.journal import EventJournal, NoopJournal, get_journal
 from repro.obs.metrics import counter
+from repro.obs.timeseries import HISTOGRAM_STATS, WindowSummary
 
 __all__ = [
     "ALERT_SCHEMA_VERSION",
     "SEVERITIES",
     "OPERATORS",
+    "WINDOW_STATS",
+    "WINDOW_AGGS",
     "AlertRule",
     "Alert",
     "AlertReport",
@@ -75,7 +91,72 @@ SEVERITIES: Tuple[str, ...] = ("info", "warning", "critical")
 #: Comparison operators a rule may use against its threshold.
 OPERATORS: Tuple[str, ...] = (">", ">=", "<", "<=")
 
-_SIGNAL_ROOTS = ("metric", "ledger", "drift", "cache")
+_SIGNAL_ROOTS = ("metric", "ledger", "drift", "cache", "window")
+
+#: Per-window statistics a ``window:`` signal may name.
+WINDOW_STATS: Tuple[str, ...] = tuple(HISTOGRAM_STATS) + ("delta", "last")
+
+#: Cross-window aggregations for the 5-part trend form.
+WINDOW_AGGS: Tuple[str, ...] = ("avg", "min", "max", "sum", "slope")
+
+
+def _validate_signal(rule_name: str, signal: str, what: str = "signal") -> None:
+    """Reject malformed signal paths at rule-construction time.
+
+    Catching arity/vocabulary mistakes here — with the rule's *name* in
+    the message — beats silently resolving to ``None`` deep inside
+    evaluation (where a typo'd rule just never fires).
+    """
+    parts = signal.split(":")
+    root = parts[0]
+    if root not in _SIGNAL_ROOTS:
+        raise ValueError(
+            f"rule {rule_name!r}: {what} must start with one of "
+            f"{_SIGNAL_ROOTS}, got {signal!r}"
+        )
+    if root == "metric":
+        if len(parts) not in (2, 3) or not parts[1]:
+            raise ValueError(
+                f"rule {rule_name!r}: {what} {signal!r} must be "
+                f"metric:<name> or metric:<name>:<field>"
+            )
+    elif root in ("ledger", "drift"):
+        if len(parts) != 3 or not parts[1] or not parts[2]:
+            raise ValueError(
+                f"rule {rule_name!r}: {what} {signal!r} must be "
+                f"{root}:<key>:<field>"
+            )
+    elif root == "cache":
+        if len(parts) != 2 or not parts[1]:
+            raise ValueError(
+                f"rule {rule_name!r}: {what} {signal!r} must be cache:<field>"
+            )
+    elif root == "window":
+        if len(parts) not in (3, 5) or not parts[1]:
+            raise ValueError(
+                f"rule {rule_name!r}: {what} {signal!r} must be "
+                f"window:<metric>:<stat> or window:<metric>:<stat>:<agg>:<n>"
+            )
+        if parts[2] not in WINDOW_STATS:
+            raise ValueError(
+                f"rule {rule_name!r}: {what} window stat must be one of "
+                f"{WINDOW_STATS}, got {parts[2]!r}"
+            )
+        if len(parts) == 5:
+            if parts[3] not in WINDOW_AGGS:
+                raise ValueError(
+                    f"rule {rule_name!r}: {what} window aggregation must "
+                    f"be one of {WINDOW_AGGS}, got {parts[3]!r}"
+                )
+            try:
+                n = int(parts[4])
+            except ValueError:
+                n = 0
+            if n < 1:
+                raise ValueError(
+                    f"rule {rule_name!r}: {what} window span must be a "
+                    f"positive integer, got {parts[4]!r}"
+                )
 
 
 @dataclass(frozen=True)
@@ -117,12 +198,10 @@ class AlertRule:
             )
         if self.mode not in ("value", "delta"):
             raise ValueError(f"rule {self.name!r}: mode must be value|delta")
-        root = self.signal.split(":", 1)[0]
-        if root not in _SIGNAL_ROOTS:
-            raise ValueError(
-                f"rule {self.name!r}: signal must start with one of "
-                f"{_SIGNAL_ROOTS}, got {self.signal!r}"
-            )
+        _validate_signal(self.name, self.signal)
+        if self.guard is not None:
+            guard_signal, _minimum = self.guard
+            _validate_signal(self.name, guard_signal, what="guard signal")
 
     def compare(self, value: float) -> bool:
         if self.op == ">":
@@ -278,6 +357,85 @@ def _resolve_scalar(
         if len(parts) != 2:
             return None
         return _as_float(_mapping(observation, "cache").get(parts[1]))
+    if root == "window":
+        return _window_value(observation, parts, instance)
+    return None
+
+
+def _window_summaries(
+    observation: Mapping[str, object],
+) -> Tuple[WindowSummary, ...]:
+    """Closed windows carried in the observation's timeseries slice."""
+    windows = _mapping(observation, "timeseries").get("windows")
+    if not isinstance(windows, Sequence) or isinstance(windows, (str, bytes)):
+        return ()
+    summaries: List[WindowSummary] = []
+    for payload in windows:
+        if not isinstance(payload, Mapping):
+            continue
+        try:
+            summaries.append(WindowSummary.from_payload(dict(payload)))
+        except (TypeError, ValueError):
+            continue
+    return tuple(summaries)
+
+
+def _slope(values: Sequence[float]) -> float:
+    """Least-squares slope of ``values`` against window positions."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(values) / n
+    numerator = sum(
+        (index - mean_x) * (value - mean_y)
+        for index, value in enumerate(values)
+    )
+    denominator = sum((index - mean_x) ** 2 for index in range(n))
+    return numerator / denominator
+
+
+def _window_value(
+    observation: Mapping[str, object], parts: Sequence[str], instance: str
+) -> Optional[float]:
+    """Resolve a ``window:`` signal (already validated at rule build).
+
+    The 3-part form reads the newest closed window; the 5-part form
+    aggregates the stat over the last ``n`` closed windows.  Windows
+    that never saw the metric contribute nothing; no window seeing it
+    resolves to ``None`` (the rule is skipped, not fired-on-zero).
+    """
+    if len(parts) not in (3, 5):
+        return None
+    metric = parts[1].replace("*", instance) if instance else parts[1]
+    stat = parts[2]
+    aggregation = parts[3] if len(parts) == 5 else "last"
+    try:
+        span = int(parts[4]) if len(parts) == 5 else 1
+    except ValueError:
+        return None
+    summaries = _window_summaries(observation)
+    if not summaries or span < 1:
+        return None
+    values: List[float] = []
+    for summary in summaries[-span:]:
+        value = summary.stat(metric, stat)
+        if value is not None:
+            values.append(value)
+    if not values:
+        return None
+    if aggregation == "last":
+        return values[-1]
+    if aggregation == "avg":
+        return sum(values) / len(values)
+    if aggregation == "min":
+        return min(values)
+    if aggregation == "max":
+        return max(values)
+    if aggregation == "sum":
+        return sum(values)
+    if aggregation == "slope":
+        return _slope(values)
     return None
 
 
@@ -289,7 +447,27 @@ def _mapping(observation: Mapping[str, object], key: str) -> Mapping[str, object
 def _instances(observation: Mapping[str, object], signal: str) -> List[str]:
     """Concrete instances a wildcard signal expands to (sorted)."""
     parts = signal.split(":")
-    if len(parts) < 2 or parts[1] != "*":
+    if len(parts) < 2:
+        return [""]
+    if parts[0] == "window":
+        # Window signals embed the wildcard *inside* the metric name
+        # (``window:accuracy.q_error.*:mean:slope:3``); the matched
+        # portion is the instance, which downstream exemplar lookup
+        # maps to a system via its first path segment.
+        if "*" not in parts[1]:
+            return [""]
+        prefix, _, suffix = parts[1].partition("*")
+        names = set()
+        for summary in _window_summaries(observation):
+            names.update(summary.metric_names())
+        return sorted(
+            name[len(prefix):len(name) - len(suffix)] if suffix else name[len(prefix):]
+            for name in names
+            if name.startswith(prefix)
+            and name.endswith(suffix)
+            and len(name) > len(prefix) + len(suffix)
+        )
+    if parts[1] != "*":
         return [""]
     if parts[0] == "ledger":
         keys = _mapping(observation, "ledger")
@@ -516,17 +694,56 @@ def default_rules() -> Tuple[AlertRule, ...]:
             guard=("cache:lookups", 256.0),
             description="estimate-cache hit rate collapsed",
         ),
+        # Trend rules over the live telemetry plane: these only resolve
+        # when the observation carries a timeseries slice with closed
+        # windows, so snapshot-only paths are untouched.
+        AlertRule(
+            name="trend-estimate-latency",
+            signal="window:costing.estimate_wall_seconds:p99:avg:5",
+            op=">",
+            threshold=0.05,
+            severity="warning",
+            guard=("window:costing.estimate_wall_seconds:count:sum:5", 32.0),
+            description=(
+                "p99 estimation wall latency sustained above 50ms "
+                "across the last 5 windows"
+            ),
+        ),
+        AlertRule(
+            name="trend-q-error",
+            signal="window:accuracy.q_error.*:mean:slope:3",
+            op=">",
+            threshold=0.5,
+            severity="warning",
+            guard=("window:accuracy.q_error.*:count:sum:3", 8.0),
+            description=(
+                "per-system q-error trending upward across the last "
+                "3 windows"
+            ),
+        ),
     )
 
 
 def rules_from_json(data: object) -> Tuple[AlertRule, ...]:
-    """Build a rule set from parsed JSON (a list of rule objects)."""
+    """Build a rule set from parsed JSON (a list of rule objects).
+
+    Every rejection raises one :class:`ValueError` naming the offending
+    **rule id** (falling back to its list position only when the rule
+    has no usable name), so a bad rule file fails loudly at load time
+    instead of deep inside evaluation.
+    """
     if not isinstance(data, list):
         raise ValueError("rule file must contain a JSON list of rules")
     rules: List[AlertRule] = []
     for index, raw in enumerate(data):
         if not isinstance(raw, dict):
             raise ValueError(f"rule #{index} is not an object")
+        name = raw.get("name")
+        label = (
+            f"rule {name!r}"
+            if isinstance(name, str) and name
+            else f"rule #{index}"
+        )
         guard = raw.get("guard")
         parsed_guard: Optional[Tuple[str, float]] = None
         if guard is not None:
@@ -535,17 +752,30 @@ def rules_from_json(data: object) -> Tuple[AlertRule, ...]:
                 or len(guard) != 2
                 or not isinstance(guard[0], str)
             ):
+                raise ValueError(f"{label}: guard must be [signal, minimum]")
+            try:
+                parsed_guard = (guard[0], float(guard[1]))
+            except (TypeError, ValueError):
                 raise ValueError(
-                    f"rule #{index}: guard must be [signal, minimum]"
-                )
-            parsed_guard = (guard[0], float(guard[1]))
+                    f"{label}: guard minimum must be a number, "
+                    f"got {guard[1]!r}"
+                ) from None
+        try:
+            threshold = float(raw["threshold"])
+        except KeyError:
+            raise ValueError(f"{label} is missing field 'threshold'") from None
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{label}: threshold must be a number, "
+                f"got {raw['threshold']!r}"
+            ) from None
         try:
             rules.append(
                 AlertRule(
                     name=str(raw["name"]),
                     signal=str(raw["signal"]),
                     op=str(raw["op"]),
-                    threshold=float(raw["threshold"]),
+                    threshold=threshold,
                     severity=str(raw.get("severity", "warning")),
                     mode=str(raw.get("mode", "value")),
                     guard=parsed_guard,
@@ -553,7 +783,7 @@ def rules_from_json(data: object) -> Tuple[AlertRule, ...]:
                 )
             )
         except KeyError as exc:
-            raise ValueError(f"rule #{index} is missing field {exc}") from None
+            raise ValueError(f"{label} is missing field {exc}") from None
     return tuple(rules)
 
 

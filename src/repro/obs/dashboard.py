@@ -20,13 +20,14 @@ standard library and must never import from the instrumented packages.
 from __future__ import annotations
 
 import html
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.alerts import AlertReport
 from repro.obs.health import SystemHealth
 from repro.obs.journal import JournalEvent
+from repro.obs.timeseries import WindowSummary
 
-__all__ = ["build_history", "render_dashboard"]
+__all__ = ["build_history", "history_from_windows", "render_dashboard"]
 
 #: Points kept per system sparkline (newest win; enough for a trend).
 HISTORY_POINTS = 120
@@ -63,6 +64,36 @@ def build_history(
         series.append(q_error)
         if len(series) > max_points:
             del series[: len(series) - max_points]
+    return history
+
+
+#: Metric prefix the telemetry plane records per-system q-errors under.
+_Q_ERROR_PREFIX = "accuracy.q_error."
+
+
+def history_from_windows(
+    windows: Sequence[WindowSummary],
+    max_points: int = HISTORY_POINTS,
+) -> Dict[str, List[float]]:
+    """Per-system q-error history from closed telemetry windows.
+
+    One point per window: the mean of the window's
+    ``accuracy.q_error.<system>`` histogram.  This is the live-server
+    counterpart of :func:`build_history` — real windowed history even
+    when no journal is configured.
+    """
+    history: Dict[str, List[float]] = {}
+    for summary in windows:
+        for name, histogram in summary.histograms.items():
+            if not name.startswith(_Q_ERROR_PREFIX) or histogram.count == 0:
+                continue
+            system = name[len(_Q_ERROR_PREFIX):]
+            if not system:
+                continue
+            series = history.setdefault(system, [])
+            series.append(histogram.mean)
+            if len(series) > max_points:
+                del series[: len(series) - max_points]
     return history
 
 
@@ -145,11 +176,42 @@ def _health_tile(health: SystemHealth) -> str:
     )
 
 
+def _window_series(
+    windows: Sequence[WindowSummary],
+) -> List[Tuple[str, str, List[float]]]:
+    """Per-metric representative series across windows, sorted by name.
+
+    Histograms chart their per-window p95, counters their delta, gauges
+    their last value — one line per metric the plane saw.
+    """
+    kinds: Dict[str, str] = {}
+    for summary in windows:
+        for name in summary.histograms:
+            kinds[name] = "histogram"
+        for name in summary.counters:
+            kinds.setdefault(name, "counter")
+        for name in summary.gauges:
+            kinds.setdefault(name, "gauge")
+    stat_for = {"histogram": "p95", "counter": "delta", "gauge": "last"}
+    rows: List[Tuple[str, str, List[float]]] = []
+    for name in sorted(kinds):
+        kind = kinds[name]
+        series = [
+            value
+            for summary in windows
+            if (value := summary.stat(name, stat_for[kind])) is not None
+        ]
+        if series:
+            rows.append((name, kind, series))
+    return rows
+
+
 def render_dashboard(
     healths: Sequence[SystemHealth],
     report: Optional[AlertReport] = None,
     history: Optional[Mapping[str, Sequence[float]]] = None,
     title: str = "Cost estimation health",
+    windows: Optional[Sequence[WindowSummary]] = None,
 ) -> str:
     """The dashboard page as a self-contained HTML string."""
     body: List[str] = [f"<h1>{_esc(title)}</h1>"]
@@ -180,7 +242,8 @@ def render_dashboard(
                 f'<td class="sev-{_esc(alert.severity)}">{_esc(alert.severity)}</td>'
                 f"<td>{state}</td>"
                 f'<td class="num">{alert.value:.3f}</td>'
-                f'<td class="num">{alert.op} {alert.threshold:g}</td>'
+                # The op must be escaped: "<" / "<=" are raw HTML.
+                f'<td class="num">{_esc(alert.op)} {alert.threshold:g}</td>'
                 f"<td><code>{_esc(exemplars)}</code></td></tr>"
             )
         body.append("</table>")
@@ -211,5 +274,30 @@ def render_dashboard(
             '<p class="muted">no journaled actuals to chart '
             "(set <code>REPRO_OBS_JOURNAL</code>)</p>"
         )
+
+    if windows is not None:
+        body.append("<h2>Windowed telemetry</h2>")
+        rows = _window_series(windows)
+        if rows:
+            body.append(
+                f'<p class="muted">{len(windows)} closed windows</p>'
+                "<table><tr><th>metric</th><th>kind</th><th>trend</th>"
+                "<th class=num>last</th><th class=num>windows</th></tr>"
+            )
+            for name, kind, series in rows:
+                body.append(
+                    f"<tr><td><code>{_esc(name)}</code></td>"
+                    f"<td>{_esc(kind)}</td>"
+                    f"<td>{_sparkline(series)}</td>"
+                    f'<td class="num">{series[-1]:.4g}</td>'
+                    f'<td class="num">{len(series)}</td></tr>'
+                )
+            body.append("</table>")
+        else:
+            body.append(
+                '<p class="muted">no closed windows yet '
+                "(first window closes after <code>REPRO_OBS_WINDOW</code> "
+                "seconds)</p>"
+            )
 
     return _page(title, body)

@@ -17,6 +17,8 @@ observability stack produces:
         "cache":     {"hits", "misses", "lookups", "hit_rate", "size",
                       "evictions", "invalidations"},
         "exemplars": {system: [recent query ids]},
+        "timeseries": {"width", "retention", "closed",
+                       "windows": [window payloads]},   # telemetry plane
     }
 
 Observations can be built **live** (:func:`build_observation`, from the
@@ -53,6 +55,7 @@ from repro.obs.journal import (
 )
 from repro.obs.ledger import AccuracyLedger, get_ledger
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.timeseries import get_timeseries, windows_from_events
 
 __all__ = [
     "OBSERVATION_VERSION",
@@ -94,6 +97,10 @@ _EMPTY_CACHE: Dict[str, float] = {
 }
 
 
+def _empty_timeseries() -> Dict[str, object]:
+    return {"width": 0.0, "retention": 0, "closed": 0, "windows": []}
+
+
 # ----------------------------------------------------------------------
 # Building observations
 # ----------------------------------------------------------------------
@@ -103,6 +110,7 @@ def build_observation(
     drift: Optional[Mapping[str, Mapping[str, object]]] = None,
     cache: Optional[Mapping[str, object]] = None,
     exemplars: Optional[Mapping[str, List[str]]] = None,
+    timeseries: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
     """Snapshot the live observability state into one observation.
 
@@ -115,11 +123,20 @@ def build_observation(
         cache: Estimate-cache statistics — ``EstimateCache.stats()``.
         exemplars: Recent query ids per system; the process-wide
             exemplar store by default.
+        timeseries: Windowed-telemetry slice (an aggregator
+            ``snapshot()``); the process-wide aggregator's by default,
+            empty when the telemetry plane is off.
     """
     registry = registry if registry is not None else get_registry()
     ledger = ledger if ledger is not None else get_ledger()
     if exemplars is None:
         exemplars = get_exemplar_store().snapshot()
+    if timeseries is None:
+        aggregator = get_timeseries()
+        timeseries = (
+            aggregator.snapshot() if aggregator is not None
+            else _empty_timeseries()
+        )
     cache_stats = dict(_EMPTY_CACHE)
     if cache is not None:
         cache_stats.update({str(k): v for k, v in cache.items()})
@@ -134,6 +151,7 @@ def build_observation(
         "exemplars": {
             str(system): list(ids) for system, ids in (exemplars or {}).items()
         },
+        "timeseries": dict(timeseries),
     }
 
 
@@ -146,7 +164,9 @@ def observation_from_events(source: ReadResult) -> Dict[str, object]:
     the most recent exemplar query ids carried on estimate/actual
     events.  Cache statistics are process-local and not journaled, so
     the offline cache view is all-zero (which keeps cache rules quiet —
-    their warm-up guards see zero lookups).
+    their warm-up guards see zero lookups).  Closed telemetry windows
+    are rebuilt bit-identically from ``window`` events, so trend rules
+    evaluate offline exactly as they did live.
     """
     registry = MetricsRegistry()
     ledger = AccuracyLedger()
@@ -173,11 +193,24 @@ def observation_from_events(source: ReadResult) -> Dict[str, object]:
                 bucket.append(query_id)
                 if len(bucket) > _EXEMPLARS_PER_SYSTEM:
                     del bucket[: len(bucket) - _EXEMPLARS_PER_SYSTEM]
+    window_summaries = windows_from_events(source.events)
+    width = (
+        window_summaries[-1].end - window_summaries[-1].start
+        if window_summaries else 0.0
+    )
     return build_observation(
         registry=registry,
         ledger=ledger,
         drift=drift,
         exemplars={system: ids for system, ids in sorted(exemplars.items())},
+        timeseries={
+            "width": width,
+            "retention": len(window_summaries),
+            "closed": len(window_summaries),
+            "windows": [
+                summary.to_payload() for summary in window_summaries
+            ],
+        },
     )
 
 
@@ -207,6 +240,7 @@ def observation_from_snapshot(
         "drift": {},
         "cache": dict(_EMPTY_CACHE),
         "exemplars": {},
+        "timeseries": _empty_timeseries(),
     }
 
 

@@ -45,6 +45,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 from repro.obs.ledger import AccuracyLedger, get_ledger
 from repro.obs.metrics import (
     DEFAULT_SECONDS_BUCKETS,
+    Q_ERROR_BUCKETS,
     MetricsRegistry,
     get_registry,
 )
@@ -77,6 +78,7 @@ EVENT_TYPES: Tuple[str, ...] = (
     "tuning",     # an offline-tuning batch was folded into a model
     "drift",      # a drift monitor raised its alarm
     "alert",      # an SLO alert transitioned firing/resolved
+    "window",     # a telemetry window closed (repro.obs.timeseries)
 )
 
 JOURNAL_ENV_VAR = "REPRO_OBS_JOURNAL"
@@ -429,7 +431,8 @@ def replay(
       ``costing.approach.<approach>``, the ``costing.estimate_seconds``
       histogram, ``costing.estimates_remedied``;
     * ``actual`` — ``costing.record_actual.calls``,
-      ``costing.drift_flags``, and one :meth:`AccuracyLedger.record`;
+      ``costing.drift_flags``, the per-system ``accuracy.q_error.<s>``
+      histogram, and one :meth:`AccuracyLedger.record`;
     * ``remedy`` — ``remedy.activations`` /
       ``remedy.regression_fallbacks`` (activation phase) or
       ``remedy.recalibrations`` + the ``remedy.alpha`` gauge
@@ -439,7 +442,10 @@ def replay(
     * ``alert`` — ``alerts.replayed`` (the live engine's
       evaluation/firing counters are not reconstructed: alert *state*
       belongs to the engine that evaluated, the journal only witnesses
-      the transitions).
+      the transitions);
+    * ``window`` — counted but drives no instrument; the time-series
+      ring is rebuilt separately by
+      :func:`repro.obs.timeseries.windows_from_events`.
 
     Events of unknown type are skipped and counted (``ignored`` plus
     the ``journal.replay.skipped_events`` counter) so journals written
@@ -484,14 +490,21 @@ def replay(
             estimated = _as_float(payload.get("estimated_seconds"))
             actual = _as_float(payload.get("actual_seconds"))
             if estimated > 0 and actual > 0:
+                system = str(payload.get("system", ""))
                 ledger.record(
-                    system=str(payload.get("system", "")),
+                    system=system,
                     operator=str(payload.get("operator", "")),
                     estimated_seconds=estimated,
                     actual_seconds=actual,
                     approach=str(payload.get("approach", "")),
                     remedy_active=bool(payload.get("remedy_active", False)),
                 )
+                # Mirror of record_actual's per-system q-error histogram
+                # — same guard, same division on floats that round-trip
+                # JSON exactly, so replay stays bit-identical.
+                registry.histogram(
+                    f"accuracy.q_error.{system}", buckets=Q_ERROR_BUCKETS
+                ).observe(max(estimated / actual, actual / estimated))
             if payload.get("drift_flagged"):
                 registry.counter("costing.drift_flags").inc()
         elif event.type == "remedy":
@@ -513,6 +526,15 @@ def replay(
             registry.counter("drift.alarms").inc()
         elif event.type == "alert":
             registry.counter("alerts.replayed").inc()
+        elif event.type == "window":
+            # Window summaries are *data*, not instrument deltas: the
+            # time-series ring is rebuilt by
+            # ``repro.obs.timeseries.windows_from_events`` (this module
+            # cannot import it — timeseries depends on the journal).
+            # Counting the event here keeps replay totals honest
+            # without driving any instrument, so bit-identity of the
+            # replayed registry is untouched.
+            pass
         else:
             ignored += 1
             continue

@@ -29,9 +29,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricsObserver",
     "MetricsRegistry",
     "DEFAULT_SECONDS_BUCKETS",
     "WALL_SECONDS_BUCKETS",
+    "Q_ERROR_BUCKETS",
     "get_registry",
     "set_registry",
     "counter",
@@ -50,12 +52,18 @@ WALL_SECONDS_BUCKETS: Tuple[float, ...] = (
     1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
 )
 
+#: q-error buckets: q >= 1 by construction; a trained model sits under
+#: 2, a collapsed one blows past 10 (Fig. 10's spread).
+Q_ERROR_BUCKETS: Tuple[float, ...] = (
+    1.1, 1.25, 1.5, 2.0, 2.5, 3.0, 5.0, 10.0, 25.0,
+)
+
 
 class Counter:
     """A monotonically increasing float counter."""
 
     kind = "counter"
-    __slots__ = ("name", "help", "unit", "_lock", "_value")
+    __slots__ = ("name", "help", "unit", "_lock", "_value", "_observer")
 
     def __init__(self, name: str, help: str = "", unit: str = "") -> None:
         self.name = name
@@ -63,12 +71,16 @@ class Counter:
         self.unit = unit
         self._lock = threading.Lock()
         self._value = 0.0
+        self._observer: Optional["MetricsObserver"] = None
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
         with self._lock:
             self._value += amount
+        observer = self._observer
+        if observer is not None:
+            observer.on_counter(self.name, amount)
 
     @property
     def value(self) -> float:
@@ -91,7 +103,7 @@ class Gauge:
     """A value that can go up and down (α trajectory, last RMSE%, ...)."""
 
     kind = "gauge"
-    __slots__ = ("name", "help", "unit", "_lock", "_value")
+    __slots__ = ("name", "help", "unit", "_lock", "_value", "_observer")
 
     def __init__(self, name: str, help: str = "", unit: str = "") -> None:
         self.name = name
@@ -99,14 +111,23 @@ class Gauge:
         self.unit = unit
         self._lock = threading.Lock()
         self._value = 0.0
+        self._observer: Optional["MetricsObserver"] = None
 
     def set(self, value: float) -> None:
+        value = float(value)
         with self._lock:
-            self._value = float(value)
+            self._value = value
+        observer = self._observer
+        if observer is not None:
+            observer.on_gauge(self.name, value)
 
     def inc(self, amount: float = 1.0) -> None:
         with self._lock:
             self._value += amount
+            value = self._value
+        observer = self._observer
+        if observer is not None:
+            observer.on_gauge(self.name, value)
 
     @property
     def value(self) -> float:
@@ -135,7 +156,7 @@ class Histogram:
     kind = "histogram"
     __slots__ = (
         "name", "help", "unit", "buckets",
-        "_lock", "_counts", "_sum", "_count",
+        "_lock", "_counts", "_sum", "_count", "_observer",
     )
 
     def __init__(
@@ -158,6 +179,7 @@ class Histogram:
         self._counts: List[int] = [0] * (len(bounds) + 1)  # +Inf tail
         self._sum = 0.0
         self._count = 0
+        self._observer: Optional["MetricsObserver"] = None
 
     def observe(self, value: float) -> None:
         index = bisect.bisect_left(self.buckets, value)
@@ -165,6 +187,9 @@ class Histogram:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+        observer = self._observer
+        if observer is not None:
+            observer.on_histogram(self.name, value)
 
     @property
     def count(self) -> int:
@@ -213,6 +238,27 @@ class Histogram:
 Metric = Union[Counter, Gauge, Histogram]
 
 
+class MetricsObserver:
+    """Receives every instrument update on a registry (duck-typed).
+
+    An observer attached via :meth:`MetricsRegistry.attach_observer` is
+    notified *after* the instrument's own state changed and *outside*
+    its lock, so observers may themselves drive metrics (re-entrancy is
+    the observer's problem — :class:`repro.obs.timeseries` uses an
+    RLock).  The detached fast path costs one attribute load and a
+    ``None`` check per update.
+    """
+
+    def on_counter(self, name: str, amount: float) -> None:
+        """A counter was incremented by ``amount``."""
+
+    def on_gauge(self, name: str, value: float) -> None:
+        """A gauge was set/incremented; ``value`` is the new value."""
+
+    def on_histogram(self, name: str, value: float) -> None:
+        """A histogram observed ``value``."""
+
+
 class MetricsRegistry:
     """Named get-or-create store of metrics instruments.
 
@@ -223,6 +269,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: Dict[str, Metric] = {}
+        self._observer: Optional[MetricsObserver] = None
 
     # ------------------------------------------------------------------
     # Instrument factories (get-or-create)
@@ -254,6 +301,7 @@ class MetricsRegistry:
                 help=help,
                 unit=unit,
             )
+            metric._observer = self._observer
             self._metrics[name] = metric
             return metric
 
@@ -267,8 +315,32 @@ class MetricsRegistry:
                     )
                 return existing
             metric = cls(name, **kwargs)
+            metric._observer = self._observer
             self._metrics[name] = metric
             return metric
+
+    # ------------------------------------------------------------------
+    # Observer hook (live telemetry plane)
+    # ------------------------------------------------------------------
+    def attach_observer(self, observer: Optional[MetricsObserver]) -> None:
+        """Install ``observer`` on every existing and future instrument.
+
+        One observer per registry; attaching replaces the previous one,
+        ``None`` detaches.  Instrumented call sites are untouched — the
+        hook lives inside the instruments themselves.
+        """
+        with self._lock:
+            self._observer = observer
+            for metric in self._metrics.values():
+                metric._observer = observer
+
+    def detach_observer(self) -> None:
+        self.attach_observer(None)
+
+    @property
+    def observer(self) -> Optional[MetricsObserver]:
+        with self._lock:
+            return self._observer
 
     # ------------------------------------------------------------------
     # Introspection

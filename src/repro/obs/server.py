@@ -1,0 +1,280 @@
+"""The HTTP observability server: live scrape endpoints + dashboard.
+
+A thin, stdlib-only (:mod:`http.server`) serving plane over everything
+:mod:`repro.obs` already computes:
+
+====================  ==================================================
+endpoint              payload
+====================  ==================================================
+``GET /metrics``      Prometheus text exposition of the live registry —
+                      byte-deterministic ordering (sorted metric names,
+                      fixed float rendering), straight from
+                      :func:`repro.obs.exporters.to_prometheus_text`
+``GET /metrics.json`` the exporter snapshot (metrics + ledger) as JSON
+``GET /health``       per-system verdicts from
+                      :func:`repro.obs.health.evaluate_health`
+``GET /alerts``       one :class:`~repro.obs.alerts.AlertEngine`
+                      evaluation (trend rules included); the engine is
+                      long-lived, so firing→resolved transitions behave
+                      exactly like a monitoring loop's
+``GET /timeseries``   the windowed-telemetry ring as JSON
+``GET /dashboard``    the self-contained HTML page, backed by *real*
+                      windowed history
+====================  ==================================================
+
+Design points:
+
+* **non-blocking** — ``ThreadingHTTPServer`` with daemon threads behind
+  ``start()``; the caller's thread never serves requests;
+* **bounded request logging** — the default handler's stderr spam is
+  redirected into a fixed-size ring (:attr:`ObsServer.request_log`);
+* **clean shutdown** — ``stop()`` unwinds ``serve_forever`` and joins
+  the serving thread; ``with ObsServer(...) as server:`` does both;
+* **embeddable** — the future ``repro serve`` daemon mounts the same
+  object; ``repro serve-obs`` is the standalone CLI front.
+
+Alert evaluation state is engine-local and serialized under a lock, so
+concurrent scrapes cannot corrupt fired/resolved bookkeeping.
+
+Like the rest of :mod:`repro.obs`, this module depends only on the
+standard library and must never import from the instrumented packages —
+live drift/cache views are injected by the caller as an ``observe``
+callable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Deque, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.alerts import AlertEngine, AlertRule
+from repro.obs.dashboard import (
+    build_history,
+    history_from_windows,
+    render_dashboard,
+)
+from repro.obs.exporters import build_snapshot, to_prometheus_text
+from repro.obs.health import build_observation, evaluate_health, worst_grade
+from repro.obs.journal import get_journal
+from repro.obs.timeseries import (
+    get_timeseries,
+    maybe_roll_timeseries,
+    windows_from_events,
+)
+
+__all__ = ["ObsServer", "REQUEST_LOG_LIMIT"]
+
+#: Requests remembered in the bounded request log.
+REQUEST_LOG_LIMIT = 256
+
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+_HTML_CONTENT_TYPE = "text/html; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request; all state lives on ``server.obs``."""
+
+    server_version = "repro-obs"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        obs: "ObsServer" = self.server.obs  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                self._respond(200, _PROM_CONTENT_TYPE, obs.render_metrics())
+            elif path == "/metrics.json":
+                self._respond(200, _JSON_CONTENT_TYPE, obs.render_metrics_json())
+            elif path == "/health":
+                self._respond(200, _JSON_CONTENT_TYPE, obs.render_health())
+            elif path == "/alerts":
+                self._respond(200, _JSON_CONTENT_TYPE, obs.render_alerts())
+            elif path == "/timeseries":
+                self._respond(200, _JSON_CONTENT_TYPE, obs.render_timeseries())
+            elif path in ("/", "/dashboard"):
+                self._respond(200, _HTML_CONTENT_TYPE, obs.render_dashboard())
+            else:
+                self._respond(
+                    404,
+                    _JSON_CONTENT_TYPE,
+                    json.dumps({"error": f"no such endpoint: {path}"}),
+                )
+        except Exception as exc:  # noqa: BLE001 — a scrape must not kill the server
+            try:
+                self._respond(
+                    500,
+                    _JSON_CONTENT_TYPE,
+                    json.dumps({"error": str(exc)}),
+                )
+            except OSError:
+                pass  # client went away mid-error
+
+    def _respond(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    # ------------------------------------------------------------------
+    # Logging: bounded ring instead of stderr
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        obs: "ObsServer" = self.server.obs  # type: ignore[attr-defined]
+        obs.request_log.append(
+            f"{self.address_string()} {format % args}"
+        )
+
+
+class ObsServer:
+    """The embeddable observability HTTP server.
+
+    Args:
+        host: Bind address (loopback by default — this is an internal
+            scrape/debug plane, not a public service).
+        port: TCP port; ``0`` binds an ephemeral port (read it back
+            from :attr:`port` after :meth:`start`).
+        rules: Alert rule set for ``/alerts`` and the dashboard's alert
+            table; the default SLO + trend rules when omitted.
+        observe: Zero-argument callable producing the observation dict
+            ``/health``/``/alerts``/``/dashboard`` evaluate.  Defaults
+            to :func:`repro.obs.health.build_observation` (registry +
+            ledger + timeseries, no drift/cache slices); the CLI wires
+            in the costing module's live drift and cache views here.
+        title: Dashboard page title.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        rules: Optional[Sequence[AlertRule]] = None,
+        observe: Optional[Callable[[], Mapping[str, object]]] = None,
+        title: str = "Cost estimation health",
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.title = title
+        self.engine = AlertEngine(rules)
+        self.request_log: Deque[str] = deque(maxlen=REQUEST_LOG_LIMIT)
+        self._observe = observe if observe is not None else build_observation
+        self._eval_lock = threading.Lock()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        """Bind and serve on a daemon thread; returns self."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        httpd.daemon_threads = True
+        httpd.obs = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"repro-obs-server:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Unwind ``serve_forever`` and join the serving thread."""
+        httpd, thread = self._httpd, self._thread
+        self._httpd, self._thread = None, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Endpoint payloads (also used directly by tests / the CLI)
+    # ------------------------------------------------------------------
+    def observation(self) -> Mapping[str, object]:
+        """One observation, with the window ring rolled up to "now"."""
+        maybe_roll_timeseries()
+        return self._observe()
+
+    def render_metrics(self) -> str:
+        return to_prometheus_text()
+
+    def render_metrics_json(self) -> str:
+        return json.dumps(build_snapshot(), sort_keys=True, separators=(",", ":"))
+
+    def render_health(self) -> str:
+        healths = evaluate_health(self.observation())
+        return json.dumps(
+            {
+                "systems": [health.to_dict() for health in healths],
+                "worst": worst_grade(healths),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def render_alerts(self) -> str:
+        with self._eval_lock:
+            report = self.engine.evaluate(self.observation())
+        return report.to_json()
+
+    def render_timeseries(self) -> str:
+        maybe_roll_timeseries()
+        aggregator = get_timeseries()
+        snapshot = (
+            aggregator.snapshot()
+            if aggregator is not None
+            else {"width": 0.0, "retention": 0, "closed": 0, "windows": []}
+        )
+        return json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+
+    def render_dashboard(self) -> str:
+        observation = self.observation()
+        healths = evaluate_health(observation)
+        with self._eval_lock:
+            report = self.engine.evaluate(observation)
+        aggregator = get_timeseries()
+        windows = aggregator.windows() if aggregator is not None else ()
+        journal = get_journal()
+        if journal.enabled and journal.path:
+            history = build_history(journal.read().events)
+        else:
+            history = history_from_windows(windows)
+        return render_dashboard(
+            healths,
+            report=report,
+            history=history,
+            title=self.title,
+            windows=windows,
+        )
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"ObsServer({self.url}, {state})"

@@ -436,3 +436,102 @@ class TestHealthAndAlertCommands:
         )
         assert code == 2
         assert "not found" in capsys.readouterr().err
+
+
+class TestServeObsCommand:
+    def _restore_timeseries(self):
+        from repro import obs
+
+        obs.disable_timeseries()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-obs"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.for_seconds == 0.0
+        assert args.window is None
+        assert not args.demo
+
+    def test_short_run_serves_endpoints(self, capsys):
+        import json
+        import re
+        import threading
+        import urllib.request
+
+        from repro.cli import main as cli_main
+
+        statuses = {}
+
+        def probe():
+            # Wait for the startup banner's port, then scrape while the
+            # command is still inside its --for window.
+            import time
+
+            deadline = time.monotonic() + 5.0
+            url = None
+            while time.monotonic() < deadline and url is None:
+                time.sleep(0.05)
+                match = re.search(
+                    r"http://127\.0\.0\.1:(\d+)", captured.get("out", "")
+                )
+                if match:
+                    url = f"http://127.0.0.1:{match.group(1)}"
+            if url is None:
+                return
+            for path in ("/health", "/timeseries"):
+                try:
+                    with urllib.request.urlopen(url + path, timeout=2) as r:
+                        statuses[path] = (r.status, r.read().decode())
+                except OSError:
+                    statuses[path] = (0, "")
+
+        captured = {}
+
+        class Tee:
+            def __init__(self, stream):
+                self.stream = stream
+
+            def write(self, text):
+                captured["out"] = captured.get("out", "") + text
+                return self.stream.write(text)
+
+            def flush(self):
+                self.stream.flush()
+
+        import sys as sys_mod
+
+        worker = threading.Thread(target=probe)
+        original = sys_mod.stdout
+        sys_mod.stdout = Tee(original)
+        try:
+            worker.start()
+            code = cli_main(
+                ["serve-obs", "--port", "0", "--for", "1.5",
+                 "--interval", "0.05", "--window", "0.2"]
+            )
+            worker.join(timeout=10.0)
+        finally:
+            sys_mod.stdout = original
+            self._restore_timeseries()
+        assert code == 0
+        assert statuses["/health"][0] == 200
+        assert statuses["/timeseries"][0] == 200
+        snapshot = json.loads(statuses["/timeseries"][1])
+        assert snapshot["width"] == 0.2
+
+    def test_bad_rules_file_exits_2(self, capsys, tmp_path):
+        rules = tmp_path / "rules.json"
+        rules.write_text('[{"name": "bad", "signal": "nosuch:x"}]')
+        code = main(["serve-obs", "--rules", str(rules), "--for", "0.1"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "serve-obs --rules" in err
+        assert "'bad'" in err
+
+    def test_missing_rules_file_exits_2(self, capsys, tmp_path):
+        code = main(
+            ["serve-obs", "--rules", str(tmp_path / "nope.json"),
+             "--for", "0.1"]
+        )
+        assert code == 2
+        assert "serve-obs --rules" in capsys.readouterr().err

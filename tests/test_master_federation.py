@@ -200,3 +200,26 @@ class TestCapabilityRestrictedSystems:
         assert all(step.system == TERADATA for step in execute_steps)
         # Only the master appears among the alternatives for the join.
         assert {opt.location for opt in placement.alternatives} == {TERADATA}
+
+
+class TestTelemetryPlane:
+    def test_run_rolls_the_window_ring(self, sphere):
+        from repro import obs
+        from repro.obs.timeseries import ManualClock
+
+        previous = obs.set_timeseries(None)
+        try:
+            clock = ManualClock()
+            aggregator = obs.enable_timeseries(width=10.0, clock=clock)
+            sphere.run("SELECT * FROM td_users")
+            clock.advance(10.0)
+            # The facade flushes the ring after each query: the window
+            # that crossed its boundary closes without any further
+            # instrument traffic.
+            sphere.run("SELECT * FROM td_users")
+            windows = aggregator.windows()
+            assert len(windows) >= 1
+            assert windows[0].counters.get("federation.runs") == 1.0
+        finally:
+            obs.disable_timeseries()
+            obs.set_timeseries(previous)

@@ -419,3 +419,222 @@ class TestRuleSets:
                     "threshold": 1, "guard": "not-a-pair",
                 }]
             )
+
+
+# ----------------------------------------------------------------------
+# Windowed (trend) signals
+# ----------------------------------------------------------------------
+def windowed_observation(per_window, width=10.0, **kwargs):
+    """An observation whose timeseries slice holds one closed window per
+    entry of ``per_window``: ``{name: ("hist", values) | ("counter",
+    delta) | ("gauge", value)}``."""
+    from repro.obs.timeseries import ManualClock, TimeSeriesAggregator
+
+    clock = ManualClock()
+    aggregator = TimeSeriesAggregator(
+        width=width, clock=clock, journal=obs.NOOP_JOURNAL
+    )
+    for window in per_window:
+        for name, (kind, value) in window.items():
+            if kind == "hist":
+                for observed in value:
+                    aggregator.on_histogram(name, observed)
+            elif kind == "counter":
+                aggregator.on_counter(name, value)
+            else:
+                aggregator.on_gauge(name, value)
+        clock.advance(width)
+    aggregator.maybe_roll()
+    observation = make_observation(**kwargs)
+    observation["timeseries"] = aggregator.snapshot()
+    return observation
+
+
+class TestWindowSignals:
+    def evaluate(self, rule, observation):
+        return AlertEngine([rule]).evaluate(observation, emit=False)
+
+    def test_three_part_signal_reads_newest_window(self):
+        observation = windowed_observation(
+            [{"lat": ("hist", [0.01])}, {"lat": ("hist", [0.3])}]
+        )
+        rule = AlertRule(
+            name="r", signal="window:lat:p99", op=">", threshold=0.05
+        )
+        report = self.evaluate(rule, observation)
+        assert report.alerts[0].firing
+        assert report.alerts[0].value == pytest.approx(0.3)
+
+    def test_average_over_span(self):
+        observation = windowed_observation(
+            [{"lat": ("hist", [0.1])}, {"lat": ("hist", [0.3])}]
+        )
+        rule = AlertRule(
+            name="r", signal="window:lat:p99:avg:2", op=">", threshold=0.19
+        )
+        report = self.evaluate(rule, observation)
+        assert report.alerts[0].firing
+        assert report.alerts[0].value == pytest.approx(0.2)
+
+    def test_counter_delta_and_gauge_last_stats(self):
+        observation = windowed_observation(
+            [
+                {"runs": ("counter", 4.0), "alpha": ("gauge", 0.5)},
+                {"runs": ("counter", 6.0), "alpha": ("gauge", 0.9)},
+            ]
+        )
+        runs = AlertRule(
+            name="runs", signal="window:runs:delta:sum:2", op=">=", threshold=10
+        )
+        alpha = AlertRule(
+            name="alpha", signal="window:alpha:last", op=">", threshold=0.8
+        )
+        assert self.evaluate(runs, observation).alerts[0].firing
+        assert self.evaluate(alpha, observation).alerts[0].firing
+
+    def test_slope_detects_sustained_growth(self):
+        observation = windowed_observation(
+            [{"q": ("hist", [1.0])}, {"q": ("hist", [2.0])}, {"q": ("hist", [3.0])}]
+        )
+        rule = AlertRule(
+            name="r", signal="window:q:mean:slope:3", op=">", threshold=0.5
+        )
+        report = self.evaluate(rule, observation)
+        assert report.alerts[0].firing
+        assert report.alerts[0].value == pytest.approx(1.0)
+
+    def test_flat_series_has_zero_slope(self):
+        observation = windowed_observation(
+            [{"q": ("hist", [2.0])}, {"q": ("hist", [2.0])}]
+        )
+        rule = AlertRule(
+            name="r", signal="window:q:mean:slope:2", op=">", threshold=0.1
+        )
+        report = self.evaluate(rule, observation)
+        assert not report.alerts[0].firing
+        assert report.alerts[0].value == 0.0
+
+    def test_wildcard_fans_out_per_system(self):
+        observation = windowed_observation(
+            [
+                {
+                    "accuracy.q_error.hive": ("hist", [1.0]),
+                    "accuracy.q_error.spark": ("hist", [9.0]),
+                }
+            ],
+            exemplars={"spark": ["q-000042"]},
+        )
+        rule = AlertRule(
+            name="r", signal="window:accuracy.q_error.*:mean", op=">",
+            threshold=5.0,
+        )
+        report = self.evaluate(rule, observation)
+        by_instance = {alert.instance: alert for alert in report.alerts}
+        assert set(by_instance) == {"hive", "spark"}
+        assert not by_instance["hive"].firing
+        assert by_instance["spark"].firing
+        assert by_instance["spark"].exemplars == ("q-000042",)
+
+    def test_missing_metric_produces_no_alert(self):
+        observation = windowed_observation([{"lat": ("hist", [0.1])}])
+        rule = AlertRule(
+            name="r", signal="window:absent:p99", op=">", threshold=0.0
+        )
+        assert self.evaluate(rule, observation).alerts == ()
+
+    def test_observation_without_timeseries_is_quiet(self):
+        observation = make_observation()  # no timeseries slice at all
+        rule = AlertRule(
+            name="r", signal="window:lat:p99", op=">", threshold=0.0
+        )
+        assert self.evaluate(rule, observation).alerts == ()
+
+    def test_span_longer_than_history_uses_what_exists(self):
+        observation = windowed_observation([{"lat": ("hist", [0.2])}])
+        rule = AlertRule(
+            name="r", signal="window:lat:p99:avg:5", op=">", threshold=0.1
+        )
+        report = self.evaluate(rule, observation)
+        assert report.alerts[0].firing
+
+
+class TestWindowSignalValidation:
+    def test_unknown_stat_names_the_rule(self):
+        with pytest.raises(ValueError, match="'typo-stat'"):
+            AlertRule(
+                name="typo-stat", signal="window:m:p42", op=">", threshold=1
+            )
+
+    def test_unknown_aggregation_names_the_rule(self):
+        with pytest.raises(ValueError, match="'typo-agg'"):
+            AlertRule(
+                name="typo-agg", signal="window:m:p99:bogus:5", op=">",
+                threshold=1,
+            )
+
+    def test_non_positive_span_rejected(self):
+        with pytest.raises(ValueError, match="span"):
+            AlertRule(
+                name="r", signal="window:m:p99:avg:0", op=">", threshold=1
+            )
+        with pytest.raises(ValueError, match="span"):
+            AlertRule(
+                name="r", signal="window:m:p99:avg:soon", op=">", threshold=1
+            )
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="window:<metric>:<stat>"):
+            AlertRule(name="r", signal="window:m:p99:avg", op=">", threshold=1)
+
+    def test_guard_signals_are_validated_too(self):
+        with pytest.raises(ValueError, match="'guarded'"):
+            AlertRule(
+                name="guarded", signal="cache:hit_rate", op="<", threshold=1,
+                guard=("window:m:nope", 1.0),
+            )
+
+
+class TestTrendDefaultRules:
+    def test_default_set_includes_trend_rules(self):
+        names = {rule.name for rule in default_rules()}
+        assert {"trend-estimate-latency", "trend-q-error"} <= names
+
+    def test_trend_latency_fires_on_sustained_p99(self):
+        slow = {"costing.estimate_wall_seconds": ("hist", [0.2] * 8)}
+        observation = windowed_observation([slow] * 5)
+        report = AlertEngine().evaluate(observation, emit=False)
+        assert "trend-estimate-latency" in {a.rule for a in report.firing}
+
+    def test_trend_latency_guard_suppresses_thin_windows(self):
+        # Same slow latency, but far too few samples to trust the trend.
+        slow = {"costing.estimate_wall_seconds": ("hist", [0.2])}
+        observation = windowed_observation([slow] * 3)
+        report = AlertEngine().evaluate(observation, emit=False)
+        assert "trend-estimate-latency" not in {a.rule for a in report.firing}
+
+
+class TestRuleFileErrors:
+    def test_unknown_signal_prefix_names_the_rule(self):
+        with pytest.raises(ValueError, match="'bad-sig'"):
+            obs.rules_from_json(
+                [{"name": "bad-sig", "signal": "nosuch:x", "op": ">",
+                  "threshold": 1}]
+            )
+
+    def test_malformed_guard_names_the_rule(self):
+        with pytest.raises(ValueError, match="'bad-guard'"):
+            obs.rules_from_json(
+                [{"name": "bad-guard", "signal": "cache:hit_rate", "op": ">",
+                  "threshold": 1, "guard": ["cache:lookups", "many"]}]
+            )
+
+    def test_nameless_rule_reported_by_position(self):
+        with pytest.raises(ValueError, match="rule #0"):
+            obs.rules_from_json([{"signal": "cache:hit_rate"}])
+
+    def test_missing_threshold_names_the_rule(self):
+        with pytest.raises(ValueError, match="'no-threshold'"):
+            obs.rules_from_json(
+                [{"name": "no-threshold", "signal": "cache:hit_rate",
+                  "op": ">"}]
+            )

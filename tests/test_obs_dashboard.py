@@ -143,3 +143,110 @@ class TestRenderDashboard:
         assert "<script>alert(1)</script>" not in page
         assert "&lt;script&gt;" in page
         assert "<b>t</b>" not in page
+
+    def test_escapes_system_named_with_markup_characters(self):
+        # The satellite acceptance case: a system literally named a<b&c
+        # must render as text, never as markup.
+        page = obs.render_dashboard(
+            [make_health(system="a<b&c")], history={"a<b&c": [1.0, 2.0, 3.0]}
+        )
+        assert "a<b&c" not in page
+        assert "a&lt;b&amp;c" in page
+
+    def test_escapes_alert_rule_ids_and_operators(self):
+        alert = Alert(
+            rule='r<img src=x>', instance="hive", severity="warning",
+            signal="ledger:*:mean_q_error", op="<", threshold=0.1,
+            value=0.05, firing=True,
+        )
+        page = obs.render_dashboard(
+            [make_health()], report=AlertReport(alerts=(alert,))
+        )
+        assert "<img" not in page
+        assert "r&lt;img" in page
+        # Comparison operators are markup characters too: the op cell
+        # must show &lt; 0.1, not inject a stray tag opener.
+        assert "&lt; 0.1" in page
+
+
+def make_windows(per_window, width=10.0):
+    """Closed WindowSummary ring from per-window update dicts."""
+    from repro.obs.timeseries import ManualClock, TimeSeriesAggregator
+
+    clock = ManualClock()
+    aggregator = TimeSeriesAggregator(
+        width=width, clock=clock, journal=obs.NOOP_JOURNAL
+    )
+    for window in per_window:
+        for name, (kind, value) in window.items():
+            if kind == "hist":
+                for observed in value:
+                    aggregator.on_histogram(name, observed)
+            elif kind == "counter":
+                aggregator.on_counter(name, value)
+            else:
+                aggregator.on_gauge(name, value)
+        clock.advance(width)
+    aggregator.maybe_roll()
+    return aggregator.windows()
+
+
+class TestWindowedTelemetrySection:
+    def test_windows_render_metric_rows_with_sparklines(self):
+        windows = make_windows(
+            [
+                {"lat": ("hist", [0.01, 0.02]), "runs": ("counter", 3.0)},
+                {"lat": ("hist", [0.05]), "alpha": ("gauge", 0.59)},
+            ]
+        )
+        page = obs.render_dashboard([make_health()], windows=windows)
+        assert "Windowed telemetry" in page
+        assert "lat" in page
+        assert "histogram" in page
+        assert "counter" in page
+        assert "gauge" in page
+
+    def test_window_metric_names_are_escaped(self):
+        windows = make_windows([{"m<&>": ("counter", 1.0)}])
+        page = obs.render_dashboard([make_health()], windows=windows)
+        assert "m<&>" not in page
+        assert "m&lt;&amp;&gt;" in page
+
+    def test_no_windows_renders_placeholder(self):
+        page = obs.render_dashboard([make_health()], windows=())
+        assert "Windowed telemetry" in page
+        assert "REPRO_OBS_WINDOW" in page
+
+    def test_windows_none_omits_the_section(self):
+        page = obs.render_dashboard([make_health()])
+        assert "Windowed telemetry" not in page
+
+
+class TestHistoryFromWindows:
+    def test_per_system_series_from_q_error_histograms(self):
+        from repro.obs.dashboard import history_from_windows
+
+        windows = make_windows(
+            [
+                {"accuracy.q_error.hive": ("hist", [2.0])},
+                {
+                    "accuracy.q_error.hive": ("hist", [4.0]),
+                    "accuracy.q_error.spark": ("hist", [1.5]),
+                },
+            ]
+        )
+        history = history_from_windows(windows)
+        assert history["hive"] == [2.0, 4.0]
+        assert history["spark"] == [1.5]
+
+    def test_ignores_unrelated_metrics_and_truncates(self):
+        from repro.obs.dashboard import history_from_windows
+
+        windows = make_windows(
+            [{"lat": ("hist", [0.1]),
+              "accuracy.q_error.hive": ("hist", [float(i + 1)])}
+             for i in range(6)]
+        )
+        history = history_from_windows(windows, max_points=3)
+        assert set(history) == {"hive"}
+        assert history["hive"] == [4.0, 5.0, 6.0]

@@ -297,3 +297,89 @@ class TestWorstGrade:
             )
         )
         assert worst_grade(healths) == "critical"
+
+
+class TestTimeseriesSlice:
+    """Every observation carries a windowed-telemetry slice: live from
+    the process-wide aggregator, offline from ``window`` journal events,
+    empty where no window source exists."""
+
+    def test_live_observation_uses_default_aggregator(self):
+        from repro.obs.timeseries import ManualClock, enable_timeseries
+
+        registry = obs.MetricsRegistry()
+        previous = obs.set_timeseries(None)
+        try:
+            clock = ManualClock()
+            aggregator = enable_timeseries(
+                width=10.0, clock=clock, registry=registry
+            )
+            aggregator.on_counter("c", 2.0)
+            clock.advance(10.0)
+            aggregator.maybe_roll()
+            observation = obs.build_observation(
+                registry=registry, ledger=obs.AccuracyLedger()
+            )
+            slice_ = observation["timeseries"]
+            assert slice_["closed"] == 1
+            assert slice_["windows"][0]["counters"] == {"c": 2.0}
+        finally:
+            obs.set_timeseries(previous)
+            registry.detach_observer()
+
+    def test_live_observation_is_empty_when_plane_off(self):
+        previous = obs.set_timeseries(None)
+        try:
+            observation = obs.build_observation(
+                registry=obs.MetricsRegistry(), ledger=obs.AccuracyLedger()
+            )
+            assert observation["timeseries"] == {
+                "width": 0.0, "retention": 0, "closed": 0, "windows": [],
+            }
+        finally:
+            obs.set_timeseries(previous)
+
+    def test_explicit_slice_wins_over_live_aggregator(self):
+        explicit = {"width": 5.0, "retention": 1, "closed": 0, "windows": []}
+        observation = obs.build_observation(
+            registry=obs.MetricsRegistry(),
+            ledger=obs.AccuracyLedger(),
+            timeseries=explicit,
+        )
+        assert observation["timeseries"] == explicit
+
+    def test_observation_from_events_rebuilds_windows(self):
+        from repro.obs.timeseries import ManualClock, TimeSeriesAggregator
+
+        clock = ManualClock()
+        aggregator = TimeSeriesAggregator(
+            width=10.0, clock=clock, journal=obs.NOOP_JOURNAL
+        )
+        aggregator.on_counter("federation.runs", 3.0)
+        clock.advance(10.0)
+        aggregator.maybe_roll()
+        events = [
+            JournalEvent(
+                seq=1, type="window",
+                payload=aggregator.windows()[0].to_payload(),
+            )
+        ]
+        observation = obs.observation_from_events(_read_result(events))
+        slice_ = observation["timeseries"]
+        assert slice_["width"] == 10.0
+        assert slice_["closed"] == 1
+        assert slice_["windows"][0]["counters"] == {"federation.runs": 3.0}
+
+    def test_snapshot_observation_has_empty_slice(self):
+        observation = obs.observation_from_snapshot({"metrics": {}})
+        assert observation["timeseries"]["windows"] == []
+
+
+def _read_result(events):
+    """Wrap bare events in the ReadResult shape observation_from_events
+    takes."""
+    from repro.obs.journal import ReadResult
+
+    return ReadResult(
+        events=tuple(events), corrupt_lines=0, skipped_versions=0
+    )

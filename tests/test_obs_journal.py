@@ -459,3 +459,96 @@ def test_replay_in_fresh_process_is_bit_identical(tmp_path):
     live_metrics = _comparable_metrics(live_registry.snapshot())
     for name, data in _comparable_metrics(rebuilt["metrics"]).items():
         assert data == live_metrics[name], name
+
+
+class TestRotationAcrossRestart:
+    """The journal satellite: size rotation interleaved with a simulated
+    process restart — sequence numbers resume, ``replay()`` stitches the
+    rotated segments, and ``window`` events survive rotation."""
+
+    def fill(self, journal, start, count):
+        for index in range(start, start + count):
+            journal.append("estimate", index=index, padding="x" * 64)
+
+    def test_seq_resumes_after_restart_with_rotated_segments(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = EventJournal(path, max_bytes=1024, max_files=3)
+        self.fill(first, 0, 40)
+        last_seq = first.append("estimate", index=40).seq
+        first.close()
+        assert (tmp_path / "j.jsonl.1").exists()  # rotation happened
+
+        # "Restart": a fresh process opens the same path and must resume
+        # numbering from the *active* file's tail, not from 1.
+        second = EventJournal(path, max_bytes=1024, max_files=3)
+        resumed = second.append("estimate", index=41)
+        self.fill(second, 42, 40)  # force more rotation post-restart
+        second.close()
+        assert resumed.seq == last_seq + 1
+
+        result = read_journal(path, max_files=3)
+        indices = [e.payload["index"] for e in result.events]
+        assert indices == sorted(indices)
+        assert result.corrupt_lines == 0
+
+    def test_replay_over_rotated_segments_rebuilds_counters(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = EventJournal(path, max_bytes=4096, max_files=4)
+        events = 40
+        for index in range(events):
+            journal.append(
+                "actual",
+                system="hive",
+                operator="scan",
+                approach="sub_op",
+                estimated_seconds=10.0,
+                actual_seconds=20.0,
+                remedy_active=False,
+                drift_flagged=False,
+                padding="x" * 32,
+            )
+        journal.close()
+        assert (tmp_path / "j.jsonl.1").exists()
+
+        registry = obs.MetricsRegistry()
+        ledger = obs.AccuracyLedger()
+        result = replay(path, registry=registry, ledger=ledger)
+        assert result.counts["actual"] == events
+        assert registry.counter("costing.record_actual.calls").value == events
+        assert ledger.stats("hive", "scan").count == events
+
+    def test_window_events_survive_rotation_and_restart(self, tmp_path):
+        from repro.obs.timeseries import (
+            ManualClock,
+            TimeSeriesAggregator,
+            windows_from_events,
+        )
+
+        path = tmp_path / "j.jsonl"
+        clock = ManualClock()
+
+        def run_session(width_offset):
+            """One "process": aggregator journaling into the shared path."""
+            journal = EventJournal(path, max_bytes=4096, max_files=6)
+            aggregator = TimeSeriesAggregator(
+                width=10.0, clock=clock, journal=journal
+            )
+            closed = []
+            for step in range(12):
+                aggregator.on_counter("runs", 1.0)
+                aggregator.on_histogram("lat", 0.01 * (step + 1))
+                clock.advance(10.0)
+                aggregator.maybe_roll()
+            closed.extend(aggregator.windows())
+            journal.close()
+            return closed
+
+        first = run_session(0)
+        second = run_session(1)  # restart: same path, resumed seqs
+        assert (tmp_path / "j.jsonl.1").exists()  # windows forced rotation
+
+        result = read_journal(path, max_files=6)
+        seqs = [e.seq for e in result.events]
+        assert seqs == sorted(seqs)
+        rebuilt = windows_from_events(result.events)
+        assert rebuilt == tuple(first) + tuple(second)

@@ -185,3 +185,101 @@ class TestJsonSnapshotRoundtrip:
         path.write_text("[1, 2, 3]")
         with pytest.raises(ValueError):
             exporters.load_json_snapshot(path)
+
+
+class RecordingObserver(obs.MetricsObserver):
+    def __init__(self):
+        self.events = []
+
+    def on_counter(self, name, amount):
+        self.events.append(("counter", name, amount))
+
+    def on_gauge(self, name, value):
+        self.events.append(("gauge", name, value))
+
+    def on_histogram(self, name, value):
+        self.events.append(("histogram", name, value))
+
+
+class TestObserverHook:
+    def test_notifications_carry_name_and_update(self):
+        registry = MetricsRegistry()
+        observer = RecordingObserver()
+        registry.attach_observer(observer)
+        registry.counter("c").inc(2.5)
+        registry.gauge("g").set(1.5)
+        registry.gauge("g").inc(-0.5)  # notifies the post-inc value
+        registry.histogram("h", buckets=(1.0,)).observe(0.3)
+        assert observer.events == [
+            ("counter", "c", 2.5),
+            ("gauge", "g", 1.5),
+            ("gauge", "g", 1.0),
+            ("histogram", "h", 0.3),
+        ]
+
+    def test_attach_covers_existing_and_future_instruments(self):
+        registry = MetricsRegistry()
+        pre = registry.counter("pre")
+        observer = RecordingObserver()
+        registry.attach_observer(observer)
+        pre.inc()
+        registry.counter("post").inc()
+        assert [name for _, name, _ in observer.events] == ["pre", "post"]
+
+    def test_detach_restores_the_silent_fast_path(self):
+        registry = MetricsRegistry()
+        observer = RecordingObserver()
+        registry.attach_observer(observer)
+        registry.counter("c").inc()
+        registry.detach_observer()
+        registry.counter("c").inc()
+        assert len(observer.events) == 1
+        assert registry.observer is None
+
+    def test_attach_replaces_previous_observer(self):
+        registry = MetricsRegistry()
+        first, second = RecordingObserver(), RecordingObserver()
+        registry.attach_observer(first)
+        registry.attach_observer(second)
+        registry.counter("c").inc()
+        assert first.events == []
+        assert len(second.events) == 1
+        assert registry.observer is second
+
+    def test_base_observer_methods_are_noops(self):
+        registry = MetricsRegistry()
+        registry.attach_observer(obs.MetricsObserver())
+        registry.counter("c").inc()  # must not raise
+        assert registry.counter("c").value == 1.0
+
+    def test_notification_outside_instrument_lock(self):
+        # An observer that re-drives the same instrument must not
+        # deadlock: notification happens after the lock is released.
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+
+        class Reentrant(obs.MetricsObserver):
+            def __init__(self):
+                self.depth = 0
+
+            def on_counter(self, name, amount):
+                if self.depth == 0:
+                    self.depth += 1
+                    counter.inc(10.0)
+
+        registry.attach_observer(Reentrant())
+        counter.inc(1.0)
+        assert counter.value == 11.0
+
+    def test_observer_error_does_not_corrupt_instrument_state(self):
+        registry = MetricsRegistry()
+
+        class Exploding(obs.MetricsObserver):
+            def on_counter(self, name, amount):
+                raise RuntimeError("observer bug")
+
+        registry.attach_observer(Exploding())
+        with pytest.raises(RuntimeError):
+            registry.counter("c").inc()
+        # The increment itself landed before the observer ran.
+        assert registry.counter("c").value == 1.0

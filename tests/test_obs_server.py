@@ -1,0 +1,262 @@
+"""HTTP observability server: endpoint routing and content types,
+concurrent scrapes, the firing→resolved trend-alert loop over a manual
+clock, bounded request logging, and clean lifecycle semantics."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import REQUEST_LOG_LIMIT, ObsServer
+from repro.obs.timeseries import ManualClock
+
+
+def get(url, timeout=5.0):
+    """(status, content_type, body) — errors surface as their status."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"),
+            )
+    except urllib.error.HTTPError as error:
+        return (
+            error.code,
+            error.headers.get("Content-Type", ""),
+            error.read().decode("utf-8"),
+        )
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture()
+def obs_state(clock):
+    """Fresh process-wide registry/ledger/timeseries, restored on exit."""
+    registry = MetricsRegistry()
+    previous_registry = obs.set_registry(registry)
+    previous_ledger = obs.set_ledger(obs.AccuracyLedger())
+    previous_timeseries = obs.set_timeseries(None)
+    aggregator = obs.enable_timeseries(
+        width=10.0, retention=50, clock=clock, registry=registry
+    )
+    yield registry, aggregator
+    obs.set_timeseries(previous_timeseries)
+    obs.set_ledger(previous_ledger)
+    obs.set_registry(previous_registry)
+
+
+@pytest.fixture()
+def server(obs_state):
+    with ObsServer(port=0) as running:
+        yield running
+
+
+class TestLifecycle:
+    def test_start_binds_ephemeral_port_and_stop_joins(self, obs_state):
+        server = ObsServer(port=0)
+        assert not server.running
+        server.start()
+        try:
+            assert server.running
+            assert server.port != 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+        finally:
+            server.stop()
+        assert not server.running
+
+    def test_double_start_raises(self, obs_state):
+        server = ObsServer(port=0).start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_context_manager_serves_and_stops(self, obs_state):
+        with ObsServer(port=0) as server:
+            status, _, _ = get(f"{server.url}/health")
+            assert status == 200
+            url = server.url
+        with pytest.raises(urllib.error.URLError):
+            get(f"{url}/health", timeout=0.5)
+
+    def test_repr_names_state(self, obs_state):
+        server = ObsServer(port=0)
+        assert "stopped" in repr(server)
+        with server:
+            assert "running" in repr(server)
+
+
+class TestEndpoints:
+    def test_metrics_is_prometheus_text(self, server, obs_state):
+        registry, _ = obs_state
+        registry.counter("federation.runs").inc(3)
+        status, content_type, body = get(f"{server.url}/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "repro_federation_runs 3.0" in body
+
+    def test_metrics_bytes_are_deterministic(self, server, obs_state):
+        registry, _ = obs_state
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        first = get(f"{server.url}/metrics")[2]
+        second = get(f"{server.url}/metrics")[2]
+        assert first == second
+        assert first.index("repro_a ") < first.index("repro_b ")
+
+    def test_metrics_json_round_trips(self, server, obs_state):
+        registry, _ = obs_state
+        registry.gauge("alpha").set(0.59)
+        status, content_type, body = get(f"{server.url}/metrics.json")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        snapshot = json.loads(body)
+        assert snapshot["metrics"]["alpha"]["value"] == 0.59
+
+    def test_health_reports_worst_grade(self, server):
+        status, _, body = get(f"{server.url}/health")
+        assert status == 200
+        payload = json.loads(body)
+        assert set(payload) == {"systems", "worst"}
+
+    def test_alerts_returns_report_json(self, server):
+        status, _, body = get(f"{server.url}/alerts")
+        assert status == 200
+        report = json.loads(body)
+        assert "alerts" in report
+
+    def test_timeseries_serves_the_ring(self, server, obs_state, clock):
+        registry, aggregator = obs_state
+        registry.counter("c").inc(2.0)
+        clock.advance(10.0)
+        status, _, body = get(f"{server.url}/timeseries")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert snapshot["closed"] == 1
+        assert snapshot["windows"][0]["counters"] == {"c": 2.0}
+
+    def test_dashboard_is_html_with_windows_section(
+        self, server, obs_state, clock
+    ):
+        registry, _ = obs_state
+        registry.counter("federation.runs").inc()
+        clock.advance(10.0)
+        status, content_type, body = get(f"{server.url}/dashboard")
+        assert status == 200
+        assert content_type.startswith("text/html")
+        assert "<html" in body
+        assert "Windowed telemetry" in body
+        assert "federation.runs" in body
+
+    def test_root_serves_the_dashboard_too(self, server):
+        status, content_type, _ = get(f"{server.url}/")
+        assert status == 200
+        assert content_type.startswith("text/html")
+
+    def test_unknown_path_is_json_404(self, server):
+        status, content_type, body = get(f"{server.url}/nope")
+        assert status == 404
+        assert content_type.startswith("application/json")
+        assert "no such endpoint" in json.loads(body)["error"]
+
+    def test_trailing_slash_and_query_string_are_tolerated(self, server):
+        assert get(f"{server.url}/health/")[0] == 200
+        assert get(f"{server.url}/metrics?x=1")[0] == 200
+
+    def test_render_error_returns_500_not_a_dead_server(self, obs_state):
+        def broken_observe():
+            raise RuntimeError("observation exploded")
+
+        with ObsServer(port=0, observe=broken_observe) as server:
+            status, _, body = get(f"{server.url}/health")
+            assert status == 500
+            assert "observation exploded" in json.loads(body)["error"]
+            # The server survives the failed scrape.
+            assert get(f"{server.url}/metrics")[0] == 200
+
+
+class TestConcurrency:
+    def test_parallel_scrapes_all_succeed(self, server, obs_state):
+        registry, _ = obs_state
+        registry.counter("c").inc()
+        paths = ["/metrics", "/metrics.json", "/health", "/alerts",
+                 "/timeseries", "/dashboard"] * 4
+        statuses = [None] * len(paths)
+
+        def fetch(index, path):
+            statuses[index] = get(f"{server.url}{path}")[0]
+
+        workers = [
+            threading.Thread(target=fetch, args=(index, path))
+            for index, path in enumerate(paths)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert statuses == [200] * len(paths)
+
+
+class TestRequestLog:
+    def test_requests_are_logged_and_bounded(self, server):
+        for _ in range(3):
+            get(f"{server.url}/health")
+        assert len(server.request_log) >= 3
+        assert any("/health" in line for line in server.request_log)
+        assert server.request_log.maxlen == REQUEST_LOG_LIMIT
+
+
+class TestTrendAlertLoop:
+    """The acceptance loop: a sustained p99 regression fires the trend
+    rule through a real HTTP scrape cycle; recovery resolves it."""
+
+    def feed_window(self, registry, clock, seconds, observations=8):
+        for _ in range(observations):
+            registry.histogram(
+                "costing.estimate_wall_seconds",
+                buckets=obs.WALL_SECONDS_BUCKETS,
+            ).observe(seconds)
+        clock.advance(10.0)
+
+    def scrape(self, server):
+        report = json.loads(get(f"{server.url}/alerts")[2])
+        return (
+            {a["rule"] for a in report["alerts"] if a["firing"]},
+            set(report["fired"]),
+            set(report["resolved"]),
+        )
+
+    def test_sustained_regression_fires_then_resolves(
+        self, server, obs_state, clock
+    ):
+        registry, _ = obs_state
+        # Healthy baseline: fast estimates, rule stays quiet.
+        for _ in range(5):
+            self.feed_window(registry, clock, seconds=0.001)
+        active, fired, _ = self.scrape(server)
+        assert "trend-estimate-latency" not in active
+        assert not fired
+
+        # Sustained regression: five slow windows push the 5-window
+        # p99 average over the 50ms threshold.
+        for _ in range(5):
+            self.feed_window(registry, clock, seconds=0.2)
+        active, fired, _ = self.scrape(server)
+        assert "trend-estimate-latency" in active
+        assert "trend-estimate-latency" in fired
+
+        # Recovery: fast windows wash the regression out of the span.
+        for _ in range(6):
+            self.feed_window(registry, clock, seconds=0.001)
+        active, _, resolved = self.scrape(server)
+        assert "trend-estimate-latency" not in active
+        assert "trend-estimate-latency" in resolved
