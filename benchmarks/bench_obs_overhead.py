@@ -25,6 +25,12 @@ are noise-dominated (a ~20us delta swings with cache and scheduler
 effects), so the bench prices the observer from stable per-primitive
 deltas scaled by an empirical census of the notifications the
 steady-state estimate path fires, held to the same <5% budget.
+
+The forensics plane adds two more probes: the tail sampler's
+completion-time keep/drop decision and the flight recorder's
+dropped-path record (metadata only — no trace fetch) — together the
+per-query steady-state cost of incident forensics, held to the same
+<5% budget.
 """
 
 import time
@@ -153,6 +159,32 @@ def experiment(module, catalog, results_dir):
     obs.set_sampler(previous_sampler)
     overhead_context = t_context / (t_estimate_off * ESTIMATES_PER_QUERY)
 
+    # Tail-based sampling: the completion-time keep/drop decision one
+    # query pays, plus the flight recorder's metadata record on the
+    # dropped (steady-state) path — no trace is fetched for a drop, so
+    # this is the price every query pays when forensics are on.
+    tail_sampler = obs.TailSampler(latency_seconds=30.0, max_q_error=2.0)
+    outcome = obs.QueryOutcome(
+        query_id="q-bench",
+        query=JOIN_SQL,
+        sampled=False,
+        wall_seconds=0.001,
+        max_q_error=1.1,
+        estimated_seconds=1.0,
+    )
+    t_tail_decide = _per_call_seconds(
+        lambda: tail_sampler.decide(outcome), inner=20_000
+    )
+    recorder = obs.FlightRecorder(max_records=128)
+    drop_decision = tail_sampler.decide(outcome)
+    assert not drop_decision.keep
+    t_flight_record = _per_call_seconds(
+        lambda: recorder.record(outcome, drop_decision), inner=20_000
+    )
+    overhead_tail = (t_tail_decide + t_flight_record) / (
+        t_estimate_off * ESTIMATES_PER_QUERY
+    )
+
     tracer.enable()
     t_estimate_on = _per_call_seconds(estimate, inner=50)
     # Unsampled queries must collapse enabled tracing back to the shared
@@ -208,11 +240,14 @@ def experiment(module, catalog, results_dir):
         ("histograms_per_warm_estimate", histograms_per_estimate),
         ("query_context_us", t_context * 1e6),
         ("query_context_unsampled_us", t_context_unsampled * 1e6),
+        ("tail_decide_ns", t_tail_decide * 1e9),
+        ("flight_record_us", t_flight_record * 1e6),
         ("alert_evaluate_us", t_alert_eval * 1e6),
         ("overhead_fraction_disabled", overhead_disabled),
         ("overhead_fraction_enabled", overhead_enabled),
         ("overhead_fraction_context", overhead_context),
         ("overhead_fraction_observed", overhead_observed),
+        ("overhead_fraction_tail", overhead_tail),
     ]
     write_series(
         results_dir / "obs_overhead.txt",
@@ -225,10 +260,13 @@ def experiment(module, catalog, results_dir):
         "overhead_enabled": overhead_enabled,
         "overhead_context": overhead_context,
         "overhead_observed": overhead_observed,
+        "overhead_tail": overhead_tail,
         "t_estimate_off": t_estimate_off,
         "t_noop_span": t_noop_span,
         "t_span_unsampled": t_span_unsampled,
         "t_context": t_context,
+        "t_tail_decide": t_tail_decide,
+        "t_flight_record": t_flight_record,
         "t_alert_eval": t_alert_eval,
     }
 
@@ -253,6 +291,14 @@ def test_observer_overhead_within_budget(experiment):
     # cost across the sites one query executes must stay under the <5%
     # budget against the query's minimum estimation work.
     assert experiment["overhead_observed"] < OVERHEAD_BUDGET
+
+
+def test_tail_overhead_within_budget(experiment):
+    # The completion-time tail decision plus the flight recorder's
+    # dropped-path record (the forensics plane's steady-state per-query
+    # cost) must stay under the <5% budget against the query's minimum
+    # estimation work.
+    assert experiment["overhead_tail"] < OVERHEAD_BUDGET
 
 
 def test_unsampled_span_is_cheap(experiment):

@@ -94,6 +94,8 @@ THRESHOLDS: Dict[str, float] = {
     "timeseries_record": 0.50,
     "window_rollover": 0.50,
     "query_context": 0.50,
+    "tail_decide": 0.50,
+    "flight_record": 0.50,
     "alert_evaluate": 0.50,
 }
 
@@ -301,6 +303,34 @@ def measure_latencies(
         )
         obs.set_registry(previous_registry)
         obs.set_sampler(previous_sampler)
+
+        # The forensics plane's per-query completion cost: the tail
+        # sampler's keep/drop decision on the dropped (steady-state)
+        # path, and the flight recorder's metadata-only record for a
+        # dropped query (no trace fetch happens on a drop).
+        previous_registry = obs.set_registry(obs.MetricsRegistry())
+        tail_sampler = obs.TailSampler(latency_seconds=30.0, max_q_error=2.0)
+        outcome = obs.QueryOutcome(
+            query_id="q-regress",
+            query=JOIN_SQL,
+            sampled=False,
+            wall_seconds=0.001,
+            max_q_error=1.1,
+            estimated_seconds=1.0,
+        )
+        timings["tail_decide"] = _per_call_seconds(
+            lambda: tail_sampler.decide(outcome),
+            inner=5_000 * scale,
+            repeats=repeats,
+        )
+        recorder = obs.FlightRecorder(max_records=128)
+        drop_decision = tail_sampler.decide(outcome)
+        timings["flight_record"] = _per_call_seconds(
+            lambda: recorder.record(outcome, drop_decision),
+            inner=2_000 * scale,
+            repeats=repeats,
+        )
+        obs.set_registry(previous_registry)
 
         # One alert-engine pass over a realistic observation (default
         # rule set, three ledger keys); runs periodically, not per query.

@@ -12,6 +12,7 @@ A small operational surface over the library::
     python -m repro stats                  # telemetry counters and accuracy
     python -m repro alerts                 # evaluate SLO rules (exit 1 on breach)
     python -m repro health                 # per-system health verdict
+    python -m repro tenants                # per-tenant cost attribution
     python -m repro dashboard              # self-contained HTML dashboard
     python -m repro serve-obs              # live HTTP observability server
     python -m repro experiments            # list the paper's benchmarks
@@ -81,6 +82,10 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Tenants the demo workloads cycle through (round-robin attribution).
+DEMO_TENANTS = ("analytics", "etl", "adhoc")
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     sphere = build_sandbox(seed=args.seed)
     hive = sphere.costing.system("hive")
@@ -89,25 +94,30 @@ def cmd_demo(args: argparse.Namespace) -> int:
         "SELECT SUM(a1) FROM t1000000_100 GROUP BY a20",
         "SELECT r.a1 FROM t20000000_100 r JOIN t8000000_100 s ON r.a1 = s.a1",
     )
-    print(f"{'estimate':>10} {'actual':>10}  query")
-    for sql in queries:
+    print(f"{'estimate':>10} {'actual':>10} {'tenant':>10}  query")
+    for index, sql in enumerate(queries):
         from repro.sql.parser import parse_select
 
-        plan = parse_select(sql)
-        estimate = sphere.costing.estimate_plan("hive", plan, sphere.catalog)
-        actual = hive.execute(plan)
-        # Close the loop: feed the observation back so the accuracy
-        # ledger (and hence `repro health` on the journal) has signal.
-        sphere.costing.record_actual("hive", estimate, actual.elapsed_seconds)
+        tenant = DEMO_TENANTS[index % len(DEMO_TENANTS)]
+        with obs.query_context(query=sql, tenant=tenant):
+            plan = parse_select(sql)
+            estimate = sphere.costing.estimate_plan("hive", plan, sphere.catalog)
+            actual = hive.execute(plan)
+            # Close the loop: feed the observation back so the accuracy
+            # ledger (and hence `repro health` on the journal) has signal.
+            sphere.costing.record_actual(
+                "hive", estimate, actual.elapsed_seconds
+            )
         print(
-            f"{estimate.seconds:9.1f}s {actual.elapsed_seconds:9.1f}s  {sql}"
+            f"{estimate.seconds:9.1f}s {actual.elapsed_seconds:9.1f}s "
+            f"{tenant:>10}  {sql}"
         )
     return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
     sphere = build_sandbox(with_spark=args.spark, seed=args.seed)
-    placement = sphere.explain(args.query)
+    placement = sphere.explain(args.query, tenant=args.tenant)
     print(placement.describe())
     print("alternatives:")
     for option in placement.alternatives:
@@ -117,7 +127,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     sphere = build_sandbox(with_spark=args.spark, seed=args.seed)
-    result = sphere.run(args.query)
+    result = sphere.run(args.query, tenant=args.tenant)
     for step in result.steps:
         print(
             f"  {step.description:55s} @ {step.system:9s} "
@@ -380,6 +390,62 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 1 if breached else 0
 
 
+#: Stats a tenants table can be ranked by.
+TENANT_RANK_KEYS = (
+    "estimated_seconds",
+    "queries",
+    "errors",
+    "wall_seconds",
+    "mean_q_error",
+    "max_q_error",
+    "kept_traces",
+)
+
+
+def cmd_tenants(args: argparse.Namespace) -> int:
+    """Rank tenants by traffic, accuracy, and estimated cost."""
+    import json
+
+    observation, error = _resolve_observation(args)
+    if observation is None:
+        print(f"error: tenants: {error}", file=sys.stderr)
+        return 2
+    tenants = observation.get("tenants")
+    tenants = tenants if isinstance(tenants, dict) else {}
+    ranked = obs.rank_tenants(tenants, by=args.by)
+    if args.json:
+        print(
+            json.dumps(
+                {"by": args.by, "tenants": [
+                    {"tenant": tenant, **stats} for tenant, stats in ranked
+                ]},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    if not ranked:
+        print(
+            "no attributed traffic yet "
+            "(pass --tenant to run/explain, or run the demo)"
+        )
+        return 0
+    print(
+        f"{'tenant':<16} {'queries':>7} {'errors':>6} {'est-sec':>10} "
+        f"{'q-err':>8} {'max-q':>8} {'kept':>5}"
+    )
+    for tenant, stats in ranked:
+        print(
+            f"{tenant:<16} {int(stats.get('queries', 0)):>7d} "
+            f"{int(stats.get('errors', 0)):>6d} "
+            f"{float(stats.get('estimated_seconds', 0.0)):>10.4g} "
+            f"{float(stats.get('mean_q_error', 0.0)):>8.3f} "
+            f"{float(stats.get('max_q_error', 0.0)):>8.3f} "
+            f"{int(stats.get('kept_traces', 0)):>5d}"
+        )
+    return 0
+
+
 def cmd_dashboard(args: argparse.Namespace) -> int:
     """Render the self-contained HTML health dashboard."""
     import os
@@ -453,7 +519,8 @@ def cmd_serve_obs(args: argparse.Namespace) -> int:
     server.start()
     print(
         f"serving observability on {server.url} "
-        "(/metrics /metrics.json /health /alerts /timeseries /dashboard)"
+        "(/metrics /metrics.json /health /alerts /timeseries /tenants "
+        "/flight /incidents /dashboard)"
     )
     if sphere is not None:
         print("demo workload: cycling sandbox queries until stopped")
@@ -467,15 +534,17 @@ def cmd_serve_obs(args: argparse.Namespace) -> int:
         while deadline is None or time_mod.monotonic() < deadline:
             if sphere is not None:
                 sql = SERVE_DEMO_QUERIES[index % len(SERVE_DEMO_QUERIES)]
+                tenant = DEMO_TENANTS[index % len(DEMO_TENANTS)]
                 index += 1
-                plan = parse_select(sql)
-                estimate = sphere.costing.estimate_plan(
-                    "hive", plan, sphere.catalog
-                )
-                actual = sphere.costing.system("hive").execute(plan)
-                sphere.costing.record_actual(
-                    "hive", estimate, actual.elapsed_seconds
-                )
+                with obs.query_context(query=sql, tenant=tenant):
+                    plan = parse_select(sql)
+                    estimate = sphere.costing.estimate_plan(
+                        "hive", plan, sphere.catalog
+                    )
+                    actual = sphere.costing.system("hive").execute(plan)
+                    sphere.costing.record_actual(
+                        "hive", estimate, actual.elapsed_seconds
+                    )
                 obs.maybe_roll_timeseries()
             time_mod.sleep(args.interval)
     except KeyboardInterrupt:
@@ -542,6 +611,11 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("query", help="SQL SELECT over the sandbox corpus")
         cmd.add_argument("--spark", action="store_true", help="add a Spark system")
         cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument(
+            "--tenant",
+            default="",
+            help="attribute the query to a tenant (cost attribution)",
+        )
         cmd.set_defaults(func=func)
 
     trace = sub.add_parser(
@@ -636,6 +710,32 @@ def build_parser() -> argparse.ArgumentParser:
                 help="do not append alert events to the evaluated journal",
             )
         cmd.set_defaults(func=func)
+
+    tenants = sub.add_parser(
+        "tenants", help="rank tenants by traffic, accuracy, and cost"
+    )
+    tenants.add_argument(
+        "--journal",
+        metavar="FILE",
+        help=f"attribute from a journal file (default: ${obs.JOURNAL_ENV_VAR}, "
+        "else the live tenant ledger)",
+    )
+    tenants.add_argument(
+        "--from",
+        dest="from_file",
+        metavar="FILE",
+        help="attribute from a dumped *.metrics.json snapshot instead",
+    )
+    tenants.add_argument(
+        "--by",
+        choices=TENANT_RANK_KEYS,
+        default="estimated_seconds",
+        help="ranking key (default: estimated_seconds)",
+    )
+    tenants.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    tenants.set_defaults(func=cmd_tenants)
 
     dash = sub.add_parser(
         "dashboard", help="write the self-contained HTML health dashboard"

@@ -365,6 +365,14 @@ class CostEstimationModule:
         query_id = obs.current_query_id()
         if query_id is not None:
             obs.record_exemplar(name, query_id)
+        # Per-query cost attribution: the tail sampler's outcome and the
+        # tenant ledger both see the modeled seconds this query spends.
+        obs.note_estimated_seconds(estimate.seconds)
+        tenant = obs.current_tenant()
+        if tenant:
+            obs.get_tenant_ledger().record_estimate(tenant, estimate.seconds)
+            if query_id is not None:
+                obs.record_exemplar(f"tenant:{tenant}", query_id)
         journal = obs.get_journal()
         if journal.enabled:
             payload = {
@@ -376,6 +384,8 @@ class CostEstimationModule:
             }
             if query_id is not None:
                 payload["query_id"] = query_id
+            if tenant:
+                payload["tenant"] = tenant
             journal.append("estimate", **payload)
         if span.enabled:
             self._set_span_attrs(span, estimate)
@@ -479,6 +489,7 @@ class CostEstimationModule:
             isinstance(estimate.detail, CostEstimate) and estimate.detail.used_remedy
         )
         drift_flagged = False
+        tenant = obs.current_tenant()
         if estimate.seconds > 0:
             self.ledger.record(
                 system=name,
@@ -487,6 +498,11 @@ class CostEstimationModule:
                 actual_seconds=actual_seconds,
                 approach=estimate.approach.value,
                 remedy_active=remedy_active,
+                tenant=tenant,
+            )
+            q_error = max(
+                estimate.seconds / actual_seconds,
+                actual_seconds / estimate.seconds,
             )
             # Per-system q-error distribution: the windowed telemetry
             # plane turns this into per-window means/quantiles that the
@@ -498,14 +514,15 @@ class CostEstimationModule:
                 buckets=obs.Q_ERROR_BUCKETS,
                 help="per-system q-error distribution",
                 unit="ratio",
-            ).observe(
-                max(
-                    estimate.seconds / actual_seconds,
-                    actual_seconds / estimate.seconds,
-                )
-            )
+            ).observe(q_error)
+            # The tail sampler judges the query by its worst q-error;
+            # the tenant ledger attributes the accuracy to the workload.
+            obs.note_query_q_error(q_error)
+            if tenant:
+                obs.get_tenant_ledger().record_actual(tenant, q_error)
             if entry.drift is None:
                 entry.drift = DriftMonitor(name=name)
+            was_drifted = entry.drift.drifted
             entry.drift.observe(estimate.seconds, actual_seconds)
             if entry.drift.drifted:
                 drift_flagged = True
@@ -513,9 +530,20 @@ class CostEstimationModule:
                     "costing.drift_flags",
                     help="observations made while a system was flagged drifted",
                 ).inc()
+                if not was_drifted:
+                    # The alarm's rising edge: freeze the flight rings
+                    # while the queries that drove the CUSUM over its
+                    # threshold are still in them.
+                    obs.trigger_incident(
+                        "drift",
+                        system=name,
+                        operator=estimate.operator.value,
+                    )
         query_id = obs.current_query_id()
         if query_id is not None:
             obs.record_exemplar(name, query_id)
+            if tenant:
+                obs.record_exemplar(f"tenant:{tenant}", query_id)
         journal = obs.get_journal()
         if journal.enabled:
             payload = {
@@ -529,6 +557,8 @@ class CostEstimationModule:
             }
             if query_id is not None:
                 payload["query_id"] = query_id
+            if tenant:
+                payload["tenant"] = tenant
             journal.append("actual", **payload)
         if estimate.approach is not CostingApproach.LOGICAL_OP:
             return  # sub-op models need no per-query model feedback

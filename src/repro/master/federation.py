@@ -164,24 +164,34 @@ class IntelliSphere:
             teradata=self.teradata_cost_model,
         )
 
-    def explain(self, query: Union[str, LogicalPlan]) -> PlacementPlan:
-        """Parse (if needed) and place a query; returns the placement."""
+    def explain(
+        self, query: Union[str, LogicalPlan], tenant: str = ""
+    ) -> PlacementPlan:
+        """Parse (if needed) and place a query; returns the placement.
+
+        ``tenant`` attributes the query's cost and accuracy telemetry
+        to a workload (ignored when an outer scope is already active).
+        """
         sql = query if isinstance(query, str) else ""
-        with obs.ensure_query_context(query=sql):
+        with obs.ensure_query_context(query=sql, tenant=tenant):
             plan = parse_select(query) if isinstance(query, str) else query
             obs.counter("federation.explains").inc()
             return self.optimizer().optimize(plan)
 
-    def run(self, query: Union[str, LogicalPlan]) -> FederatedResult:
+    def run(
+        self, query: Union[str, LogicalPlan], tenant: str = ""
+    ) -> FederatedResult:
         """Place and simulate-execute a query end to end.
 
         Execute steps run on the chosen engine (the master's mirror for
         Teradata placements); transfer steps use the QueryGrid estimate
         as their observed time (the paper treats transfer costs as
-        learned by a separate mechanism).
+        learned by a separate mechanism).  ``tenant`` attributes the
+        query's telemetry to a workload (ignored when an outer scope is
+        already active).
         """
         sql = query if isinstance(query, str) else ""
-        with obs.ensure_query_context(query=sql), obs.get_tracer().span(
+        with obs.ensure_query_context(query=sql, tenant=tenant), obs.get_tracer().span(
             "federation.run"
         ) as span:
             plan = parse_select(query) if isinstance(query, str) else query

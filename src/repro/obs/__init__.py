@@ -26,9 +26,21 @@ around that loop:
   ``benchmarks/regress.py``);
 * :mod:`repro.obs.exporters` — JSON-file and Prometheus-text exports;
 * :mod:`repro.obs.context` — the query-scoped trace context: a
-  ``contextvars`` query id propagated end-to-end, head-based trace
-  sampling (env ``REPRO_OBS_SAMPLE``), and the per-system exemplar
-  store that lets alerts name concrete queries;
+  ``contextvars`` query id (and tenant) propagated end-to-end,
+  head-based trace sampling (env ``REPRO_OBS_SAMPLE``), per-query
+  completion hooks, and the per-system exemplar store that lets alerts
+  name concrete queries;
+* :mod:`repro.obs.tail` — tail-based trace sampling: the keep/drop
+  decision moves to query *completion*, keeping latency/q-error/error
+  breaches (env ``REPRO_OBS_TAIL_LATENCY`` / ``REPRO_OBS_TAIL_QERROR``)
+  with the head-sample rate as a floor;
+* :mod:`repro.obs.flight` — the black-box flight recorder: rings of
+  recent query records and journal events, frozen into deterministic,
+  replayable incident bundles (JSONL + HTML) when an alert fires or a
+  drift alarm trips (dump dir via env ``REPRO_OBS_FLIGHT_DIR``);
+* :mod:`repro.obs.tenants` — per-tenant cost attribution: traffic,
+  estimated seconds, and q-error accumulated per workload, ranked on
+  the dashboard and served by ``repro tenants``;
 * :mod:`repro.obs.alerts` — the declarative SLO rule engine: evaluates
   thresholds over metrics/ledger/drift/cache observations, journals
   schema-versioned ``alert`` events on firing/resolved transitions;
@@ -66,6 +78,16 @@ from repro.obs.metrics import (
     histogram,
     set_registry,
 )
+from repro.obs.tail import (
+    KEEP_REASONS,
+    TAIL_LATENCY_ENV_VAR,
+    TAIL_QERROR_ENV_VAR,
+    QueryOutcome,
+    TailDecision,
+    TailSampler,
+    get_tail_sampler,
+    set_tail_sampler,
+)
 from repro.obs.tracing import (
     NOOP_SPAN,
     Span,
@@ -88,10 +110,31 @@ from repro.obs.journal import (
     JournalEvent,
     NoopJournal,
     ReplayResult,
+    add_journal_listener,
     get_journal,
     read_journal,
+    remove_journal_listener,
     replay,
     set_journal,
+)
+from repro.obs.flight import (
+    FLIGHT_DIR_ENV_VAR,
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecord,
+    FlightRecorder,
+    IncidentBundle,
+    get_flight_recorder,
+    incidents_from_events,
+    load_bundle,
+    render_bundle_html,
+    set_flight_recorder,
+    trigger_incident,
+)
+from repro.obs.tenants import (
+    TenantLedger,
+    get_tenant_ledger,
+    rank_tenants,
+    set_tenant_ledger,
 )
 from repro.obs.profiler import (
     QueryProfile,
@@ -112,14 +155,20 @@ from repro.obs.context import (
     ExemplarStore,
     HeadSampler,
     QueryContext,
+    QueryStats,
+    add_completion_hook,
     current_context,
     current_query_id,
     current_sampled,
+    current_tenant,
     ensure_query_context,
     get_exemplar_store,
     get_sampler,
+    note_estimated_seconds,
+    note_query_q_error,
     query_context,
     record_exemplar,
+    remove_completion_hook,
     reset_query_ids,
     set_exemplar_store,
     set_sampler,
@@ -182,6 +231,14 @@ __all__ = [
     "histogram",
     "get_registry",
     "set_registry",
+    "KEEP_REASONS",
+    "TAIL_LATENCY_ENV_VAR",
+    "TAIL_QERROR_ENV_VAR",
+    "QueryOutcome",
+    "TailDecision",
+    "TailSampler",
+    "get_tail_sampler",
+    "set_tail_sampler",
     "NOOP_SPAN",
     "Span",
     "Tracer",
@@ -199,10 +256,27 @@ __all__ = [
     "JournalEvent",
     "NoopJournal",
     "ReplayResult",
+    "add_journal_listener",
     "get_journal",
     "read_journal",
+    "remove_journal_listener",
     "replay",
     "set_journal",
+    "FLIGHT_DIR_ENV_VAR",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecord",
+    "FlightRecorder",
+    "IncidentBundle",
+    "get_flight_recorder",
+    "incidents_from_events",
+    "load_bundle",
+    "render_bundle_html",
+    "set_flight_recorder",
+    "trigger_incident",
+    "TenantLedger",
+    "get_tenant_ledger",
+    "rank_tenants",
+    "set_tenant_ledger",
     "QueryProfile",
     "build_profile",
     "render_html",
@@ -217,14 +291,20 @@ __all__ = [
     "ExemplarStore",
     "HeadSampler",
     "QueryContext",
+    "QueryStats",
+    "add_completion_hook",
     "current_context",
     "current_query_id",
     "current_sampled",
+    "current_tenant",
     "ensure_query_context",
     "get_exemplar_store",
     "get_sampler",
+    "note_estimated_seconds",
+    "note_query_q_error",
     "query_context",
     "record_exemplar",
+    "remove_completion_hook",
     "reset_query_ids",
     "set_exemplar_store",
     "set_sampler",

@@ -64,7 +64,13 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.obs.journal import EventJournal, NoopJournal, get_journal
+from repro.obs.flight import get_flight_recorder
+from repro.obs.journal import (
+    NOOP_JOURNAL,
+    EventJournal,
+    NoopJournal,
+    get_journal,
+)
 from repro.obs.metrics import counter
 from repro.obs.timeseries import HISTOGRAM_STATS, WindowSummary
 
@@ -570,12 +576,23 @@ class AlertEngine:
             counter("alerts.resolved", help="alert resolved transitions").inc(
                 len(resolved)
             )
+        by_key = {alert.key: alert for alert in alerts}
         if emit and journal.enabled:
-            by_key = {alert.key: alert for alert in alerts}
             for key in fired:
                 self._emit(journal, by_key[key], state="firing")
             for key in resolved:
                 self._emit(journal, by_key[key], state="resolved")
+        if fired:
+            recorder = get_flight_recorder()
+            if recorder is not None:
+                # Freeze the flight rings the moment a rule transitions
+                # to firing: the bundle names the breaching alerts (with
+                # their exemplars) next to the recent queries/events.
+                recorder.trigger_incident(
+                    kind="alert",
+                    alerts=[by_key[key].to_dict() for key in fired],
+                    journal=journal if emit else NOOP_JOURNAL,
+                )
         return report
 
     # ------------------------------------------------------------------

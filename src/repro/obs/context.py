@@ -20,7 +20,15 @@ cost must be bounded.  This module provides the three primitives:
   short-circuited, so full tracing cost is bounded under load;
 * **exemplars** — a small ring buffer of recent query ids per remote
   system, fed by the costing module's emission sites and attached to
-  fired alerts so a metric breach always names concrete queries.
+  fired alerts so a metric breach always names concrete queries;
+* **completion hooks** — when an *owning* query scope closes, the
+  scope builds a :class:`repro.obs.tail.QueryOutcome` (wall latency,
+  worst q-error, estimated seconds, error status, tenant), asks the
+  tail sampler (:mod:`repro.obs.tail`) for the completion-time
+  keep/drop decision, and dispatches both to every registered hook.
+  The tracer's hook commits or discards the query's buffered spans;
+  the flight recorder's hook feeds its ring; the tenant ledger's hook
+  attributes the traffic.  Hooks never raise into the query path.
 
 Like the rest of :mod:`repro.obs`, this module depends only on the
 standard library and must never import from the instrumented packages.
@@ -31,15 +39,18 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
 from contextvars import ContextVar
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import counter
+from repro.obs.tail import QueryOutcome, TailDecision, get_tail_sampler
 
 __all__ = [
     "SAMPLE_ENV_VAR",
     "QueryContext",
+    "QueryStats",
     "HeadSampler",
     "ExemplarStore",
     "query_context",
@@ -47,6 +58,11 @@ __all__ = [
     "current_context",
     "current_query_id",
     "current_sampled",
+    "current_tenant",
+    "note_query_q_error",
+    "note_estimated_seconds",
+    "add_completion_hook",
+    "remove_completion_hook",
     "get_sampler",
     "set_sampler",
     "get_exemplar_store",
@@ -59,6 +75,35 @@ __all__ = [
 SAMPLE_ENV_VAR = "REPRO_OBS_SAMPLE"
 
 
+class QueryStats:
+    """Mutable per-query accumulator riding on the frozen context.
+
+    The feedback loop reports into it while the query runs (worst
+    q-error seen, total estimated operator seconds); the completion
+    hook reads it once when the scope closes to build the
+    :class:`~repro.obs.tail.QueryOutcome` the tail sampler judges.
+
+    Deliberately lock-free: one instance is allocated per query (the
+    context-open hot path the overhead budget pins), updates are
+    simple attribute stores, and a lost update under a concurrent
+    same-query race costs at worst one forensic data point — never
+    correctness of the estimates themselves.
+    """
+
+    __slots__ = ("max_q_error", "estimated_seconds")
+
+    def __init__(self) -> None:
+        self.max_q_error = 0.0
+        self.estimated_seconds = 0.0
+
+    def note_q_error(self, q_error: float) -> None:
+        if q_error > self.max_q_error:
+            self.max_q_error = q_error
+
+    def note_estimated_seconds(self, seconds: float) -> None:
+        self.estimated_seconds += seconds
+
+
 @dataclass(frozen=True)
 class QueryContext:
     """The ambient identity of one federated query.
@@ -67,14 +112,22 @@ class QueryContext:
         query_id: Process-unique id (``q-000042``), minted at the
             federation layer and stamped onto every span and journal
             event the query produces.
-        sampled: Head-sampling decision; ``False`` short-circuits span
-            recording for the whole query.
+        sampled: Head-sampling decision; with tail sampling off,
+            ``False`` short-circuits span recording for the whole
+            query (with it on, spans buffer pending the tail verdict).
         query: The SQL text (or a short plan description), when known.
+        tenant: The workload/tenant the query is attributed to; ""
+            when the caller did not attribute it.
+        stats: Mutable per-query accumulator (excluded from equality).
     """
 
     query_id: str
     sampled: bool = True
     query: str = ""
+    tenant: str = ""
+    stats: QueryStats = field(
+        default_factory=QueryStats, compare=False, repr=False
+    )
 
 
 _current: ContextVar[Optional[QueryContext]] = ContextVar(
@@ -174,33 +227,106 @@ def set_sampler(sampler: Optional[HeadSampler]) -> Optional[HeadSampler]:
 
 
 # ----------------------------------------------------------------------
+# Completion hooks: the tail-sampling dispatch point
+# ----------------------------------------------------------------------
+CompletionHook = Callable[[QueryOutcome, TailDecision], None]
+
+_completion_hooks: List[CompletionHook] = []
+
+
+def add_completion_hook(hook: CompletionHook) -> None:
+    """Register ``hook`` to run (in registration order) whenever an
+    owning query scope closes.  Idempotent per hook object."""
+    if hook not in _completion_hooks:
+        _completion_hooks.append(hook)
+
+
+def remove_completion_hook(hook: CompletionHook) -> None:
+    """Unregister ``hook``; missing hooks are ignored."""
+    try:
+        _completion_hooks.remove(hook)
+    except ValueError:
+        pass
+
+
+#: Shared verdicts for the no-tail-sampler path (no per-query allocation).
+_HEAD_KEEP = TailDecision(keep=True, reasons=("head",))
+_HEAD_DROP = TailDecision(keep=False)
+
+
+def _complete(outcome: QueryOutcome) -> None:
+    """Take the tail decision for ``outcome`` and dispatch both to every
+    hook.  With no tail sampler installed the decision degrades to the
+    head sampler's verdict, so behaviour without ``REPRO_OBS_TAIL_*``
+    set is exactly the pre-tail behaviour."""
+    sampler = get_tail_sampler()
+    if sampler is not None:
+        decision = sampler.decide(outcome)
+    else:
+        decision = _HEAD_KEEP if outcome.sampled else _HEAD_DROP
+    for hook in tuple(_completion_hooks):
+        try:
+            hook(outcome, decision)
+        except Exception:
+            counter(
+                "context.completion_hook_errors",
+                help="query-completion hooks that raised",
+            ).inc()
+
+
+# ----------------------------------------------------------------------
 # Context entry points
 # ----------------------------------------------------------------------
 class _ContextScope:
-    """Context manager installing (and restoring) a query context."""
+    """Context manager installing (and restoring) a query context.
 
-    __slots__ = ("context", "_token", "_owns")
+    An *owning* scope (the one that installed the context) also times
+    the query and runs the completion hooks on exit; joining scopes
+    (``ensure_query_context`` under an active context) do neither.
+    """
+
+    __slots__ = ("context", "_token", "_owns", "_started")
 
     def __init__(self, context: QueryContext, owns: bool = True) -> None:
         self.context = context
         self._token = None
         self._owns = owns
+        self._started = None
 
     def __enter__(self) -> QueryContext:
         if self._owns:
             self._token = _current.set(self.context)
+            self._started = time.perf_counter()
         return self.context
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._token is not None:
             _current.reset(self._token)
             self._token = None
+        if not self._owns or self._started is None:
+            return
+        started, self._started = self._started, None
+        context = self.context
+        stats = context.stats
+        _complete(
+            QueryOutcome(
+                query_id=context.query_id,
+                tenant=context.tenant,
+                query=context.query,
+                sampled=context.sampled,
+                wall_seconds=time.perf_counter() - started,
+                max_q_error=stats.max_q_error,
+                estimated_seconds=stats.estimated_seconds,
+                error=exc_type.__name__ if exc_type is not None else "",
+            )
+        )
 
 
 def query_context(
     query: str = "",
     query_id: Optional[str] = None,
     sampled: Optional[bool] = None,
+    tenant: str = "",
 ) -> _ContextScope:
     """Open a *new* query scope (the federation layer's entry point).
 
@@ -210,6 +336,7 @@ def query_context(
             omitted.
         sampled: Explicit head-sampling decision; asked of the default
             sampler when omitted.
+        tenant: The workload/tenant the query is attributed to.
     """
     if sampled is None:
         sampled = get_sampler().decide()
@@ -217,6 +344,7 @@ def query_context(
         query_id=query_id if query_id is not None else _next_query_id(),
         sampled=sampled,
         query=query,
+        tenant=tenant,
     )
     counter("context.queries", help="query contexts opened").inc()
     if not sampled:
@@ -227,17 +355,18 @@ def query_context(
     return _ContextScope(context)
 
 
-def ensure_query_context(query: str = "") -> _ContextScope:
+def ensure_query_context(query: str = "", tenant: str = "") -> _ContextScope:
     """Join the active query scope, or open a new one if none is active.
 
     The idempotent variant every layer below the federation uses: when
     the federation already opened a context, the optimizer (or a direct
-    library caller) must not mint a second id for the same query.
+    library caller) must not mint a second id for the same query (and
+    ``tenant`` is only honoured when a new scope is opened).
     """
     active = _current.get()
     if active is not None:
         return _ContextScope(active, owns=False)
-    return query_context(query=query)
+    return query_context(query=query, tenant=tenant)
 
 
 def current_context() -> Optional[QueryContext]:
@@ -259,6 +388,28 @@ def current_sampled() -> bool:
     """
     context = _current.get()
     return context.sampled if context is not None else True
+
+
+def current_tenant() -> str:
+    """The active query's tenant, or "" outside any scope / unattributed."""
+    context = _current.get()
+    return context.tenant if context is not None else ""
+
+
+def note_query_q_error(q_error: float) -> None:
+    """Report one observed q-error against the active query (feeds the
+    tail sampler's q-error criterion).  No-op outside a query scope."""
+    context = _current.get()
+    if context is not None and q_error > 0.0:
+        context.stats.note_q_error(q_error)
+
+
+def note_estimated_seconds(seconds: float) -> None:
+    """Accumulate estimated operator seconds against the active query
+    (per-tenant cost attribution).  No-op outside a query scope."""
+    context = _current.get()
+    if context is not None and seconds > 0.0:
+        context.stats.note_estimated_seconds(seconds)
 
 
 # ----------------------------------------------------------------------

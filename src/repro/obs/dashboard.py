@@ -11,7 +11,9 @@ inputs the CLI's ``health``/``alerts`` commands use:
   firing rows first, with exemplar query ids attached;
 * a **q-error sparkline** per system, built from the journal's
   ``actual`` events (:func:`build_history`), so the page shows the
-  accuracy *trajectory*, not just the final number.
+  accuracy *trajectory*, not just the final number;
+* a **tenant ranking** (when attribution ran) ordered by estimated
+  cost, so the most expensive tenants surface first.
 
 Like the rest of :mod:`repro.obs`, this module depends only on the
 standard library and must never import from the instrumented packages.
@@ -206,12 +208,39 @@ def _window_series(
     return rows
 
 
+def _tenant_rows(
+    tenants: Mapping[str, Mapping[str, object]],
+) -> List[str]:
+    """Tenant table rows ranked by estimated cost (desc, name tiebreak)."""
+    def _num(stats: Mapping[str, object], key: str) -> float:
+        value = stats.get(key, 0)
+        return float(value) if isinstance(value, (int, float)) else 0.0
+
+    ranked = sorted(
+        tenants.items(),
+        key=lambda item: (-_num(item[1], "estimated_seconds"), item[0]),
+    )
+    rows: List[str] = []
+    for tenant, stats in ranked:
+        rows.append(
+            f"<tr><td><code>{_esc(tenant)}</code></td>"
+            f'<td class="num">{int(_num(stats, "queries"))}</td>'
+            f'<td class="num">{int(_num(stats, "errors"))}</td>'
+            f'<td class="num">{_num(stats, "estimated_seconds"):.4g}</td>'
+            f'<td class="num">{_num(stats, "mean_q_error"):.3f}</td>'
+            f'<td class="num">{_num(stats, "max_q_error"):.3f}</td>'
+            f'<td class="num">{int(_num(stats, "kept_traces"))}</td></tr>'
+        )
+    return rows
+
+
 def render_dashboard(
     healths: Sequence[SystemHealth],
     report: Optional[AlertReport] = None,
     history: Optional[Mapping[str, Sequence[float]]] = None,
     title: str = "Cost estimation health",
     windows: Optional[Sequence[WindowSummary]] = None,
+    tenants: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> str:
     """The dashboard page as a self-contained HTML string."""
     body: List[str] = [f"<h1>{_esc(title)}</h1>"]
@@ -274,6 +303,23 @@ def render_dashboard(
             '<p class="muted">no journaled actuals to chart '
             "(set <code>REPRO_OBS_JOURNAL</code>)</p>"
         )
+
+    if tenants is not None:
+        body.append("<h2>Tenants</h2>")
+        if tenants:
+            body.append(
+                "<table><tr><th>tenant</th><th class=num>queries</th>"
+                "<th class=num>errors</th><th class=num>est. seconds</th>"
+                "<th class=num>mean q-err</th><th class=num>max q-err</th>"
+                "<th class=num>kept traces</th></tr>"
+            )
+            body.extend(_tenant_rows(tenants))
+            body.append("</table>")
+        else:
+            body.append(
+                '<p class="muted">no attributed traffic yet '
+                "(pass <code>tenant=</code> to <code>run()</code>)</p>"
+            )
 
     if windows is not None:
         body.append("<h2>Windowed telemetry</h2>")

@@ -16,6 +16,7 @@ from typing import Dict, Optional
 
 from repro.obs.ledger import AccuracyLedger, get_ledger
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tenants import TenantLedger, get_tenant_ledger
 
 __all__ = [
     "build_snapshot",
@@ -80,14 +81,17 @@ def derive_gauges(metrics: Dict[str, dict]) -> Dict[str, dict]:
 def build_snapshot(
     registry: Optional[MetricsRegistry] = None,
     ledger: Optional[AccuracyLedger] = None,
+    tenants: Optional[TenantLedger] = None,
 ) -> Dict[str, object]:
-    """One JSON-serializable dict of metrics + ledger state."""
+    """One JSON-serializable dict of metrics + ledger + tenant state."""
     registry = registry if registry is not None else get_registry()
     ledger = ledger if ledger is not None else get_ledger()
+    tenants = tenants if tenants is not None else get_tenant_ledger()
     return {
         "version": SNAPSHOT_VERSION,
         "metrics": derive_gauges(registry.snapshot()),
         "ledger": ledger.snapshot(),
+        "tenants": tenants.snapshot(),
     }
 
 
@@ -95,8 +99,9 @@ def write_json_snapshot(
     path,
     registry: Optional[MetricsRegistry] = None,
     ledger: Optional[AccuracyLedger] = None,
+    tenants: Optional[TenantLedger] = None,
 ) -> None:
-    snapshot = build_snapshot(registry=registry, ledger=ledger)
+    snapshot = build_snapshot(registry=registry, ledger=ledger, tenants=tenants)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(snapshot, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -132,19 +137,66 @@ def _escape_label_value(value: str) -> str:
     )
 
 
+#: Per-tenant stats exported as ``repro_tenant_<name>{tenant="..."}``
+#: gauges, with their HELP strings.
+_TENANT_EXPORTS = (
+    ("queries", "attributed queries completed"),
+    ("errors", "attributed queries that errored"),
+    ("wall_seconds", "attributed wall-clock seconds"),
+    ("estimates", "attributed operator estimates"),
+    ("estimated_seconds", "attributed estimated operator seconds"),
+    ("actuals", "attributed feedback observations"),
+    ("mean_q_error", "mean q-error over attributed feedback"),
+    ("max_q_error", "worst q-error over attributed feedback"),
+    ("kept_traces", "attributed traces kept by sampling"),
+)
+
+
+def _tenant_lines(tenants: Dict[str, Dict[str, object]]) -> list:
+    """Per-tenant gauge lines; empty when no tenant was attributed."""
+    lines = []
+    for stat, help_text in _TENANT_EXPORTS:
+        series = [
+            (tenant, stats[stat])
+            for tenant, stats in sorted(tenants.items())
+            if isinstance(stats.get(stat), (int, float))
+        ]
+        if not series:
+            continue
+        prom = _prom_name(f"tenant.{stat}")
+        lines.append(f"# HELP {prom} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {prom} gauge")
+        for tenant, value in series:
+            lines.append(
+                f'{prom}{{tenant="{_escape_label_value(tenant)}"}} {value}'
+            )
+    return lines
+
+
 def to_prometheus_text(
     registry: Optional[MetricsRegistry] = None,
     metrics: Optional[Dict[str, dict]] = None,
+    tenants: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> str:
     """Prometheus text-format exposition of a registry (or snapshot dict).
 
     Registry expositions include the derived ratio gauges
     (:func:`derive_gauges`); an explicit ``metrics`` dict is rendered
-    as-is, since snapshot files already carry them.
+    as-is, since snapshot files already carry them.  Per-tenant
+    attribution is appended as ``repro_tenant_*{tenant="..."}`` gauges
+    (label values escaped) — pass ``tenants`` (a
+    :meth:`~repro.obs.tenants.TenantLedger.snapshot` dict) to override
+    the process-wide ledger's view; no lines are emitted when no tenant
+    was ever attributed, keeping unattributed expositions byte-identical.
     """
     if metrics is None:
         registry = registry if registry is not None else get_registry()
         metrics = derive_gauges(registry.snapshot())
+        if tenants is None:
+            # Live exposition: the process-wide attribution rides along.
+            # Explicit-metrics callers pass their snapshot's own slice —
+            # mixing live tenants into a file snapshot would lie.
+            tenants = get_tenant_ledger().snapshot()
     lines = []
     for name, data in sorted(metrics.items()):
         prom = _prom_name(name)
@@ -165,6 +217,8 @@ def to_prometheus_text(
                 )
             lines.append(f"{prom}_sum {data['sum']}")
             lines.append(f"{prom}_count {data['count']}")
+    if tenants:
+        lines.extend(_tenant_lines(tenants))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -211,6 +265,28 @@ def format_snapshot_text(snapshot: Dict[str, object]) -> str:
                     float(stats["mean_q_error"]),
                     float(stats["slope"]),
                     100.0 * float(stats["remedy_fraction"]),
+                )
+            )
+    tenants = snapshot.get("tenants", {})
+    if tenants:
+        lines.append("")
+        lines.append("tenants")
+        lines.append(
+            "  {:<20s} {:>7s} {:>6s} {:>10s} {:>9s} {:>8s} {:>6s}".format(
+                "tenant", "queries", "errors", "est-sec", "q-err", "max-q", "kept"
+            )
+        )
+        for tenant in sorted(tenants):
+            stats = tenants[tenant]
+            lines.append(
+                "  {:<20s} {:>7d} {:>6d} {:>10.4g} {:>9.3f} {:>8.3f} {:>6d}".format(
+                    tenant,
+                    int(stats.get("queries", 0)),
+                    int(stats.get("errors", 0)),
+                    float(stats.get("estimated_seconds", 0.0)),
+                    float(stats.get("mean_q_error", 0.0)),
+                    float(stats.get("max_q_error", 0.0)),
+                    int(stats.get("kept_traces", 0)),
                 )
             )
     return "\n".join(lines)

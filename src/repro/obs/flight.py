@@ -1,0 +1,657 @@
+"""Black-box flight recorder: incident bundles for SLO forensics.
+
+An accuracy SLO breach is investigated *after* the fact, when the
+queries that caused it are long gone.  This module keeps the recent
+past on hand the way an aircraft flight recorder does: a thread-safe
+ring of the last N completed query records (fed by the query-completion
+hook, with the full span trace attached for tail-kept queries) plus a
+ring of recent journal events (fed by a journal listener).  When an
+:class:`~repro.obs.alerts.AlertEngine` rule fires or a drift monitor
+raises its alarm, :meth:`FlightRecorder.trigger_incident` freezes both
+rings into a schema-versioned **incident bundle** naming the implicated
+queries, systems, and exemplars, and
+
+* appends it to the event journal as one rotation-atomic group
+  (:meth:`repro.obs.journal.EventJournal.append_group`), so replay in a
+  fresh process reconstructs the same bundles
+  (:func:`incidents_from_events`);
+* dumps it to ``REPRO_OBS_FLIGHT_DIR`` (when set) as a deterministic
+  JSONL file plus a self-contained HTML report — :func:`load_bundle`
+  of the JSONL re-dumps bit-identically.
+
+Like the rest of :mod:`repro.obs`, this module depends only on the
+standard library and must never import from the instrumented packages
+(and, to keep the import graph acyclic, never from
+:mod:`repro.obs.alerts` or :mod:`repro.obs.dashboard` — they sit above
+it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.context import add_completion_hook
+from repro.obs.journal import (
+    JournalEvent,
+    ReadResult,
+    add_journal_listener,
+    get_journal,
+    read_journal,
+)
+from repro.obs.metrics import counter
+from repro.obs.profiler import _esc, _html_page
+from repro.obs.tail import QueryOutcome, TailDecision
+from repro.obs.tracing import get_tracer
+
+__all__ = [
+    "FLIGHT_SCHEMA_VERSION",
+    "FLIGHT_DIR_ENV_VAR",
+    "FlightRecord",
+    "IncidentBundle",
+    "FlightRecorder",
+    "get_flight_recorder",
+    "set_flight_recorder",
+    "trigger_incident",
+    "load_bundle",
+    "render_bundle_html",
+    "incidents_from_events",
+]
+
+#: Bump on breaking bundle-layout changes; carried in every header.
+FLIGHT_SCHEMA_VERSION = 1
+
+#: Directory incident bundles are dumped into (JSONL + HTML); unset
+#: means incidents stay in memory (and in the journal, when enabled).
+FLIGHT_DIR_ENV_VAR = "REPRO_OBS_FLIGHT_DIR"
+
+_JSON_COMPACT = {"sort_keys": True, "separators": (",", ":")}
+
+
+def _dumps(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, **_JSON_COMPACT)
+
+
+@dataclass
+class FlightRecord:
+    """One completed query as the flight recorder remembers it.
+
+    Every completion contributes a record (the metadata is cheap); the
+    full span trace rides along only when the tail sampler kept the
+    query, so the ring names every recent query while storing trees
+    only for the SLO-relevant tail.
+
+    A plain (non-frozen) dataclass on purpose, like
+    :class:`~repro.obs.tail.QueryOutcome`: one is built per query
+    completion on the budgeted hot path, and frozen construction costs
+    one ``object.__setattr__`` per field.  Treat instances as
+    read-only.
+    """
+
+    query_id: str
+    tenant: str = ""
+    query: str = ""
+    wall_seconds: float = 0.0
+    max_q_error: float = 0.0
+    estimated_seconds: float = 0.0
+    error: str = ""
+    kept: bool = False
+    reasons: Tuple[str, ...] = ()
+    trace: Tuple[Dict[str, Any], ...] = ()
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable form (deterministic under sorted dumps)."""
+        return {
+            "query_id": self.query_id,
+            "tenant": self.tenant,
+            "query": self.query,
+            "wall_seconds": self.wall_seconds,
+            "max_q_error": self.max_q_error,
+            "estimated_seconds": self.estimated_seconds,
+            "error": self.error,
+            "kept": self.kept,
+            "reasons": list(self.reasons),
+            "trace": [dict(root) for root in self.trace],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FlightRecord":
+        return cls(
+            query_id=str(payload.get("query_id", "")),
+            tenant=str(payload.get("tenant", "")),
+            query=str(payload.get("query", "")),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            max_q_error=float(payload.get("max_q_error", 0.0)),
+            estimated_seconds=float(payload.get("estimated_seconds", 0.0)),
+            error=str(payload.get("error", "")),
+            kept=bool(payload.get("kept", False)),
+            reasons=tuple(str(r) for r in payload.get("reasons", ())),
+            trace=tuple(payload.get("trace", ())),
+        )
+
+
+@dataclass(frozen=True)
+class IncidentBundle:
+    """One frozen forensic snapshot: trigger + recent queries + events.
+
+    Attributes:
+        name: Deterministic bundle name (``incident-000001-<kind>``).
+        trigger: What fired it — always carries ``"kind"`` ("alert",
+            "drift", "manual", ...) plus trigger-specific fields (the
+            fired alerts' dicts, the drifted system, ...).
+        records: Recent completed-query records, oldest first.
+        events: Recent journal events (``{"seq", "type", "payload"}``),
+            oldest first.
+        version: Bundle schema version.
+    """
+
+    name: str
+    trigger: Dict[str, Any] = field(default_factory=dict)
+    records: Tuple[Dict[str, Any], ...] = ()
+    events: Tuple[Dict[str, Any], ...] = ()
+    version: int = FLIGHT_SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def implicated_queries(self) -> Tuple[str, ...]:
+        """Query ids of tail-kept records, oldest first."""
+        return tuple(
+            str(record.get("query_id", ""))
+            for record in self.records
+            if record.get("kept")
+        )
+
+    def implicated_systems(self) -> Tuple[str, ...]:
+        """Systems named by the captured events, sorted."""
+        systems = set()
+        for event in self.events:
+            payload = event.get("payload")
+            if isinstance(payload, dict):
+                system = payload.get("system")
+                if system:
+                    systems.add(str(system))
+        return tuple(sorted(systems))
+
+    # ------------------------------------------------------------------
+    # Serialization (deterministic: sorted keys, compact separators)
+    # ------------------------------------------------------------------
+    def header(self) -> Dict[str, Any]:
+        return {
+            "kind": "incident",
+            "v": self.version,
+            "name": self.name,
+            "trigger": self.trigger,
+            "records": len(self.records),
+            "events": len(self.events),
+        }
+
+    def to_jsonl(self) -> str:
+        """The bundle's canonical JSONL form: header line, then one
+        line per record, then one line per event."""
+        lines = [_dumps(self.header())]
+        for record in self.records:
+            lines.append(_dumps({"kind": "record", **record}))
+        for event in self.events:
+            lines.append(_dumps({"kind": "event", **event}))
+        return "\n".join(lines) + "\n"
+
+    def to_html(self) -> str:
+        return render_bundle_html(self)
+
+    def dump(self, directory: Union[str, os.PathLike]) -> Tuple[str, str]:
+        """Write ``<name>.jsonl`` and ``<name>.html`` into ``directory``
+        (created if missing); returns the two paths."""
+        directory = os.fspath(directory)
+        os.makedirs(directory, exist_ok=True)
+        jsonl_path = os.path.join(directory, f"{self.name}.jsonl")
+        html_path = os.path.join(directory, f"{self.name}.html")
+        with open(jsonl_path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+        with open(html_path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_html())
+        return jsonl_path, html_path
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form for the ``/incidents`` endpoint."""
+        return {
+            "v": self.version,
+            "name": self.name,
+            "trigger": self.trigger,
+            "records": list(self.records),
+            "events": list(self.events),
+        }
+
+
+def load_bundle(path: Union[str, os.PathLike]) -> IncidentBundle:
+    """Load a dumped bundle; ``load_bundle(p).to_jsonl()`` reproduces
+    the file at ``p`` byte for byte (the replayability guarantee)."""
+    header: Optional[Dict[str, Any]] = None
+    records: List[Dict[str, Any]] = []
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            kind = entry.pop("kind", None)
+            if kind == "incident":
+                header = entry
+            elif kind == "record":
+                records.append(entry)
+            elif kind == "event":
+                events.append(entry)
+            else:
+                raise ValueError(f"unknown bundle line kind: {kind!r}")
+    if header is None:
+        raise ValueError(f"no incident header in {os.fspath(path)!r}")
+    return IncidentBundle(
+        name=str(header.get("name", "")),
+        trigger=dict(header.get("trigger", {})),
+        records=tuple(records),
+        events=tuple(events),
+        version=int(header.get("v", FLIGHT_SCHEMA_VERSION)),
+    )
+
+
+def _slug(kind: str) -> str:
+    cleaned = "".join(c if c.isalnum() else "-" for c in kind.lower())
+    cleaned = "-".join(part for part in cleaned.split("-") if part)
+    return cleaned or "incident"
+
+
+class FlightRecorder:
+    """Thread-safe rings of recent query records and journal events.
+
+    Args:
+        max_records: Completed-query records kept.
+        max_events: Journal events kept.
+        max_incidents: Triggered bundles kept in memory (the journal
+            and the dump directory hold the full history).
+        directory: Dump directory for triggered bundles; ``None``
+            keeps bundles in memory/journal only.
+    """
+
+    def __init__(
+        self,
+        max_records: int = 128,
+        max_events: int = 256,
+        max_incidents: int = 8,
+        directory: Optional[Union[str, os.PathLike]] = None,
+    ) -> None:
+        if max_records < 1 or max_events < 1 or max_incidents < 1:
+            raise ValueError("flight-recorder ring sizes must be >= 1")
+        self.max_records = max_records
+        self.max_events = max_events
+        self.max_incidents = max_incidents
+        self.directory = os.fspath(directory) if directory is not None else None
+        self._lock = threading.Lock()
+        self._records: List[FlightRecord] = []
+        self._events: List[Dict[str, Any]] = []
+        self._incidents: List[IncidentBundle] = []
+        self._incident_seq = 0
+
+    # ------------------------------------------------------------------
+    # Feeding the rings
+    # ------------------------------------------------------------------
+    def record(self, outcome: QueryOutcome, decision: TailDecision) -> None:
+        """Remember one completed query (the completion hook's entry)."""
+        trace: Tuple[Dict[str, Any], ...] = ()
+        if decision.keep:
+            # The tracing hook ran first (registration order), so a
+            # kept query's roots are already in the tracer ring.
+            trace = tuple(
+                root.to_dict()
+                for root in get_tracer().traces()
+                if root.attributes.get("query_id") == outcome.query_id
+            )
+        entry = FlightRecord(
+            query_id=outcome.query_id,
+            tenant=outcome.tenant,
+            query=outcome.query,
+            wall_seconds=outcome.wall_seconds,
+            max_q_error=outcome.max_q_error,
+            estimated_seconds=outcome.estimated_seconds,
+            error=outcome.error,
+            kept=decision.keep,
+            reasons=decision.reasons,
+            trace=trace,
+        )
+        evicted = 0
+        with self._lock:
+            self._records.append(entry)
+            if len(self._records) > self.max_records:
+                evicted = len(self._records) - self.max_records
+                del self._records[:evicted]
+        counter("obs.flight.records", help="query completions recorded").inc()
+        if evicted:
+            counter(
+                "obs.flight.evicted",
+                help="flight-recorder ring entries evicted",
+            ).inc(evicted)
+
+    def on_journal_event(self, event: JournalEvent) -> None:
+        """Remember one journal event (the journal listener's entry).
+        Incident events are skipped — a bundle must not ingest itself."""
+        if event.type in ("incident", "incident_record"):
+            return
+        entry = {"seq": event.seq, "type": event.type, "payload": event.payload}
+        with self._lock:
+            self._events.append(entry)
+            if len(self._events) > self.max_events:
+                del self._events[: len(self._events) - self.max_events]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def records(self) -> Tuple[FlightRecord, ...]:
+        with self._lock:
+            return tuple(self._records)
+
+    def events(self) -> Tuple[Dict[str, Any], ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    def incidents(self) -> Tuple[IncidentBundle, ...]:
+        with self._lock:
+            return tuple(self._incidents)
+
+    def find_incident(self, name: str) -> Optional[IncidentBundle]:
+        with self._lock:
+            for bundle in self._incidents:
+                if bundle.name == name:
+                    return bundle
+        return None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable view for the ``/flight`` endpoint."""
+        with self._lock:
+            records = [entry.to_payload() for entry in self._records]
+            events = [dict(entry) for entry in self._events]
+            incidents = [bundle.name for bundle in self._incidents]
+        return {
+            "v": FLIGHT_SCHEMA_VERSION,
+            "records": records,
+            "events": events,
+            "incidents": incidents,
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._events.clear()
+            self._incidents.clear()
+            self._incident_seq = 0
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def trigger_incident(
+        self, kind: str, journal=None, **info: Any
+    ) -> IncidentBundle:
+        """Freeze the rings into a bundle; journal and dump it.
+
+        Args:
+            kind: Trigger kind ("alert", "drift", "manual", ...).
+            journal: Journal to write the bundle group into; defaults
+                to the process-wide journal (pass an explicit disabled
+                journal to suppress).
+            info: Extra trigger fields (fired alerts, drifted system).
+        """
+        with self._lock:
+            self._incident_seq += 1
+            name = f"incident-{self._incident_seq:06d}-{_slug(kind)}"
+            records = tuple(entry.to_payload() for entry in self._records)
+            events = tuple(dict(entry) for entry in self._events)
+        trigger: Dict[str, Any] = {"kind": kind}
+        trigger.update(info)
+        bundle = IncidentBundle(
+            name=name, trigger=trigger, records=records, events=events
+        )
+        with self._lock:
+            self._incidents.append(bundle)
+            if len(self._incidents) > self.max_incidents:
+                del self._incidents[: len(self._incidents) - self.max_incidents]
+        counter("obs.flight.incidents", help="incident bundles triggered").inc()
+        journal = journal if journal is not None else get_journal()
+        if journal.enabled:
+            group: List[Tuple[str, Dict[str, Any]]] = [
+                ("incident", {"name": name, "trigger": trigger, "events": list(events)})
+            ]
+            for record in records:
+                group.append(("incident_record", {"incident": name, **record}))
+            journal.append_group(group)
+        if self.directory:
+            bundle.dump(self.directory)
+        return bundle
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"FlightRecorder(records={len(self._records)}, "
+                f"events={len(self._events)}, "
+                f"incidents={len(self._incidents)})"
+            )
+
+
+# ----------------------------------------------------------------------
+# HTML rendering (reuses the profiler's self-contained page helpers)
+# ----------------------------------------------------------------------
+def _render_trace_lines(node: Dict[str, Any], depth: int = 0) -> List[str]:
+    attrs = node.get("attributes") or {}
+    shown = " ".join(
+        f"{key}={value}"
+        for key, value in attrs.items()
+        if not str(key).startswith("_")
+    )
+    wall = float(node.get("wall_seconds", 0.0) or 0.0)
+    line = f"{'  ' * depth}{node.get('name', '?')}  wall={wall * 1e3:.2f}ms"
+    if shown:
+        line += f"  [{shown}]"
+    lines = [line]
+    for child in node.get("children") or ():
+        lines.extend(_render_trace_lines(child, depth + 1))
+    return lines
+
+
+def render_bundle_html(bundle: IncidentBundle) -> str:
+    """A self-contained HTML report of one incident bundle."""
+    body: List[str] = [f"<h1>Incident {_esc(bundle.name)}</h1>"]
+    body.append(
+        "<p>trigger <strong>{}</strong> — {} records, {} events, "
+        "schema v{}</p>".format(
+            _esc(bundle.trigger.get("kind", "?")),
+            len(bundle.records),
+            len(bundle.events),
+            bundle.version,
+        )
+    )
+    systems = bundle.implicated_systems()
+    if systems:
+        body.append(
+            "<p>implicated systems: "
+            + ", ".join(f"<code>{_esc(s)}</code>" for s in systems)
+            + "</p>"
+        )
+    alerts = bundle.trigger.get("alerts")
+    if isinstance(alerts, list) and alerts:
+        body.append("<h2>Fired alerts</h2><table>")
+        body.append(
+            "<tr><th>rule</th><th>severity</th><th>signal</th>"
+            "<th class=num>value</th><th>exemplars</th></tr>"
+        )
+        for alert in alerts:
+            if not isinstance(alert, dict):
+                continue
+            exemplars = alert.get("exemplars") or []
+            body.append(
+                f"<tr><td>{_esc(alert.get('rule', '?'))}</td>"
+                f"<td>{_esc(alert.get('severity', ''))}</td>"
+                f"<td><code>{_esc(alert.get('signal', ''))}</code></td>"
+                f'<td class="num">{_esc(alert.get("value", ""))}</td>'
+                f"<td>{_esc(', '.join(str(e) for e in exemplars))}</td></tr>"
+            )
+        body.append("</table>")
+    if bundle.records:
+        body.append("<h2>Recent queries</h2><table>")
+        body.append(
+            "<tr><th>query</th><th>tenant</th><th class=num>wall</th>"
+            "<th class=num>q-error</th><th class=num>estimated</th>"
+            "<th>kept</th><th>reasons</th><th>error</th></tr>"
+        )
+        for record in bundle.records:
+            reasons = record.get("reasons") or []
+            body.append(
+                f"<tr><td><code>{_esc(record.get('query_id', '?'))}</code></td>"
+                f"<td>{_esc(record.get('tenant', ''))}</td>"
+                f'<td class="num">{float(record.get("wall_seconds", 0.0)) * 1e3:.2f}ms</td>'
+                f'<td class="num">{float(record.get("max_q_error", 0.0)):.2f}</td>'
+                f'<td class="num">{float(record.get("estimated_seconds", 0.0)):.2f}s</td>'
+                f"<td>{'yes' if record.get('kept') else 'no'}</td>"
+                f"<td>{_esc(', '.join(str(r) for r in reasons))}</td>"
+                f"<td>{_esc(record.get('error', ''))}</td></tr>"
+            )
+        body.append("</table>")
+        traced = [r for r in bundle.records if r.get("trace")]
+        if traced:
+            body.append("<h2>Kept traces</h2>")
+            for record in traced:
+                body.append(
+                    f"<h3><code>{_esc(record.get('query_id', '?'))}</code></h3>"
+                )
+                lines: List[str] = []
+                for root in record.get("trace") or ():
+                    lines.extend(_render_trace_lines(root))
+                body.append(f"<pre>{_esc(chr(10).join(lines))}</pre>")
+    if bundle.events:
+        body.append("<h2>Recent journal events</h2><table>")
+        body.append("<tr><th class=num>seq</th><th>type</th><th>payload</th></tr>")
+        for event in bundle.events:
+            payload = event.get("payload", {})
+            body.append(
+                f'<tr><td class="num">{_esc(event.get("seq", ""))}</td>'
+                f"<td>{_esc(event.get('type', '?'))}</td>"
+                f"<td><code>{_esc(_dumps(payload if isinstance(payload, dict) else {}))}</code></td></tr>"
+            )
+        body.append("</table>")
+    return _html_page(f"Incident {bundle.name}", body)
+
+
+# ----------------------------------------------------------------------
+# Offline reconstruction: journal events -> bundles
+# ----------------------------------------------------------------------
+def incidents_from_events(
+    source: Union[str, os.PathLike, ReadResult, Iterable[JournalEvent]],
+) -> Tuple[IncidentBundle, ...]:
+    """Rebuild incident bundles from a journal.
+
+    An incident is journaled as one rotation-atomic group — a header
+    ``incident`` event (carrying the trigger and the captured journal
+    events) followed by its ``incident_record`` events — so this walk
+    reattaches records to headers by bundle name.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        source = read_journal(source)
+    events: Iterable[JournalEvent]
+    events = source.events if isinstance(source, ReadResult) else source
+    bundles: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for event in events:
+        payload = event.payload
+        if event.type == "incident":
+            name = str(payload.get("name", ""))
+            if not name:
+                continue
+            bundles[name] = {
+                "trigger": dict(payload.get("trigger", {})),
+                "events": [dict(e) for e in payload.get("events", ())],
+                "records": [],
+            }
+            order.append(name)
+        elif event.type == "incident_record":
+            name = str(payload.get("incident", ""))
+            if name in bundles:
+                record = {k: v for k, v in payload.items() if k != "incident"}
+                bundles[name]["records"].append(record)
+    return tuple(
+        IncidentBundle(
+            name=name,
+            trigger=bundles[name]["trigger"],
+            records=tuple(bundles[name]["records"]),
+            events=tuple(bundles[name]["events"]),
+        )
+        for name in order
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-wide default recorder
+# ----------------------------------------------------------------------
+_default_recorder: Optional[FlightRecorder] = None
+_resolved = False
+_recorder_lock = threading.Lock()
+
+
+def _recorder_from_env() -> Optional[FlightRecorder]:
+    directory = os.environ.get(FLIGHT_DIR_ENV_VAR, "").strip()
+    return FlightRecorder(directory=directory) if directory else None
+
+
+def get_flight_recorder() -> Optional[FlightRecorder]:
+    """The process-wide flight recorder, or ``None`` when off.
+    Resolved lazily: ``REPRO_OBS_FLIGHT_DIR`` installs a dumping
+    recorder; unset means no recorder (zero completion-path cost)."""
+    global _default_recorder, _resolved
+    if _resolved:
+        return _default_recorder
+    with _recorder_lock:
+        if not _resolved:
+            _default_recorder = _recorder_from_env()
+            _resolved = True
+        return _default_recorder
+
+
+def set_flight_recorder(
+    recorder: Optional[FlightRecorder],
+) -> Optional[FlightRecorder]:
+    """Swap the flight recorder; ``None`` resets to unresolved so the
+    next :func:`get_flight_recorder` re-reads the environment.  Returns
+    the previous recorder."""
+    global _default_recorder, _resolved
+    with _recorder_lock:
+        previous = _default_recorder if _resolved else None
+        _default_recorder = recorder
+        _resolved = recorder is not None
+    return previous
+
+
+def trigger_incident(kind: str, **info: Any) -> Optional[IncidentBundle]:
+    """Trigger an incident on the process-wide recorder; no-op (returns
+    ``None``) when no recorder is installed.  The emission sites (alert
+    engine, drift transitions) call this unconditionally."""
+    recorder = get_flight_recorder()
+    if recorder is None:
+        return None
+    return recorder.trigger_incident(kind=kind, **info)
+
+
+def _on_query_complete(outcome: QueryOutcome, decision: TailDecision) -> None:
+    recorder = get_flight_recorder()
+    if recorder is not None:
+        recorder.record(outcome, decision)
+
+
+def _on_journal_event(event: JournalEvent) -> None:
+    recorder = get_flight_recorder()
+    if recorder is not None:
+        recorder.on_journal_event(event)
+
+
+# Registered after the tracer's hook (this module imports tracing), so
+# kept traces are committed into the ring before the recorder looks.
+add_completion_hook(_on_query_complete)
+add_journal_listener(_on_journal_event)

@@ -19,6 +19,8 @@ observability stack produces:
         "exemplars": {system: [recent query ids]},
         "timeseries": {"width", "retention", "closed",
                        "windows": [window payloads]},   # telemetry plane
+        "tenants":   {tenant: {"queries", "estimated_seconds",
+                               "mean_q_error", ...}},   # attribution
     }
 
 Observations can be built **live** (:func:`build_observation`, from the
@@ -55,6 +57,7 @@ from repro.obs.journal import (
 )
 from repro.obs.ledger import AccuracyLedger, get_ledger
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tenants import get_tenant_ledger
 from repro.obs.timeseries import get_timeseries, windows_from_events
 
 __all__ = [
@@ -101,6 +104,27 @@ def _empty_timeseries() -> Dict[str, object]:
     return {"width": 0.0, "retention": 0, "closed": 0, "windows": []}
 
 
+def _empty_tenant_stats() -> Dict[str, object]:
+    """Offline tenant accumulator matching the live snapshot layout.
+
+    Wall seconds, errors, and kept traces are completion-hook signals
+    that are not journaled, so offline rebuilds report them as zero;
+    ``_sum_q_error`` is a scratch key folded into ``mean_q_error`` once
+    the scan finishes.
+    """
+    return {
+        "queries": 0,
+        "errors": 0,
+        "wall_seconds": 0.0,
+        "estimates": 0,
+        "estimated_seconds": 0.0,
+        "actuals": 0,
+        "_sum_q_error": 0.0,
+        "max_q_error": 0.0,
+        "kept_traces": 0,
+    }
+
+
 # ----------------------------------------------------------------------
 # Building observations
 # ----------------------------------------------------------------------
@@ -111,6 +135,7 @@ def build_observation(
     cache: Optional[Mapping[str, object]] = None,
     exemplars: Optional[Mapping[str, List[str]]] = None,
     timeseries: Optional[Mapping[str, object]] = None,
+    tenants: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> Dict[str, object]:
     """Snapshot the live observability state into one observation.
 
@@ -126,6 +151,8 @@ def build_observation(
         timeseries: Windowed-telemetry slice (an aggregator
             ``snapshot()``); the process-wide aggregator's by default,
             empty when the telemetry plane is off.
+        tenants: Per-tenant attribution slice; the process-wide tenant
+            ledger's snapshot by default.
     """
     registry = registry if registry is not None else get_registry()
     ledger = ledger if ledger is not None else get_ledger()
@@ -137,6 +164,8 @@ def build_observation(
             aggregator.snapshot() if aggregator is not None
             else _empty_timeseries()
         )
+    if tenants is None:
+        tenants = get_tenant_ledger().snapshot()
     cache_stats = dict(_EMPTY_CACHE)
     if cache is not None:
         cache_stats.update({str(k): v for k, v in cache.items()})
@@ -152,6 +181,10 @@ def build_observation(
             str(system): list(ids) for system, ids in (exemplars or {}).items()
         },
         "timeseries": dict(timeseries),
+        "tenants": {
+            str(tenant): dict(stats)
+            for tenant, stats in sorted((tenants or {}).items())
+        },
     }
 
 
@@ -174,6 +207,8 @@ def observation_from_events(source: ReadResult) -> Dict[str, object]:
 
     drift: Dict[str, Dict[str, object]] = {}
     exemplars: Dict[str, List[str]] = {}
+    tenants: Dict[str, Dict[str, object]] = {}
+    tenant_queries: Dict[str, set] = {}
     for event in source.events:
         payload = event.payload
         system = str(payload.get("system", ""))
@@ -193,6 +228,38 @@ def observation_from_events(source: ReadResult) -> Dict[str, object]:
                 bucket.append(query_id)
                 if len(bucket) > _EXEMPLARS_PER_SYSTEM:
                     del bucket[: len(bucket) - _EXEMPLARS_PER_SYSTEM]
+            tenant = str(payload.get("tenant", ""))
+            if tenant:
+                stats = tenants.setdefault(tenant, _empty_tenant_stats())
+                if isinstance(query_id, str) and query_id:
+                    seen = tenant_queries.setdefault(tenant, set())
+                    if query_id not in seen:
+                        seen.add(query_id)
+                        stats["queries"] += 1  # type: ignore[operator]
+                if event.type == "estimate":
+                    stats["estimates"] += 1  # type: ignore[operator]
+                    seconds = payload.get("seconds")
+                    if isinstance(seconds, (int, float)) and seconds > 0:
+                        stats["estimated_seconds"] += float(seconds)  # type: ignore[operator]
+                else:
+                    estimated = _as_float(payload.get("estimated_seconds"))
+                    actual = _as_float(payload.get("actual_seconds"))
+                    if estimated > 0 and actual > 0:
+                        q_error = max(estimated / actual, actual / estimated)
+                        stats["actuals"] += 1  # type: ignore[operator]
+                        stats["_sum_q_error"] += q_error  # type: ignore[operator]
+                        if q_error > float(stats["max_q_error"]):  # type: ignore[arg-type]
+                            stats["max_q_error"] = q_error
+    for stats in tenants.values():
+        # Fold the scratch sum into the mean, keeping the key order
+        # identical to the live ``_TenantStats.snapshot()`` layout.
+        actuals = int(stats["actuals"])  # type: ignore[arg-type]
+        total = float(stats.pop("_sum_q_error"))  # type: ignore[arg-type]
+        max_q = stats.pop("max_q_error")
+        kept = stats.pop("kept_traces")
+        stats["mean_q_error"] = total / actuals if actuals else 0.0
+        stats["max_q_error"] = max_q
+        stats["kept_traces"] = kept
     window_summaries = windows_from_events(source.events)
     width = (
         window_summaries[-1].end - window_summaries[-1].start
@@ -211,6 +278,7 @@ def observation_from_events(source: ReadResult) -> Dict[str, object]:
                 summary.to_payload() for summary in window_summaries
             ],
         },
+        tenants=tenants,
     )
 
 
@@ -227,12 +295,13 @@ def observation_from_snapshot(
     """Adapt an exporter metrics snapshot into an observation.
 
     Snapshot files (``repro stats --format json``, the benchmark
-    ``*.metrics.json`` siblings) carry metrics + ledger only; the
-    drift/cache/exemplar slices stay empty, so only rules over those
-    two sources can evaluate.
+    ``*.metrics.json`` siblings) carry metrics + ledger (+ tenants when
+    attributed traffic ran); the drift/cache/exemplar slices stay
+    empty, so only rules over the carried sources can evaluate.
     """
     metrics = snapshot.get("metrics")
     ledger = snapshot.get("ledger")
+    tenants = snapshot.get("tenants")
     return {
         "version": OBSERVATION_VERSION,
         "metrics": dict(metrics) if isinstance(metrics, Mapping) else {},
@@ -241,6 +310,11 @@ def observation_from_snapshot(
         "cache": dict(_EMPTY_CACHE),
         "exemplars": {},
         "timeseries": _empty_timeseries(),
+        "tenants": (
+            {str(t): dict(stats) for t, stats in tenants.items()}
+            if isinstance(tenants, Mapping)
+            else {}
+        ),
     }
 
 

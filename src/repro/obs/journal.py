@@ -40,7 +40,7 @@ import json
 import os
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.obs.ledger import AccuracyLedger, get_ledger
 from repro.obs.metrics import (
@@ -65,6 +65,8 @@ __all__ = [
     "replay",
     "get_journal",
     "set_journal",
+    "add_journal_listener",
+    "remove_journal_listener",
 ]
 
 #: Bump on breaking payload changes; readers skip newer-versioned events.
@@ -72,13 +74,15 @@ SCHEMA_VERSION = 1
 
 #: The journaled feedback-loop event kinds (DESIGN §6).
 EVENT_TYPES: Tuple[str, ...] = (
-    "estimate",   # an operator estimate was issued
-    "actual",     # an actual execution time was recorded (validated)
-    "remedy",     # the online remedy fired / alpha recalibrated
-    "tuning",     # an offline-tuning batch was folded into a model
-    "drift",      # a drift monitor raised its alarm
-    "alert",      # an SLO alert transitioned firing/resolved
-    "window",     # a telemetry window closed (repro.obs.timeseries)
+    "estimate",         # an operator estimate was issued
+    "actual",           # an actual execution time was recorded (validated)
+    "remedy",           # the online remedy fired / alpha recalibrated
+    "tuning",           # an offline-tuning batch was folded into a model
+    "drift",            # a drift monitor raised its alarm
+    "alert",            # an SLO alert transitioned firing/resolved
+    "window",           # a telemetry window closed (repro.obs.timeseries)
+    "incident",         # a flight-recorder incident bundle header
+    "incident_record",  # one query record inside an incident bundle
 )
 
 JOURNAL_ENV_VAR = "REPRO_OBS_JOURNAL"
@@ -145,6 +149,9 @@ class NoopJournal:
     def append(self, event_type: str, **payload: object) -> None:
         return None
 
+    def append_group(self, events) -> Tuple[JournalEvent, ...]:
+        return ()
+
     def flush(self) -> None:
         return None
 
@@ -156,6 +163,43 @@ class NoopJournal:
 
 
 NOOP_JOURNAL = NoopJournal()
+
+
+# ----------------------------------------------------------------------
+# Listeners: in-process taps on the live event stream
+# ----------------------------------------------------------------------
+#: Called with each event after it is durably written (outside the
+#: journal lock).  The flight recorder taps the stream this way.
+JournalListener = Callable[[JournalEvent], None]
+
+_listeners: List[JournalListener] = []
+
+
+def add_journal_listener(listener: JournalListener) -> None:
+    """Register ``listener`` for every event any :class:`EventJournal`
+    writes.  Idempotent per listener object."""
+    if listener not in _listeners:
+        _listeners.append(listener)
+
+
+def remove_journal_listener(listener: JournalListener) -> None:
+    """Unregister ``listener``; missing listeners are ignored."""
+    try:
+        _listeners.remove(listener)
+    except ValueError:
+        pass
+
+
+def _notify_listeners(events: Tuple[JournalEvent, ...]) -> None:
+    if not _listeners:
+        return
+    for listener in tuple(_listeners):
+        for event in events:
+            try:
+                listener(event)
+            except Exception:
+                # A misbehaving tap must never fail the emission site.
+                pass
 
 
 class EventJournal:
@@ -217,7 +261,51 @@ class EventJournal:
                 os.fsync(self._fh.fileno())
             self._size += encoded
             self._appended += 1
+        _notify_listeners((event,))
         return event
+
+    def append_group(self, events) -> Tuple[JournalEvent, ...]:
+        """Append several events atomically with respect to rotation.
+
+        The whole group is sized up front and the file is rotated *at
+        most once, before* the first line, so a multi-event record (an
+        incident bundle) can never be split across journal generations
+        — :func:`read_journal` of any single generation sees either the
+        whole group or none of it.  A group larger than ``max_bytes``
+        still writes unsplit (the active file simply overshoots).
+
+        Args:
+            events: ``(event_type, payload_dict)`` pairs.
+
+        Returns:
+            The written events, in order.
+        """
+        items = [(event_type, dict(payload)) for event_type, payload in events]
+        if not items:
+            return ()
+        with self._lock:
+            group: List[JournalEvent] = []
+            for event_type, payload in items:
+                self._seq += 1
+                group.append(
+                    JournalEvent(seq=self._seq, type=event_type, payload=payload)
+                )
+            lines = [event.to_line() + "\n" for event in group]
+            encoded = sum(len(line.encode("utf-8")) for line in lines)
+            if self._fh is None:
+                self._open()
+            if self._size + encoded > self.max_bytes and self._size > 0:
+                self._rotate()
+            for line in lines:
+                self._fh.write(line)
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+            self._size += encoded
+            self._appended += len(group)
+        written = tuple(group)
+        _notify_listeners(written)
+        return written
 
     @property
     def appended(self) -> int:
@@ -445,7 +533,12 @@ def replay(
       the transitions);
     * ``window`` — counted but drives no instrument; the time-series
       ring is rebuilt separately by
-      :func:`repro.obs.timeseries.windows_from_events`.
+      :func:`repro.obs.timeseries.windows_from_events`;
+    * ``incident`` — ``incidents.replayed`` (the bundle itself is
+      reconstructed by :func:`repro.obs.flight.incidents_from_events`,
+      which this module cannot import — flight depends on the journal);
+    * ``incident_record`` — counted but drives no instrument (the
+      records belong to their incident's bundle, not to the registry).
 
     Events of unknown type are skipped and counted (``ignored`` plus
     the ``journal.replay.skipped_events`` counter) so journals written
@@ -534,6 +627,13 @@ def replay(
             # Counting the event here keeps replay totals honest
             # without driving any instrument, so bit-identity of the
             # replayed registry is untouched.
+            pass
+        elif event.type == "incident":
+            registry.counter("incidents.replayed").inc()
+        elif event.type == "incident_record":
+            # Incident records are bundle *data* (rebuilt by
+            # ``repro.obs.flight.incidents_from_events``); counted here,
+            # no instrument driven.
             pass
         else:
             ignored += 1

@@ -46,6 +46,10 @@ class LedgerEntry:
         actual_seconds: The observed elapsed time.
         approach: Costing approach value (``"logical_op"`` / ``"sub_op"``).
         remedy_active: True when the online remedy produced the estimate.
+        tenant: Workload the observation is attributed to ("" when the
+            query carried no tenant).  A *slicing* field only — ledger
+            keys stay (system, operator), so per-system SLO statistics
+            are unchanged by attribution.
     """
 
     system: str
@@ -54,6 +58,7 @@ class LedgerEntry:
     actual_seconds: float
     approach: str = ""
     remedy_active: bool = False
+    tenant: str = ""
 
     @property
     def q_error(self) -> float:
@@ -123,6 +128,7 @@ class AccuracyLedger:
         actual_seconds: float,
         approach: str = "",
         remedy_active: bool = False,
+        tenant: str = "",
     ) -> LedgerEntry:
         """Append one observation; both times must be finite and > 0."""
         if not (estimated_seconds > 0 and math.isfinite(estimated_seconds)):
@@ -140,6 +146,7 @@ class AccuracyLedger:
             actual_seconds=float(actual_seconds),
             approach=approach,
             remedy_active=remedy_active,
+            tenant=tenant,
         )
         key = (system, operator)
         with self._lock:
@@ -157,8 +164,10 @@ class AccuracyLedger:
         self,
         system: Optional[str] = None,
         operator: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> Tuple[LedgerEntry, ...]:
-        """Window contents, optionally filtered by system and/or operator."""
+        """Window contents, optionally filtered by system, operator,
+        and/or tenant (``tenant=""`` selects unattributed entries)."""
         with self._lock:
             selected: List[LedgerEntry] = []
             for (sys_name, op_name), window in sorted(self._windows.items()):
@@ -166,7 +175,11 @@ class AccuracyLedger:
                     continue
                 if operator is not None and op_name != operator:
                     continue
-                selected.extend(window)
+                selected.extend(
+                    entry
+                    for entry in window
+                    if tenant is None or entry.tenant == tenant
+                )
         return tuple(selected)
 
     def keys(self) -> Tuple[Tuple[str, str], ...]:
@@ -181,9 +194,10 @@ class AccuracyLedger:
         self,
         system: Optional[str] = None,
         operator: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> AccuracyStats:
         """Rolling accuracy over the (optionally filtered) windows."""
-        entries = self.entries(system=system, operator=operator)
+        entries = self.entries(system=system, operator=operator, tenant=tenant)
         if not entries:
             return AccuracyStats.empty()
         n = len(entries)

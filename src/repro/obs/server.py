@@ -18,6 +18,12 @@ endpoint              payload
                       long-lived, so firing→resolved transitions behave
                       exactly like a monitoring loop's
 ``GET /timeseries``   the windowed-telemetry ring as JSON
+``GET /tenants``      the per-tenant attribution ledger as JSON
+``GET /flight``       the flight recorder's rings (records + events +
+                      incident names) as JSON
+``GET /incidents``    headers of the in-memory incident bundles
+``GET /incidents/N``  one full incident bundle by name (404 when
+                      unknown or the recorder is off)
 ``GET /dashboard``    the self-contained HTML page, backed by *real*
                       windowed history
 ====================  ==================================================
@@ -57,8 +63,10 @@ from repro.obs.dashboard import (
     render_dashboard,
 )
 from repro.obs.exporters import build_snapshot, to_prometheus_text
+from repro.obs.flight import FLIGHT_SCHEMA_VERSION, get_flight_recorder
 from repro.obs.health import build_observation, evaluate_health, worst_grade
 from repro.obs.journal import get_journal
+from repro.obs.tenants import get_tenant_ledger
 from repro.obs.timeseries import (
     get_timeseries,
     maybe_roll_timeseries,
@@ -98,6 +106,23 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond(200, _JSON_CONTENT_TYPE, obs.render_alerts())
             elif path == "/timeseries":
                 self._respond(200, _JSON_CONTENT_TYPE, obs.render_timeseries())
+            elif path == "/tenants":
+                self._respond(200, _JSON_CONTENT_TYPE, obs.render_tenants())
+            elif path == "/flight":
+                self._respond(200, _JSON_CONTENT_TYPE, obs.render_flight())
+            elif path == "/incidents":
+                self._respond(200, _JSON_CONTENT_TYPE, obs.render_incidents())
+            elif path.startswith("/incidents/"):
+                name = path[len("/incidents/"):]
+                body = obs.render_incident(name)
+                if body is None:
+                    self._respond(
+                        404,
+                        _JSON_CONTENT_TYPE,
+                        json.dumps({"error": f"no such incident: {name}"}),
+                    )
+                else:
+                    self._respond(200, _JSON_CONTENT_TYPE, body)
             elif path in ("/", "/dashboard"):
                 self._respond(200, _HTML_CONTENT_TYPE, obs.render_dashboard())
             else:
@@ -255,6 +280,44 @@ class ObsServer:
         )
         return json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
 
+    def render_tenants(self) -> str:
+        return json.dumps(
+            get_tenant_ledger().snapshot(),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def render_flight(self) -> str:
+        recorder = get_flight_recorder()
+        if recorder is None:
+            snapshot = {
+                "enabled": False,
+                "v": FLIGHT_SCHEMA_VERSION,
+                "records": [],
+                "events": [],
+                "incidents": [],
+            }
+        else:
+            snapshot = {"enabled": True, **recorder.snapshot()}
+        return json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+
+    def render_incidents(self) -> str:
+        recorder = get_flight_recorder()
+        bundles = recorder.incidents() if recorder is not None else ()
+        return json.dumps(
+            [bundle.header() for bundle in bundles],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def render_incident(self, name: str) -> Optional[str]:
+        """One bundle's full JSON, or ``None`` when unknown/off."""
+        recorder = get_flight_recorder()
+        bundle = recorder.find_incident(name) if recorder is not None else None
+        if bundle is None:
+            return None
+        return json.dumps(bundle.to_dict(), sort_keys=True, separators=(",", ":"))
+
     def render_dashboard(self) -> str:
         observation = self.observation()
         healths = evaluate_health(observation)
@@ -267,12 +330,14 @@ class ObsServer:
             history = build_history(journal.read().events)
         else:
             history = history_from_windows(windows)
+        tenants = observation.get("tenants")
         return render_dashboard(
             healths,
             report=report,
             history=history,
             title=self.title,
             windows=windows,
+            tenants=tenants if isinstance(tenants, Mapping) else {},
         )
 
     def __repr__(self) -> str:

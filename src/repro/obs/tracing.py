@@ -19,6 +19,14 @@ attribute check — so instrumented hot paths stay essentially free
 Finished root spans accumulate in an in-memory ring buffer, queryable
 (:meth:`Tracer.last_trace`, :meth:`Tracer.find`) and exportable as JSON
 (:meth:`Tracer.export_json`).
+
+**Tail mode.**  With a tail sampler installed
+(:func:`repro.obs.tail.get_tail_sampler`), head-*unsampled* queries no
+longer collapse to the no-op span: their spans record into a bounded
+per-query *pending* buffer, and the query-completion hook either
+commits them into the trace ring (the tail sampler kept the query) or
+discards them.  Head-sampled queries keep the original behaviour —
+their roots land in the ring immediately.
 """
 
 from __future__ import annotations
@@ -29,7 +37,9 @@ import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.obs.context import current_context
+from repro.obs.context import add_completion_hook, current_context
+from repro.obs.metrics import counter
+from repro.obs.tail import QueryOutcome, TailDecision, get_tail_sampler
 
 __all__ = [
     "Span",
@@ -152,14 +162,30 @@ class Tracer:
     independent trees; the finished-trace buffer is shared and locked.
     """
 
-    def __init__(self, enabled: bool = False, max_traces: int = 64) -> None:
+    def __init__(
+        self,
+        enabled: bool = False,
+        max_traces: int = 64,
+        max_pending: int = 64,
+        max_roots_per_pending: int = 16,
+    ) -> None:
         if max_traces < 1:
             raise ValueError("max_traces must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if max_roots_per_pending < 1:
+            raise ValueError("max_roots_per_pending must be >= 1")
         self.enabled = enabled
         self.max_traces = max_traces
+        self.max_pending = max_pending
+        self.max_roots_per_pending = max_roots_per_pending
         self._local = threading.local()
         self._lock = threading.Lock()
         self._traces: List[Span] = []
+        # Tail-mode buffer: query id -> finished roots awaiting the
+        # completion-time keep/drop verdict.  Insertion-ordered, so
+        # eviction under pressure drops the oldest pending query.
+        self._pending: Dict[str, List[Span]] = {}
 
     # ------------------------------------------------------------------
     # Control
@@ -171,9 +197,10 @@ class Tracer:
         self.enabled = False
 
     def clear(self) -> None:
-        """Drop recorded traces (the active span stack is untouched)."""
+        """Drop recorded and pending traces (active stacks untouched)."""
         with self._lock:
             self._traces.clear()
+            self._pending.clear()
 
     # ------------------------------------------------------------------
     # Span production
@@ -183,17 +210,22 @@ class Tracer:
 
         Inside a query scope (:func:`repro.obs.context.query_context`)
         the head-sampling decision applies — an unsampled query's spans
-        collapse to the shared no-op — and sampled spans are stamped
-        with the query id.  The disabled path stays context-free: it is
-        the hot path the overhead budget pins.
+        collapse to the shared no-op, *unless* a tail sampler is
+        installed, in which case they record normally and buffer
+        pending the completion-time verdict.  Spans under any scope are
+        stamped with the query id (and tenant, when attributed).  The
+        disabled path stays context-free: it is the hot path the
+        overhead budget pins.
         """
         if not self.enabled:
             return NOOP_SPAN
         context = current_context()
         if context is not None:
-            if not context.sampled:
+            if not context.sampled and get_tail_sampler() is None:
                 return NOOP_SPAN
             attributes.setdefault("query_id", context.query_id)
+            if context.tenant:
+                attributes.setdefault("tenant", context.tenant)
         return Span(self, name, attributes)
 
     def current(self):
@@ -222,11 +254,61 @@ class Tracer:
         stack.pop()
         if stack:
             stack[-1].children.append(span)
-        else:
-            with self._lock:
-                self._traces.append(span)
-                if len(self._traces) > self.max_traces:
-                    del self._traces[: len(self._traces) - self.max_traces]
+            return
+        context = current_context()
+        if context is not None and not context.sampled:
+            # Tail mode: the root finished under a head-unsampled query;
+            # buffer it until the completion hook rules keep or drop.
+            self._stash_pending(context.query_id, span)
+            return
+        with self._lock:
+            self._traces.append(span)
+            if len(self._traces) > self.max_traces:
+                del self._traces[: len(self._traces) - self.max_traces]
+
+    # ------------------------------------------------------------------
+    # Tail-mode pending buffer
+    # ------------------------------------------------------------------
+    def _stash_pending(self, query_id: str, span: Span) -> None:
+        with self._lock:
+            bucket = self._pending.get(query_id)
+            if bucket is None:
+                while len(self._pending) >= self.max_pending:
+                    # A query that never committed (still running, or its
+                    # scope never closed) pays for the newcomer.
+                    del self._pending[next(iter(self._pending))]
+                    counter(
+                        "obs.tail.pending_evicted",
+                        help="pending tail-mode traces evicted under pressure",
+                    ).inc()
+                bucket = []
+                self._pending[query_id] = bucket
+            if len(bucket) < self.max_roots_per_pending:
+                bucket.append(span)
+
+    def commit_pending(self, query_id: str) -> Tuple[Span, ...]:
+        """Move a query's buffered roots into the trace ring (the tail
+        sampler kept it).  Returns the committed roots, oldest first."""
+        with self._lock:
+            spans = self._pending.pop(query_id, None)
+            if not spans:
+                return ()
+            self._traces.extend(spans)
+            if len(self._traces) > self.max_traces:
+                del self._traces[: len(self._traces) - self.max_traces]
+            return tuple(spans)
+
+    def discard_pending(self, query_id: str) -> int:
+        """Drop a query's buffered roots (the tail sampler dropped it).
+        Returns how many roots were discarded."""
+        with self._lock:
+            spans = self._pending.pop(query_id, None)
+            return len(spans) if spans else 0
+
+    def pending_count(self) -> int:
+        """Buffered roots across all queries awaiting a tail verdict."""
+        with self._lock:
+            return sum(len(bucket) for bucket in self._pending.values())
 
     # ------------------------------------------------------------------
     # Queries and export
@@ -314,3 +396,19 @@ _default_tracer = Tracer(
 def get_tracer() -> Tracer:
     """The process-wide default tracer the instrumentation reports to."""
     return _default_tracer
+
+
+def _on_query_complete(outcome: QueryOutcome, decision: TailDecision) -> None:
+    """Completion hook: resolve the query's pending buffer per the tail
+    verdict.  The unlocked emptiness check keeps the common case (no
+    tail mode, nothing pending) to one attribute read."""
+    tracer = _default_tracer
+    if not tracer._pending:
+        return
+    if decision.keep:
+        tracer.commit_pending(outcome.query_id)
+    else:
+        tracer.discard_pending(outcome.query_id)
+
+
+add_completion_hook(_on_query_complete)

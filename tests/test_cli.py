@@ -5,6 +5,17 @@ import pytest
 from repro.cli import build_parser, build_sandbox, main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_tenant_ledger():
+    """CLI commands attribute tenants to the process-global ledger
+    (demo stamps DEMO_TENANTS); keep that state out of other suites."""
+    from repro import obs
+
+    previous = obs.set_tenant_ledger(obs.TenantLedger())
+    yield
+    obs.set_tenant_ledger(previous)
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -535,3 +546,108 @@ class TestServeObsCommand:
         )
         assert code == 2
         assert "serve-obs --rules" in capsys.readouterr().err
+
+
+class TestTenantsCommand:
+    @pytest.fixture(autouse=True)
+    def _fresh_tenant_ledger(self, monkeypatch):
+        from repro import obs
+
+        monkeypatch.delenv(obs.JOURNAL_ENV_VAR, raising=False)
+        previous = obs.set_tenant_ledger(obs.TenantLedger())
+        yield
+        obs.set_tenant_ledger(previous)
+
+    def test_live_empty_state_prints_hint(self, capsys):
+        assert main(["tenants"]) == 0
+        out = capsys.readouterr().out
+        assert "no attributed traffic yet" in out
+
+    def test_run_with_tenant_feeds_the_table(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "SELECT a1 FROM t1000000_100 WHERE a1 < 500",
+                    "--tenant",
+                    "etl",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["tenants"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant" in out  # header row
+        assert "etl" in out
+
+    def test_json_output_is_ranked_and_deterministic(self, capsys):
+        from repro import obs
+
+        ledger = obs.get_tenant_ledger()
+        ledger.record_estimate("adhoc", 9.0)
+        ledger.record_estimate("etl", 2.0)
+        assert main(["tenants", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["tenants", "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        import json
+
+        payload = json.loads(first)
+        assert payload["by"] == "estimated_seconds"
+        assert [t["tenant"] for t in payload["tenants"]] == ["adhoc", "etl"]
+
+    def test_rank_by_alternate_key(self, capsys):
+        from repro import obs
+
+        ledger = obs.get_tenant_ledger()
+        ledger.record_estimate("cheap", 1.0)
+        ledger.record_actual("cheap", 9.0)
+        ledger.record_estimate("costly", 99.0)
+        ledger.record_actual("costly", 1.5)
+        assert main(["tenants", "--by", "max_q_error", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert [t["tenant"] for t in payload["tenants"]] == ["cheap", "costly"]
+
+    def test_tenants_from_journal_file(self, capsys, tmp_path):
+        from repro import obs
+
+        journal_path = tmp_path / "j.jsonl"
+        journal = obs.EventJournal(journal_path)
+        previous = obs.set_journal(journal)
+        try:
+            assert (
+                main(
+                    [
+                        "run",
+                        "SELECT a1 FROM t1000000_100 WHERE a1 < 700",
+                        "--tenant",
+                        "analytics",
+                    ]
+                )
+                == 0
+            )
+            journal.close()
+        finally:
+            obs.set_journal(previous)
+        capsys.readouterr()
+        assert main(["tenants", "--journal", str(journal_path)]) == 0
+        out = capsys.readouterr().out
+        assert "analytics" in out
+
+    def test_missing_journal_exits_2(self, capsys, tmp_path):
+        code = main(["tenants", "--journal", str(tmp_path / "missing.jsonl")])
+        assert code == 2
+        assert "error: tenants:" in capsys.readouterr().err
+
+    def test_demo_attributes_tenants(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant" in out
+        capsys.readouterr()
+        assert main(["tenants"]) == 0
+        out = capsys.readouterr().out
+        assert "no attributed traffic yet" not in out

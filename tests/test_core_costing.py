@@ -292,3 +292,119 @@ class TestObservability:
         module.record_actual("hive", estimate, float("nan"))
         assert len(model.execution_log) == 0
         assert module.run_offline_tuning("hive", OperatorKind.AGGREGATE) == 0
+
+
+class TestTenantAttributionAndIncidents:
+    """The costing emission sites attribute telemetry to the scope's
+    tenant, and drift's rising edge freezes the flight recorder."""
+
+    @pytest.fixture()
+    def trained(self, module, small_catalog):
+        from repro.obs import AccuracyLedger
+
+        module.ledger = AccuracyLedger()
+        module.train_sub_op(
+            "hive", SubOpTrainer(record_counts=(1_000_000, 2_000_000))
+        )
+        plan = parse_select(
+            "SELECT * FROM t1000000_100 r JOIN t10000_100 s ON r.a1 = s.a1"
+        )
+        return module, plan
+
+    def test_estimate_path_attributes_to_the_tenant(
+        self, trained, small_catalog, tmp_path
+    ):
+        from repro import obs
+        from repro.obs.context import ExemplarStore
+
+        module, plan = trained
+        journal = obs.EventJournal(tmp_path / "tenant.jsonl")
+        previous_journal = obs.set_journal(journal)
+        previous_ledger = obs.set_tenant_ledger(obs.TenantLedger())
+        previous_store = obs.set_exemplar_store(ExemplarStore())
+        obs.reset_query_ids()
+        try:
+            with obs.query_context(query="SELECT 1", tenant="etl"):
+                estimate = module.estimate_plan("hive", plan, small_catalog)
+            journal.close()
+            stats = obs.get_tenant_ledger().snapshot()["etl"]
+            recent = obs.get_exemplar_store().recent("tenant:etl")
+        finally:
+            obs.set_exemplar_store(previous_store)
+            obs.set_tenant_ledger(previous_ledger)
+            obs.set_journal(previous_journal)
+        assert stats["estimates"] > 0
+        assert stats["estimated_seconds"] > 0.0
+        assert stats["estimated_seconds"] >= estimate.seconds
+        assert recent == ("q-000001",)
+        events = obs.read_journal(tmp_path / "tenant.jsonl").events
+        estimates = [e for e in events if e.type == "estimate"]
+        assert estimates
+        assert {e.payload.get("tenant") for e in estimates} == {"etl"}
+
+    def test_untenanted_estimate_emits_no_tenant_fields(
+        self, trained, small_catalog, tmp_path
+    ):
+        from repro import obs
+
+        module, plan = trained
+        journal = obs.EventJournal(tmp_path / "plain.jsonl")
+        previous_journal = obs.set_journal(journal)
+        previous_ledger = obs.set_tenant_ledger(obs.TenantLedger())
+        try:
+            with obs.query_context(query="SELECT 1"):
+                module.estimate_plan("hive", plan, small_catalog)
+            journal.close()
+            snapshot = obs.get_tenant_ledger().snapshot()
+        finally:
+            obs.set_tenant_ledger(previous_ledger)
+            obs.set_journal(previous_journal)
+        assert snapshot == {}
+        events = obs.read_journal(tmp_path / "plain.jsonl").events
+        estimates = [e for e in events if e.type == "estimate"]
+        assert estimates
+        assert all("tenant" not in e.payload for e in estimates)
+
+    def test_feedback_attributes_q_error_to_the_tenant(
+        self, trained, small_catalog
+    ):
+        from repro import obs
+
+        module, plan = trained
+        previous_ledger = obs.set_tenant_ledger(obs.TenantLedger())
+        try:
+            with obs.query_context(tenant="adhoc"):
+                estimate = module.estimate_plan("hive", plan, small_catalog)
+                module.record_actual("hive", estimate, estimate.seconds * 3.0)
+            stats = obs.get_tenant_ledger().snapshot()["adhoc"]
+        finally:
+            obs.set_tenant_ledger(previous_ledger)
+        assert stats["actuals"] == 1
+        assert stats["mean_q_error"] == pytest.approx(3.0)
+
+    def test_drift_rising_edge_freezes_exactly_one_incident(
+        self, trained, small_catalog
+    ):
+        from repro import obs
+
+        module, plan = trained
+        recorder = obs.FlightRecorder()
+        previous_recorder = obs.set_flight_recorder(recorder)
+        try:
+            estimate = module.estimate_plan("hive", plan, small_catalog)
+            # Establish the drift baseline with faithful actuals, then
+            # sustain a 12x slowdown until the CUSUM alarm rises.
+            for _ in range(40):
+                module.record_actual("hive", estimate, estimate.seconds)
+            for _ in range(60):
+                module.record_actual(
+                    "hive", estimate, estimate.seconds * 12.0
+                )
+            incidents = recorder.incidents()
+        finally:
+            obs.set_flight_recorder(previous_recorder)
+        assert len(incidents) == 1  # rising edge only, never re-fired
+        trigger = incidents[0].trigger
+        assert trigger["kind"] == "drift"
+        assert trigger["system"] == "hive"
+        assert trigger["operator"] == "join"

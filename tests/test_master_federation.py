@@ -223,3 +223,78 @@ class TestTelemetryPlane:
         finally:
             obs.disable_timeseries()
             obs.set_timeseries(previous)
+
+
+class TestTenantPropagation:
+    """``run(..., tenant=)`` / ``explain(..., tenant=)`` attribute the
+    query to the tenant ledger and stamp journal payloads."""
+
+    def test_run_tenant_feeds_the_tenant_ledger(self, sphere):
+        from repro import obs
+
+        previous_ledger = obs.set_tenant_ledger(obs.TenantLedger())
+        obs.reset_query_ids()
+        sphere.costing.invalidate_cache()
+        try:
+            sphere.run("SELECT a1 FROM t10000_40 WHERE a1 < 311", tenant="etl")
+            snapshot = obs.get_tenant_ledger().snapshot()
+        finally:
+            obs.set_tenant_ledger(previous_ledger)
+        stats = snapshot["etl"]
+        assert stats["queries"] == 1
+        assert stats["estimates"] > 0
+        assert stats["wall_seconds"] > 0.0
+
+    def test_explain_tenant_attributes_estimates_without_traffic_error(
+        self, sphere
+    ):
+        from repro import obs
+
+        previous_ledger = obs.set_tenant_ledger(obs.TenantLedger())
+        obs.reset_query_ids()
+        sphere.costing.invalidate_cache()
+        try:
+            sphere.explain(
+                "SELECT a1 FROM t10000_40 WHERE a1 < 312", tenant="adhoc"
+            )
+            snapshot = obs.get_tenant_ledger().snapshot()
+        finally:
+            obs.set_tenant_ledger(previous_ledger)
+        stats = snapshot["adhoc"]
+        assert stats["queries"] == 1
+        assert stats["errors"] == 0
+        assert stats["estimates"] > 0
+
+    def test_journal_estimates_carry_the_tenant(self, sphere, tmp_path):
+        from repro import obs
+
+        journal = obs.EventJournal(tmp_path / "tenant.jsonl")
+        previous_journal = obs.set_journal(journal)
+        previous_ledger = obs.set_tenant_ledger(obs.TenantLedger())
+        obs.reset_query_ids()
+        sphere.costing.invalidate_cache()
+        try:
+            sphere.run(
+                "SELECT a1 FROM t10000_40 WHERE a1 < 313", tenant="analytics"
+            )
+            journal.close()
+        finally:
+            obs.set_tenant_ledger(previous_ledger)
+            obs.set_journal(previous_journal)
+        events = obs.read_journal(tmp_path / "tenant.jsonl").events
+        estimates = [e for e in events if e.type == "estimate"]
+        assert estimates
+        assert {e.payload.get("tenant") for e in estimates} == {"analytics"}
+
+    def test_untenanted_run_stays_unattributed(self, sphere):
+        from repro import obs
+
+        previous_ledger = obs.set_tenant_ledger(obs.TenantLedger())
+        obs.reset_query_ids()
+        sphere.costing.invalidate_cache()
+        try:
+            sphere.run("SELECT a1 FROM t10000_40 WHERE a1 < 100")
+            snapshot = obs.get_tenant_ledger().snapshot()
+        finally:
+            obs.set_tenant_ledger(previous_ledger)
+        assert snapshot == {}

@@ -638,3 +638,57 @@ class TestRuleFileErrors:
                 [{"name": "no-threshold", "signal": "cache:hit_rate",
                   "op": ">"}]
             )
+
+
+class TestFlightRecorderIntegration:
+    """A firing transition freezes the flight recorder's rings into an
+    incident bundle naming the breaching alerts."""
+
+    def _breaching_observation(self):
+        return make_observation(
+            ledger={"hive/join": ledger_entry(mean_q=9.0, count=32)}
+        )
+
+    def test_firing_transition_triggers_one_incident(self):
+        recorder = obs.FlightRecorder()
+        previous = obs.set_flight_recorder(recorder)
+        try:
+            engine = AlertEngine()
+            engine.evaluate(self._breaching_observation(), emit=False)
+            # Still firing on the next evaluation: no new transition,
+            # no second bundle.
+            engine.evaluate(self._breaching_observation(), emit=False)
+        finally:
+            obs.set_flight_recorder(previous)
+        (bundle,) = recorder.incidents()
+        assert bundle.trigger["kind"] == "alert"
+        rules = [alert["rule"] for alert in bundle.trigger["alerts"]]
+        assert "slo-q-error" in rules
+
+    def test_no_recorder_means_no_side_effects(self):
+        previous = obs.set_flight_recorder(None)
+        try:
+            report = AlertEngine().evaluate(
+                self._breaching_observation(), emit=False
+            )
+        finally:
+            obs.set_flight_recorder(previous)
+        assert report.fired  # the evaluation itself is unaffected
+
+    def test_emitting_evaluation_journals_the_bundle_group(self, tmp_path):
+        recorder = obs.FlightRecorder()
+        previous_recorder = obs.set_flight_recorder(recorder)
+        journal = obs.EventJournal(tmp_path / "j.jsonl")
+        try:
+            AlertEngine().evaluate(
+                self._breaching_observation(), journal=journal
+            )
+            journal.close()
+        finally:
+            obs.set_flight_recorder(previous_recorder)
+        types = [
+            event.type
+            for event in obs.read_journal(tmp_path / "j.jsonl").events
+        ]
+        assert "alert" in types
+        assert "incident" in types

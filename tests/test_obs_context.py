@@ -15,7 +15,9 @@ def _fresh_context_state():
     obs.reset_query_ids()
     previous_sampler = obs.set_sampler(ctx.HeadSampler(rate=1.0))
     previous_store = obs.set_exemplar_store(ctx.ExemplarStore())
+    previous_ledger = obs.set_tenant_ledger(obs.TenantLedger())
     yield
+    obs.set_tenant_ledger(previous_ledger)
     obs.set_sampler(previous_sampler)
     obs.set_exemplar_store(previous_store)
     obs.reset_query_ids()
@@ -253,3 +255,85 @@ class TestExemplarStore:
         recent = store.recent("hive")
         assert len(recent) == 4
         assert len(set(recent)) == 4
+
+
+class TestCompletionHooks:
+    """The owning scope times the query, builds the outcome, and
+    dispatches (outcome, decision) to every registered hook."""
+
+    def _capture(self):
+        seen = []
+        hook = lambda outcome, decision: seen.append((outcome, decision))  # noqa: E731
+        return seen, hook
+
+    def test_outcome_carries_timing_and_identity(self):
+        seen, hook = self._capture()
+        obs.add_completion_hook(hook)
+        try:
+            with obs.query_context(query="SELECT 1", tenant="etl") as context:
+                query_id = context.query_id
+        finally:
+            obs.remove_completion_hook(hook)
+        (outcome, _), = seen
+        assert outcome.query_id == query_id
+        assert outcome.query == "SELECT 1"
+        assert outcome.tenant == "etl"
+        assert outcome.wall_seconds > 0.0
+        assert outcome.error == ""
+
+    def test_outcome_names_the_escaping_exception(self):
+        seen, hook = self._capture()
+        obs.add_completion_hook(hook)
+        try:
+            with pytest.raises(TimeoutError):
+                with obs.query_context(query="SELECT 1"):
+                    raise TimeoutError("remote died")
+        finally:
+            obs.remove_completion_hook(hook)
+        (outcome, _), = seen
+        assert outcome.error == "TimeoutError"
+
+    def test_joining_scope_never_double_dispatches(self):
+        seen, hook = self._capture()
+        obs.add_completion_hook(hook)
+        try:
+            with obs.query_context(query="SELECT 1"):
+                with obs.ensure_query_context(query="inner"):
+                    pass
+        finally:
+            obs.remove_completion_hook(hook)
+        assert len(seen) == 1
+
+    def test_raising_hook_is_counted_and_isolated(self):
+        previous_registry = obs.set_registry(obs.MetricsRegistry())
+
+        def broken(outcome, decision):
+            raise RuntimeError("hook bug")
+
+        seen, capture = self._capture()
+        obs.add_completion_hook(broken)
+        obs.add_completion_hook(capture)
+        try:
+            with obs.query_context(query="SELECT 1"):
+                pass
+            errors = obs.get_registry().counter(
+                "context.completion_hook_errors"
+            ).value
+        finally:
+            obs.remove_completion_hook(capture)
+            obs.remove_completion_hook(broken)
+            obs.set_registry(previous_registry)
+        assert errors == 1.0
+        assert len(seen) == 1  # the later hook still ran
+
+    def test_duplicate_registration_is_idempotent(self):
+        seen, hook = self._capture()
+        obs.add_completion_hook(hook)
+        obs.add_completion_hook(hook)
+        try:
+            with obs.query_context(query="SELECT 1"):
+                pass
+        finally:
+            obs.remove_completion_hook(hook)
+        assert len(seen) == 1
+        obs.remove_completion_hook(hook)  # second removal is a no-op

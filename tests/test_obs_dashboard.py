@@ -250,3 +250,38 @@ class TestHistoryFromWindows:
         history = history_from_windows(windows, max_points=3)
         assert set(history) == {"hive"}
         assert history["hive"] == [4.0, 5.0, 6.0]
+
+
+class TestTenantSection:
+    def _tenants(self):
+        return {
+            "adhoc": {
+                "queries": 4, "errors": 1, "estimated_seconds": 9.0,
+                "mean_q_error": 1.5, "max_q_error": 3.0, "kept_traces": 2,
+            },
+            "etl": {
+                "queries": 8, "errors": 0, "estimated_seconds": 2.0,
+                "mean_q_error": 1.1, "max_q_error": 1.2, "kept_traces": 1,
+            },
+        }
+
+    def test_tenant_table_ranked_by_estimated_cost(self):
+        page = obs.render_dashboard([make_health()], tenants=self._tenants())
+        assert "Tenants" in page
+        # adhoc spends 9.0 estimated seconds vs etl's 2.0 -> listed first.
+        assert page.index("<code>adhoc</code>") < page.index("<code>etl</code>")
+        assert "1.500" in page  # adhoc's mean q-error
+
+    def test_empty_tenant_dict_renders_hint(self):
+        page = obs.render_dashboard([make_health()], tenants={})
+        assert "Tenants" in page
+        assert "no attributed traffic yet" in page
+
+    def test_none_tenants_omit_the_section(self):
+        page = obs.render_dashboard([make_health()])
+        assert "Tenants" not in page
+
+    def test_tenant_names_are_escaped(self):
+        tenants = {"a<script>x</script>": {"queries": 1}}
+        page = obs.render_dashboard([make_health()], tenants=tenants)
+        assert "<script>x</script>" not in page

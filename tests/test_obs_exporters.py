@@ -207,3 +207,66 @@ class TestDerivedGauges:
         raw = registry.snapshot()  # no derive_gauges applied
         text = exporters.to_prometheus_text(metrics=raw)
         assert "hit_rate" not in text
+
+
+class TestTenantExports:
+    def _ledger(self):
+        ledger = obs.TenantLedger()
+        ledger.record_estimate("analytics", 3.0)
+        ledger.record_actual("analytics", 2.0)
+        return ledger
+
+    def test_prometheus_lines_carry_tenant_labels(self, registry):
+        text = exporters.to_prometheus_text(
+            registry=registry, tenants=self._ledger().snapshot()
+        )
+        assert 'repro_tenant_estimated_seconds{tenant="analytics"} 3.0' in text
+        assert 'repro_tenant_mean_q_error{tenant="analytics"} 2.0' in text
+        assert "# TYPE repro_tenant_estimated_seconds gauge" in text
+
+    def test_tenant_label_values_are_escaped(self, registry):
+        tenants = {'ad"hoc\\team\n': {"queries": 1}}
+        text = exporters.to_prometheus_text(registry=registry, tenants=tenants)
+        assert 'tenant="ad\\"hoc\\\\team\\n"' in text
+
+    def test_no_attribution_leaves_exposition_untouched(self, registry):
+        registry.counter("federation.runs").inc()
+        bare = exporters.to_prometheus_text(registry=registry, tenants={})
+        assert "repro_tenant_" not in bare
+
+    def test_snapshot_carries_tenants_slice(self, registry):
+        snapshot = exporters.build_snapshot(
+            registry=registry,
+            ledger=obs.AccuracyLedger(),
+            tenants=self._ledger(),
+        )
+        assert snapshot["tenants"]["analytics"]["estimates"] == 1
+        # Deterministic: the snapshot JSON round-trips bit-identically.
+        first = json.dumps(snapshot, sort_keys=True)
+        second = json.dumps(
+            exporters.build_snapshot(
+                registry=registry,
+                ledger=obs.AccuracyLedger(),
+                tenants=self._ledger(),
+            ),
+            sort_keys=True,
+        )
+        assert first == second
+
+    def test_text_rendering_tabulates_tenants(self, registry):
+        snapshot = exporters.build_snapshot(
+            registry=registry,
+            ledger=obs.AccuracyLedger(),
+            tenants=self._ledger(),
+        )
+        text = exporters.format_snapshot_text(snapshot)
+        assert "tenants" in text
+        assert "analytics" in text
+
+    def test_live_exposition_defaults_to_process_ledger(self, registry):
+        previous = obs.set_tenant_ledger(self._ledger())
+        try:
+            text = exporters.to_prometheus_text(registry=registry)
+        finally:
+            obs.set_tenant_ledger(previous)
+        assert 'repro_tenant_queries{tenant="analytics"}' in text

@@ -383,3 +383,81 @@ def _read_result(events):
     return ReadResult(
         events=tuple(events), corrupt_lines=0, skipped_versions=0
     )
+
+
+class TestTenantsSlice:
+    """The tenants observation slice: live, offline, and snapshot paths
+    agree on shape so alert rules and the CLI can consume any of them."""
+
+    def test_live_observation_carries_tenant_snapshot(self):
+        previous = obs.set_tenant_ledger(obs.TenantLedger())
+        try:
+            obs.get_tenant_ledger().record_estimate("etl", 4.0)
+            observation = obs.build_observation()
+            assert observation["tenants"]["etl"]["estimated_seconds"] == 4.0
+        finally:
+            obs.set_tenant_ledger(previous)
+
+    def test_explicit_tenants_override_sorted(self):
+        observation = obs.build_observation(
+            registry=obs.MetricsRegistry(),
+            ledger=obs.AccuracyLedger(),
+            tenants={"zeta": {"queries": 1}, "alpha": {"queries": 2}},
+        )
+        assert list(observation["tenants"]) == ["alpha", "zeta"]
+
+    def test_offline_tenants_rebuilt_from_journal_events(self, tmp_path):
+        journal = obs.EventJournal(tmp_path / "j.jsonl")
+        journal.append(
+            "estimate",
+            system="hive",
+            operator="join",
+            seconds=3.0,
+            query_id="q-000001",
+            tenant="analytics",
+        )
+        journal.append(
+            "actual",
+            system="hive",
+            operator="join",
+            estimated_seconds=3.0,
+            actual_seconds=1.5,
+            query_id="q-000001",
+            tenant="analytics",
+        )
+        journal.append(
+            "estimate", system="hive", operator="scan", seconds=1.0,
+            query_id="q-000002",
+        )  # unattributed
+        journal.close()
+        observation = obs.observation_from_journal(tmp_path / "j.jsonl")
+        tenants = observation["tenants"]
+        assert list(tenants) == ["analytics"]
+        stats = tenants["analytics"]
+        assert stats["queries"] == 1  # distinct query ids, not events
+        assert stats["estimates"] == 1
+        assert stats["estimated_seconds"] == 3.0
+        assert stats["actuals"] == 1
+        assert stats["mean_q_error"] == 2.0
+        assert stats["max_q_error"] == 2.0
+
+    def test_offline_layout_matches_live_key_order(self, tmp_path):
+        journal = obs.EventJournal(tmp_path / "j.jsonl")
+        journal.append(
+            "estimate", system="hive", operator="join", seconds=3.0,
+            query_id="q-000001", tenant="etl",
+        )
+        journal.close()
+        offline = obs.observation_from_journal(tmp_path / "j.jsonl")
+        live_ledger = obs.TenantLedger()
+        live_ledger.record_estimate("etl", 3.0)
+        live_keys = list(live_ledger.snapshot()["etl"])
+        assert list(offline["tenants"]["etl"]) == live_keys
+
+    def test_snapshot_observation_reads_tenants_key(self):
+        observation = obs.observation_from_snapshot(
+            {"metrics": {}, "ledger": {}, "tenants": {"adhoc": {"queries": 2}}}
+        )
+        assert observation["tenants"] == {"adhoc": {"queries": 2}}
+        bare = obs.observation_from_snapshot({"metrics": {}, "ledger": {}})
+        assert bare["tenants"] == {}

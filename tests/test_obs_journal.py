@@ -552,3 +552,90 @@ class TestRotationAcrossRestart:
         assert seqs == sorted(seqs)
         rebuilt = windows_from_events(result.events)
         assert rebuilt == tuple(first) + tuple(second)
+
+
+class TestAppendGroup:
+    """Rotation-atomic group appends: the incident bundle's guarantee
+    that its header and records never straddle a generation boundary."""
+
+    def test_group_appends_in_order_with_sequential_seqs(self, tmp_path):
+        journal = EventJournal(tmp_path / "j.jsonl")
+        journal.append("estimate", system="hive")
+        written = journal.append_group(
+            [
+                ("incident", {"name": "incident-000001-drift"}),
+                ("incident_record", {"incident": "incident-000001-drift"}),
+            ]
+        )
+        journal.close()
+        assert [e.seq for e in written] == [2, 3]
+        result = read_journal(tmp_path / "j.jsonl")
+        assert [e.type for e in result.events] == [
+            "estimate",
+            "incident",
+            "incident_record",
+        ]
+
+    def test_group_rotates_at_most_once_and_never_splits(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = EventJournal(path, max_bytes=2048, max_files=3)
+        # Park the active file just under the rotation boundary.
+        for index in range(24):
+            journal.append("estimate", index=index, padding="x" * 48)
+        group = [
+            ("incident", {"name": "incident-000001-alert", "n": 0})
+        ] + [
+            ("incident_record", {"incident": "incident-000001-alert", "n": n})
+            for n in range(1, 10)
+        ]
+        journal.append_group(group)
+        journal.close()
+        assert (tmp_path / "j.jsonl.1").exists()
+        # Every group line lives in exactly one physical file.
+        files_with_group = set()
+        for name in ("j.jsonl", "j.jsonl.1", "j.jsonl.2", "j.jsonl.3"):
+            generation = tmp_path / name
+            if not generation.exists():
+                continue
+            for line in generation.read_text().splitlines():
+                if json.loads(line)["type"].startswith("incident"):
+                    files_with_group.add(name)
+        assert len(files_with_group) == 1
+        # Reading stitches the stream back together, group intact.
+        result = read_journal(path, max_files=3)
+        ns = [
+            e.payload["n"]
+            for e in result.events
+            if e.type.startswith("incident")
+        ]
+        assert ns == list(range(10))
+
+    def test_oversized_group_overshoots_unsplit(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = EventJournal(path, max_bytes=1024, max_files=2)
+        group = [
+            ("incident_record", {"incident": "i", "padding": "y" * 128})
+            for _ in range(16)  # well past max_bytes as one group
+        ]
+        journal.append_group(group)
+        journal.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 16  # the active file simply overshoots
+        assert os.path.getsize(path) > 1024
+
+    def test_group_notifies_journal_listeners(self, tmp_path):
+        seen = []
+        listener = seen.append
+        jmod.add_journal_listener(listener)
+        try:
+            journal = EventJournal(tmp_path / "j.jsonl")
+            journal.append_group(
+                [("incident", {"name": "i"}), ("incident_record", {"n": 1})]
+            )
+            journal.close()
+        finally:
+            jmod.remove_journal_listener(listener)
+        assert [e.type for e in seen] == ["incident", "incident_record"]
+
+    def test_noop_journal_group_is_inert(self):
+        assert NOOP_JOURNAL.append_group([("incident", {"name": "i"})]) == ()

@@ -260,3 +260,81 @@ class TestTrendAlertLoop:
         active, _, resolved = self.scrape(server)
         assert "trend-estimate-latency" not in active
         assert "trend-estimate-latency" in resolved
+
+
+class TestForensicsEndpoints:
+    """/tenants, /flight, and /incidents: the incident-forensics plane."""
+
+    @pytest.fixture()
+    def forensics(self):
+        from repro.obs.tail import QueryOutcome, TailDecision
+
+        previous_ledger = obs.set_tenant_ledger(obs.TenantLedger())
+        recorder = obs.FlightRecorder()
+        previous_recorder = obs.set_flight_recorder(recorder)
+        recorder.record(
+            QueryOutcome(
+                query_id="q-000001",
+                tenant="analytics",
+                wall_seconds=2.0,
+                max_q_error=4.0,
+            ),
+            TailDecision(keep=True, reasons=("q_error",)),
+        )
+        obs.get_tenant_ledger().record_estimate("analytics", 3.0)
+        yield recorder
+        obs.set_flight_recorder(previous_recorder)
+        obs.set_tenant_ledger(previous_ledger)
+
+    def test_tenants_endpoint_serves_ledger_snapshot(self, server, forensics):
+        status, content_type, body = get(f"{server.url}/tenants")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        snapshot = json.loads(body)
+        assert snapshot["analytics"]["estimated_seconds"] == 3.0
+
+    def test_flight_endpoint_serves_recorder_snapshot(self, server, forensics):
+        status, _, body = get(f"{server.url}/flight")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert snapshot["enabled"] is True
+        assert snapshot["records"][0]["query_id"] == "q-000001"
+
+    def test_flight_endpoint_reports_disabled_without_recorder(self, server):
+        previous = obs.set_flight_recorder(None)
+        try:
+            status, _, body = get(f"{server.url}/flight")
+        finally:
+            obs.set_flight_recorder(previous)
+        assert status == 200
+        snapshot = json.loads(body)
+        assert snapshot["enabled"] is False
+        assert snapshot["records"] == []
+
+    def test_incident_list_and_single_bundle_fetch(self, server, forensics):
+        bundle = forensics.trigger_incident("drift", system="hive")
+        status, _, body = get(f"{server.url}/incidents")
+        assert status == 200
+        listed = json.loads(body)
+        assert [entry["name"] for entry in listed] == [bundle.name]
+        status, _, body = get(f"{server.url}/incidents/{bundle.name}")
+        assert status == 200
+        fetched = json.loads(body)
+        assert fetched == bundle.to_dict()
+
+    def test_unknown_incident_is_json_404_and_keeps_serving(
+        self, server, forensics
+    ):
+        status, content_type, body = get(f"{server.url}/incidents/nope")
+        assert status == 404
+        assert content_type.startswith("application/json")
+        assert json.loads(body)["error"]
+        # The server survives the miss.
+        status, _, _ = get(f"{server.url}/health")
+        assert status == 200
+
+    def test_dashboard_renders_tenant_section(self, server, forensics):
+        status, _, body = get(f"{server.url}/dashboard")
+        assert status == 200
+        assert "Tenants" in body
+        assert "analytics" in body

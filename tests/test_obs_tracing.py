@@ -160,3 +160,106 @@ class TestExportAndRendering:
         assert tracer.traces()
         tracer.clear()
         assert tracer.traces() == ()
+
+
+class TestTailModePendingBuffer:
+    """With a tail sampler installed, a head-unsampled query's spans
+    record into a per-query pending buffer instead of collapsing to
+    no-ops; the completion verdict commits or discards them."""
+
+    def _with_tail(self):
+        from repro.obs.tail import TailSampler
+
+        from repro import obs
+
+        return obs, obs.set_tail_sampler(TailSampler(latency_seconds=30.0))
+
+    def test_unsampled_spans_buffer_pending_the_verdict(self):
+        obs, previous = self._with_tail()
+        try:
+            tracer = Tracer(enabled=True)
+            with obs.query_context(query_id="q-tail-1", sampled=False):
+                with tracer.span("probe") as span:
+                    pass
+            assert span is not NOOP_SPAN
+            assert tracer.traces() == ()
+            assert tracer.pending_count() == 1
+        finally:
+            obs.set_tail_sampler(previous)
+
+    def test_commit_moves_pending_roots_into_the_ring(self):
+        obs, previous = self._with_tail()
+        try:
+            tracer = Tracer(enabled=True)
+            with obs.query_context(query_id="q-tail-2", sampled=False):
+                with tracer.span("a"):
+                    pass
+                with tracer.span("b"):
+                    pass
+            committed = tracer.commit_pending("q-tail-2")
+            assert [s.name for s in committed] == ["a", "b"]
+            assert [r.name for r in tracer.traces()] == ["a", "b"]
+            assert tracer.pending_count() == 0
+            # A second commit finds nothing.
+            assert tracer.commit_pending("q-tail-2") == ()
+        finally:
+            obs.set_tail_sampler(previous)
+
+    def test_discard_drops_pending_roots(self):
+        obs, previous = self._with_tail()
+        try:
+            tracer = Tracer(enabled=True)
+            with obs.query_context(query_id="q-tail-3", sampled=False):
+                with tracer.span("probe"):
+                    pass
+            assert tracer.discard_pending("q-tail-3") == 1
+            assert tracer.traces() == ()
+            assert tracer.pending_count() == 0
+        finally:
+            obs.set_tail_sampler(previous)
+
+    def test_pending_eviction_under_pressure_is_counted(self):
+        obs, previous = self._with_tail()
+        registry = obs.MetricsRegistry()
+        previous_registry = obs.set_registry(registry)
+        try:
+            tracer = Tracer(enabled=True, max_pending=2)
+            for index in range(4):
+                with obs.query_context(
+                    query_id=f"q-evict-{index}", sampled=False
+                ):
+                    with tracer.span("probe"):
+                        pass
+            assert tracer.pending_count() == 2
+            assert registry.counter("obs.tail.pending_evicted").value == 2.0
+            # The survivors are the newest queries.
+            assert tracer.commit_pending("q-evict-3")
+            assert tracer.commit_pending("q-evict-0") == ()
+        finally:
+            obs.set_registry(previous_registry)
+            obs.set_tail_sampler(previous)
+
+    def test_roots_per_query_are_capped(self):
+        obs, previous = self._with_tail()
+        try:
+            tracer = Tracer(enabled=True, max_roots_per_pending=2)
+            with obs.query_context(query_id="q-cap", sampled=False):
+                for _ in range(5):
+                    with tracer.span("probe"):
+                        pass
+            assert len(tracer.commit_pending("q-cap")) == 2
+        finally:
+            obs.set_tail_sampler(previous)
+
+    def test_clear_also_drops_pending(self):
+        obs, previous = self._with_tail()
+        try:
+            tracer = Tracer(enabled=True)
+            with obs.query_context(query_id="q-clear", sampled=False):
+                with tracer.span("probe"):
+                    pass
+            tracer.clear()
+            assert tracer.pending_count() == 0
+            assert tracer.commit_pending("q-clear") == ()
+        finally:
+            obs.set_tail_sampler(previous)
