@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """The performance-regression gate (CI's ``benchmark-smoke`` job).
 
-Measures a fresh snapshot of the estimate path's hot-path latencies and
-a deterministic counter workload, then gates it against the committed
+Measures a fresh snapshot of the estimate path's hot-path latencies, the
+concurrent serving plane's closed-loop p50/p99/throughput, and a
+deterministic counter workload, then gates it against the committed
 ``benchmarks/BENCH_baseline.json`` using
 :mod:`repro.obs.regress`.  Latencies are stored *normalized* against a
 pure-Python calibration loop timed in the same run, which cancels most
@@ -97,6 +98,12 @@ THRESHOLDS: Dict[str, float] = {
     "tail_decide": 0.50,
     "flight_record": 0.50,
     "alert_evaluate": 0.50,
+    # The concurrent serving plane (benchmarks/bench_serve.py): 8-way
+    # closed-loop latencies swing with scheduler load, so the slack is
+    # the widest in the file; a genuine 2x still blows through.
+    "serve_request_p50": 0.80,
+    "serve_request_p99": 0.80,
+    "serve_throughput": 0.80,
 }
 
 
@@ -421,9 +428,53 @@ def measure_counters(module, engine, catalog) -> Dict[str, float]:
     }
 
 
+def measure_serve(fast: bool) -> Dict[str, float]:
+    """Concurrent serving latencies from one closed-loop load run.
+
+    Eight clients through the 8-worker pool (see
+    ``benchmarks/bench_serve.py``); the run must complete cleanly and
+    bit-identically or the gate errors out rather than pinning garbage.
+    ``serve_throughput`` is stored as overall seconds-per-request so the
+    gate's lower-is-better ratio maths apply unchanged.
+    """
+    try:
+        from benchmarks.bench_serve import build_sphere, run_load
+    except ImportError:  # running as a script: sys.path[0] is benchmarks/
+        from bench_serve import build_sphere, run_load
+
+    sphere = build_sphere()
+    # Min-of-repeats, like _per_call_seconds: one closed-loop run has no
+    # robustness against a scheduler hiccup landing mid-flight.  The
+    # sphere (training) is built once; only the cheap load runs repeat.
+    best: Dict[str, float] = {}
+    for _ in range(2 if fast else 3):
+        summary = run_load(
+            sphere,
+            clients=8,
+            requests_per_client=10 if fast else 25,
+            workers=8,
+        )
+        if summary["errors"] or not summary["bit_identical"]:
+            raise RuntimeError(f"serve load run failed: {summary}")
+        sample = {
+            "serve_request_p50": summary["p50_seconds"],
+            "serve_request_p99": summary["p99_seconds"],
+            "serve_throughput": summary["wall_seconds"] / summary["completed"],
+        }
+        for name, seconds in sample.items():
+            best[name] = min(best.get(name, float("inf")), seconds)
+    return best
+
+
 def build_current_snapshot(fast: bool, inject_slowdown: float) -> Dict[str, object]:
     module, engine, catalog, optimizer = _build_module()
     snapshot = measure_latencies(module, catalog, optimizer, fast=fast)
+    calibration = snapshot["calibration_seconds"]
+    for name, seconds in measure_serve(fast=fast).items():
+        snapshot["latencies"][name] = {
+            "seconds": seconds,
+            "normalized": seconds / calibration,
+        }
     if inject_slowdown != 1.0:
         for entry in snapshot["latencies"].values():
             entry["seconds"] *= inject_slowdown

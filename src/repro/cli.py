@@ -15,6 +15,7 @@ A small operational surface over the library::
     python -m repro tenants                # per-tenant cost attribution
     python -m repro dashboard              # self-contained HTML dashboard
     python -m repro serve-obs              # live HTTP observability server
+    python -m repro serve                  # concurrent estimation daemon
     python -m repro experiments            # list the paper's benchmarks
 
 ``explain``/``run``/``demo`` operate on a self-contained sandbox
@@ -555,6 +556,53 @@ def cmd_serve_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the concurrent cost-estimation daemon over HTTP."""
+    import time as time_mod
+
+    from repro.serve import ServeDaemon
+
+    try:
+        rules = _load_rule_set(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: serve --rules: {exc}", file=sys.stderr)
+        return 2
+    if obs.get_timeseries() is None:
+        obs.enable_timeseries(width=args.window)
+    sphere = build_sandbox(with_spark=args.spark, seed=args.seed)
+    daemon = ServeDaemon(
+        sphere,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        tenant_header=args.tenant_header,
+        rules=rules,
+    )
+    daemon.start()
+    print(
+        f"serving cost estimation on {daemon.url} "
+        "(POST /estimate /optimize /swap; GET /metrics /health /tenants "
+        "/dashboard ...)"
+    )
+    print(
+        f"workers={args.workers} queue-depth={args.queue_depth} "
+        f"tenant header: {args.tenant_header}"
+    )
+    deadline = (
+        time_mod.monotonic() + args.for_seconds if args.for_seconds else None
+    )
+    try:
+        while deadline is None or time_mod.monotonic() < deadline:
+            time_mod.sleep(0.25)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.stop()
+        print("estimation service stopped")
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     rows = (
         ("bench_fig07_readdfs.py", "Fig. 7: ReadDFS sub-op model"),
@@ -801,6 +849,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=cmd_serve_obs)
+
+    daemon = sub.add_parser(
+        "serve",
+        help="serve concurrent cost estimation over HTTP "
+        "(POST /estimate /optimize /swap + the observability plane)",
+    )
+    daemon.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    daemon.add_argument(
+        "--port",
+        type=int,
+        default=8322,
+        help="TCP port; 0 binds an ephemeral port (default: 8322)",
+    )
+    daemon.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="estimation worker threads (default: 4)",
+    )
+    daemon.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="admission-queue bound; beyond it requests get 503 + "
+        "Retry-After (default: 64)",
+    )
+    daemon.add_argument(
+        "--tenant-header",
+        default="X-Repro-Tenant",
+        metavar="NAME",
+        help="request header carrying the tenant "
+        "(default: X-Repro-Tenant)",
+    )
+    daemon.add_argument(
+        "--rules",
+        metavar="FILE",
+        help="JSON rule set overriding the built-in SLO + trend rules",
+    )
+    daemon.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=f"telemetry window width (default: ${obs.WINDOW_WIDTH_ENV_VAR} "
+        "or 60)",
+    )
+    daemon.add_argument(
+        "--spark", action="store_true", help="add a Spark system to the sandbox"
+    )
+    daemon.add_argument(
+        "--for",
+        dest="for_seconds",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="serve for a fixed duration then exit (default: until Ctrl-C)",
+    )
+    daemon.add_argument("--seed", type=int, default=0)
+    daemon.set_defaults(func=cmd_serve)
 
     sub.add_parser(
         "experiments", help="list the paper-reproduction benchmarks"

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.estimate_cache import EstimateCache
+from repro.core.gate import ReadWriteGate
 from repro.core.estimator import (
     BatchEstimate,
     CostingApproach,
@@ -70,6 +71,12 @@ class _RegisteredSystem:
     profile: RemoteSystemProfile
     estimator: Optional[HybridEstimator] = None
     drift: Optional[DriftMonitor] = None
+    #: Generations consumed by discarded estimators.  The system's
+    #: *effective* generation is ``base_generation + estimator.generation``,
+    #: so it stays monotonic across retraining rebuilds and serve-time
+    #: swaps — a cache key minted under any earlier estimator can never
+    #: collide with one minted under the current one.
+    base_generation: int = 0
 
 
 class CostEstimationModule:
@@ -81,6 +88,15 @@ class CostEstimationModule:
         cache: Estimate cache fronting the estimators; defaults to a
             fresh :class:`~repro.core.estimate_cache.EstimateCache`.
             Pass ``EstimateCache(max_entries=0)`` to disable caching.
+
+    Concurrency: estimation is read-mostly and thread-safe — many
+    threads (the serve daemon's worker pool, a thread-pooled optimizer)
+    may call the estimate entry points concurrently over one shared
+    module.  Model mutations (training folds, approach switchover,
+    :meth:`swap_estimator`) take the write side of :attr:`swap_gate`,
+    so an in-flight request always finishes entirely on the estimator
+    generation it started with and its cache writes land before the
+    mutation's invalidation — no torn estimates, no stale keys.
     """
 
     def __init__(
@@ -91,6 +107,8 @@ class CostEstimationModule:
         self._systems: Dict[str, _RegisteredSystem] = {}
         self.ledger = ledger if ledger is not None else obs.get_ledger()
         self.cache = cache if cache is not None else EstimateCache()
+        #: Readers = estimation requests; writers = model mutations.
+        self.swap_gate = ReadWriteGate()
 
     # ------------------------------------------------------------------
     # Registration
@@ -147,9 +165,9 @@ class CostEstimationModule:
             result.num_queries,
             result.remote_training_seconds,
         )
-        entry.profile.costing.subop_result = result
-        entry.estimator = None  # rebuild with the new CP contents
-        self.invalidate_cache(name)
+        with self.swap_gate.write():
+            entry.profile.costing.subop_result = result
+            self._retire_estimator(name, entry)  # rebuild with the new CP
         return result
 
     def train_logical_op(
@@ -188,17 +206,17 @@ class CostEstimationModule:
             report.remote_training_seconds,
             report.history.final_error,
         )
-        entry.profile.costing.logical_models[kind] = model
-        entry.estimator = None
-        self.invalidate_cache(name)
+        with self.swap_gate.write():
+            entry.profile.costing.logical_models[kind] = model
+            self._retire_estimator(name, entry)
         return report
 
     def attach_logical_model(self, name: str, model: LogicalOpModel) -> None:
         """Install an externally trained logical-op model into the CP."""
         entry = self._entry(name)
-        entry.profile.costing.logical_models[model.kind] = model
-        entry.estimator = None
-        self.invalidate_cache(name)
+        with self.swap_gate.write():
+            entry.profile.costing.logical_models[model.kind] = model
+            self._retire_estimator(name, entry)
 
     # ------------------------------------------------------------------
     # Estimation
@@ -209,6 +227,101 @@ class CostEstimationModule:
         if entry.estimator is None:
             entry.estimator = entry.profile.build_estimator()
         return entry.estimator
+
+    def generation(self, name: str) -> int:
+        """The system's effective estimator generation (monotonic).
+
+        ``base_generation`` absorbs every discarded estimator, so the
+        value only ever moves forward — across routing changes,
+        retraining rebuilds, and serve-time swaps alike.  Cache keys
+        embed it, which is what retires stale entries on any change.
+        """
+        entry = self._entry(name)
+        estimator = entry.estimator
+        return entry.base_generation + (
+            estimator.generation if estimator is not None else 0
+        )
+
+    def model_generation(self) -> int:
+        """The highest effective generation across registered systems."""
+        if not self._systems:
+            return 0
+        return max(self.generation(name) for name in self._systems)
+
+    def _retire_estimator(self, name: str, entry: _RegisteredSystem) -> None:
+        """Discard a system's estimator; caller holds the write gate.
+
+        Bumps ``base_generation`` past the retiring estimator's
+        effective generation and drops the system's cache entries, so
+        the next estimator (lazily rebuilt or installed by
+        :meth:`swap_estimator`) starts on a strictly newer generation.
+        """
+        estimator = entry.estimator
+        entry.base_generation += 1 + (
+            estimator.generation if estimator is not None else 0
+        )
+        entry.estimator = None
+        self.invalidate_cache(name)
+        self._publish_generation(name)
+
+    def _publish_generation(self, name: str) -> None:
+        """Expose the active generation to the cache and the gauges."""
+        generation = self.generation(name)
+        self.cache.note_generation(generation)
+        obs.gauge(
+            f"costing.model_generation.{name}",
+            help="active estimator generation per system",
+        ).set(float(generation))
+        obs.gauge(
+            "costing.model_generation",
+            help="highest active estimator generation across systems",
+        ).set(float(self.model_generation()))
+
+    def publish_generations(self) -> None:
+        """Re-export every system's generation gauge to the live metrics
+        registry.  The serve daemon calls this at startup so
+        ``costing.model_generation`` is present on ``/metrics`` even
+        before the first training fold or swap of the session."""
+        with self.swap_gate.read():
+            for name in self._systems:
+                self._publish_generation(name)
+
+    def swap_estimator(
+        self, name: str, estimator: Optional[HybridEstimator] = None
+    ) -> int:
+        """Atomically install a fresh estimator generation (serve swap).
+
+        The graceful model-swap primitive behind ``repro serve``:
+        retrain *offline* into the system's profile (or pass a
+        pre-built ``estimator``), then call this to make the result
+        live.  The write side of :attr:`swap_gate` drains in-flight
+        requests — they finish on the old generation — before the new
+        estimator lands and the old generation's cache entries are
+        dropped, so concurrent traffic sees either the old or the new
+        generation in full, never a mixture.
+
+        Returns the new effective generation.
+        """
+        entry = self._entry(name)
+        # Build outside the write gate: assembling an estimator can be
+        # arbitrarily expensive and must not stall the request stream.
+        replacement = (
+            estimator if estimator is not None else entry.profile.build_estimator()
+        )
+        with self.swap_gate.write():
+            self._retire_estimator(name, entry)
+            entry.estimator = replacement
+            generation = self.generation(name)
+            self.cache.note_generation(generation)
+            self._publish_generation(name)
+        obs.counter(
+            "costing.model_swaps",
+            help="estimator generations swapped in under the write gate",
+        ).inc()
+        logger.info(
+            "swapped estimator for %s: now generation %d", name, generation
+        )
+        return generation
 
     def invalidate_cache(self, name: Optional[str] = None) -> int:
         """Drop cached estimates for one system (or all of them).
@@ -228,8 +341,10 @@ class CostEstimationModule:
         entries retire on their own; the profile is updated so a future
         estimator rebuild preserves the choice.
         """
-        self.estimator(name).switch_to(approach)
-        self._entry(name).profile.approach = approach
+        with self.swap_gate.write():
+            self.estimator(name).switch_to(approach)
+            self._entry(name).profile.approach = approach
+            self._publish_generation(name)
 
     def estimate_plan(
         self, name: str, plan: LogicalPlan, catalog: Catalog
@@ -299,16 +414,28 @@ class CostEstimationModule:
     def _estimate_requests(
         self, requests: Tuple[EstimationRequest, ...], span
     ) -> BatchEstimate:
-        """Serve a request tuple through the cache + batched estimators."""
+        """Serve a request tuple through the cache + batched estimators.
+
+        Runs under the read side of :attr:`swap_gate`: a concurrent
+        model swap waits for this whole batch (lookups, fresh
+        estimates, *and* cache writes) to finish, so the batch is
+        computed entirely on one estimator generation.
+        """
+        with self.swap_gate.read():
+            return self._estimate_requests_locked(requests, span)
+
+    def _estimate_requests_locked(
+        self, requests: Tuple[EstimationRequest, ...], span
+    ) -> BatchEstimate:
         started = time.perf_counter()
         results: List[Optional[OperatorEstimate]] = [None] * len(requests)
         keys: List[object] = [None] * len(requests)
         misses_by_system: Dict[str, List[int]] = {}
         hits = 0
         for index, request in enumerate(requests):
-            estimator = self.estimator(request.system)
+            self.estimator(request.system)  # ensure built
             key = self.cache.key_for(
-                request.system, estimator.generation, request.stats
+                request.system, self.generation(request.system), request.stats
             )
             keys[index] = key
             cached = self.cache.get(key) if self.cache.enabled else None
@@ -608,12 +735,13 @@ class CostEstimationModule:
 
     def recalibrate_alpha(self, name: str, kind: OperatorKind) -> float:
         model = self._logical_model(name, kind)
-        alpha = model.recalibrate_alpha()
+        with self.swap_gate.write():
+            alpha = model.recalibrate_alpha()
+            self.invalidate_cache(name)  # remedied estimates embed the old α
         obs.gauge(
             f"costing.alpha.{name}.{kind.value}",
             help="current remedy-combination alpha per system/operator",
         ).set(alpha)
-        self.invalidate_cache(name)  # remedied estimates embed the old α
         logger.debug("recalibrated alpha for %s/%s: %.3f", name, kind.value, alpha)
         return alpha
 
@@ -621,10 +749,11 @@ class CostEstimationModule:
         with obs.get_tracer().span(
             "costing.run_offline_tuning", system=name, operator=kind.value
         ) as span:
-            applied = self._logical_model(name, kind).run_offline_tuning()
+            with self.swap_gate.write():
+                applied = self._logical_model(name, kind).run_offline_tuning()
+                if applied:
+                    self.invalidate_cache(name)  # the network's weights moved
             span.set("entries", applied)
-            if applied:
-                self.invalidate_cache(name)  # the network's weights moved
         obs.counter("costing.offline_tuning.runs").inc()
         obs.counter(
             "costing.offline_tuning.entries",

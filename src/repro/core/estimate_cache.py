@@ -78,6 +78,7 @@ class EstimateCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # Keys
@@ -96,6 +97,10 @@ class EstimateCache:
         self, system: str, generation: int, stats: OperatorStats
     ) -> Hashable:
         """The cache key of one (system, stats) estimation request."""
+        if generation > self._generation:
+            # Benign race: the attribute only moves forward and feeds
+            # introspection (stats/gauges), never key construction.
+            self._generation = generation
         kind = operator_kind_for(stats)
         names = self._FIELDS_BY_CLASS.get(type(stats))
         if names is None:
@@ -182,6 +187,18 @@ class EstimateCache:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Highest estimator generation this cache has seen keys for."""
+        return self._generation
+
+    def note_generation(self, generation: int) -> None:
+        """Advance the observed generation (the swap path reports here
+        even before the first post-swap key is minted)."""
+        with self._lock:
+            if generation > self._generation:
+                self._generation = generation
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -210,6 +227,7 @@ class EstimateCache:
                 "size": len(self._entries),
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "generation": self._generation,
             }
 
     def _size_gauge(self) -> None:

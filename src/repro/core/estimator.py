@@ -13,14 +13,14 @@ dispatches on the stats descriptor type, and a vectorized
 ``estimate_batch(stats_seq)`` that costs many operator instances at once
 (logical-op batches collapse into a single NN forward pass).  The old
 per-operator methods (``estimate_join`` / ``estimate_aggregate`` /
-``estimate_scan``) remain as deprecated shims.
+``estimate_scan``) were kept one release as ``DeprecationWarning`` shims
+and are now gone.
 """
 
 from __future__ import annotations
 
 import enum
 import logging
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -28,11 +28,9 @@ from repro import obs
 from repro.core.formulas import ScanCostFormula
 from repro.core.logical_op import CostEstimate, LogicalOpModel
 from repro.core.operators import (
-    AggregateOperatorStats,
     JoinOperatorStats,
     OperatorKind,
     OperatorStats,
-    ScanOperatorStats,
     operator_kind_for,
 )
 from repro.core.rules import (
@@ -136,32 +134,7 @@ class BatchEstimate:
         return self.estimates[index]
 
 
-def _warn_deprecated_shim(old_name: str) -> None:
-    warnings.warn(
-        f"{old_name}() is deprecated; use the unified estimate(stats) "
-        "entry point (it dispatches on the stats descriptor type)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-class _DeprecatedEstimateShims:
-    """The pre-redesign per-operator methods, kept as thin shims."""
-
-    def estimate_join(self, stats: JoinOperatorStats) -> OperatorEstimate:
-        _warn_deprecated_shim("estimate_join")
-        return self.estimate(stats)
-
-    def estimate_aggregate(self, stats: AggregateOperatorStats) -> OperatorEstimate:
-        _warn_deprecated_shim("estimate_aggregate")
-        return self.estimate(stats)
-
-    def estimate_scan(self, stats: ScanOperatorStats) -> OperatorEstimate:
-        _warn_deprecated_shim("estimate_scan")
-        return self.estimate(stats)
-
-
-class LogicalOpEstimator(_DeprecatedEstimateShims):
+class LogicalOpEstimator:
     """Blackbox costing through per-operator neural models."""
 
     def __init__(self, models: Optional[Dict[OperatorKind, LogicalOpModel]] = None):
@@ -214,7 +187,7 @@ class LogicalOpEstimator(_DeprecatedEstimateShims):
         return results  # type: ignore[return-value]
 
 
-class SubOpEstimator(_DeprecatedEstimateShims):
+class SubOpEstimator:
     """Openbox costing through rules + analytic formulas over sub-ops."""
 
     def __init__(
@@ -275,7 +248,7 @@ class SubOpEstimator(_DeprecatedEstimateShims):
         return [self.estimate(stats) for stats in stats_seq]
 
 
-class HybridEstimator(_DeprecatedEstimateShims):
+class HybridEstimator:
     """Per-operator routing between sub-op and logical-op costing (§5).
 
     Both underlying estimators are optional at construction: a system may

@@ -127,6 +127,17 @@ class IntelliSphere:
         """The estimate cache fronting the costing module."""
         return self.costing.cache
 
+    def swap_estimator(self, name: str) -> int:
+        """Gracefully swap a remote system's estimator to a freshly
+        built generation (the ``repro serve`` model-swap entry point;
+        delegates to
+        :meth:`~repro.core.costing.CostEstimationModule.swap_estimator`).
+        In-flight estimates finish on the old generation; the old
+        generation's cache entries are retired.  Returns the new
+        effective generation.
+        """
+        return self.costing.swap_estimator(name)
+
     def calibrate_querygrid(self, channel, shapes=None) -> "QueryGrid":
         """Learn the QueryGrid cost model from probe transfers (§1's
         "learned through some other mechanisms").

@@ -68,18 +68,20 @@ class TeradataCostModel:
     def estimate(self, stats: OperatorStats) -> float:
         """Cost one operator; the stats descriptor type selects the model.
 
-        The same polymorphic entry point the remote estimators expose,
-        so callers can cost an operator anywhere in the federation
-        without dispatching on the descriptor type themselves.
+        The *only* public entry point, matching the remote estimators'
+        polymorphic ``estimate(stats)``: callers cost an operator
+        anywhere in the federation without dispatching on the
+        descriptor type themselves (the old public per-kind methods
+        left with the PR-3 deprecation shims).
         """
         kind = operator_kind_for(stats)
         if kind is OperatorKind.JOIN:
-            return self.estimate_join(stats)
+            return self._join_seconds(stats)
         if kind is OperatorKind.AGGREGATE:
-            return self.estimate_aggregate(stats)
-        return self.estimate_scan(stats)
+            return self._aggregate_seconds(stats)
+        return self._scan_op_seconds(stats)
 
-    def estimate_join(self, stats: JoinOperatorStats) -> float:
+    def _join_seconds(self, stats: JoinOperatorStats) -> float:
         """Redistribution hash join (Teradata's common plan)."""
         t = self.tuning
         seconds = t.startup_seconds
@@ -93,7 +95,7 @@ class TeradataCostModel:
         seconds += self._scan(stats.num_output_rows, stats.output_row_size)
         return seconds
 
-    def estimate_aggregate(self, stats: AggregateOperatorStats) -> float:
+    def _aggregate_seconds(self, stats: AggregateOperatorStats) -> float:
         """Local hash aggregation plus a global merge of partials."""
         t = self.tuning
         seconds = t.startup_seconds
@@ -102,7 +104,7 @@ class TeradataCostModel:
         seconds += self._redistribute(stats.num_output_rows, stats.output_row_size)
         return seconds
 
-    def estimate_scan(self, stats: ScanOperatorStats) -> float:
+    def _scan_op_seconds(self, stats: ScanOperatorStats) -> float:
         """Full scan with predicate/projection evaluation."""
         t = self.tuning
         seconds = t.startup_seconds

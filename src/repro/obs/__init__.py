@@ -157,6 +157,8 @@ from repro.obs.context import (
     QueryContext,
     QueryStats,
     add_completion_hook,
+    adopt_context,
+    build_query_context,
     current_context,
     current_query_id,
     current_sampled,
@@ -214,7 +216,7 @@ from repro.obs.timeseries import (
     set_timeseries,
     windows_from_events,
 )
-from repro.obs.server import ObsServer
+from repro.obs.server import HttpRequest, HttpResponse, ObsServer, json_response
 from repro.obs.logconf import configure as configure_logging
 
 __all__ = [
@@ -293,6 +295,8 @@ __all__ = [
     "QueryContext",
     "QueryStats",
     "add_completion_hook",
+    "adopt_context",
+    "build_query_context",
     "current_context",
     "current_query_id",
     "current_sampled",
@@ -341,6 +345,9 @@ __all__ = [
     "maybe_roll_timeseries",
     "set_timeseries",
     "windows_from_events",
+    "HttpRequest",
+    "HttpResponse",
     "ObsServer",
+    "json_response",
     "configure_logging",
 ]

@@ -738,6 +738,32 @@ def default_rules() -> Tuple[AlertRule, ...]:
                 "3 windows"
             ),
         ),
+        # Serving-plane SLOs (repro serve): both resolve to None when
+        # the daemon never ran, so library-only deployments are
+        # untouched.
+        AlertRule(
+            name="serve-queue-depth",
+            signal="metric:serve.queue_depth",
+            op=">",
+            threshold=48.0,
+            severity="warning",
+            description=(
+                "admission queue close to its bound — sustained "
+                "backpressure; rejects with Retry-After are imminent"
+            ),
+        ),
+        AlertRule(
+            name="serve-latency-p99",
+            signal="window:serve.latency_seconds:p99:avg:3",
+            op=">",
+            threshold=0.25,
+            severity="warning",
+            guard=("window:serve.latency_seconds:count:sum:3", 16.0),
+            description=(
+                "p99 serve latency sustained above 250ms across the "
+                "last 3 windows"
+            ),
+        ),
     )
 
 

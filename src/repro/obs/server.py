@@ -1,4 +1,4 @@
-"""The HTTP observability server: live scrape endpoints + dashboard.
+"""The HTTP serving plane: a route registry + the observability server.
 
 A thin, stdlib-only (:mod:`http.server`) serving plane over everything
 :mod:`repro.obs` already computes:
@@ -28,6 +28,16 @@ endpoint              payload
                       windowed history
 ====================  ==================================================
 
+**One handler-registration API.**  Every endpoint above is mounted
+through :meth:`ObsServer.register` — the same call external planes use:
+the ``repro serve`` estimation daemon registers its ``POST /estimate``
+and ``POST /optimize`` handlers on a plain :class:`ObsServer`, so a
+single port carries both the request traffic and its own scrape
+endpoints (single-port deployments).  A handler is a callable from
+:class:`HttpRequest` to :class:`HttpResponse`; routing is exact-path
+per method, with optional prefix routes (``/incidents/<name>``).
+Unknown paths get a 404, known paths with the wrong method a 405.
+
 Design points:
 
 * **non-blocking** — ``ThreadingHTTPServer`` with daemon threads behind
@@ -36,8 +46,8 @@ Design points:
   redirected into a fixed-size ring (:attr:`ObsServer.request_log`);
 * **clean shutdown** — ``stop()`` unwinds ``serve_forever`` and joins
   the serving thread; ``with ObsServer(...) as server:`` does both;
-* **embeddable** — the future ``repro serve`` daemon mounts the same
-  object; ``repro serve-obs`` is the standalone CLI front.
+* **embeddable** — the ``repro serve`` daemon mounts this same object;
+  ``repro serve-obs`` is the standalone CLI front.
 
 Alert evaluation state is engine-local and serialized under a lock, so
 concurrent scrapes cannot corrupt fired/resolved bookkeeping.
@@ -45,7 +55,7 @@ concurrent scrapes cannot corrupt fired/resolved bookkeeping.
 Like the rest of :mod:`repro.obs`, this module depends only on the
 standard library and must never import from the instrumented packages —
 live drift/cache views are injected by the caller as an ``observe``
-callable.
+callable, and request handlers are injected through :meth:`register`.
 """
 
 from __future__ import annotations
@@ -53,8 +63,9 @@ from __future__ import annotations
 import json
 import threading
 from collections import deque
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Deque, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.alerts import AlertEngine, AlertRule
 from repro.obs.dashboard import (
@@ -73,7 +84,13 @@ from repro.obs.timeseries import (
     windows_from_events,
 )
 
-__all__ = ["ObsServer", "REQUEST_LOG_LIMIT"]
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "ObsServer",
+    "REQUEST_LOG_LIMIT",
+    "json_response",
+]
 
 #: Requests remembered in the bounded request log.
 REQUEST_LOG_LIMIT = 256
@@ -83,69 +100,115 @@ _JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 _HTML_CONTENT_TYPE = "text/html; charset=utf-8"
 
 
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed HTTP request handed to a registered handler.
+
+    Attributes:
+        method: ``GET`` / ``POST`` (uppercase).
+        path: Normalized path — query string stripped, trailing slash
+            removed (``/`` for the root).
+        query: The raw query string ("" when absent).
+        headers: Case-insensitive request headers (the stdlib message
+            object).
+        body: The raw request body (b"" for GET).
+    """
+
+    method: str
+    path: str
+    query: str = ""
+    headers: Mapping[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        value = self.headers.get(name) if self.headers is not None else None
+        return value if value is not None else default
+
+    def json(self) -> object:
+        """The body parsed as JSON; raises ``ValueError`` when invalid."""
+        if not self.body:
+            raise ValueError("empty request body")
+        return json.loads(self.body.decode("utf-8"))
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """What a registered handler returns.
+
+    Attributes:
+        status: HTTP status code.
+        content_type: ``Content-Type`` header value.
+        body: Response payload (encoded as UTF-8 on the wire).
+        headers: Extra headers, e.g. ``(("Retry-After", "1"),)``.
+    """
+
+    status: int = 200
+    content_type: str = _JSON_CONTENT_TYPE
+    body: str = ""
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+
+Handler = Callable[[HttpRequest], HttpResponse]
+
+
+def json_response(
+    payload: object,
+    status: int = 200,
+    headers: Tuple[Tuple[str, str], ...] = (),
+) -> HttpResponse:
+    """A deterministic (sorted, compact) JSON :class:`HttpResponse`."""
+    return HttpResponse(
+        status=status,
+        content_type=_JSON_CONTENT_TYPE,
+        body=json.dumps(payload, sort_keys=True, separators=(",", ":")),
+        headers=headers,
+    )
+
+
 class _Handler(BaseHTTPRequestHandler):
-    """Routes one request; all state lives on ``server.obs``."""
+    """Parses one request and routes it; all state lives on ``server.obs``."""
 
     server_version = "repro-obs"
     protocol_version = "HTTP/1.1"
 
-    # ------------------------------------------------------------------
-    # Routing
-    # ------------------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+    def _handle(self, method: str) -> None:
         obs: "ObsServer" = self.server.obs  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        raw_path, _, query = self.path.partition("?")
+        path = raw_path.rstrip("/") or "/"
         try:
-            if path == "/metrics":
-                self._respond(200, _PROM_CONTENT_TYPE, obs.render_metrics())
-            elif path == "/metrics.json":
-                self._respond(200, _JSON_CONTENT_TYPE, obs.render_metrics_json())
-            elif path == "/health":
-                self._respond(200, _JSON_CONTENT_TYPE, obs.render_health())
-            elif path == "/alerts":
-                self._respond(200, _JSON_CONTENT_TYPE, obs.render_alerts())
-            elif path == "/timeseries":
-                self._respond(200, _JSON_CONTENT_TYPE, obs.render_timeseries())
-            elif path == "/tenants":
-                self._respond(200, _JSON_CONTENT_TYPE, obs.render_tenants())
-            elif path == "/flight":
-                self._respond(200, _JSON_CONTENT_TYPE, obs.render_flight())
-            elif path == "/incidents":
-                self._respond(200, _JSON_CONTENT_TYPE, obs.render_incidents())
-            elif path.startswith("/incidents/"):
-                name = path[len("/incidents/"):]
-                body = obs.render_incident(name)
-                if body is None:
-                    self._respond(
-                        404,
-                        _JSON_CONTENT_TYPE,
-                        json.dumps({"error": f"no such incident: {name}"}),
-                    )
-                else:
-                    self._respond(200, _JSON_CONTENT_TYPE, body)
-            elif path in ("/", "/dashboard"):
-                self._respond(200, _HTML_CONTENT_TYPE, obs.render_dashboard())
-            else:
-                self._respond(
-                    404,
-                    _JSON_CONTENT_TYPE,
-                    json.dumps({"error": f"no such endpoint: {path}"}),
-                )
-        except Exception as exc:  # noqa: BLE001 — a scrape must not kill the server
-            try:
-                self._respond(
-                    500,
-                    _JSON_CONTENT_TYPE,
-                    json.dumps({"error": str(exc)}),
-                )
-            except OSError:
-                pass  # client went away mid-error
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length > 0 else b""
+        request = HttpRequest(
+            method=method,
+            path=path,
+            query=query,
+            headers=self.headers,
+            body=body,
+        )
+        try:
+            response = obs.dispatch(request)
+        except Exception as exc:  # noqa: BLE001 — a request must not kill the server
+            response = json_response({"error": str(exc)}, status=500)
+        try:
+            self._respond(response)
+        except OSError:
+            pass  # client went away mid-response
 
-    def _respond(self, status: int, content_type: str, body: str) -> None:
-        payload = body.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        self._handle("POST")
+
+    def _respond(self, response: HttpResponse) -> None:
+        payload = response.body.encode("utf-8")
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in response.headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -160,7 +223,7 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ObsServer:
-    """The embeddable observability HTTP server.
+    """The embeddable HTTP server: a route registry over a thread pool.
 
     Args:
         host: Bind address (loopback by default — this is an internal
@@ -194,6 +257,124 @@ class ObsServer:
         self._eval_lock = threading.Lock()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+        self._routes: Dict[Tuple[str, str], Handler] = {}
+        self._prefix_routes: Dict[Tuple[str, str], Handler] = {}
+        self._register_default_routes()
+
+    # ------------------------------------------------------------------
+    # Handler registration (the one mounting API)
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        path: str,
+        handler: Handler,
+        method: str = "GET",
+        prefix: bool = False,
+    ) -> "ObsServer":
+        """Mount ``handler`` at ``(method, path)``; returns self.
+
+        With ``prefix=True`` the handler serves every path *under*
+        ``path`` (the handler reads the suffix off ``request.path``).
+        Registering an existing route replaces it — embedders may
+        override a default endpoint.  Paths are normalized like
+        incoming requests (no trailing slash), so registration and
+        lookup can never disagree.
+        """
+        if not path.startswith("/"):
+            raise ValueError(f"route path must start with '/': {path!r}")
+        method = method.upper()
+        if method not in ("GET", "POST"):
+            raise ValueError(f"unsupported method: {method!r}")
+        key = (method, path.rstrip("/") or "/")
+        if prefix:
+            self._prefix_routes[key] = handler
+        else:
+            self._routes[key] = handler
+        return self
+
+    def dispatch(self, request: HttpRequest) -> HttpResponse:
+        """Route one request (also called directly by tests)."""
+        handler = self._routes.get((request.method, request.path))
+        if handler is None:
+            for (method, prefix), candidate in self._prefix_routes.items():
+                if method == request.method and request.path.startswith(
+                    prefix + "/"
+                ):
+                    handler = candidate
+                    break
+        if handler is None:
+            allowed = sorted(
+                {
+                    method
+                    for method, path in self._routes
+                    if path == request.path
+                }
+            )
+            if allowed:
+                return json_response(
+                    {
+                        "error": (
+                            f"method {request.method} not allowed for "
+                            f"{request.path}"
+                        ),
+                        "allow": allowed,
+                    },
+                    status=405,
+                    headers=(("Allow", ", ".join(allowed)),),
+                )
+            return json_response(
+                {"error": f"no such endpoint: {request.path}"}, status=404
+            )
+        return handler(request)
+
+    @property
+    def routes(self) -> Tuple[Tuple[str, str], ...]:
+        """Registered ``(method, path)`` pairs, sorted (prefix routes
+        carry a trailing ``/*``)."""
+        exact = list(self._routes)
+        prefixed = [(m, p + "/*") for m, p in self._prefix_routes]
+        return tuple(sorted(exact + prefixed, key=lambda mp: (mp[1], mp[0])))
+
+    def _register_default_routes(self) -> None:
+        """Mount the observability endpoints through the public API."""
+        self.register(
+            "/metrics",
+            lambda request: HttpResponse(
+                200, _PROM_CONTENT_TYPE, self.render_metrics()
+            ),
+        )
+        for path, render in (
+            ("/metrics.json", self.render_metrics_json),
+            ("/health", self.render_health),
+            ("/alerts", self.render_alerts),
+            ("/timeseries", self.render_timeseries),
+            ("/tenants", self.render_tenants),
+            ("/flight", self.render_flight),
+            ("/incidents", self.render_incidents),
+        ):
+            self.register(
+                path,
+                lambda request, render=render: HttpResponse(
+                    200, _JSON_CONTENT_TYPE, render()
+                ),
+            )
+        self.register("/incidents", self._incident_route, prefix=True)
+        for path in ("/", "/dashboard"):
+            self.register(
+                path,
+                lambda request: HttpResponse(
+                    200, _HTML_CONTENT_TYPE, self.render_dashboard()
+                ),
+            )
+
+    def _incident_route(self, request: HttpRequest) -> HttpResponse:
+        name = request.path[len("/incidents/"):]
+        body = self.render_incident(name)
+        if body is None:
+            return json_response(
+                {"error": f"no such incident: {name}"}, status=404
+            )
+        return HttpResponse(200, _JSON_CONTENT_TYPE, body)
 
     # ------------------------------------------------------------------
     # Lifecycle

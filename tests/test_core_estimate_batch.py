@@ -209,20 +209,19 @@ class TestUnifiedDispatch:
         assert straight == pytest.approx(inverted)
 
 
-class TestDeprecatedShims:
-    def test_shims_warn_and_match(self, subop_estimator):
-        for old_name, stats in (
-            ("estimate_join", join_stats()),
-            ("estimate_aggregate", agg_stats()),
-            ("estimate_scan", scan_stats()),
-        ):
-            with pytest.warns(DeprecationWarning, match=old_name):
-                shimmed = getattr(subop_estimator, old_name)(stats)
-            assert shimmed.seconds == subop_estimator.estimate(stats).seconds
+class TestDeprecatedShimsRemoved:
+    """The per-kind shims were kept one release (PR 3) and are now gone:
+    ``estimate(stats)`` / ``estimate_batch(stats_seq)`` are the only
+    entry points on every estimator level."""
 
-    def test_hybrid_shim_warns(self, hybrid):
-        with pytest.warns(DeprecationWarning):
-            hybrid.estimate_aggregate(agg_stats())
+    def test_shims_gone(self, subop_estimator, logical_estimator, hybrid):
+        for estimator in (subop_estimator, logical_estimator, hybrid):
+            for old_name in (
+                "estimate_join",
+                "estimate_aggregate",
+                "estimate_scan",
+            ):
+                assert not hasattr(estimator, old_name)
 
 
 class TestTypedUnavailableError:

@@ -159,7 +159,19 @@ class TestLruBehaviour:
             "size": 0,
             "evictions": 1,
             "invalidations": 1,
+            "generation": 0,
         }
+
+    def test_generation_tracks_highest_seen(self):
+        cache = EstimateCache()
+        assert cache.generation == 0
+        cache.key_for("hive", 3, scan_stats())
+        assert cache.generation == 3
+        cache.key_for("hive", 1, scan_stats())  # never regresses
+        assert cache.generation == 3
+        cache.note_generation(7)  # the swap path reports ahead of keys
+        assert cache.generation == 7
+        assert cache.stats()["generation"] == 7
 
 
 class TestThreadSafety:

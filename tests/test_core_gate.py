@@ -1,0 +1,140 @@
+"""ReadWriteGate: reader concurrency, writer exclusion and preference,
+reentrant reads, and the explicit upgrade-deadlock guard."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.gate import ReadWriteGate
+
+
+@pytest.fixture()
+def gate():
+    return ReadWriteGate()
+
+
+def spawn(target):
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestReadSide:
+    def test_concurrent_readers(self, gate):
+        """N readers hold the gate simultaneously."""
+        inside = threading.Barrier(4, timeout=5.0)
+
+        def reader():
+            with gate.read():
+                inside.wait()  # all four must be inside at once
+
+        threads = [spawn(reader) for _ in range(4)]
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert gate.active_readers == 0
+
+    def test_reentrant_read(self, gate):
+        with gate.read():
+            with gate.read():
+                assert gate.active_readers == 1
+            assert gate.active_readers == 1
+        assert gate.active_readers == 0
+
+    def test_release_without_acquire_raises(self, gate):
+        with pytest.raises(RuntimeError):
+            gate.release_read()
+
+
+class TestWriteSide:
+    def test_writer_excludes_writers(self, gate):
+        """Unsynchronized increments stay exact under the write side."""
+        counts = {"value": 0}
+
+        def writer():
+            for _ in range(200):
+                with gate.write():
+                    current = counts["value"]
+                    counts["value"] = current + 1
+
+        threads = [spawn(writer) for _ in range(4)]
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert counts["value"] == 800
+
+    def test_writer_excludes_readers(self, gate):
+        """A reader arriving during a write sees the post-write state."""
+        observed = []
+        state = {"value": "old"}
+        reader_started = threading.Event()
+
+        gate.acquire_write()
+
+        def reader():
+            reader_started.set()
+            with gate.read():
+                observed.append(state["value"])
+
+        thread = spawn(reader)
+        reader_started.wait(timeout=5.0)
+        time.sleep(0.05)  # give the reader time to park on the gate
+        assert observed == []  # still excluded
+        state["value"] = "new"
+        gate.release_write()
+        thread.join(timeout=5.0)
+        assert observed == ["new"]
+
+    def test_writer_preference_blocks_new_readers(self, gate):
+        """Readers arriving behind a waiting writer queue until it runs."""
+        order = []
+        first_reader_in = threading.Event()
+        release_first_reader = threading.Event()
+
+        def first_reader():
+            with gate.read():
+                first_reader_in.set()
+                release_first_reader.wait(timeout=5.0)
+            order.append("reader1-out")
+
+        def writer():
+            with gate.write():
+                order.append("writer")
+
+        def late_reader():
+            with gate.read():
+                order.append("reader2")
+
+        r1 = spawn(first_reader)
+        first_reader_in.wait(timeout=5.0)
+        w = spawn(writer)
+        time.sleep(0.05)  # writer is now parked, waiting on reader1
+        r2 = spawn(late_reader)
+        time.sleep(0.05)  # late reader must park behind the writer
+        assert order == []
+        release_first_reader.set()
+        for thread in (r1, w, r2):
+            thread.join(timeout=5.0)
+        assert order[0] == "reader1-out"
+        assert order[1] == "writer"  # ran before the late reader
+        assert order[2] == "reader2"
+
+    def test_upgrade_raises_instead_of_deadlocking(self, gate):
+        with gate.read():
+            with pytest.raises(RuntimeError):
+                gate.acquire_write()
+
+    def test_release_without_acquire_raises(self, gate):
+        with pytest.raises(RuntimeError):
+            gate.release_write()
+
+
+class TestIntrospection:
+    def test_counters_and_repr(self, gate):
+        assert gate.active_readers == 0
+        assert not gate.writer_active
+        with gate.read():
+            assert gate.active_readers == 1
+        with gate.write():
+            assert gate.writer_active
+            assert "writer=on" in repr(gate)
+        assert "writer=off" in repr(gate)

@@ -1,4 +1,4 @@
-"""Tests for the master's in-house cost model."""
+"""Tests for the master's in-house cost model (polymorphic estimate())."""
 
 import pytest
 
@@ -31,20 +31,20 @@ def join_stats(r_rows=1_000_000, s_rows=10_000, size=100):
 
 class TestJoinCost:
     def test_positive_and_monotone(self, model):
-        small = model.estimate_join(join_stats(r_rows=1_000_000))
-        large = model.estimate_join(join_stats(r_rows=8_000_000))
+        small = model.estimate(join_stats(r_rows=1_000_000))
+        large = model.estimate(join_stats(r_rows=8_000_000))
         assert 0 < small < large
 
     def test_spill_penalty(self):
         tight = TeradataCostModel(TeradataTuning(workspace_budget=1024))
         roomy = TeradataCostModel(TeradataTuning(workspace_budget=64 * GIB))
         stats = join_stats(s_rows=1_000_000)
-        assert tight.estimate_join(stats) > roomy.estimate_join(stats)
+        assert tight.estimate(stats) > roomy.estimate(stats)
 
     def test_much_faster_than_typical_remote(self, model):
         """The MPP master beats the small VM Hive cluster per operator —
         the premise that makes placement decisions non-trivial."""
-        cost = model.estimate_join(join_stats())
+        cost = model.estimate(join_stats())
         assert cost < 5.0
 
 
@@ -56,7 +56,7 @@ class TestOtherOperators:
             num_output_rows=1000,
             output_row_size=12,
         )
-        assert model.estimate_aggregate(stats) > 0
+        assert model.estimate(stats) > 0
 
     def test_scan(self, model):
         stats = ScanOperatorStats(
@@ -65,8 +65,15 @@ class TestOtherOperators:
             num_output_rows=100,
             output_row_size=8,
         )
-        assert model.estimate_scan(stats) > 0
+        assert model.estimate(stats) > 0
 
     def test_sort_helper(self, model):
         assert model.sort_seconds(0) == 0.0
         assert model.sort_seconds(1_000_000) > model.sort_seconds(1_000)
+
+
+class TestPerKindMethodsGone:
+    def test_only_polymorphic_entry_point(self, model):
+        """The pre-redesign per-kind methods left with the PR-3 shims."""
+        for old_name in ("estimate_join", "estimate_aggregate", "estimate_scan"):
+            assert not hasattr(model, old_name)

@@ -338,3 +338,107 @@ class TestForensicsEndpoints:
         assert status == 200
         assert "Tenants" in body
         assert "analytics" in body
+
+
+class TestHandlerRegistration:
+    """The one mounting API: custom routes share the port with the
+    default observability endpoints (single-port deployments)."""
+
+    def test_register_custom_get_route(self, obs_state):
+        from repro.obs.server import HttpResponse
+
+        server = ObsServer(port=0)
+        server.register(
+            "/custom",
+            lambda request: HttpResponse(
+                200, "application/json; charset=utf-8", '{"ok":true}'
+            ),
+        )
+        with server:
+            status, content_type, body = get(f"{server.url}/custom")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        assert json.loads(body) == {"ok": True}
+
+    def test_post_route_receives_body_and_headers(self, obs_state):
+        from repro.obs.server import json_response
+
+        seen = {}
+
+        def handler(request):
+            seen["payload"] = request.json()
+            seen["tenant"] = request.header("X-Repro-Tenant")
+            return json_response({"echo": request.json()})
+
+        server = ObsServer(port=0).register("/echo", handler, method="POST")
+        with server:
+            request = urllib.request.Request(
+                f"{server.url}/echo",
+                data=b'{"a": 1}',
+                headers={"X-Repro-Tenant": "etl"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=5.0) as response:
+                assert response.status == 200
+                assert json.loads(response.read()) == {"echo": {"a": 1}}
+        assert seen == {"payload": {"a": 1}, "tenant": "etl"}
+
+    def test_wrong_method_is_405_with_allow(self, obs_state):
+        from repro.obs.server import json_response
+
+        server = ObsServer(port=0).register(
+            "/only-post", lambda request: json_response({}), method="POST"
+        )
+        with server:
+            status, _, body = get(f"{server.url}/only-post")
+        assert status == 405
+        assert json.loads(body)["allow"] == ["POST"]
+
+    def test_registration_normalizes_trailing_slash(self, obs_state):
+        from repro.obs.server import json_response
+
+        server = ObsServer(port=0).register(
+            "/padded/", lambda request: json_response({"hit": True})
+        )
+        with server:
+            assert get(f"{server.url}/padded")[0] == 200
+            assert get(f"{server.url}/padded/")[0] == 200
+
+    def test_default_routes_are_replaceable(self, obs_state):
+        from repro.obs.server import json_response
+
+        server = ObsServer(port=0)
+        server.register("/health", lambda request: json_response({"ok": 1}))
+        with server:
+            status, _, body = get(f"{server.url}/health")
+        assert status == 200
+        assert json.loads(body) == {"ok": 1}
+
+    def test_invalid_registrations_rejected(self, obs_state):
+        from repro.obs.server import json_response
+
+        server = ObsServer(port=0)
+        with pytest.raises(ValueError):
+            server.register("no-slash", lambda request: json_response({}))
+        with pytest.raises(ValueError):
+            server.register(
+                "/x", lambda request: json_response({}), method="DELETE"
+            )
+
+    def test_routes_listing_includes_defaults_and_prefixes(self, obs_state):
+        routes = ObsServer(port=0).routes
+        assert ("GET", "/metrics") in routes
+        assert ("GET", "/incidents/*") in routes
+
+    def test_handler_exception_maps_to_500(self, obs_state):
+        def broken(request):
+            raise RuntimeError("handler bug")
+
+        server = ObsServer(port=0).register("/broken", broken)
+        with server:
+            status, content_type, body = get(f"{server.url}/broken")
+            assert status == 500
+            assert content_type.startswith("application/json")
+            assert "handler bug" in json.loads(body)["error"]
+            # The server survives its handlers' bugs.
+            assert get(f"{server.url}/health")[0] == 200
