@@ -1,0 +1,127 @@
+"""Throughput probe for the multi-tenant traffic simulator.
+
+Runs one registered scenario end to end (training, the simulated
+traffic loop, journal fold-back) and reports wall-clock split by phase
+plus simulated-vs-real throughput: how many simulated queries per real
+second the loop sustains.  The simulator is the CI scenario-smoke
+engine, so this number bounds how much traffic a CI leg can afford.
+
+Also re-runs the scenario a second time with the same seed and verifies
+the journals are byte-identical — the same discipline the CI
+determinism leg enforces, available locally in one command.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_traffic.py
+    PYTHONPATH=src python benchmarks/bench_traffic.py \\
+        --scenario tenant-storm --queries 2000
+    PYTHONPATH=src python benchmarks/bench_traffic.py --json
+
+Exit codes: 0 = clean run (checks met, byte-identical replay),
+1 = a scenario check failed or the two journals diverged.
+
+Standalone probe — intentionally not part of ``benchmarks/regress.py``:
+scenario wall-clock depends on training iterations, which the pinned
+baseline does not model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.workloads.scenarios import run_scenario, scenario_names
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="traffic simulator throughput probe"
+    )
+    parser.add_argument(
+        "--scenario", default="table-growth-drift", choices=scenario_names()
+    )
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--tenants", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="bench-traffic-") as tmp:
+        journals = [Path(tmp) / "run1.jsonl", Path(tmp) / "run2.jsonl"]
+        started = time.perf_counter()
+        result = run_scenario(
+            args.scenario,
+            seed=args.seed,
+            queries=args.queries,
+            tenants=args.tenants,
+            journal_path=str(journals[0]),
+        )
+        first_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        run_scenario(
+            args.scenario,
+            seed=args.seed,
+            queries=args.queries,
+            tenants=args.tenants,
+            journal_path=str(journals[1]),
+        )
+        second_wall = time.perf_counter() - started
+        identical = journals[0].read_bytes() == journals[1].read_bytes()
+
+    report = result.report
+    payload = {
+        "scenario": result.scenario,
+        "seed": result.seed,
+        "queries": report.queries,
+        "executed": report.executed,
+        "rejected": report.rejected,
+        "errors": report.errors,
+        "sim_seconds": round(report.sim_seconds, 3),
+        "wall_seconds_run1": round(first_wall, 3),
+        "wall_seconds_run2": round(second_wall, 3),
+        "sim_queries_per_wall_second": round(report.queries / first_wall, 1),
+        "time_compression": (
+            round(report.sim_seconds / first_wall, 1) if first_wall else None
+        ),
+        "checks_passed": result.passed,
+        "journals_byte_identical": identical,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"scenario {payload['scenario']} (seed {payload['seed']})")
+        print(
+            f"  {payload['queries']} simulated queries covering "
+            f"{payload['sim_seconds']}s of simulated time"
+        )
+        print(
+            f"  run 1: {payload['wall_seconds_run1']}s wall  "
+            f"run 2: {payload['wall_seconds_run2']}s wall"
+        )
+        print(
+            f"  throughput: {payload['sim_queries_per_wall_second']} "
+            f"sim-queries/wall-second "
+            f"(time compression x{payload['time_compression']})"
+        )
+        print(f"  checks passed: {payload['checks_passed']}")
+        print(f"  journals byte-identical: {payload['journals_byte_identical']}")
+    ok = result.passed and identical
+    if not ok:
+        for outcome in result.checks:
+            if not outcome.passed:
+                print(
+                    f"FAILED check {outcome.name}: {outcome.detail}",
+                    file=sys.stderr,
+                )
+        if not identical:
+            print("FAILED: journals diverged across same-seed runs",
+                  file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

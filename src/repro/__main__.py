@@ -1,4 +1,12 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Exit-code contract (relied on by the CI scenario-smoke and health
+gates): 0 = success, 1 = the command ran but its verdict is negative
+(failed scenario check, SLO breach, runtime error such as an occupied
+port), 2 = usage error (unknown command/scenario, unreadable input),
+130 = interrupted.  ``repro.cli.main`` maps every error path onto
+these — no command prints an error yet exits 0.
+"""
 
 import sys
 

@@ -16,6 +16,7 @@ A small operational surface over the library::
     python -m repro dashboard              # self-contained HTML dashboard
     python -m repro serve-obs              # live HTTP observability server
     python -m repro serve                  # concurrent estimation daemon
+    python -m repro simulate               # multi-tenant traffic scenarios
     python -m repro experiments            # list the paper's benchmarks
 
 ``explain``/``run``/``demo`` operate on a self-contained sandbox
@@ -603,6 +604,75 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one registered traffic scenario and evaluate its checks."""
+    import contextlib
+    import json
+    import os
+    import tempfile
+
+    from repro.workloads.scenarios import run_scenario
+
+    with contextlib.ExitStack() as stack:
+        journal_path = args.journal
+        if journal_path is None:
+            # The replay-consistency check needs a journal on disk; give
+            # runs without --journal a scratch one that vanishes after.
+            tmp = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-simulate-")
+            )
+            journal_path = os.path.join(tmp, "journal.jsonl")
+        result = run_scenario(
+            args.scenario,
+            seed=args.seed,
+            queries=args.queries,
+            tenants=args.tenants,
+            journal_path=journal_path,
+            flight_dir=args.flight_dir,
+        )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        report = result.report
+        print(f"scenario {result.scenario} (seed {result.seed})")
+        print(
+            f"  queries: {report.queries}  executed: {report.executed}  "
+            f"rejected: {report.rejected}  errors: {report.errors}"
+        )
+        print(
+            f"  sim time: {report.sim_seconds:.1f}s  "
+            f"tenants seen: {report.tenants_seen}"
+        )
+        print(
+            f"  drift alarms: {report.drift_alarms}  "
+            f"remedies: {report.remedy_activations}  "
+            f"tuning runs: {report.tuning_runs} "
+            f"({report.tuning_entries} entries folded)  "
+            f"recoveries: {report.recoveries}"
+        )
+        health = ", ".join(
+            f"{system}={grade}"
+            for system, grade in sorted(report.final_health.items())
+        )
+        print(f"  final health: {health or 'n/a'}")
+        if args.journal:
+            print(f"  journal: {args.journal}")
+        if report.flight_dir:
+            print(f"  flight records: {report.flight_dir}")
+        print("  checks:")
+        for outcome in result.checks:
+            verdict = "ok  " if outcome.passed else "FAIL"
+            print(f"    [{verdict}] {outcome.name}: {outcome.detail}")
+    if args.check and not result.passed:
+        failed = sum(1 for outcome in result.checks if not outcome.passed)
+        print(
+            f"error: simulate: {failed} scenario check(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     rows = (
         ("bench_fig07_readdfs.py", "Fig. 7: ReadDFS sub-op model"),
@@ -911,6 +981,54 @@ def build_parser() -> argparse.ArgumentParser:
     daemon.add_argument("--seed", type=int, default=0)
     daemon.set_defaults(func=cmd_serve)
 
+    from repro.workloads.scenarios import scenario_names
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="drive a multi-tenant traffic scenario through the federation",
+    )
+    simulate.add_argument(
+        "--scenario",
+        required=True,
+        choices=scenario_names(),
+        help="registered scenario to run",
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=None, help="override the scenario seed"
+    )
+    simulate.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="override the scenario's traffic volume",
+    )
+    simulate.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="override the scenario's tenant population",
+    )
+    simulate.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any scenario assertion fails",
+    )
+    simulate.add_argument(
+        "--json", action="store_true", help="emit the full result as JSON"
+    )
+    simulate.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="write the event journal to FILE (the durable record)",
+    )
+    simulate.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        help="record drift incidents as flight records under DIR "
+        "(embeds wall-clock timings: journals are no longer seed-reproducible)",
+    )
+    simulate.set_defaults(func=cmd_simulate)
+
     sub.add_parser(
         "experiments", help="list the paper-reproduction benchmarks"
     ).set_defaults(func=cmd_experiments)
@@ -926,6 +1044,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except OSError as exc:
+        # Bind/IO failures (e.g. ``serve`` on an occupied port, an
+        # unwritable --journal path) must surface as a nonzero exit, not
+        # a traceback or a silent 0.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":

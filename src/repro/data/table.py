@@ -67,6 +67,21 @@ class TableSpec:
                     f"{self.name!r}"
                 )
 
+    def grown(self, factor: float) -> "TableSpec":
+        """The same table after its data volume grew by ``factor``.
+
+        Schema, layout, and location are unchanged — only ``num_rows``
+        scales.  This is the organic-growth drift source (a fact table
+        accreting history): re-loading the grown spec on an engine while
+        the federation's statistics still describe the old size is how
+        the traffic simulator makes cached estimates go stale.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"growth factor must be > 0, got {factor}")
+        from dataclasses import replace
+
+        return replace(self, num_rows=int(self.num_rows * factor))
+
     @property
     def byte_row_size(self) -> int:
         """Row size in bytes (never None after construction)."""

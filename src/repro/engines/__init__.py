@@ -21,6 +21,7 @@ from repro.engines.base import (
     QueryResult,
     RemoteSystem,
 )
+from repro.engines.execution import EngineTuning
 from repro.engines.subops import SubOp, SubOpKernel, TwoRegimeKernel, KernelSet
 from repro.engines.hive import HiveEngine
 from repro.engines.spark import SparkEngine
@@ -31,6 +32,7 @@ __all__ = [
     "ImpalaEngine",
     "PrestoEngine",
     "EngineCapabilities",
+    "EngineTuning",
     "PrimitiveKind",
     "PrimitiveQuery",
     "QueryResult",

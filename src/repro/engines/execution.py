@@ -21,7 +21,7 @@ single-sub-op passes whose elapsed time the sub-op trainer decomposes.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -134,6 +134,18 @@ class DfsEngine(RemoteSystem):
         #: physical algorithm instead of the planner's choice.  The
         #: paper's Fig. 14 experiment pins the merge join this way.
         self.forced_join_algorithm: Optional[str] = None
+
+    def retune(self, **overrides: float) -> EngineTuning:
+        """Swap execution-overhead constants mid-flight.
+
+        Models an engine upgrade or configuration change (faster JVM
+        startup, a different container scheduler): subsequent executions
+        use the new constants while every fitted cost model still
+        describes the old behaviour.  Unknown field names are rejected
+        by ``dataclasses.replace``.  Returns the new tuning.
+        """
+        self.tuning = replace(self.tuning, **overrides)
+        return self.tuning
 
     # ------------------------------------------------------------------
     # Storage hooks

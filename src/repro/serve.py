@@ -39,7 +39,12 @@ function of (models, operator stats), the cache returns
 ``replace(estimate, cache_hit=True)`` with identical seconds, and the
 costing module's read gate pins every batch to one estimator
 generation.  The property tests in ``tests/test_serve.py`` assert this
-under 8-way concurrency and under mid-load swaps.
+under 8-way concurrency and under mid-load swaps.  The traffic
+simulator (:mod:`repro.workloads.traffic`) leans on the same contract
+from the other side: it drives whole scenarios through a single-worker
+:class:`EstimationService` so every admission, context, and completion
+hook runs the production code path while the journal stays a pure
+function of the seed.
 """
 
 from __future__ import annotations

@@ -9,14 +9,41 @@
 * :mod:`repro.workloads.subop_queries` — budget-sized primitive
   measurement workloads for sub-op training (Fig. 13(a));
 * :mod:`repro.workloads.out_of_range` — the 45 out-of-range join queries
-  of Fig. 14 / Table 1.
+  of Fig. 14 / Table 1;
+* :mod:`repro.workloads.traffic` — the deterministic multi-tenant
+  traffic simulator (arrival processes, Zipf tenant mixes, environment
+  mutations, the feedback-loop recovery policy);
+* :mod:`repro.workloads.scenarios` — named end-to-end scenarios with
+  declarative assertions, the engine behind ``repro simulate``.
 """
 
 from repro.workloads.aggregation import AggregationWorkload
 from repro.workloads.join import JoinWorkload
 from repro.workloads.scan import ScanWorkload
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    ScenarioResult,
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 from repro.workloads.subop_queries import trainer_for_budget
 from repro.workloads.out_of_range import OutOfRangeWorkload
+from repro.workloads.traffic import (
+    AdmissionGate,
+    BurstyArrivals,
+    DiurnalArrivals,
+    DiurnalBurstArrivals,
+    Mutation,
+    SimClock,
+    SteadyArrivals,
+    TenantMix,
+    TrafficConfig,
+    TrafficReport,
+    TrafficSimulator,
+    generate_arrivals,
+)
 
 __all__ = [
     "AggregationWorkload",
@@ -24,4 +51,22 @@ __all__ = [
     "ScanWorkload",
     "trainer_for_budget",
     "OutOfRangeWorkload",
+    "AdmissionGate",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "DiurnalBurstArrivals",
+    "Mutation",
+    "SimClock",
+    "SteadyArrivals",
+    "TenantMix",
+    "TrafficConfig",
+    "TrafficReport",
+    "TrafficSimulator",
+    "generate_arrivals",
+    "SCENARIOS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
 ]

@@ -85,3 +85,24 @@ def cluster_info(cluster):
         cores_per_node=cluster.config.node_cpu.cores,
         dfs_block_size=cluster.config.dfs_block_size,
     )
+
+
+@pytest.fixture()
+def restore_obs_plane():
+    """Snapshot and restore the global observability plane.
+
+    The traffic simulator (and anything else that calls the ``obs``
+    setters) swaps in fresh registries for determinism; suites that run
+    it opt into this fixture so the swap never leaks across tests.
+    """
+    from repro import obs
+
+    registry = obs.set_registry(obs.MetricsRegistry())
+    ledger = obs.set_ledger(obs.AccuracyLedger())
+    tenants = obs.set_tenant_ledger(obs.TenantLedger())
+    exemplars = obs.set_exemplar_store(obs.ExemplarStore())
+    yield
+    obs.set_registry(registry)
+    obs.set_ledger(ledger)
+    obs.set_tenant_ledger(tenants)
+    obs.set_exemplar_store(exemplars)

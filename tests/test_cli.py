@@ -651,3 +651,76 @@ class TestTenantsCommand:
         assert main(["tenants"]) == 0
         out = capsys.readouterr().out
         assert "no attributed traffic yet" not in out
+
+
+class TestSimulateCommand:
+    @pytest.fixture(autouse=True)
+    def _isolate_obs(self, restore_obs_plane):
+        """The simulator swaps in fresh obs globals; restore after."""
+
+    def test_steady_mini_run_exits_zero(self, capsys):
+        code = main(["simulate", "--scenario", "steady", "--queries", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario steady" in out
+        assert "final health:" in out
+        assert "[ok  ] replay-consistent" in out
+
+    def test_check_failure_exits_one(self, capsys):
+        # 50 queries is far below the drift scenario's recovery timers,
+        # so its loop assertions cannot be met.
+        code = main(
+            [
+                "simulate",
+                "--scenario",
+                "table-growth-drift",
+                "--queries",
+                "50",
+                "--check",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "[FAIL]" in captured.out
+        assert "scenario check(s) failed" in captured.err
+
+    def test_failed_checks_without_flag_still_exit_zero(self, capsys):
+        code = main(
+            ["simulate", "--scenario", "table-growth-drift", "--queries", "50"]
+        )
+        assert code == 0
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--scenario", "meteor-strike"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_json_output_and_journal_artifact(self, capsys, tmp_path):
+        import json
+
+        journal = tmp_path / "journal.jsonl"
+        code = main(
+            [
+                "simulate",
+                "--scenario",
+                "steady",
+                "--queries",
+                "60",
+                "--check",
+                "--json",
+                "--journal",
+                str(journal),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "steady"
+        assert payload["passed"] is True
+        assert {c["name"] for c in payload["checks"]} >= {
+            "no-errors",
+            "replay-consistent",
+        }
+        assert payload["report"]["executed"] > 0
+        assert journal.exists() and journal.stat().st_size > 0

@@ -55,3 +55,16 @@ class TestTableSpec:
         )
         assert spec.partitioned_by == "a1"
         assert spec.sorted_by == "a1"
+
+    def test_grown_scales_rows_only(self, schema):
+        spec = TableSpec(name="t", schema=schema, num_rows=1_000)
+        grown = spec.grown(2.5)
+        assert grown.num_rows == 2_500
+        assert grown.name == spec.name
+        assert grown.row_size == spec.row_size
+        assert spec.num_rows == 1_000  # original untouched
+
+    def test_grown_rejects_nonpositive_factor(self, schema):
+        spec = TableSpec(name="t", schema=schema, num_rows=10)
+        with pytest.raises(ConfigurationError):
+            spec.grown(0.0)

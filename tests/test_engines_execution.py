@@ -167,3 +167,15 @@ class TestEngineTuning:
             EngineTuning(overlap_factor=0.0)
         with pytest.raises(ConfigurationError):
             EngineTuning(noise_sigma=-0.1)
+
+    def test_retune_swaps_constants_mid_flight(self, small_hive):
+        before = small_hive.tuning
+        after = small_hive.retune(job_startup=0.5, overlap_factor=0.9)
+        assert small_hive.tuning is after
+        assert after.job_startup == 0.5
+        assert after.overlap_factor == 0.9
+        assert after.wave_startup == before.wave_startup
+
+    def test_retune_rejects_unknown_field(self, small_hive):
+        with pytest.raises(TypeError):
+            small_hive.retune(warp_drive=1.0)
