@@ -32,6 +32,7 @@ import time
 from typing import Callable, Dict
 
 from repro import obs
+from repro.core.gate import ReadWriteGate
 from repro.core import (
     ClusterInfo,
     CostEstimationModule,
@@ -48,6 +49,7 @@ from repro.master.querygrid import QueryGrid
 from repro.obs import regress
 from repro.obs.alerts import AlertEngine
 from repro.obs.journal import EventJournal
+from repro.obs.sampling import StackSampler
 from repro.obs.timeseries import ManualClock, TimeSeriesAggregator
 from repro.sql.parser import parse_select
 
@@ -98,6 +100,8 @@ THRESHOLDS: Dict[str, float] = {
     "tail_decide": 0.50,
     "flight_record": 0.50,
     "alert_evaluate": 0.50,
+    "profile_fold": 0.50,
+    "gate_wait": 0.60,
     # The concurrent serving plane (benchmarks/bench_serve.py): 8-way
     # closed-loop latencies swing with scheduler load, so the slack is
     # the widest in the file; a genuine 2x still blows through.
@@ -336,6 +340,40 @@ def measure_latencies(
             lambda: recorder.record(outcome, drop_decision),
             inner=2_000 * scale,
             repeats=repeats,
+        )
+        obs.set_registry(previous_registry)
+
+        # The continuous profiling plane: folding one pre-walked sample
+        # into the open profile window — the stack sampler's per-sample
+        # hot-loop cost (the walk itself is priced by
+        # bench_obs_overhead's sample_pass probe) — and one uncontended
+        # gate read round-trip, the estimate path's per-request
+        # synchronization cost now that the gate carries saturation
+        # telemetry (uncontended reads must stay histogram-free).
+        previous_registry = obs.set_registry(obs.MetricsRegistry())
+        profile_sampler = StackSampler(
+            hz=100.0, window_seconds=1e9, journal=obs.NOOP_JOURNAL
+        )
+        profile_frames = (
+            "repro.serve._worker_loop",
+            "repro.core.costing.estimate_plan",
+            "repro.core.estimator.estimate",
+        )
+        timings["profile_fold"] = _per_call_seconds(
+            lambda: profile_sampler.record_sample(
+                0.0, "serve", profile_frames
+            ),
+            inner=5_000 * scale,
+            repeats=repeats,
+        )
+        gate = ReadWriteGate()
+
+        def _gate_round_trip():
+            gate.acquire_read()
+            gate.release_read()
+
+        timings["gate_wait"] = _per_call_seconds(
+            _gate_round_trip, inner=5_000 * scale, repeats=repeats
         )
         obs.set_registry(previous_registry)
 

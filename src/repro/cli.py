@@ -7,8 +7,9 @@ A small operational surface over the library::
     python -m repro explain "SELECT ..."   # cost-based placement of a query
     python -m repro run "SELECT ..."       # place and simulate-execute it
     python -m repro trace "SELECT ..."     # traced run: span tree + costs
-    python -m repro profile "SELECT ..."   # per-query cost-breakdown report
-    python -m repro report                 # replay the event journal
+    python -m repro profile "SELECT ..."   # span-tree cost breakdown (one query)
+    python -m repro report                 # replay the journal (span-tree aggregate)
+    python -m repro flamegraph             # stack-sampled flamegraph / --diff A B
     python -m repro stats                  # telemetry counters and accuracy
     python -m repro alerts                 # evaluate SLO rules (exit 1 on breach)
     python -m repro health                 # per-system health verdict
@@ -200,6 +201,93 @@ def cmd_profile(args: argparse.Namespace) -> int:
         with open(args.html, "w", encoding="utf-8") as fh:
             fh.write(profiler.render_html(profile))
         print(f"\nHTML profile written to {args.html}")
+    return 0
+
+
+def cmd_flamegraph(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import flamegraph, sampling
+
+    if args.diff:
+        before_path, after_path = args.diff
+        for path in (before_path, after_path):
+            if not os.path.exists(path):
+                print(f"error: journal file not found: {path}", file=sys.stderr)
+                return 2
+        before = sampling.merge_stacks(sampling.profiles_from_events(before_path))
+        after = sampling.merge_stacks(sampling.profiles_from_events(after_path))
+        if not before and not after:
+            print(
+                "error: neither journal holds profile events "
+                "(run with REPRO_OBS_PROF set)",
+                file=sys.stderr,
+            )
+            return 2
+        deltas = flamegraph.diff_frames(before, after)
+        print(flamegraph.render_diff_text(deltas, limit=args.limit), end="")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(
+                    flamegraph.render_diff_html(
+                        deltas,
+                        subtitle=f"A: {before_path} — B: {after_path}",
+                    )
+                )
+            print(f"\nHTML diff written to {args.out}")
+        return 0
+
+    if args.journal:
+        if not os.path.exists(args.journal):
+            print(
+                f"error: journal file not found: {args.journal}",
+                file=sys.stderr,
+            )
+            return 2
+        windows = sampling.profiles_from_events(args.journal)
+        if not windows:
+            print(
+                "error: no profile events in the journal "
+                "(run with REPRO_OBS_PROF set)",
+                file=sys.stderr,
+            )
+            return 2
+        stacks = sampling.merge_stacks(windows)
+        samples = sum(window.samples for window in windows)
+        subtitle = f"{len(windows)} profile windows, {samples} samples"
+    else:
+        # Live burst: profile a short sandbox optimizer workload.  The
+        # burst pins its own sampler (never the process-wide slot) and
+        # a noop journal — this is a measurement, not telemetry.
+        sampler = sampling.StackSampler(
+            hz=args.hz, window_seconds=0.5, journal=obs.NOOP_JOURNAL
+        )
+        sampler.start()
+        try:
+            sphere = build_sandbox(with_spark=args.spark, seed=args.seed)
+            for _ in range(args.queries):
+                sphere.explain(args.query)
+        finally:
+            sampler.stop()
+        stacks = sampler.merged_stacks()
+        subtitle = (
+            f"live burst: {args.queries} placements at {sampler.hz:g} Hz"
+        )
+    if not stacks:
+        print(
+            "no samples collected (burst too short? raise --hz or --queries)",
+            file=sys.stderr,
+        )
+        return 1
+    print(flamegraph.render_top_text(stacks, limit=args.limit), end="")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(flamegraph.render_flamegraph_html(stacks, subtitle=subtitle))
+        print(f"\nflamegraph HTML written to {args.out}")
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as fh:
+            fh.write(flamegraph.render_collapsed(stacks))
+        print(f"collapsed stacks written to {args.collapsed}")
     return 0
 
 
@@ -502,6 +590,9 @@ def cmd_serve_obs(args: argparse.Namespace) -> int:
         # Window width/retention come from --window or the
         # REPRO_OBS_WINDOW / REPRO_OBS_RETENTION environment variables.
         obs.enable_timeseries(width=args.window)
+    # Continuous profiling is env-driven here like everywhere else:
+    # REPRO_OBS_PROF starts the stack sampler behind /profile{,.html}.
+    sampler = obs.maybe_start_sampling()
 
     sphere = None
     if args.demo:
@@ -522,8 +613,10 @@ def cmd_serve_obs(args: argparse.Namespace) -> int:
     print(
         f"serving observability on {server.url} "
         "(/metrics /metrics.json /health /alerts /timeseries /tenants "
-        "/flight /incidents /dashboard)"
+        "/flight /incidents /profile /dashboard)"
     )
+    if sampler is not None:
+        print(f"continuous profiling on at {sampler.hz:g} Hz (/profile.html)")
     if sphere is not None:
         print("demo workload: cycling sandbox queries until stopped")
     deadline = (
@@ -553,6 +646,8 @@ def cmd_serve_obs(args: argparse.Namespace) -> int:
         pass
     finally:
         server.stop()
+        if sampler is not None:
+            obs.stop_sampling()
         print("observability server stopped")
     return 0
 
@@ -751,7 +846,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.set_defaults(func=cmd_trace)
 
     profile = sub.add_parser(
-        "profile", help="run a query and print a per-query cost breakdown"
+        "profile",
+        help="span-tree profile: one traced query's cost breakdown "
+        "(see 'flamegraph' for sampled stacks)",
     )
     profile.add_argument(
         "query",
@@ -767,7 +864,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile.set_defaults(func=cmd_profile)
 
     report = sub.add_parser(
-        "report", help="replay the event journal into an aggregate report"
+        "report",
+        help="span-tree aggregate: replay the event journal into a report",
     )
     report.add_argument(
         "--journal",
@@ -778,6 +876,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--html", metavar="FILE", help="also write a self-contained HTML report"
     )
     report.set_defaults(func=cmd_report)
+
+    flame = sub.add_parser(
+        "flamegraph",
+        help="stack-sampled flamegraph: live burst, journal rebuild, "
+        "or --diff A B (see 'profile' for span trees)",
+    )
+    flame.add_argument(
+        "query",
+        nargs="?",
+        default=TRACE_DEMO_QUERY,
+        help="SQL SELECT the live burst places repeatedly "
+        "(default: a demo join; ignored with --journal/--diff)",
+    )
+    flame.add_argument("--spark", action="store_true", help="add a Spark system")
+    flame.add_argument("--seed", type=int, default=0)
+    flame.add_argument(
+        "--hz",
+        type=float,
+        default=250.0,
+        help="live-burst sampling rate (default: 250)",
+    )
+    flame.add_argument(
+        "--queries",
+        type=int,
+        default=2000,
+        help="placements the live burst runs (default: 2000, ~a second "
+        "of optimizer work)",
+    )
+    flame.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="rebuild windows from a journal's profile events instead "
+        "of sampling live",
+    )
+    flame.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A", "B"),
+        help="differential profile between two journals' profile events",
+    )
+    flame.add_argument(
+        "--out", metavar="FILE", help="write the flamegraph (or diff) HTML"
+    )
+    flame.add_argument(
+        "--collapsed",
+        metavar="FILE",
+        help="also write collapsed 'stack count' lines",
+    )
+    flame.add_argument(
+        "--limit",
+        type=int,
+        default=25,
+        help="rows in the printed frame table (default: 25)",
+    )
+    flame.set_defaults(func=cmd_flamegraph)
 
     stats = sub.add_parser(
         "stats", help="show telemetry counters and the accuracy ledger"

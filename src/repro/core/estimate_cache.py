@@ -20,7 +20,12 @@ into each key retires entries when the hybrid's routing changes.
 
 Cache traffic is observable through the ``costing.estimate_cache.*``
 counters (hits / misses / evictions / invalidations) and the
-``costing.estimate_cache.size`` gauge.
+``costing.estimate_cache.size`` gauge.  Contention on the cache's
+internal lock is part of the saturation (USE-method) telemetry: a
+lookup that finds the lock taken counts
+``costing.estimate_cache.lock_waits`` and observes the blocked time in
+``costing.estimate_cache.lock_wait_seconds``; the uncontended path
+pays one non-blocking acquire and touches no instrument.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
@@ -81,6 +87,31 @@ class EstimateCache:
         self._generation = 0
 
     # ------------------------------------------------------------------
+    # Locking (with contention telemetry)
+    # ------------------------------------------------------------------
+    def _acquire(self) -> None:
+        """Take the cache lock, timing it only when actually contended.
+
+        RLock reentrancy keeps this safe even if an instrumented path
+        re-enters; the recursive acquire is uncontended by definition
+        and records nothing.
+        """
+        if self._lock.acquire(blocking=False):
+            return
+        wait_started = time.perf_counter()
+        self._lock.acquire()
+        waited = time.perf_counter() - wait_started
+        obs.counter(
+            "costing.estimate_cache.lock_waits",
+            help="cache operations that blocked on the internal lock",
+        ).inc()
+        obs.histogram(
+            "costing.estimate_cache.lock_wait_seconds",
+            buckets=obs.WALL_SECONDS_BUCKETS,
+            help="time blocked waiting for the estimate-cache lock",
+        ).observe(waited)
+
+    # ------------------------------------------------------------------
     # Keys
     # ------------------------------------------------------------------
     def quantize(self, value: float) -> int:
@@ -121,13 +152,16 @@ class EstimateCache:
 
     def get(self, key: Hashable) -> Optional[OperatorEstimate]:
         """The cached estimate for ``key``, marked as a cache hit."""
-        with self._lock:
+        self._acquire()
+        try:
             estimate = self._entries.get(key)
             if estimate is None:
                 self.misses += 1
             else:
                 self._entries.move_to_end(key)
                 self.hits += 1
+        finally:
+            self._lock.release()
         if estimate is None:
             obs.counter(
                 "costing.estimate_cache.misses",
@@ -144,13 +178,16 @@ class EstimateCache:
         if not self.enabled:
             return
         evicted = 0
-        with self._lock:
+        self._acquire()
+        try:
             self._entries[key] = estimate
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
                 evicted += 1
+        finally:
+            self._lock.release()
         if evicted:
             obs.counter(
                 "costing.estimate_cache.evictions",
@@ -167,7 +204,8 @@ class EstimateCache:
         Returns the number of entries removed.  Each call counts as one
         invalidation event regardless of how many entries it dropped.
         """
-        with self._lock:
+        self._acquire()
+        try:
             if system is None:
                 removed = len(self._entries)
                 self._entries.clear()
@@ -177,6 +215,8 @@ class EstimateCache:
                     del self._entries[key]
                 removed = len(stale)
             self.invalidations += 1
+        finally:
+            self._lock.release()
         obs.counter(
             "costing.estimate_cache.invalidations",
             help="cache invalidation events (training, tuning, alpha)",

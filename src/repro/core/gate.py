@@ -25,15 +25,33 @@ surviving a swap).
 
 Writers are *not* reentrant and a reader must not upgrade to a writer
 (classic deadlock); the costing module's call graph never needs either.
+
+Saturation telemetry (USE-method): the gate reports *waits* — readers
+parked behind a writer observe ``gate.read_wait_seconds``, writers
+observe ``gate.write_wait_seconds`` for every acquisition — *holds*
+(``gate.read_hold_seconds`` per outermost read,
+``gate.write_hold_seconds`` per write), and the ``gate.writers_waiting``
+gauge.  Read waits are timed only when actually contended, so the
+uncontended estimate hot path pays one clock read per acquisition and
+no histogram.  (Lock ordering: the gate may call into the metrics
+registry while holding its internal lock; the registry never calls
+back into the gate, so the ordering is acyclic.)
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
+from repro import obs
+
 __all__ = ["ReadWriteGate"]
+
+
+def _wait_histogram(name: str, help: str) -> "obs.Histogram":
+    return obs.histogram(name, buckets=obs.WALL_SECONDS_BUCKETS, help=help)
 
 
 class ReadWriteGate:
@@ -47,12 +65,17 @@ class ReadWriteGate:
         self._read_depth: Dict[int, int] = {}
         self._writer_active = False
         self._writers_waiting = 0
+        # Hold-time bookkeeping: outermost-read start per thread, and
+        # the active writer's start.
+        self._read_started: Dict[int, float] = {}
+        self._write_started = 0.0
 
     # ------------------------------------------------------------------
     # Read side
     # ------------------------------------------------------------------
     def acquire_read(self) -> None:
         ident = threading.get_ident()
+        waited = -1.0
         with self._lock:
             depth = self._read_depth.get(ident, 0)
             if depth:
@@ -60,22 +83,42 @@ class ReadWriteGate:
                 # so entering again cannot deadlock against one.
                 self._read_depth[ident] = depth + 1
                 return
-            while self._writer_active or self._writers_waiting:
-                self._writer_done.wait()
+            if self._writer_active or self._writers_waiting:
+                # Contended: parked behind the writer-preference
+                # barrier — only this path pays for wait timing.
+                wait_started = time.perf_counter()
+                while self._writer_active or self._writers_waiting:
+                    self._writer_done.wait()
+                waited = time.perf_counter() - wait_started
             self._read_depth[ident] = 1
+            self._read_started[ident] = time.perf_counter()
+        if waited >= 0.0:
+            _wait_histogram(
+                "gate.read_wait_seconds",
+                help="reader wait behind a model-swap writer (contended only)",
+            ).observe(waited)
 
     def release_read(self) -> None:
         ident = threading.get_ident()
+        held = -1.0
         with self._lock:
             depth = self._read_depth.get(ident, 0)
             if depth <= 0:
                 raise RuntimeError("release_read() without acquire_read()")
             if depth == 1:
                 del self._read_depth[ident]
+                started = self._read_started.pop(ident, 0.0)
+                if started:
+                    held = time.perf_counter() - started
                 if not self._read_depth:
                     self._readers_done.notify_all()
             else:
                 self._read_depth[ident] = depth - 1
+        if held >= 0.0:
+            _wait_histogram(
+                "gate.read_hold_seconds",
+                help="outermost read-side hold time",
+            ).observe(held)
 
     @contextmanager
     def read(self) -> Iterator[None]:
@@ -91,6 +134,11 @@ class ReadWriteGate:
     # ------------------------------------------------------------------
     def acquire_write(self) -> None:
         ident = threading.get_ident()
+        wait_started = time.perf_counter()
+        gauge = obs.gauge(
+            "gate.writers_waiting",
+            help="model-swap writers parked behind readers",
+        )
         with self._lock:
             if self._read_depth.get(ident):
                 raise RuntimeError(
@@ -98,22 +146,38 @@ class ReadWriteGate:
                     "read side before acquiring the write side"
                 )
             self._writers_waiting += 1
+            gauge.set(float(self._writers_waiting))
             try:
                 while self._writer_active or self._read_depth:
                     self._readers_done.wait()
                 self._writer_active = True
+                self._write_started = time.perf_counter()
             finally:
                 self._writers_waiting -= 1
+                gauge.set(float(self._writers_waiting))
+        _wait_histogram(
+            "gate.write_wait_seconds",
+            help="writer wait for in-flight readers to drain",
+        ).observe(time.perf_counter() - wait_started)
 
     def release_write(self) -> None:
+        held = -1.0
         with self._lock:
             if not self._writer_active:
                 raise RuntimeError("release_write() without acquire_write()")
             self._writer_active = False
+            if self._write_started:
+                held = time.perf_counter() - self._write_started
+                self._write_started = 0.0
             # Wake writers first (they re-check and race fairly), then
             # any readers parked behind the writer-preference barrier.
             self._readers_done.notify_all()
             self._writer_done.notify_all()
+        if held >= 0.0:
+            _wait_histogram(
+                "gate.write_hold_seconds",
+                help="exclusive write-side hold time",
+            ).observe(held)
 
     @contextmanager
     def write(self) -> Iterator[None]:

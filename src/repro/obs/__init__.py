@@ -52,10 +52,19 @@ around that loop:
   aggregator (quantile histograms, counter deltas, gauge last-values)
   fed by a registry observer hook, with a bounded ring of closed
   windows journaled as ``window`` events;
+* :mod:`repro.obs.sampling` — the continuous stack-sampling profiler:
+  a daemon thread walks ``sys._current_frames()`` at a configurable hz
+  (env ``REPRO_OBS_PROF``), tags threads by role, and folds stacks
+  into bounded deterministic :class:`~repro.obs.sampling.ProfileWindow`
+  aggregates journaled as ``profile`` events rebuildable offline;
+* :mod:`repro.obs.flamegraph` — flamegraph HTML rendering, flat
+  hot-frame tables, and differential profiles over folded stacks
+  (``repro flamegraph`` / ``--diff A B``);
 * :mod:`repro.obs.server` — the stdlib HTTP observability server
   (``/metrics``, ``/metrics.json``, ``/health``, ``/alerts``,
-  ``/timeseries``, ``/dashboard``) behind ``repro serve-obs`` or
-  embedded via :class:`~repro.obs.server.ObsServer`;
+  ``/timeseries``, ``/profile``, ``/dashboard``) behind
+  ``repro serve-obs`` or embedded via
+  :class:`~repro.obs.server.ObsServer`;
 * :mod:`repro.obs.logconf` — stdlib-logging configuration for the
   ``repro`` logger hierarchy.
 
@@ -216,6 +225,37 @@ from repro.obs.timeseries import (
     set_timeseries,
     windows_from_events,
 )
+from repro.obs.sampling import (
+    DEFAULT_HZ,
+    PROF_ENV_VAR,
+    PROF_WINDOW_ENV_VAR,
+    PROFILE_SCHEMA_VERSION,
+    ProfileWindow,
+    StackSampler,
+    fold_stack,
+    get_stack_sampler,
+    maybe_start_sampling,
+    merge_stacks,
+    profiles_from_events,
+    register_thread_role,
+    role_for_thread,
+    set_stack_sampler,
+    start_sampling,
+    stop_sampling,
+)
+from repro.obs.flamegraph import (
+    FlameNode,
+    FrameDelta,
+    build_flame,
+    diff_frames,
+    frame_stats,
+    render_collapsed,
+    render_diff_html,
+    render_diff_text,
+    render_flamegraph_fragment,
+    render_flamegraph_html,
+    render_top_text,
+)
 from repro.obs.server import HttpRequest, HttpResponse, ObsServer, json_response
 from repro.obs.logconf import configure as configure_logging
 
@@ -345,6 +385,33 @@ __all__ = [
     "maybe_roll_timeseries",
     "set_timeseries",
     "windows_from_events",
+    "DEFAULT_HZ",
+    "PROF_ENV_VAR",
+    "PROF_WINDOW_ENV_VAR",
+    "PROFILE_SCHEMA_VERSION",
+    "ProfileWindow",
+    "StackSampler",
+    "fold_stack",
+    "get_stack_sampler",
+    "maybe_start_sampling",
+    "merge_stacks",
+    "profiles_from_events",
+    "register_thread_role",
+    "role_for_thread",
+    "set_stack_sampler",
+    "start_sampling",
+    "stop_sampling",
+    "FlameNode",
+    "FrameDelta",
+    "build_flame",
+    "diff_frames",
+    "frame_stats",
+    "render_collapsed",
+    "render_diff_html",
+    "render_diff_text",
+    "render_flamegraph_fragment",
+    "render_flamegraph_html",
+    "render_top_text",
     "HttpRequest",
     "HttpResponse",
     "ObsServer",

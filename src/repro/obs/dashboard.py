@@ -13,7 +13,11 @@ inputs the CLI's ``health``/``alerts`` commands use:
   ``actual`` events (:func:`build_history`), so the page shows the
   accuracy *trajectory*, not just the final number;
 * a **tenant ranking** (when attribution ran) ordered by estimated
-  cost, so the most expensive tenants surface first.
+  cost, so the most expensive tenants surface first;
+* a **continuous profiling** section (when the stack sampler ran): the
+  embedded flamegraph over the sampler's folded stacks from
+  :mod:`repro.obs.flamegraph`, linking to the full ``/profile.html``
+  page.
 
 Like the rest of :mod:`repro.obs`, this module depends only on the
 standard library and must never import from the instrumented packages.
@@ -25,6 +29,7 @@ import html
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.alerts import AlertReport
+from repro.obs.flamegraph import render_flamegraph_fragment
 from repro.obs.health import SystemHealth
 from repro.obs.journal import JournalEvent
 from repro.obs.timeseries import WindowSummary
@@ -123,6 +128,13 @@ td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
 .sev-info { color: #4973b8; } .sev-warning { color: #b07818; }
 .sev-critical { color: #9d3030; font-weight: 600; }
 .spark { vertical-align: middle; }
+.flame { position: relative; width: 100%; margin: .75rem 0;
+         border: 1px solid #e3e7ee; border-radius: 3px; overflow: hidden; }
+.flame div { position: absolute; height: 16px; box-sizing: border-box;
+             border: 1px solid rgba(255,255,255,.65); border-radius: 2px;
+             font: 11px/14px ui-monospace, 'SF Mono', Menlo, monospace;
+             white-space: nowrap; overflow: hidden; text-overflow: clip;
+             padding: 0 2px; color: #1a2433; }
 """.strip()
 
 
@@ -241,6 +253,7 @@ def render_dashboard(
     title: str = "Cost estimation health",
     windows: Optional[Sequence[WindowSummary]] = None,
     tenants: Optional[Mapping[str, Mapping[str, object]]] = None,
+    profile: Optional[Mapping[str, int]] = None,
 ) -> str:
     """The dashboard page as a self-contained HTML string."""
     body: List[str] = [f"<h1>{_esc(title)}</h1>"]
@@ -344,6 +357,20 @@ def render_dashboard(
                 '<p class="muted">no closed windows yet '
                 "(first window closes after <code>REPRO_OBS_WINDOW</code> "
                 "seconds)</p>"
+            )
+
+    if profile is not None:
+        body.append("<h2>Continuous profiling</h2>")
+        if profile:
+            samples = sum(int(count) for count in profile.values())
+            body.append(
+                f'<p class="muted">{samples} sampled stacks — full page '
+                "at <code>/profile.html</code></p>"
+            )
+            body.append(render_flamegraph_fragment(profile))
+        else:
+            body.append(
+                '<p class="muted">sampler running, no samples yet</p>'
             )
 
     return _page(title, body)

@@ -44,6 +44,7 @@ from repro.obs.journal import (
 )
 from repro.obs.metrics import counter
 from repro.obs.profiler import _esc, _html_page
+from repro.obs.sampling import get_stack_sampler
 from repro.obs.tail import QueryOutcome, TailDecision
 from repro.obs.tracing import get_tracer
 
@@ -145,6 +146,10 @@ class IncidentBundle:
         records: Recent completed-query records, oldest first.
         events: Recent journal events (``{"seq", "type", "payload"}``),
             oldest first.
+        profile: The stack sampler's last profile window at trigger
+            time (:meth:`repro.obs.sampling.ProfileWindow.to_payload`),
+            or ``{}`` when profiling was off — where was the process
+            burning CPU when the incident fired.
         version: Bundle schema version.
     """
 
@@ -152,6 +157,7 @@ class IncidentBundle:
     trigger: Dict[str, Any] = field(default_factory=dict)
     records: Tuple[Dict[str, Any], ...] = ()
     events: Tuple[Dict[str, Any], ...] = ()
+    profile: Dict[str, Any] = field(default_factory=dict)
     version: int = FLIGHT_SCHEMA_VERSION
 
     # ------------------------------------------------------------------
@@ -193,6 +199,10 @@ class IncidentBundle:
         """The bundle's canonical JSONL form: header line, then one
         line per record, then one line per event."""
         lines = [_dumps(self.header())]
+        # The profile line exists only when a sampler was running at
+        # trigger time, so unprofiled bundles keep their byte layout.
+        if self.profile:
+            lines.append(_dumps({"kind": "profile", **self.profile}))
         for record in self.records:
             lines.append(_dumps({"kind": "record", **record}))
         for event in self.events:
@@ -223,6 +233,7 @@ class IncidentBundle:
             "trigger": self.trigger,
             "records": list(self.records),
             "events": list(self.events),
+            "profile": dict(self.profile),
         }
 
 
@@ -232,6 +243,7 @@ def load_bundle(path: Union[str, os.PathLike]) -> IncidentBundle:
     header: Optional[Dict[str, Any]] = None
     records: List[Dict[str, Any]] = []
     events: List[Dict[str, Any]] = []
+    profile: Dict[str, Any] = {}
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -245,6 +257,8 @@ def load_bundle(path: Union[str, os.PathLike]) -> IncidentBundle:
                 records.append(entry)
             elif kind == "event":
                 events.append(entry)
+            elif kind == "profile":
+                profile = entry
             else:
                 raise ValueError(f"unknown bundle line kind: {kind!r}")
     if header is None:
@@ -254,6 +268,7 @@ def load_bundle(path: Union[str, os.PathLike]) -> IncidentBundle:
         trigger=dict(header.get("trigger", {})),
         records=tuple(records),
         events=tuple(events),
+        profile=profile,
         version=int(header.get("v", FLIGHT_SCHEMA_VERSION)),
     )
 
@@ -409,8 +424,20 @@ class FlightRecorder:
             events = tuple(dict(entry) for entry in self._events)
         trigger: Dict[str, Any] = {"kind": kind}
         trigger.update(info)
+        # Freeze the sampler's last profile window, when one is running:
+        # the flamegraph of the moments before the incident.
+        profile: Dict[str, Any] = {}
+        sampler = get_stack_sampler()
+        if sampler is not None:
+            window = sampler.last_window()
+            if window is not None:
+                profile = window.to_payload()
         bundle = IncidentBundle(
-            name=name, trigger=trigger, records=records, events=events
+            name=name,
+            trigger=trigger,
+            records=records,
+            events=events,
+            profile=profile,
         )
         with self._lock:
             self._incidents.append(bundle)
@@ -419,9 +446,16 @@ class FlightRecorder:
         counter("obs.flight.incidents", help="incident bundles triggered").inc()
         journal = journal if journal is not None else get_journal()
         if journal.enabled:
-            group: List[Tuple[str, Dict[str, Any]]] = [
-                ("incident", {"name": name, "trigger": trigger, "events": list(events)})
-            ]
+            header: Dict[str, Any] = {
+                "name": name,
+                "trigger": trigger,
+                "events": list(events),
+            }
+            if profile:
+                # Only profiled incidents carry the key, so unprofiled
+                # journals keep their byte layout.
+                header["profile"] = profile
+            group: List[Tuple[str, Dict[str, Any]]] = [("incident", header)]
             for record in records:
                 group.append(("incident_record", {"incident": name, **record}))
             journal.append_group(group)
@@ -527,6 +561,23 @@ def render_bundle_html(bundle: IncidentBundle) -> str:
                 for root in record.get("trace") or ():
                     lines.extend(_render_trace_lines(root))
                 body.append(f"<pre>{_esc(chr(10).join(lines))}</pre>")
+    if bundle.profile:
+        stacks = bundle.profile.get("stacks", {})
+        body.append("<h2>Profile window at trigger</h2>")
+        body.append(
+            "<p>{} samples in window {} ({:g}s–{:g}s)</p>".format(
+                _esc(bundle.profile.get("samples", 0)),
+                _esc(bundle.profile.get("index", "?")),
+                float(bundle.profile.get("start", 0.0) or 0.0),
+                float(bundle.profile.get("end", 0.0) or 0.0),
+            )
+        )
+        if isinstance(stacks, dict) and stacks:
+            lines = [
+                f"{folded} {count}"
+                for folded, count in sorted(stacks.items())
+            ]
+            body.append(f"<pre>{_esc(chr(10).join(lines))}</pre>")
     if bundle.events:
         body.append("<h2>Recent journal events</h2><table>")
         body.append("<tr><th class=num>seq</th><th>type</th><th>payload</th></tr>")
@@ -566,10 +617,14 @@ def incidents_from_events(
             name = str(payload.get("name", ""))
             if not name:
                 continue
+            raw_profile = payload.get("profile", {})
             bundles[name] = {
                 "trigger": dict(payload.get("trigger", {})),
                 "events": [dict(e) for e in payload.get("events", ())],
                 "records": [],
+                "profile": dict(raw_profile)
+                if isinstance(raw_profile, dict)
+                else {},
             }
             order.append(name)
         elif event.type == "incident_record":
@@ -583,6 +638,7 @@ def incidents_from_events(
             trigger=bundles[name]["trigger"],
             records=tuple(bundles[name]["records"]),
             events=tuple(bundles[name]["events"]),
+            profile=bundles[name]["profile"],
         )
         for name in order
     )

@@ -83,6 +83,7 @@ EVENT_TYPES: Tuple[str, ...] = (
     "window",           # a telemetry window closed (repro.obs.timeseries)
     "incident",         # a flight-recorder incident bundle header
     "incident_record",  # one query record inside an incident bundle
+    "profile",          # a sampling-profiler window closed (repro.obs.sampling)
 )
 
 JOURNAL_ENV_VAR = "REPRO_OBS_JOURNAL"
@@ -538,7 +539,10 @@ def replay(
       reconstructed by :func:`repro.obs.flight.incidents_from_events`,
       which this module cannot import — flight depends on the journal);
     * ``incident_record`` — counted but drives no instrument (the
-      records belong to their incident's bundle, not to the registry).
+      records belong to their incident's bundle, not to the registry);
+    * ``profile`` — counted but drives no instrument; sampling-profiler
+      windows are rebuilt separately by
+      :func:`repro.obs.sampling.profiles_from_events`.
 
     Events of unknown type are skipped and counted (``ignored`` plus
     the ``journal.replay.skipped_events`` counter) so journals written
@@ -634,6 +638,11 @@ def replay(
             # Incident records are bundle *data* (rebuilt by
             # ``repro.obs.flight.incidents_from_events``); counted here,
             # no instrument driven.
+            pass
+        elif event.type == "profile":
+            # Profile windows are *data*, like ``window``: rebuilt by
+            # ``repro.obs.sampling.profiles_from_events``, never driven
+            # into the registry — replay bit-identity is untouched.
             pass
         else:
             ignored += 1

@@ -19,6 +19,15 @@ HTML page (``--html``).  :func:`render_report_text` /
 :func:`render_report_html` are the aggregate equivalents over a
 replayed journal (``repro report``).
 
+Naming note: this is the **span-tree** profiler — it breaks one traced
+query's *simulated and estimation* cost down along instrumented spans.
+The **stack-sampling** profiler lives in :mod:`repro.obs.sampling`
+(rendered by :mod:`repro.obs.flamegraph`, served by
+``repro flamegraph``): it attributes *process CPU time* to interpreter
+frames across every thread, continuously, with no per-site
+instrumentation.  Span trees tell you what the estimate did; sampled
+stacks tell you where Python actually spent the time.
+
 The profiler consumes span trees and snapshot dicts only — it never
 imports the instrumented packages, keeping :mod:`repro.obs`
 stdlib-only and dependency-free.

@@ -24,6 +24,11 @@ endpoint              payload
 ``GET /incidents``    headers of the in-memory incident bundles
 ``GET /incidents/N``  one full incident bundle by name (404 when
                       unknown or the recorder is off)
+``GET /profile``      the stack sampler's profile windows as JSON
+                      (``{"enabled": false, ...}`` when profiling is
+                      off)
+``GET /profile.html`` the live flamegraph page over every retained
+                      profile window (open window included)
 ``GET /dashboard``    the self-contained HTML page, backed by *real*
                       windowed history
 ====================  ==================================================
@@ -74,7 +79,9 @@ from repro.obs.dashboard import (
     render_dashboard,
 )
 from repro.obs.exporters import build_snapshot, to_prometheus_text
+from repro.obs.flamegraph import render_flamegraph_html
 from repro.obs.flight import FLIGHT_SCHEMA_VERSION, get_flight_recorder
+from repro.obs.sampling import PROFILE_SCHEMA_VERSION, get_stack_sampler
 from repro.obs.health import build_observation, evaluate_health, worst_grade
 from repro.obs.journal import get_journal
 from repro.obs.tenants import get_tenant_ledger
@@ -351,6 +358,7 @@ class ObsServer:
             ("/tenants", self.render_tenants),
             ("/flight", self.render_flight),
             ("/incidents", self.render_incidents),
+            ("/profile", self.render_profile),
         ):
             self.register(
                 path,
@@ -359,6 +367,12 @@ class ObsServer:
                 ),
             )
         self.register("/incidents", self._incident_route, prefix=True)
+        self.register(
+            "/profile.html",
+            lambda request: HttpResponse(
+                200, _HTML_CONTENT_TYPE, self.render_profile_html()
+            ),
+        )
         for path in ("/", "/dashboard"):
             self.register(
                 path,
@@ -499,6 +513,31 @@ class ObsServer:
             return None
         return json.dumps(bundle.to_dict(), sort_keys=True, separators=(",", ":"))
 
+    def render_profile(self) -> str:
+        sampler = get_stack_sampler()
+        if sampler is None:
+            snapshot = {
+                "enabled": False,
+                "v": PROFILE_SCHEMA_VERSION,
+                "hz": 0.0,
+                "windows": [],
+            }
+        else:
+            snapshot = {"enabled": True, **sampler.snapshot()}
+        return json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+
+    def render_profile_html(self) -> str:
+        sampler = get_stack_sampler()
+        stacks = sampler.merged_stacks() if sampler is not None else {}
+        subtitle = (
+            f"{sampler.hz:g} Hz over {len(sampler.windows())} closed windows"
+            if sampler is not None
+            else "profiling off — set REPRO_OBS_PROF or start_sampling()"
+        )
+        return render_flamegraph_html(
+            stacks, title=f"{self.title} — sampled stacks", subtitle=subtitle
+        )
+
     def render_dashboard(self) -> str:
         observation = self.observation()
         healths = evaluate_health(observation)
@@ -512,6 +551,7 @@ class ObsServer:
         else:
             history = history_from_windows(windows)
         tenants = observation.get("tenants")
+        sampler = get_stack_sampler()
         return render_dashboard(
             healths,
             report=report,
@@ -519,6 +559,7 @@ class ObsServer:
             title=self.title,
             windows=windows,
             tenants=tenants if isinstance(tenants, Mapping) else {},
+            profile=sampler.merged_stacks() if sampler is not None else None,
         )
 
     def __repr__(self) -> str:

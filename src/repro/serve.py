@@ -31,7 +31,18 @@ setting).  This module operates that loop as a long-lived daemon:
   API, so one port also serves ``/metrics``, ``/health``, ``/tenants``
   and the rest of the observability plane (single-port deployments).
   Tenancy rides on a configurable request header
-  (:data:`TENANT_HEADER`, default ``X-Repro-Tenant``).
+  (:data:`TENANT_HEADER`, default ``X-Repro-Tenant``);
+* **saturation telemetry** — each worker splits its wall time into
+  busy (running a job) vs idle (waiting on the queue) seconds, feeding
+  the ``serve.worker_busy_seconds`` / ``serve.worker_idle_seconds``
+  counters and the pool-wide ``serve.utilization`` gauge; together
+  with ``serve.queued_seconds`` (queue wait) vs
+  ``serve.latency_seconds`` (service time) this answers the USE-method
+  question directly — is the pool CPU-bound or queue-bound?  When
+  ``REPRO_OBS_PROF`` asks for it, :meth:`EstimationService.start` also
+  starts the process-wide stack sampler
+  (:mod:`repro.obs.sampling`) and stops it on drain, so a profiled
+  serve burst needs nothing but the environment variable.
 
 Determinism contract: estimates served through the pool are
 **bit-identical** to single-threaded calls — estimation is a pure
@@ -222,6 +233,13 @@ class EstimationService:
         self.workers = workers
         self._threads: list[threading.Thread] = []
         self._started = False
+        # Pool-wide busy/idle accumulation (USE-method utilization).
+        self._usage_lock = threading.Lock()
+        self._busy_seconds = 0.0
+        self._idle_seconds = 0.0
+        # The stack sampler this service started (env REPRO_OBS_PROF);
+        # owned here, stopped on drain.
+        self._sampler = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -233,6 +251,10 @@ class EstimationService:
         # Surface the active model generations on this session's
         # registry before any traffic arrives.
         self.sphere.costing.publish_generations()
+        # Continuous profiling, opt-in via the environment: if this
+        # call starts the process-wide sampler, the service owns it
+        # and stops it on drain.
+        self._sampler = obs.maybe_start_sampling()
         for index in range(self.workers):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -253,6 +275,14 @@ class EstimationService:
             thread.join(timeout=timeout)
         self._threads.clear()
         obs.gauge("serve.workers", help="estimation worker threads").set(0.0)
+        # The drain leaves the queue empty; reflect that, or the gauge
+        # would freeze at the last pre-shutdown depth forever.
+        obs.gauge(
+            "serve.queue_depth", help="admitted requests awaiting a worker"
+        ).set(0.0)
+        if self._sampler is not None:
+            obs.stop_sampling()
+            self._sampler = None
 
     def __enter__(self) -> "EstimationService":
         return self.start()
@@ -351,11 +381,42 @@ class EstimationService:
     # ------------------------------------------------------------------
     # Worker internals
     # ------------------------------------------------------------------
+    def _note_worker_time(self, busy: float, idle: float) -> None:
+        """Fold one worker interval into the pool's busy/idle split."""
+        with self._usage_lock:
+            self._busy_seconds += busy
+            self._idle_seconds += idle
+            total = self._busy_seconds + self._idle_seconds
+            utilization = self._busy_seconds / total if total > 0.0 else 0.0
+        if busy > 0.0:
+            obs.counter(
+                "serve.worker_busy_seconds",
+                help="pool seconds spent running jobs",
+            ).inc(busy)
+        if idle > 0.0:
+            obs.counter(
+                "serve.worker_idle_seconds",
+                help="pool seconds spent waiting on the admission queue",
+            ).inc(idle)
+        obs.gauge(
+            "serve.utilization",
+            help="busy fraction of the worker pool since start",
+        ).set(utilization)
+
+    def utilization(self) -> float:
+        """Lifetime busy fraction of the pool (0.0 before any traffic)."""
+        with self._usage_lock:
+            total = self._busy_seconds + self._idle_seconds
+            return self._busy_seconds / total if total > 0.0 else 0.0
+
     def _worker_loop(self) -> None:
         queue = self.queue
         while True:
+            idle_started = time.perf_counter()
             job = queue.take(timeout=0.1)
+            idle = time.perf_counter() - idle_started
             if job is None:
+                self._note_worker_time(busy=0.0, idle=idle)
                 if queue.closed:
                     return
                 continue
@@ -378,11 +439,13 @@ class EstimationService:
                     "serve.completed", help="served requests completed"
                 ).inc()
             finally:
+                busy = time.perf_counter() - started
                 obs.histogram(
                     "serve.latency_seconds",
                     buckets=obs.WALL_SECONDS_BUCKETS,
                     help="wall time from dequeue to completion",
-                ).observe(time.perf_counter() - started)
+                ).observe(busy)
+                self._note_worker_time(busy=busy, idle=idle)
                 job.done.set()
 
 

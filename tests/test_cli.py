@@ -244,6 +244,145 @@ class TestObservabilityCommands:
         assert logging.getLogger("repro").level == logging.WARNING
 
 
+class TestFlamegraphCommand:
+    """``repro flamegraph``: sampled stacks (live burst, journal
+    rebuild, differential) — distinct from the span-tree ``profile``."""
+
+    def _write_profile_journal(self, path, stacks_list):
+        from repro.obs import EventJournal
+        from repro.obs.sampling import ProfileWindow
+
+        journal = EventJournal(path)
+        for index, stacks in enumerate(stacks_list):
+            window = ProfileWindow(
+                index=index,
+                start=float(index),
+                end=float(index + 1),
+                samples=sum(stacks.values()),
+                roles={"serve": sum(stacks.values())},
+                stacks=dict(stacks),
+            )
+            journal.append("profile", **window.to_payload())
+        journal.close()
+        return path
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["flamegraph"])
+        assert args.hz == 250.0
+        assert args.queries == 2000
+        assert args.journal is None
+        assert args.diff is None
+        assert args.limit == 25
+
+    def test_help_disambiguates_span_tree_from_sampled(self):
+        parser = build_parser()
+        usage = parser.format_help()
+        assert "span-tree profile" in usage
+        assert "stack-sampled flamegraph" in usage
+        assert "span-tree aggregate" in usage
+
+    def test_journal_rebuild_writes_deterministic_outputs(
+        self, capsys, tmp_path
+    ):
+        path = self._write_profile_journal(
+            tmp_path / "prof.jsonl",
+            [{"[serve];repro.a;repro.b": 10, "[main]": 2},
+             {"[serve];repro.a;repro.b": 5}],
+        )
+        html_a = tmp_path / "a.html"
+        html_b = tmp_path / "b.html"
+        collapsed = tmp_path / "stacks.txt"
+        assert main([
+            "flamegraph", "--journal", str(path),
+            "--out", str(html_a), "--collapsed", str(collapsed),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repro.b" in out  # hot-frame table printed
+        assert "flamegraph HTML written" in out
+        assert main([
+            "flamegraph", "--journal", str(path), "--out", str(html_b),
+        ]) == 0
+        # byte-deterministic across runs for the same journal
+        assert html_a.read_bytes() == html_b.read_bytes()
+        assert "2 profile windows, 17 samples" in html_a.read_text()
+        assert collapsed.read_text() == (
+            "[main] 2\n[serve];repro.a;repro.b 15\n"
+        )
+
+    def test_journal_without_profile_events_exits_2(self, capsys, tmp_path):
+        from repro.obs import EventJournal
+
+        journal = EventJournal(tmp_path / "plain.jsonl")
+        journal.append("estimate", seconds=1.0)
+        journal.close()
+        assert main(["flamegraph", "--journal", str(journal.path)]) == 2
+        assert "no profile events" in capsys.readouterr().err
+
+    def test_missing_journal_exits_2(self, capsys, tmp_path):
+        assert main(
+            ["flamegraph", "--journal", str(tmp_path / "nope.jsonl")]
+        ) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_diff_between_two_journals(self, capsys, tmp_path):
+        a = self._write_profile_journal(
+            tmp_path / "a.jsonl", [{"[serve];repro.a": 50, "[serve];repro.b": 50}]
+        )
+        b = self._write_profile_journal(
+            tmp_path / "b.jsonl", [{"[serve];repro.a": 20, "[serve];repro.b": 80}]
+        )
+        out_path = tmp_path / "diff.html"
+        assert main([
+            "flamegraph", "--diff", str(a), str(b), "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "d self" in out
+        assert "pp" in out
+        assert "HTML diff written" in out
+        html = out_path.read_text()
+        assert "differential profile" in html
+        assert "repro.a" in html
+
+    def test_diff_missing_file_exits_2(self, capsys, tmp_path):
+        a = self._write_profile_journal(
+            tmp_path / "a.jsonl", [{"[serve];repro.a": 1}]
+        )
+        assert main(
+            ["flamegraph", "--diff", str(a), str(tmp_path / "nope.jsonl")]
+        ) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_diff_without_profile_events_exits_2(self, capsys, tmp_path):
+        from repro.obs import EventJournal
+
+        for name in ("a.jsonl", "b.jsonl"):
+            journal = EventJournal(tmp_path / name)
+            journal.append("estimate", seconds=1.0)
+            journal.close()
+        assert main([
+            "flamegraph",
+            "--diff", str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl"),
+        ]) == 2
+        assert "neither journal holds profile events" in (
+            capsys.readouterr().err
+        )
+
+    def test_live_burst_samples_the_optimizer(self, capsys, tmp_path):
+        from repro.obs.sampling import get_stack_sampler
+
+        out_path = tmp_path / "live.html"
+        code = main([
+            "flamegraph", "--hz", "1000", "--queries", "400",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "live burst: 400 placements" in out_path.read_text()
+        assert "frame" in out
+        # the burst pins a private sampler, never the process-wide slot
+        assert get_stack_sampler() is None
+
+
 class TestHealthAndAlertCommands:
     """The SLO surface: `repro alerts`, `repro health`, `repro dashboard`."""
 

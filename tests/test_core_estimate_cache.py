@@ -350,6 +350,82 @@ def catalog(trained_setup):
 PLAN = "SELECT a1 FROM t1000000_100 WHERE a1 < 500"
 
 
+class TestLockContentionTelemetry:
+    """The USE-method contention counters on the cache's internal lock:
+    the uncontended path touches no instrument; a blocked acquisition
+    counts and times itself."""
+
+    @pytest.fixture(autouse=True)
+    def obs_state(self):
+        from repro import obs
+        from repro.obs.metrics import MetricsRegistry
+
+        previous = obs.set_registry(MetricsRegistry())
+        yield
+        obs.set_registry(previous)
+
+    def _estimate(self, seconds):
+        from repro.core.estimator import OperatorEstimate
+        from repro.core.logical_op import CostEstimate
+
+        return OperatorEstimate(
+            seconds=seconds,
+            approach=CostingApproach.SUB_OP,
+            operator=OperatorKind.SCAN,
+            detail=CostEstimate(seconds=seconds, features=(1.0,)),
+        )
+
+    def test_uncontended_traffic_creates_no_wait_metrics(self):
+        from repro import obs
+
+        cache = EstimateCache()
+        key = cache.key_for("hive", 0, scan_stats())
+        cache.get(key)
+        cache.put(key, self._estimate(1.0))
+        cache.get(key)
+        cache.invalidate()
+        assert obs.get_registry().get(
+            "costing.estimate_cache.lock_waits"
+        ) is None
+        assert obs.get_registry().get(
+            "costing.estimate_cache.lock_wait_seconds"
+        ) is None
+
+    def test_blocked_get_counts_and_times_the_wait(self):
+        import threading
+
+        from repro import obs
+
+        cache = EstimateCache()
+        key = cache.key_for("hive", 0, scan_stats())
+        cache.put(key, self._estimate(1.0))
+        holder_in = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            # Force contention: sit on the internal lock from a foreign
+            # thread while the main thread runs a lookup.
+            cache._lock.acquire()
+            holder_in.set()
+            release.wait(timeout=5.0)
+            cache._lock.release()
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        assert holder_in.wait(timeout=5.0)
+        timer = threading.Timer(0.05, release.set)
+        timer.start()
+        result = cache.get(key)  # blocks until the holder lets go
+        thread.join(timeout=5.0)
+        assert result is not None
+        assert obs.counter("costing.estimate_cache.lock_waits").value >= 1.0
+        snapshot = obs.get_registry().get(
+            "costing.estimate_cache.lock_wait_seconds"
+        ).snapshot()
+        assert snapshot["count"] >= 1
+        assert snapshot["sum"] >= 0.04  # parked for the holder's sleep
+
+
 class TestModuleCaching:
     def test_repeat_estimate_hits(self, module, catalog):
         plan = parse_select(PLAN)

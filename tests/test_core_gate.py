@@ -1,17 +1,32 @@
 """ReadWriteGate: reader concurrency, writer exclusion and preference,
-reentrant reads, and the explicit upgrade-deadlock guard."""
+reentrant reads, the explicit upgrade-deadlock guard, and the gate's
+saturation telemetry (wait/hold histograms, writers-waiting gauge)."""
 
 import threading
 import time
 
 import pytest
 
+from repro import obs
 from repro.core.gate import ReadWriteGate
+from repro.obs.metrics import MetricsRegistry
 
 
 @pytest.fixture()
 def gate():
     return ReadWriteGate()
+
+
+@pytest.fixture(autouse=True)
+def obs_state():
+    previous = obs.set_registry(MetricsRegistry())
+    yield
+    obs.set_registry(previous)
+
+
+def histogram_count(name):
+    metric = obs.get_registry().get(name)
+    return 0 if metric is None else metric.snapshot()["count"]
 
 
 def spawn(target):
@@ -126,6 +141,94 @@ class TestWriteSide:
     def test_release_without_acquire_raises(self, gate):
         with pytest.raises(RuntimeError):
             gate.release_write()
+
+
+class TestSaturationTelemetry:
+    def test_uncontended_reads_record_holds_but_no_waits(self, gate):
+        """The estimate hot path: no writer anywhere means no wait
+        timing at all — only the outermost hold is observed."""
+        with gate.read():
+            with gate.read():
+                pass
+        assert histogram_count("gate.read_wait_seconds") == 0
+        assert histogram_count("gate.read_hold_seconds") == 1  # outermost only
+
+    def test_reader_parked_behind_writer_records_wait(self, gate):
+        release_writer = threading.Event()
+        writer_in = threading.Event()
+        reader_done = threading.Event()
+
+        def writer():
+            with gate.write():
+                writer_in.set()
+                release_writer.wait(timeout=5.0)
+
+        def reader():
+            with gate.read():
+                pass
+            reader_done.set()
+
+        w = spawn(writer)
+        assert writer_in.wait(timeout=5.0)
+        r = spawn(reader)
+        time.sleep(0.05)  # reader parks behind the active writer
+        release_writer.set()
+        assert reader_done.wait(timeout=5.0)
+        for thread in (w, r):
+            thread.join(timeout=5.0)
+        snapshot = obs.get_registry().get("gate.read_wait_seconds").snapshot()
+        assert snapshot["count"] == 1
+        assert snapshot["sum"] >= 0.04  # parked for the writer's hold
+
+    def test_reader_parked_behind_waiting_writer_records_wait(self, gate):
+        """Writer preference: a reader arriving behind a *waiting*
+        (not yet active) writer is contended and times its wait."""
+        first_in = threading.Event()
+        release_first = threading.Event()
+
+        def first_reader():
+            with gate.read():
+                first_in.set()
+                release_first.wait(timeout=5.0)
+
+        def writer():
+            with gate.write():
+                pass
+
+        def late_reader():
+            with gate.read():
+                pass
+
+        r1 = spawn(first_reader)
+        assert first_in.wait(timeout=5.0)
+        w = spawn(writer)
+        time.sleep(0.05)  # writer parked behind reader1
+        assert obs.gauge("gate.writers_waiting").value == 1.0
+        r2 = spawn(late_reader)
+        time.sleep(0.05)  # late reader parked behind the waiting writer
+        release_first.set()
+        for thread in (r1, w, r2):
+            thread.join(timeout=5.0)
+        assert histogram_count("gate.read_wait_seconds") == 1  # late reader
+        assert histogram_count("gate.write_wait_seconds") == 1
+        snapshot = obs.get_registry().get("gate.write_wait_seconds").snapshot()
+        assert snapshot["sum"] >= 0.04  # waited out reader1's hold
+        assert obs.gauge("gate.writers_waiting").value == 0.0
+
+    def test_write_waits_and_holds_always_observed(self, gate):
+        with gate.write():
+            time.sleep(0.01)
+        assert histogram_count("gate.write_wait_seconds") == 1
+        hold = obs.get_registry().get("gate.write_hold_seconds").snapshot()
+        assert hold["count"] == 1
+        assert hold["sum"] >= 0.009
+
+    def test_read_hold_covers_outermost_span(self, gate):
+        with gate.read():
+            time.sleep(0.01)
+        snapshot = obs.get_registry().get("gate.read_hold_seconds").snapshot()
+        assert snapshot["count"] == 1
+        assert snapshot["sum"] >= 0.009
 
 
 class TestIntrospection:

@@ -285,3 +285,29 @@ class TestTenantSection:
         tenants = {"a<script>x</script>": {"queries": 1}}
         page = obs.render_dashboard([make_health()], tenants=tenants)
         assert "<script>x</script>" not in page
+
+
+class TestProfilingSection:
+    def test_profile_stacks_render_flamegraph_fragment(self):
+        stacks = {"[serve];repro.serve.loop;repro.core.estimate": 9}
+        page = obs.render_dashboard([make_health()], profile=stacks)
+        assert "Continuous profiling" in page
+        assert "9 sampled stacks" in page
+        assert "/profile.html" in page
+        assert 'class="flame"' in page
+        assert "repro.core.estimate" in page
+
+    def test_empty_profile_renders_running_hint(self):
+        page = obs.render_dashboard([make_health()], profile={})
+        assert "Continuous profiling" in page
+        assert "sampler running, no samples yet" in page
+
+    def test_none_profile_omits_the_section(self):
+        page = obs.render_dashboard([make_health()])
+        assert "Continuous profiling" not in page
+
+    def test_profile_frame_names_are_escaped(self):
+        stacks = {"[serve];<img src=x>": 100}
+        page = obs.render_dashboard([make_health()], profile=stacks)
+        assert "<img src=x>" not in page
+        assert "&lt;img src=x&gt;" in page

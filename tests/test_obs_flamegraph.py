@@ -1,0 +1,199 @@
+"""Flamegraph rendering over folded stacks: tree building, frame
+statistics, byte-deterministic HTML/collapsed output, and differential
+profiles (``repro flamegraph --diff``)."""
+
+import pytest
+
+from repro.obs.flamegraph import (
+    MIN_WIDTH_PERCENT,
+    ROW_HEIGHT,
+    FrameDelta,
+    build_flame,
+    diff_frames,
+    frame_stats,
+    render_collapsed,
+    render_diff_html,
+    render_diff_text,
+    render_flamegraph_fragment,
+    render_flamegraph_html,
+    render_top_text,
+)
+
+STACKS = {
+    "[serve];repro.serve.loop;repro.core.estimate": 60,
+    "[serve];repro.serve.loop;repro.core.lookup": 25,
+    "[serve];repro.serve.loop": 5,
+    "[http];http.server.handle": 9,
+    "[main]": 1,
+}
+
+
+class TestBuildFlame:
+    def test_tree_counts(self):
+        root = build_flame(STACKS)
+        assert root.name == "all"
+        assert root.total_count == 100
+        serve = root.children["[serve]"]
+        assert serve.total_count == 90
+        assert serve.self_count == 0
+        loop = serve.children["repro.serve.loop"]
+        assert loop.total_count == 90
+        assert loop.self_count == 5
+        assert loop.children["repro.core.estimate"].self_count == 60
+        assert root.children["[main]"].self_count == 1
+
+    def test_children_sorted_by_name(self):
+        root = build_flame(STACKS)
+        names = [child.name for child in root.sorted_children()]
+        assert names == sorted(names)
+
+    def test_depth(self):
+        assert build_flame(STACKS).depth == 4  # all -> role -> loop -> leaf
+        assert build_flame({}).depth == 1
+
+    def test_non_positive_counts_dropped(self):
+        root = build_flame({"[a];f": 0, "[b];g": -3, "[c];h": 2})
+        assert root.total_count == 2
+        assert set(root.children) == {"[c]"}
+
+
+class TestFrameStats:
+    def test_self_and_total(self):
+        stats = frame_stats(STACKS)
+        assert stats["repro.core.estimate"] == (60, 60)
+        assert stats["repro.serve.loop"] == (5, 90)
+        assert stats["[serve]"] == (0, 90)
+        assert stats["[main]"] == (1, 1)
+        assert list(stats) == sorted(stats)
+
+    def test_recursion_counts_once_per_stack(self):
+        stats = frame_stats({"[s];f;f;f": 7})
+        assert stats["f"] == (7, 7)
+
+
+class TestTextRenderers:
+    def test_collapsed_sorted_with_trailing_newline(self):
+        text = render_collapsed(STACKS)
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert lines == sorted(lines)
+        assert text.endswith("\n")
+        assert "[main] 1" in lines
+
+    def test_collapsed_empty(self):
+        assert render_collapsed({}) == ""
+
+    def test_top_text_ranked_by_self(self):
+        text = render_top_text(STACKS)
+        lines = text.splitlines()
+        assert lines[0].startswith("frame")
+        assert "repro.core.estimate" in lines[1]  # self-heaviest first
+        assert text.endswith("\n")
+
+    def test_top_text_limit_note(self):
+        text = render_top_text(STACKS, limit=2)
+        assert "more frames" in text
+
+    def test_top_text_empty(self):
+        assert render_top_text({}) == "no samples\n"
+
+
+class TestHtmlFlamegraph:
+    def test_byte_deterministic(self):
+        a = render_flamegraph_html(STACKS, subtitle="run A")
+        b = render_flamegraph_html(dict(STACKS), subtitle="run A")
+        assert a == b
+
+    def test_page_structure(self):
+        html = render_flamegraph_html(STACKS, title="t<1>", subtitle="s&b")
+        assert html.startswith("<!doctype html>")
+        assert "t&lt;1&gt;" in html  # escaped title
+        assert "s&amp;b" in html
+        assert "100 samples, 5 distinct stacks" in html
+        assert '<div class="flame"' in html
+        assert "Hot frames" in html
+        assert "<script" not in html  # self-contained, no scripts
+
+    def test_fragment_geometry(self):
+        fragment = render_flamegraph_fragment(STACKS)
+        # root spans the full width at the top row
+        assert 'left:0.0000%;top:0px;width:100.0000%' in fragment
+        assert f'style="height:{4 * ROW_HEIGHT + ROW_HEIGHT}px"' in fragment
+        # the serve subtree is 90% wide
+        assert "width:90.0000%" in fragment
+
+    def test_fragment_empty(self):
+        assert render_flamegraph_fragment({}) == '<p class="muted">no samples</p>'
+
+    def test_narrow_nodes_pruned(self):
+        stacks = {"[a];wide": 100000, "[b];sliver": 1}
+        fragment = render_flamegraph_fragment(stacks)
+        assert "wide" in fragment
+        assert 100.0 * 1 / 100001 < MIN_WIDTH_PERCENT
+        assert "sliver" not in fragment
+
+    def test_colors_are_stable_hsl(self):
+        fragment = render_flamegraph_fragment(STACKS)
+        assert "hsl(" in fragment
+        assert fragment == render_flamegraph_fragment(STACKS)
+
+
+class TestDiff:
+    def test_diff_frames_deltas(self):
+        before = {"[s];a": 50, "[s];b": 50}
+        after = {"[s];a": 30, "[s];b": 60, "[s];c": 10}
+        deltas = {d.frame: d for d in diff_frames(before, after)}
+        a = deltas["a"]
+        assert (a.self_before, a.self_after) == (50, 30)
+        assert a.self_share_before == 50.0
+        assert a.self_share_after == 30.0
+        assert a.d_self == -20.0
+        c = deltas["c"]
+        assert c.self_before == 0
+        assert c.d_self == 10.0
+        # [s] appears in every stack: total share stays 100%
+        assert deltas["[s]"].d_total == 0.0
+
+    def test_sorted_by_absolute_self_movement(self):
+        before = {"[s];a": 50, "[s];b": 50}
+        after = {"[s];a": 30, "[s];b": 60, "[s];c": 10}
+        frames = [d.frame for d in diff_frames(before, after)]
+        assert frames[0] == "a"  # |−20pp| is the biggest mover
+
+    def test_empty_profiles(self):
+        assert diff_frames({}, {}) == []
+        assert render_diff_text([]) == "no frames to compare\n"
+
+    def test_diff_text_renders(self):
+        deltas = diff_frames({"[s];a": 10}, {"[s];a": 5, "[s];b": 5})
+        text = render_diff_text(deltas)
+        assert "d self" in text
+        assert "pp" in text
+        assert text.endswith("\n")
+
+    def test_diff_text_limit_note(self):
+        deltas = diff_frames({"[s];a": 10}, {"[s];b": 5, "[s];c": 5})
+        assert "more frames" in render_diff_text(deltas, limit=1)
+
+    def test_diff_html_deterministic_and_escaped(self):
+        deltas = diff_frames({"[s];<a>": 10}, {"[s];<a>": 20})
+        html = render_diff_html(deltas, subtitle="A vs B")
+        assert html == render_diff_html(deltas, subtitle="A vs B")
+        assert "&lt;a&gt;" in html
+        assert "delta-" in html
+        assert "A vs B" in html
+
+    def test_diff_html_empty(self):
+        html = render_diff_html([])
+        assert "no frames to compare" in html
+
+    def test_frame_delta_properties(self):
+        delta = FrameDelta(
+            frame="f",
+            self_before=1, self_after=2,
+            total_before=3, total_after=4,
+            self_share_before=10.0, self_share_after=15.0,
+            total_share_before=30.0, total_share_after=25.0,
+        )
+        assert delta.d_self == 5.0
+        assert delta.d_total == -5.0

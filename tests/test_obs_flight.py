@@ -387,3 +387,80 @@ class TestThreadSafety:
         for bundle in recorder.incidents():
             assert bundle.header()["records"] == len(bundle.records)
             assert bundle.name.startswith("incident-")
+
+
+class TestProfileInBundles:
+    def _stack_sampler(self):
+        from repro.obs.journal import NOOP_JOURNAL
+        from repro.obs.sampling import StackSampler
+
+        sampler = StackSampler(
+            hz=100.0, window_seconds=10.0, journal=NOOP_JOURNAL
+        )
+        sampler.record_sample(0.1, "serve", ("repro.serve.loop",))
+        sampler.record_sample(0.2, "serve", ("repro.serve.loop",))
+        return sampler
+
+    def test_trigger_freezes_last_profile_window(self):
+        from repro.obs.sampling import set_stack_sampler
+
+        previous = set_stack_sampler(self._stack_sampler())
+        try:
+            recorder = obs.FlightRecorder()
+            bundle = recorder.trigger_incident("drift")
+        finally:
+            set_stack_sampler(previous)
+        assert bundle.profile["samples"] == 2
+        assert bundle.profile["stacks"] == {"[serve];repro.serve.loop": 2}
+        assert bundle.profile["profile_v"] == 1
+
+    def test_unprofiled_bundle_has_no_profile_line(self, tmp_path):
+        recorder = obs.FlightRecorder(directory=tmp_path)
+        bundle = recorder.trigger_incident("manual")
+        assert bundle.profile == {}
+        text = (tmp_path / f"{bundle.name}.jsonl").read_text()
+        assert '"kind":"profile"' not in text
+        assert "profile" not in bundle.to_jsonl().splitlines()[0]  # header
+
+    def test_profiled_bundle_round_trips_byte_for_byte(self, tmp_path):
+        from repro.obs.sampling import set_stack_sampler
+
+        previous = set_stack_sampler(self._stack_sampler())
+        try:
+            recorder = obs.FlightRecorder(directory=tmp_path)
+            recorder.record(outcome(1), KEEP)
+            bundle = recorder.trigger_incident("alert")
+        finally:
+            set_stack_sampler(previous)
+        path = tmp_path / f"{bundle.name}.jsonl"
+        loaded = flight.load_bundle(path)
+        assert loaded.profile == bundle.profile
+        assert loaded.to_jsonl() == path.read_text(encoding="utf-8")
+        html = flight.render_bundle_html(loaded)
+        assert "Profile window at trigger" in html
+        assert "repro.serve.loop" in html
+
+    def test_incidents_from_events_restore_the_profile(self, tmp_path):
+        from repro.obs.sampling import set_stack_sampler
+
+        journal = EventJournal(tmp_path / "j.jsonl")
+        previous_journal = obs.set_journal(journal)
+        previous = set_stack_sampler(self._stack_sampler())
+        try:
+            recorder = obs.FlightRecorder()
+            bundle = recorder.trigger_incident("drift")
+        finally:
+            set_stack_sampler(previous)
+            obs.set_journal(previous_journal)
+            journal.close()
+        rebuilt = flight.incidents_from_events(journal.read().events)
+        assert len(rebuilt) == 1
+        assert rebuilt[0].profile == bundle.profile
+        assert rebuilt[0].to_jsonl() == bundle.to_jsonl()
+
+    def test_html_report_omits_section_without_profile(self):
+        recorder = obs.FlightRecorder()
+        bundle = recorder.trigger_incident("manual")
+        assert "Profile window at trigger" not in flight.render_bundle_html(
+            bundle
+        )

@@ -297,6 +297,34 @@ class TestReplayUnits:
         replay(events, registry=registry, ledger=obs.AccuracyLedger())
         assert "journal.replay.skipped_events" not in registry.snapshot()
 
+    def test_profile_events_counted_but_drive_no_instrument(self):
+        """Profile windows are sampler state, not costing telemetry:
+        replay counts them as applied (they are a known type) without
+        touching any metric — replayed registries stay bit-identical
+        whether or not the run was profiled."""
+        registry = obs.MetricsRegistry()
+        events = [
+            JournalEvent(
+                seq=1,
+                type="profile",
+                payload={
+                    "profile_v": 1,
+                    "index": 0,
+                    "start": 0.0,
+                    "end": 60.0,
+                    "samples": 3,
+                    "roles": {"serve": 3},
+                    "stacks": {"[serve];repro.a": 3},
+                    "truncated": 0,
+                },
+            )
+        ]
+        result = replay(events, registry=registry, ledger=obs.AccuracyLedger())
+        assert result.applied == 1
+        assert result.ignored == 0
+        assert result.counts["profile"] == 1
+        assert registry.snapshot() == {}
+
     def test_alert_events_replay_into_counter(self):
         registry = obs.MetricsRegistry()
         events = [

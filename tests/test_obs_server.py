@@ -184,6 +184,77 @@ class TestEndpoints:
             assert get(f"{server.url}/metrics")[0] == 200
 
 
+class TestProfileEndpoints:
+    @pytest.fixture()
+    def sampler(self):
+        from repro.obs.journal import NOOP_JOURNAL
+        from repro.obs.sampling import StackSampler, set_stack_sampler
+
+        sampler = StackSampler(
+            hz=100.0, window_seconds=10.0, journal=NOOP_JOURNAL
+        )
+        sampler.record_sample(0.1, "serve", ("repro.serve.loop",))
+        sampler.record_sample(0.2, "serve", ("repro.serve.loop",))
+        sampler.record_sample(10.1, "main", ())
+        previous = set_stack_sampler(sampler)
+        yield sampler
+        set_stack_sampler(previous)
+
+    def test_profile_json_when_off(self, server):
+        from repro.obs.sampling import set_stack_sampler
+
+        previous = set_stack_sampler(None)
+        try:
+            status, content_type, body = get(f"{server.url}/profile")
+        finally:
+            set_stack_sampler(previous)
+        assert status == 200
+        assert content_type.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["enabled"] is False
+        assert payload["hz"] == 0.0
+        assert payload["windows"] == []
+
+    def test_profile_json_serves_sampler_windows(self, server, sampler):
+        status, _, body = get(f"{server.url}/profile")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert payload["hz"] == 100.0
+        assert payload["sampled"] == 3
+        # one closed window plus the open one frozen in place
+        assert len(payload["windows"]) == 2
+        assert payload["windows"][0]["stacks"] == {
+            "[serve];repro.serve.loop": 2
+        }
+
+    def test_profile_html_renders_flamegraph(self, server, sampler):
+        status, content_type, body = get(f"{server.url}/profile.html")
+        assert status == 200
+        assert content_type.startswith("text/html")
+        assert "sampled stacks" in body
+        assert "repro.serve.loop" in body
+        assert "100 Hz over 1 closed windows" in body
+
+    def test_profile_html_when_off_says_so(self, server):
+        from repro.obs.sampling import set_stack_sampler
+
+        previous = set_stack_sampler(None)
+        try:
+            status, _, body = get(f"{server.url}/profile.html")
+        finally:
+            set_stack_sampler(previous)
+        assert status == 200
+        assert "profiling off" in body
+        assert "no samples" in body
+
+    def test_dashboard_shows_profiling_section(self, server, sampler):
+        status, _, body = get(f"{server.url}/dashboard")
+        assert status == 200
+        assert "Continuous profiling" in body
+        assert 'class="flame"' in body
+
+
 class TestConcurrency:
     def test_parallel_scrapes_all_succeed(self, server, obs_state):
         registry, _ = obs_state

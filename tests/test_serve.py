@@ -265,6 +265,78 @@ class TestSwapUnderLoad:
         assert obs.gauge("costing.model_generation").value == float(after)
 
 
+class TestSaturationAndProfiling:
+    def test_queue_depth_gauge_zeroed_after_stop(self, sphere):
+        with EstimationService(sphere, workers=2) as service:
+            service.estimate("hive", QUERIES[2])
+            assert obs.gauge("serve.workers").value == 2.0
+        # Drain-then-shutdown resets both gauges, not just the workers
+        # one — a stopped service must not report phantom queue depth.
+        assert obs.gauge("serve.workers").value == 0.0
+        assert obs.gauge("serve.queue_depth").value == 0.0
+
+    def test_worker_utilization_telemetry(self, sphere):
+        with EstimationService(sphere, workers=2) as service:
+            for _ in range(3):
+                for sql in QUERIES:
+                    service.estimate("hive", sql)
+            utilization = service.utilization()
+        assert 0.0 <= utilization <= 1.0
+        assert obs.counter("serve.worker_busy_seconds").value > 0.0
+        assert obs.counter("serve.worker_idle_seconds").value >= 0.0
+        assert 0.0 <= obs.gauge("serve.utilization").value <= 1.0
+
+    def test_eight_workers_bit_identical_with_sampler_running(
+        self, sphere, monkeypatch
+    ):
+        """The profiling acceptance criterion: a service run with the
+        stack sampler on serves estimates bit-identical to serial runs,
+        and the service owns the sampler's shutdown."""
+        monkeypatch.setenv(obs.PROF_ENV_VAR, "300")
+        reference = serial_reference(sphere)
+        sphere.costing.invalidate_cache()
+        with EstimationService(sphere, workers=8, queue_depth=256) as service:
+            sampler = obs.get_stack_sampler()
+            assert sampler is not None and sampler.running
+            results = [[] for _ in range(8)]
+            errors = []
+
+            def client(slot):
+                try:
+                    for round_index in range(5):
+                        sql = QUERIES[(slot + round_index) % len(QUERIES)]
+                        payload = service.estimate("hive", sql)
+                        results[slot].append((sql, payload))
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(slot,), daemon=True)
+                for slot in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+        assert errors == []
+        for slot_results in results:
+            assert len(slot_results) == 5
+            for sql, payload in slot_results:
+                assert payload["seconds"] == reference[sql]  # bit-identical
+        # stop() shut the sampler down and uninstalled it
+        assert obs.get_stack_sampler() is None
+        assert not sampler.running
+        assert sampler.sampled > 0  # it really did observe the run
+        roles = {s.split(";")[0] for s in sampler.merged_stacks()}
+        assert "[serve]" in roles  # worker threads were walked
+
+    def test_sampler_not_started_when_env_off(self, sphere, monkeypatch):
+        monkeypatch.delenv(obs.PROF_ENV_VAR, raising=False)
+        with EstimationService(sphere, workers=1) as service:
+            service.estimate("hive", QUERIES[2])
+            assert obs.get_stack_sampler() is None
+
+
 def post(url, payload, headers=None, timeout=30.0):
     request = urllib.request.Request(
         url,
